@@ -1,0 +1,43 @@
+//! Criterion bench for experiment E10: the parallel `grand-random-settle` vs the
+//! sequential per-node `random-settle`, and the optional post-insertion rising
+//! pass, on a hub-churn workload that exercises the rising mechanism heavily.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdmm_bench::run_parallel;
+use pdmm_core::Config;
+use pdmm_hypergraph::streams;
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_settle_ablation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let n = 1 << 12;
+    let w = streams::hub_churn(n, 8, 40, n / 8, 91);
+
+    group.bench_function("grand_random_settle", |b| {
+        b.iter(|| {
+            let (_, stats) = run_parallel(black_box(&w), Config::for_graphs(3));
+            black_box(stats.work)
+        });
+    });
+    group.bench_function("sequential_random_settle", |b| {
+        b.iter(|| {
+            let (_, stats) =
+                run_parallel(black_box(&w), Config::for_graphs(3).with_sequential_settle());
+            black_box(stats.work)
+        });
+    });
+    group.bench_function("settle_after_insert", |b| {
+        b.iter(|| {
+            let (_, stats) =
+                run_parallel(black_box(&w), Config::for_graphs(3).with_settle_after_insert());
+            black_box(stats.work)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for experiment E3: per-update processing time as the graph size
+//! grows (Theorem 4.16 says the amortized work — and hence, at fixed parallelism,
+//! the time — per update is polylogarithmic in `n`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pdmm_bench::run_parallel;
+use pdmm_core::Config;
+use pdmm_hypergraph::streams;
+use std::hint::black_box;
+
+fn bench_amortized_work(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_amortized_per_update");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &n in &[1usize << 11, 1 << 13, 1 << 15] {
+        let w = streams::random_churn(n, 2, 2 * n, 10, n / 4, 0.5, 17);
+        let updates = w.batches.iter().map(Vec::len).sum::<usize>() as u64;
+        group.throughput(Throughput::Elements(updates));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let (_, stats) = run_parallel(black_box(&w), Config::for_graphs(23));
+                black_box(stats.work)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_amortized_work);
+criterion_main!(benches);

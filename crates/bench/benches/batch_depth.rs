@@ -1,0 +1,34 @@
+//! Criterion bench for experiment E2: wall-clock time per batch as the batch size
+//! grows (the depth counterpart — rounds per batch — is reported by the
+//! `experiments` binary, since criterion measures time only).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pdmm_bench::run_parallel;
+use pdmm_core::Config;
+use pdmm_hypergraph::{generators, streams};
+use std::hint::black_box;
+
+fn bench_batch_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_batch_size");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let n = 1 << 13;
+    let edges = generators::gnm_graph(n, 4 * n, 21, 0);
+    for &batch in &[64usize, 1_024, 16_384] {
+        let w = streams::insert_then_teardown(n, edges.clone(), batch, 3);
+        group.throughput(Throughput::Elements(
+            w.batches.iter().map(Vec::len).sum::<usize>() as u64,
+        ));
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
+            b.iter(|| {
+                let (_, stats) = run_parallel(black_box(&w), Config::for_graphs(8));
+                black_box(stats.depth)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_sizes);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for experiment E6: per-update processing time as the hypergraph
+//! rank `r` grows (Theorem 4.1 allows a `poly(r)` increase in work).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pdmm_bench::run_parallel;
+use pdmm_core::Config;
+use pdmm_hypergraph::streams;
+use std::hint::black_box;
+
+fn bench_rank_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_rank_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let n = 1 << 12;
+    for &r in &[2usize, 4, 8] {
+        let w = streams::random_churn(n, r, n, 10, n / 8, 0.5, 53);
+        let updates = w.batches.iter().map(Vec::len).sum::<usize>() as u64;
+        group.throughput(Throughput::Elements(updates));
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, _| {
+            b.iter(|| {
+                let (_, stats) = run_parallel(black_box(&w), Config::for_hypergraphs(r, 7));
+                black_box(stats.work)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rank_scaling);
+criterion_main!(benches);

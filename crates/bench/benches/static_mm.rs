@@ -1,0 +1,39 @@
+//! Criterion bench for experiment E1: static parallel maximal matching
+//! (Theorem 2.2) — wall-clock time of one Luby-style computation as the number of
+//! hyperedges and the rank grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdmm_hypergraph::generators;
+use pdmm_primitives::random::RandomSource;
+use pdmm_static::luby::luby_maximal_matching;
+use std::hint::black_box;
+
+fn bench_static_mm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_static_maximal_matching");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &m in &[10_000usize, 50_000] {
+        let n = m / 4;
+        let graph_edges = generators::gnm_graph(n, m, 11, 0);
+        group.bench_with_input(BenchmarkId::new("graph_rank2", m), &m, |b, _| {
+            b.iter(|| {
+                let mut rng = RandomSource::from_seed(5);
+                let result = luby_maximal_matching(black_box(&graph_edges), &mut rng, None);
+                black_box(result.edges.len())
+            });
+        });
+        let hyper_edges = generators::random_hypergraph(n, m, 4, 11, 0);
+        group.bench_with_input(BenchmarkId::new("hypergraph_rank4", m), &m, |b, _| {
+            b.iter(|| {
+                let mut rng = RandomSource::from_seed(5);
+                let result = luby_maximal_matching(black_box(&hyper_edges), &mut rng, None);
+                black_box(result.edges.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_static_mm);
+criterion_main!(benches);

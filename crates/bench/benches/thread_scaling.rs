@@ -1,0 +1,36 @@
+//! Criterion bench for experiment E9: wall-clock throughput of the same workload
+//! under rayon thread pools of different sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdmm_bench::run_parallel;
+use pdmm_core::Config;
+use pdmm_hypergraph::{generators, streams};
+use std::hint::black_box;
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_thread_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let n = 1 << 13;
+    let edges = generators::gnm_graph(n, 4 * n, 81, 0);
+    let w = streams::insert_then_teardown(n, edges, n / 4, 7);
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build()
+                .expect("thread pool");
+            b.iter(|| {
+                pool.install(|| {
+                    let (_, stats) = run_parallel(black_box(&w), Config::for_graphs(13));
+                    black_box(stats.final_matching)
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thread_scaling);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for experiment E4: the dynamic algorithm vs recomputing the
+//! matching from scratch with the static parallel matcher after every batch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdmm_bench::{run_generic, run_parallel};
+use pdmm_core::Config;
+use pdmm_hypergraph::{generators, streams};
+use pdmm_seq_dynamic::RecomputeFromScratch;
+use std::hint::black_box;
+
+fn bench_dynamic_vs_recompute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_dynamic_vs_recompute");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let n = 1 << 12;
+    let edges = generators::gnm_graph(n, 4 * n, 31, 0);
+    for &batch in &[64usize, 1_024] {
+        let w = streams::sliding_window(n, edges.clone(), batch, 8);
+        group.bench_with_input(BenchmarkId::new("dynamic", batch), &batch, |b, _| {
+            b.iter(|| {
+                let (_, stats) = run_parallel(black_box(&w), Config::for_graphs(5));
+                black_box(stats.final_matching)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("recompute", batch), &batch, |b, _| {
+            b.iter(|| {
+                let (_, stats) = run_generic(black_box(&w), RecomputeFromScratch::new(n, 5));
+                black_box(stats.final_matching)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dynamic_vs_recompute);
+criterion_main!(benches);

@@ -1,0 +1,464 @@
+//! The experiment suite (E1–E10 of `DESIGN.md`).
+//!
+//! The paper is a theory paper — it has no empirical tables of its own — so each
+//! experiment here turns one of its stated claims into a measured series (see the
+//! per-experiment index in `DESIGN.md` and the recorded results in
+//! `EXPERIMENTS.md`).  Every experiment is a pure function of its parameters and a
+//! seed, prints an aligned table, and also returns it as a string so the binary can
+//! collect them.
+
+use crate::runner::{run_generic, run_parallel};
+use crate::table::{f, Table};
+use pdmm_core::{Config, ParallelDynamicMatching};
+use pdmm_hypergraph::dynamic::DynamicMatcher;
+use pdmm_hypergraph::generators;
+use pdmm_hypergraph::graph::DynamicHypergraph;
+use pdmm_hypergraph::matching::greedy_maximal_matching;
+use pdmm_hypergraph::streams;
+use pdmm_primitives::cost_model::CostTracker;
+use pdmm_primitives::random::RandomSource;
+use pdmm_seq_dynamic::{NaiveDynamicMatching, RandomReplaceMatching, RecomputeFromScratch};
+use pdmm_static::luby::luby_maximal_matching;
+use std::time::Instant;
+
+/// Scale factor: `quick` runs (used by CI and the smoke tests) divide the problem
+/// sizes by roughly an order of magnitude.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small sizes, a few seconds in total.
+    Quick,
+    /// The sizes recorded in `EXPERIMENTS.md`.
+    Full,
+}
+
+impl Scale {
+    fn div(self, full: usize, quick: usize) -> usize {
+        match self {
+            Scale::Full => full,
+            Scale::Quick => quick,
+        }
+    }
+}
+
+/// E1 — Theorem 2.2: the static parallel matcher finishes in `O(log M)` rounds with
+/// `O(M·r·log M)` work.
+#[must_use]
+pub fn e1_static_matching(scale: Scale) -> String {
+    let mut table = Table::new(
+        "E1  static parallel maximal matching (Theorem 2.2)",
+        &["m", "r", "rounds", "log2(m)", "work", "work/(m*r)", "ms"],
+    );
+    let sizes = match scale {
+        Scale::Full => vec![1_000usize, 10_000, 100_000, 400_000],
+        Scale::Quick => vec![1_000, 10_000],
+    };
+    for &m in &sizes {
+        for &r in &[2usize, 4] {
+            let n = (m / 4).max(2 * r);
+            let edges = if r == 2 {
+                generators::gnm_graph(n, m, 11, 0)
+            } else {
+                generators::random_hypergraph(n, m, r, 11, 0)
+            };
+            let cost = CostTracker::new();
+            let mut rng = RandomSource::from_seed(5);
+            let t0 = Instant::now();
+            let result = luby_maximal_matching(&edges, &mut rng, Some(&cost));
+            let elapsed = t0.elapsed();
+            let m_actual = edges.len();
+            table.row(vec![
+                m_actual.to_string(),
+                r.to_string(),
+                result.iterations.to_string(),
+                f((m_actual as f64).log2(), 1),
+                cost.total_work().to_string(),
+                f(cost.total_work() as f64 / (m_actual * r) as f64, 2),
+                f(elapsed.as_secs_f64() * 1e3, 1),
+            ]);
+        }
+    }
+    finish(table)
+}
+
+/// E2 — Theorem 4.4: the depth of processing a batch stays polylogarithmic,
+/// essentially independent of the batch size.
+#[must_use]
+pub fn e2_batch_depth(scale: Scale) -> String {
+    let mut table = Table::new(
+        "E2  depth per batch vs batch size (Theorem 4.4)",
+        &["batch", "batches", "mean depth", "max depth", "depth/update", "ms/batch"],
+    );
+    let n = scale.div(1 << 15, 1 << 12);
+    let m = 4 * n;
+    let edges = generators::gnm_graph(n, m, 21, 0);
+    for &batch in &[1usize, 16, 256, 4_096, 65_536] {
+        if batch > 2 * m {
+            continue;
+        }
+        let w = streams::insert_then_teardown(n, edges.clone(), batch, 3);
+        let (_, stats) = run_parallel(&w, Config::for_graphs(8));
+        table.row(vec![
+            batch.to_string(),
+            stats.batches.to_string(),
+            f(stats.mean_batch_depth, 1),
+            stats.max_batch_depth.to_string(),
+            f(stats.depth as f64 / stats.updates as f64, 3),
+            f(stats.wall.as_secs_f64() * 1e3 / stats.batches as f64, 2),
+        ]);
+    }
+    finish(table)
+}
+
+/// E3 — Theorem 4.16: amortized work per update stays polylogarithmic as the graph
+/// grows.
+#[must_use]
+pub fn e3_amortized_work(scale: Scale) -> String {
+    let mut table = Table::new(
+        "E3  amortized work per update vs n (Theorem 4.16)",
+        &["n", "updates", "work/update", "work/update/log^2(n)", "us/update", "rebuilds"],
+    );
+    let ns = match scale {
+        Scale::Full => vec![1usize << 11, 1 << 13, 1 << 15, 1 << 17],
+        Scale::Quick => vec![1 << 10, 1 << 12],
+    };
+    for &n in &ns {
+        let w = streams::random_churn(n, 2, 2 * n, 20, n / 4, 0.5, 17);
+        let (matcher, stats) = run_parallel(&w, Config::for_graphs(23));
+        let log_n = (n as f64).log2();
+        table.row(vec![
+            n.to_string(),
+            stats.updates.to_string(),
+            f(stats.work_per_update(), 1),
+            f(stats.work_per_update() / (log_n * log_n), 3),
+            f(stats.micros_per_update(), 2),
+            matcher.metrics().rebuilds.to_string(),
+        ]);
+    }
+    finish(table)
+}
+
+/// E4 — dynamic batches vs recompute-from-scratch: both algorithms are primed with
+/// the same large standing graph, then process the same churn batches; the dynamic
+/// algorithm's per-update cost depends on the batch, the recompute baseline pays
+/// for the whole graph every batch.
+#[must_use]
+pub fn e4_vs_static_recompute(scale: Scale) -> String {
+    let mut table = Table::new(
+        "E4  dynamic algorithm vs recompute-from-scratch (standing graph, churn batches)",
+        &["batch", "churn updates", "dyn us/upd", "recompute us/upd", "speedup", "dyn matching", "recompute matching"],
+    );
+    let n = scale.div(1 << 14, 1 << 11);
+    for &batch in &[16usize, 256, 4_096] {
+        // A standing graph of 4n edges, a warm-up churn phase (un-timed, so both
+        // algorithms are measured in steady state — the first deletions after the
+        // bulk load trigger the one-time rising phase whose cost the paper
+        // amortizes against the insertions), then 20 timed churn batches.
+        let w = streams::random_churn(n, 2, 4 * n, 25, batch, 0.5, 31);
+        let warmup = &w.batches[..6];
+        let churn = &w.batches[6..];
+        let churn_updates: usize = churn.iter().map(Vec::len).sum();
+
+        let mut dynamic = ParallelDynamicMatching::new(n, Config::for_graphs(5));
+        for b in warmup {
+            dynamic.apply_batch(b);
+        }
+        let t0 = Instant::now();
+        for b in churn {
+            dynamic.apply_batch(b);
+        }
+        let dyn_us = t0.elapsed().as_micros() as f64 / churn_updates as f64;
+
+        let mut recompute = RecomputeFromScratch::new(n, 5);
+        for b in warmup {
+            DynamicMatcher::apply_batch(&mut recompute, b);
+        }
+        let t1 = Instant::now();
+        for b in churn {
+            DynamicMatcher::apply_batch(&mut recompute, b);
+        }
+        let rec_us = t1.elapsed().as_micros() as f64 / churn_updates as f64;
+
+        table.row(vec![
+            batch.to_string(),
+            churn_updates.to_string(),
+            f(dyn_us, 2),
+            f(rec_us, 2),
+            f(rec_us / dyn_us.max(1e-9), 1),
+            dynamic.matching_size().to_string(),
+            recompute.matching_edge_ids().len().to_string(),
+        ]);
+    }
+    finish(table)
+}
+
+/// E5 — batch processing vs one-update-at-a-time sequential baselines: total depth
+/// (the quantity parallelism cares about) and wall-clock per update.
+#[must_use]
+pub fn e5_vs_sequential(scale: Scale) -> String {
+    let mut table = Table::new(
+        "E5  parallel batches vs sequential one-by-one processing",
+        &["algorithm", "batch", "total depth", "us/update", "matching"],
+    );
+    let n = scale.div(1 << 13, 1 << 11);
+    let w_batched = streams::random_churn(n, 2, 2 * n, 10, n / 2, 0.5, 41);
+    let w_single = streams::random_churn(n, 2, 2 * n, 10 * (n / 2), 1, 0.5, 41);
+
+    let (m1, s1) = run_parallel(&w_batched, Config::for_graphs(1));
+    table.row(vec![
+        "parallel-dynamic".into(),
+        (n / 2).to_string(),
+        m1.cost().total_depth().to_string(),
+        f(s1.micros_per_update(), 2),
+        s1.final_matching.to_string(),
+    ]);
+    let (m2, s2) = run_parallel(&w_single, Config::for_graphs(1));
+    table.row(vec![
+        "parallel-dynamic (batch=1)".into(),
+        "1".into(),
+        m2.cost().total_depth().to_string(),
+        f(s2.micros_per_update(), 2),
+        s2.final_matching.to_string(),
+    ]);
+    let (naive, s3) = run_generic(&w_batched, NaiveDynamicMatching::new(n));
+    table.row(vec![
+        "naive-sequential".into(),
+        (n / 2).to_string(),
+        naive.cost().total_depth().to_string(),
+        f(s3.micros_per_update(), 2),
+        s3.final_matching.to_string(),
+    ]);
+    let (rr, s4) = run_generic(&w_batched, RandomReplaceMatching::new(n, 2));
+    table.row(vec![
+        "random-replace-sequential".into(),
+        (n / 2).to_string(),
+        rr.cost().total_depth().to_string(),
+        f(s4.micros_per_update(), 2),
+        s4.final_matching.to_string(),
+    ]);
+    finish(table)
+}
+
+/// E6 — Theorem 4.1: `poly(r)` scaling of the work per update with the hypergraph
+/// rank.
+#[must_use]
+pub fn e6_rank_scaling(scale: Scale) -> String {
+    let mut table = Table::new(
+        "E6  work per update vs hypergraph rank r (Theorem 4.1)",
+        &["r", "alpha", "levels", "work/update", "us/update", "matching"],
+    );
+    let n = scale.div(1 << 13, 1 << 11);
+    for &r in &[2usize, 3, 4, 6, 8, 10] {
+        let w = streams::random_churn(n, r, n, 10, n / 8, 0.5, 53);
+        let (matcher, stats) = run_parallel(&w, Config::for_hypergraphs(r, 7));
+        table.row(vec![
+            r.to_string(),
+            (4 * r).to_string(),
+            matcher.num_levels().to_string(),
+            f(stats.work_per_update(), 1),
+            f(stats.micros_per_update(), 2),
+            stats.final_matching.to_string(),
+        ]);
+    }
+    finish(table)
+}
+
+/// E7 — §2: a maximal matching is a `1/r` approximation of the maximum matching and
+/// its endpoints form a vertex cover.
+#[must_use]
+pub fn e7_quality(scale: Scale) -> String {
+    let mut table = Table::new(
+        "E7  matching quality vs greedy static reference",
+        &["workload", "r", "dynamic", "greedy", "ratio", "uncovered edges"],
+    );
+    let n = scale.div(1 << 13, 1 << 11);
+    let workloads = vec![
+        ("uniform", 2, streams::random_churn(n, 2, 2 * n, 10, n / 4, 0.5, 61)),
+        (
+            "power-law",
+            2,
+            streams::insert_then_teardown(n, generators::chung_lu_graph(n, 3 * n, 2.3, 3, 0), n / 4, 5),
+        ),
+        ("rank-4", 4, streams::random_churn(n, 4, n, 10, n / 8, 0.6, 67)),
+    ];
+    for (name, r, w) in workloads {
+        // Stop three quarters of the way through so the final graph is non-empty.
+        let cut = w.batches.len() * 3 / 4;
+        let partial = pdmm_hypergraph::streams::Workload {
+            num_vertices: w.num_vertices,
+            rank: w.rank,
+            batches: w.batches[..cut].to_vec(),
+            name: w.name.clone(),
+        };
+        let (matcher, _) = run_parallel(&partial, Config::for_hypergraphs(r, 3));
+        let mut truth = DynamicHypergraph::new(partial.num_vertices);
+        for batch in &partial.batches {
+            truth.apply_batch(batch);
+        }
+        let greedy = greedy_maximal_matching(&truth).len();
+        let dynamic = matcher.matching_size();
+        let matched_ids = matcher.matching();
+        let cover: Vec<_> = matched_ids
+            .iter()
+            .flat_map(|id| truth.edge(*id).expect("matched edge is live").vertices().to_vec())
+            .collect();
+        let uncovered = pdmm_hypergraph::matching::uncovered_edges(&truth, &cover);
+        table.row(vec![
+            name.into(),
+            r.to_string(),
+            dynamic.to_string(),
+            greedy.to_string(),
+            f(dynamic as f64 / greedy.max(1) as f64, 3),
+            uncovered.to_string(),
+        ]);
+    }
+    finish(table)
+}
+
+/// E8 — Lemmas 4.6/4.13/4.14: settle efficiency and epoch statistics per level.
+#[must_use]
+pub fn e8_epoch_stats(scale: Scale) -> String {
+    let mut table = Table::new(
+        "E8  epoch statistics per level (Lemmas 4.6, 4.13, 4.14)",
+        &["level", "created", "natural end", "induced end", "avg |D|", "avg D-deleted before end"],
+    );
+    let n = scale.div(1 << 13, 1 << 11);
+    let w = streams::hub_churn(n, 8, 60, n / 8, 71);
+    let (matcher, _) = run_parallel(&w, Config::for_graphs(9));
+    let metrics = matcher.metrics();
+    for (level, stats) in metrics.per_level.iter().enumerate() {
+        if stats.epochs_created == 0 {
+            continue;
+        }
+        table.row(vec![
+            level.to_string(),
+            stats.epochs_created.to_string(),
+            stats.epochs_ended_natural.to_string(),
+            stats.epochs_ended_induced.to_string(),
+            f(stats.d_size_at_creation as f64 / stats.epochs_created as f64, 2),
+            f(
+                stats.d_deleted_before_natural_end as f64
+                    / stats.epochs_ended_natural.max(1) as f64,
+                2,
+            ),
+        ]);
+    }
+    let mut out = finish(table);
+    out.push_str(&format!(
+        "settle invocations: {}, subsettle repeats: {}, subsubsettle iterations: {}\n",
+        metrics.settle_invocations, metrics.settle_outer_repeats, metrics.settle_iterations
+    ));
+    out
+}
+
+/// E9 — throughput vs number of rayon worker threads (wall-clock only; the
+/// work/depth counters are thread-independent by construction).
+#[must_use]
+pub fn e9_thread_scaling(scale: Scale) -> String {
+    let mut table = Table::new(
+        "E9  wall-clock throughput vs rayon threads",
+        &["threads", "us/update", "updates/s"],
+    );
+    let n = scale.div(1 << 14, 1 << 11);
+    let edges = generators::gnm_graph(n, 4 * n, 81, 0);
+    let w = streams::insert_then_teardown(n, edges, n / 4, 7);
+    for &threads in &[1usize, 2, 4, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool");
+        let stats = pool.install(|| {
+            let (_, stats) = run_parallel(&w, Config::for_graphs(13));
+            stats
+        });
+        table.row(vec![
+            threads.to_string(),
+            f(stats.micros_per_update(), 2),
+            f(1e6 / stats.micros_per_update().max(1e-9), 0),
+        ]);
+    }
+    finish(table)
+}
+
+/// E10 — ablation: parallel `grand-random-settle` vs the sequential per-node
+/// `random-settle`, and the effect of running the rising pass after insertions.
+#[must_use]
+pub fn e10_ablation(scale: Scale) -> String {
+    let mut table = Table::new(
+        "E10  ablation of the settle procedure",
+        &["configuration", "work/update", "total depth", "us/update", "settle iters", "matching"],
+    );
+    let n = scale.div(1 << 13, 1 << 11);
+    let w = streams::hub_churn(n, 8, 50, n / 8, 91);
+    let configs: Vec<(&str, Config)> = vec![
+        ("grand-random-settle (paper)", Config::for_graphs(3)),
+        ("sequential random-settle", Config::for_graphs(3).with_sequential_settle()),
+        ("settle-after-insert", Config::for_graphs(3).with_settle_after_insert()),
+    ];
+    for (name, config) in configs {
+        let (matcher, stats) = run_parallel(&w, config);
+        table.row(vec![
+            name.into(),
+            f(stats.work_per_update(), 1),
+            matcher.cost().total_depth().to_string(),
+            f(stats.micros_per_update(), 2),
+            matcher.metrics().settle_iterations.to_string(),
+            stats.final_matching.to_string(),
+        ]);
+    }
+    finish(table)
+}
+
+/// Runs one experiment by id (`"e1"`, …, `"e10"`).  Returns `None` for unknown ids.
+#[must_use]
+pub fn run_by_id(id: &str, scale: Scale) -> Option<String> {
+    let out = match id {
+        "e1" => e1_static_matching(scale),
+        "e2" => e2_batch_depth(scale),
+        "e3" => e3_amortized_work(scale),
+        "e4" => e4_vs_static_recompute(scale),
+        "e5" => e5_vs_sequential(scale),
+        "e6" => e6_rank_scaling(scale),
+        "e7" => e7_quality(scale),
+        "e8" => e8_epoch_stats(scale),
+        "e9" => e9_thread_scaling(scale),
+        "e10" => e10_ablation(scale),
+        _ => return None,
+    };
+    Some(out)
+}
+
+/// All experiment ids, in order.
+pub const ALL_EXPERIMENTS: [&str; 10] =
+    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+
+fn finish(table: Table) -> String {
+    let rendered = table.render();
+    println!("{rendered}");
+    rendered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_static_experiment_runs() {
+        let out = e1_static_matching(Scale::Quick);
+        assert!(out.contains("E1"));
+        assert!(out.lines().count() >= 4);
+    }
+
+    #[test]
+    fn quick_epoch_stats_runs() {
+        let out = e8_epoch_stats(Scale::Quick);
+        assert!(out.contains("E8"));
+        assert!(out.contains("settle invocations"));
+    }
+
+    #[test]
+    fn run_by_id_dispatches() {
+        assert!(run_by_id("e7", Scale::Quick).is_some());
+        assert!(run_by_id("nope", Scale::Quick).is_none());
+        assert_eq!(ALL_EXPERIMENTS.len(), 10);
+    }
+}

@@ -1,0 +1,20 @@
+//! # pdmm-bench
+//!
+//! Benchmark harness for the Parallel Dynamic Maximal Matching reproduction:
+//!
+//! * [`experiments`] — the E1–E10 experiment suite (one function per claim of the
+//!   paper, see the per-experiment index in `DESIGN.md`); the `experiments` binary
+//!   drives it and its output is recorded in `EXPERIMENTS.md`;
+//! * [`runner`] — workload execution helpers shared with the criterion benches in
+//!   `benches/`;
+//! * [`table`] — plain-text table rendering.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod experiments;
+pub mod runner;
+pub mod table;
+
+pub use experiments::{run_by_id, Scale, ALL_EXPERIMENTS};
+pub use runner::{run_generic, run_parallel, RunStats};

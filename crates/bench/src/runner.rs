@@ -1,0 +1,111 @@
+//! Workload execution helpers shared by the experiment binary and the criterion
+//! benches: run a workload through a dynamic matcher, collecting per-batch depth,
+//! work and wall-clock statistics.
+
+use pdmm_core::{Config, ParallelDynamicMatching};
+use pdmm_hypergraph::dynamic::DynamicMatcher;
+use pdmm_hypergraph::streams::Workload;
+use std::time::{Duration, Instant};
+
+/// Aggregated statistics from running one workload through one algorithm.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Total number of updates processed.
+    pub updates: u64,
+    /// Number of batches processed.
+    pub batches: u64,
+    /// Total work units (from the algorithm's cost tracker, when available).
+    pub work: u64,
+    /// Total depth in parallel rounds (when available).
+    pub depth: u64,
+    /// Maximum depth of any single batch.
+    pub max_batch_depth: u64,
+    /// Mean depth per batch.
+    pub mean_batch_depth: f64,
+    /// Total wall-clock time.
+    pub wall: Duration,
+    /// Final matching size.
+    pub final_matching: usize,
+}
+
+impl RunStats {
+    /// Work per update.
+    #[must_use]
+    pub fn work_per_update(&self) -> f64 {
+        self.work as f64 / self.updates.max(1) as f64
+    }
+
+    /// Wall-clock microseconds per update.
+    #[must_use]
+    pub fn micros_per_update(&self) -> f64 {
+        self.wall.as_micros() as f64 / self.updates.max(1) as f64
+    }
+}
+
+/// Runs the paper's algorithm over a workload, collecting the full statistics.
+#[must_use]
+pub fn run_parallel(workload: &Workload, config: Config) -> (ParallelDynamicMatching, RunStats) {
+    let mut matcher = ParallelDynamicMatching::new(workload.num_vertices, config);
+    let mut stats = RunStats::default();
+    let started = Instant::now();
+    let mut depth_sum = 0u64;
+    for batch in &workload.batches {
+        let report = matcher.apply_batch(batch);
+        stats.updates += batch.len() as u64;
+        stats.batches += 1;
+        depth_sum += report.depth;
+        stats.max_batch_depth = stats.max_batch_depth.max(report.depth);
+    }
+    stats.wall = started.elapsed();
+    let cost = matcher.cost().snapshot();
+    stats.work = cost.work;
+    stats.depth = cost.depth;
+    stats.mean_batch_depth = depth_sum as f64 / stats.batches.max(1) as f64;
+    stats.final_matching = matcher.matching_size();
+    (matcher, stats)
+}
+
+/// Runs any [`DynamicMatcher`] over a workload, collecting wall-clock statistics
+/// (work/depth are filled in by the caller if the algorithm exposes them).
+#[must_use]
+pub fn run_generic<A: DynamicMatcher>(workload: &Workload, mut alg: A) -> (A, RunStats) {
+    let mut stats = RunStats::default();
+    let started = Instant::now();
+    for batch in &workload.batches {
+        alg.apply_batch(batch);
+        stats.updates += batch.len() as u64;
+        stats.batches += 1;
+    }
+    stats.wall = started.elapsed();
+    stats.final_matching = alg.matching_edge_ids().len();
+    (alg, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdmm_hypergraph::generators::gnm_graph;
+    use pdmm_hypergraph::streams::insert_only;
+    use pdmm_seq_dynamic::NaiveDynamicMatching;
+
+    #[test]
+    fn run_parallel_collects_stats() {
+        let w = insert_only(50, gnm_graph(50, 200, 1, 0), 40);
+        let (matcher, stats) = run_parallel(&w, Config::for_graphs(1));
+        assert_eq!(stats.updates, 200);
+        assert_eq!(stats.batches, 5);
+        assert!(stats.work > 0);
+        assert!(stats.depth > 0);
+        assert!(stats.work_per_update() > 0.0);
+        assert_eq!(stats.final_matching, matcher.matching_size());
+        assert!(stats.mean_batch_depth <= stats.max_batch_depth as f64);
+    }
+
+    #[test]
+    fn run_generic_collects_stats() {
+        let w = insert_only(30, gnm_graph(30, 90, 2, 0), 30);
+        let (_alg, stats) = run_generic(&w, NaiveDynamicMatching::new(30));
+        assert_eq!(stats.updates, 90);
+        assert!(stats.final_matching > 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Minimal aligned-column table rendering for the experiment output.
+//!
+//! The experiment binary prints plain-text tables (one per experiment) that are
+//! copied verbatim into `EXPERIMENTS.md`; this module keeps the formatting in one
+//! place so every experiment's output looks the same.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    #[must_use]
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must have as many cells as the header).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match the header"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned plain text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  "),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with a fixed number of decimals.
+#[must_use]
+pub fn f(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "12345".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("name"));
+        assert!(s.lines().count() >= 5);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_mismatched_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(f(2.0, 0), "2");
+    }
+}

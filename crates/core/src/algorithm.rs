@@ -1,0 +1,530 @@
+//! The public batch-dynamic algorithm (§3.3 of the paper).
+//!
+//! [`ParallelDynamicMatching`] maintains a maximal matching of a rank-`r`
+//! hypergraph under arbitrary batches of hyperedge insertions and deletions.  Each
+//! batch is processed by the pipeline of §3.3:
+//!
+//! 1. deletions of unmatched (or temporarily deleted) hyperedges — the cheap case,
+//! 2. deletions of matched hyperedges — the expensive case, handled by sweeping the
+//!    levels from `L` down to `0` with `process-level` (Step 1 re-matches the freed
+//!    neighbourhoods with the static parallel matcher, Step 2 raises heavy nodes
+//!    with `grand-random-settle`),
+//! 3. insertions — adversary insertions plus all algorithm-induced re-insertions
+//!    (kicked-out matched edges and the contents of their `D(·)` buckets) are
+//!    matched greedily-in-parallel among themselves and registered.
+//!
+//! The `N`-doubling rebuild of §3.2.1 and the per-batch cost/metric reporting used
+//! by the experiments also live here.
+
+use crate::config::Config;
+use crate::invariants;
+use crate::metrics::Metrics;
+use crate::settle::{process_level, release_bucket_and_remove};
+use crate::state::MatcherState;
+use pdmm_hypergraph::dynamic::DynamicMatcher;
+use pdmm_hypergraph::types::{EdgeId, HyperEdge, Update, UpdateBatch, VertexId};
+use pdmm_primitives::cost_model::{CostSnapshot, CostTracker};
+use pdmm_static::luby::luby_maximal_matching;
+use rustc_hash::FxHashSet;
+
+/// Summary of one `apply_batch` call, used by the experiment harness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchReport {
+    /// Number of updates in the batch.
+    pub batch_size: usize,
+    /// Parallel rounds (depth) spent on this batch.
+    pub depth: u64,
+    /// Work units spent on this batch.
+    pub work: u64,
+    /// How many of the deletions hit matched edges.
+    pub matched_deletions: usize,
+    /// Size of the matching after the batch.
+    pub matching_size: usize,
+    /// Whether this batch triggered an `N`-doubling rebuild.
+    pub rebuilt: bool,
+}
+
+/// Parallel dynamic maximal matching for rank-`r` hypergraphs
+/// (Ghaffari–Trygub, SPAA 2024).
+///
+/// ```
+/// use pdmm_core::{Config, ParallelDynamicMatching};
+/// use pdmm_hypergraph::types::{EdgeId, HyperEdge, Update, VertexId};
+///
+/// let mut matcher = ParallelDynamicMatching::new(4, Config::for_graphs(42));
+/// matcher.apply_batch(&vec![
+///     Update::Insert(HyperEdge::pair(EdgeId(0), VertexId(0), VertexId(1))),
+///     Update::Insert(HyperEdge::pair(EdgeId(1), VertexId(2), VertexId(3))),
+/// ]);
+/// assert_eq!(matcher.matching_size(), 2);
+/// matcher.apply_batch(&vec![Update::Delete(EdgeId(0))]);
+/// assert_eq!(matcher.matching_size(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ParallelDynamicMatching {
+    state: MatcherState,
+}
+
+impl ParallelDynamicMatching {
+    /// Creates the algorithm over an empty hypergraph on `num_vertices` vertices.
+    #[must_use]
+    pub fn new(num_vertices: usize, config: Config) -> Self {
+        ParallelDynamicMatching {
+            state: MatcherState::new(num_vertices, config),
+        }
+    }
+
+    /// Creates the algorithm with the default (rank-2, seed-0) configuration.
+    #[must_use]
+    pub fn with_defaults(num_vertices: usize) -> Self {
+        Self::new(num_vertices, Config::default())
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn num_vertices(&self) -> usize {
+        self.state.num_vertices()
+    }
+
+    /// Current number of levels `L` of the leveling scheme.
+    #[must_use]
+    pub fn num_levels(&self) -> usize {
+        self.state.num_levels()
+    }
+
+    /// Current matching size.
+    #[must_use]
+    pub fn matching_size(&self) -> usize {
+        self.state.matching_size()
+    }
+
+    /// Ids of the currently matched hyperedges.
+    #[must_use]
+    pub fn matching(&self) -> Vec<EdgeId> {
+        self.state.matched_edge_ids()
+    }
+
+    /// The matched edge covering `v`, if any.
+    #[must_use]
+    pub fn matched_edge_of(&self, v: VertexId) -> Option<EdgeId> {
+        self.state.vertices[v.index()].matched_edge
+    }
+
+    /// Level of vertex `v` in the leveling scheme (`-1` iff unmatched).
+    #[must_use]
+    pub fn level_of(&self, v: VertexId) -> i32 {
+        self.state.level_of(v)
+    }
+
+    /// The accumulated work/depth counters.
+    #[must_use]
+    pub fn cost(&self) -> &CostTracker {
+        &self.state.cost
+    }
+
+    /// The accumulated epoch/update metrics.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.state.metrics
+    }
+
+    /// Every live hyperedge currently known to the algorithm, *including*
+    /// temporarily deleted ones (they are still part of the graph).
+    #[must_use]
+    pub fn live_edges(&self) -> Vec<HyperEdge> {
+        self.state
+            .edges
+            .iter()
+            .map(|(id, e)| HyperEdge::new(*id, e.vertices.to_vec()))
+            .collect()
+    }
+
+    /// Number of temporarily deleted hyperedges currently parked in `D(·)` buckets.
+    #[must_use]
+    pub fn num_temp_deleted(&self) -> usize {
+        self.state.edges.values().filter(|e| e.temp_deleted).count()
+    }
+
+    /// Verifies every structural invariant of §3.2 plus maximality.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn verify_invariants(&mut self) -> Result<(), String> {
+        self.state.flush_dirty();
+        invariants::check_all(&self.state)
+    }
+
+    /// Processes one batch of simultaneous updates and returns a cost report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a deletion names an unknown edge, an insertion reuses a live id,
+    /// or an inserted edge exceeds the configured maximum rank.
+    pub fn apply_batch(&mut self, batch: &UpdateBatch) -> BatchReport {
+        let start: CostSnapshot = self.state.cost.snapshot();
+        let mut report = BatchReport {
+            batch_size: batch.len(),
+            ..BatchReport::default()
+        };
+
+        self.state.metrics.batches += 1;
+        self.state.metrics.updates += batch.len() as u64;
+        self.state.updates_since_rebuild += batch.len() as u64;
+
+        // §3.2.1: once N more updates have arrived, double N and rebuild.
+        if self.state.updates_since_rebuild + self.state.num_vertices() as u64
+            > self.state.params.n_bound
+        {
+            self.rebuild();
+            report.rebuilt = true;
+        }
+
+        // Categorize the batch (§3.3): unmatched deletions, matched deletions,
+        // temporarily-deleted deletions, insertions.
+        self.state.cost.round();
+        self.state.cost.work(batch.len() as u64);
+        let mut unmatched_deletions: Vec<EdgeId> = Vec::new();
+        let mut matched_deletions: Vec<EdgeId> = Vec::new();
+        let mut temp_deleted_deletions: Vec<EdgeId> = Vec::new();
+        let mut insertions: Vec<HyperEdge> = Vec::new();
+        for update in batch {
+            match update {
+                Update::Insert(edge) => {
+                    self.state.metrics.insertions += 1;
+                    insertions.push(edge.clone());
+                }
+                Update::Delete(id) => {
+                    self.state.metrics.deletions += 1;
+                    let e = self
+                        .state
+                        .edges
+                        .get(id)
+                        .unwrap_or_else(|| panic!("deletion of unknown edge {id}"));
+                    if e.temp_deleted {
+                        temp_deleted_deletions.push(*id);
+                    } else if e.matched {
+                        matched_deletions.push(*id);
+                    } else {
+                        unmatched_deletions.push(*id);
+                    }
+                }
+            }
+        }
+        report.matched_deletions = matched_deletions.len();
+        self.state.metrics.matched_deletions += matched_deletions.len() as u64;
+        self.state.metrics.temp_deleted_deletions += temp_deleted_deletions.len() as u64;
+
+        let mut pending_reinsertions: Vec<HyperEdge> = Vec::new();
+
+        // Group 1a: deleting temporarily deleted hyperedges — drop them and credit
+        // the deletion to the responsible epoch (its "uninterrupted duration").
+        self.state.cost.round();
+        for id in temp_deleted_deletions {
+            let responsible = self.state.edges[&id].responsible;
+            self.state.edges.remove(&id);
+            if let Some(resp) = responsible {
+                if let Some(resp_state) = self.state.edges.get_mut(&resp) {
+                    resp_state.d_deleted_count += 1;
+                }
+            }
+            self.state.cost.work(1);
+        }
+
+        // Group 1b: deleting unmatched hyperedges — just unhook them.
+        for id in unmatched_deletions {
+            self.state.remove_edge_completely(id);
+        }
+
+        // Group 2: deleting matched hyperedges — expose their endpoints as
+        // undecided, queue their D(·) buckets for re-insertion, then sweep the
+        // levels from L down to 0.
+        for id in &matched_deletions {
+            let level = self.state.edges[id].level;
+            let d_deleted = self.state.edges[id].d_deleted_count;
+            self.state.metrics.record_epoch_natural_end(level, d_deleted);
+            self.state.unmatch_edge(*id);
+            release_bucket_and_remove(&mut self.state, *id, false, &mut pending_reinsertions);
+        }
+        if !self.state.undecided.is_empty() {
+            for level in (0..=self.state.num_levels()).rev() {
+                process_level(&mut self.state, level, &mut pending_reinsertions);
+            }
+        }
+        debug_assert!(
+            self.state.undecided.is_empty(),
+            "all undecided nodes must be resolved by the level sweep"
+        );
+
+        // Group 3: insertions — adversary insertions plus algorithm re-insertions.
+        insertions.append(&mut pending_reinsertions);
+        self.process_insertions(insertions);
+
+        // Optional ablation: also run the rising pass after insertions.
+        if self.state.config.settle_after_insert {
+            let mut extra_pending: Vec<HyperEdge> = Vec::new();
+            for level in (0..=self.state.num_levels()).rev() {
+                process_level(&mut self.state, level, &mut extra_pending);
+            }
+            if !extra_pending.is_empty() {
+                self.process_insertions(extra_pending);
+            }
+        }
+
+        self.state.flush_dirty();
+        if self.state.config.check_invariants {
+            if let Err(msg) = invariants::check_all(&self.state) {
+                panic!("invariant violated after batch: {msg}");
+            }
+        }
+
+        let cost = self.state.cost.snapshot().since(&start);
+        report.depth = cost.depth;
+        report.work = cost.work;
+        report.matching_size = self.state.matching_size();
+        report
+    }
+
+    /// §3.3.3: run the static parallel matcher over the inserted hyperedges whose
+    /// endpoints are all free, place the newly matched ones (and their nodes) at
+    /// level 0, and register every inserted hyperedge with its owner.
+    fn process_insertions(&mut self, edges: Vec<HyperEdge>) {
+        if edges.is_empty() {
+            return;
+        }
+        self.state.cost.round();
+        self.state
+            .cost
+            .work(edges.iter().map(|e| e.rank() as u64).sum::<u64>());
+
+        let free: Vec<HyperEdge> = edges
+            .iter()
+            .filter(|e| {
+                e.vertices()
+                    .iter()
+                    .all(|&v| !self.state.is_matched_vertex(v))
+            })
+            .cloned()
+            .collect();
+        let mut newly_matched: FxHashSet<EdgeId> = FxHashSet::default();
+        if !free.is_empty() {
+            let result = luby_maximal_matching(&free, &mut self.state.rng, Some(&self.state.cost));
+            self.state.metrics.luby_iterations += result.iterations as u64;
+            newly_matched.extend(result.edges);
+        }
+
+        // Register matched edges first so that the owner/level computation of the
+        // remaining insertions sees the updated (level-0) endpoints.
+        for edge in edges.iter().filter(|e| newly_matched.contains(&e.id)) {
+            self.state.register_edge(edge, true, 0);
+            self.state.metrics.record_epoch_created(0, 0);
+        }
+        for edge in edges.iter().filter(|e| !newly_matched.contains(&e.id)) {
+            self.state.register_edge(edge, false, 0);
+        }
+    }
+
+    /// §3.2.1: doubles `N`, rebuilds every data structure from scratch, and
+    /// recomputes the matching with the static parallel algorithm.
+    fn rebuild(&mut self) {
+        self.state.metrics.rebuilds += 1;
+        let needed = self.state.num_vertices() as u64 + self.state.updates_since_rebuild;
+        let new_params = self.state.params.doubled(needed);
+        let all_edges: Vec<HyperEdge> = self.state.edges.keys().copied().collect::<Vec<_>>()
+            .into_iter()
+            .map(|id| HyperEdge::new(id, self.state.edges[&id].vertices.to_vec()))
+            .collect();
+        let num_vertices = self.state.num_vertices();
+        let config = self.state.config.clone();
+        // Preserve the RNG stream and accumulated counters across the rebuild.
+        let rng = self.state.rng.clone();
+        let cost = self.state.cost.clone();
+        let metrics = self.state.metrics.clone();
+
+        let mut fresh = MatcherState::new(num_vertices, config);
+        fresh.params = new_params;
+        fresh.rng = rng;
+        fresh.cost = cost;
+        fresh.metrics = metrics;
+        fresh.metrics.ensure_level(fresh.params.num_levels);
+        // Vertex and S-level tables must match the (possibly larger) level count.
+        for v in &mut fresh.vertices {
+            v.unowned = vec![FxHashSet::default(); fresh.params.num_levels + 1];
+        }
+        fresh.s_levels = vec![FxHashSet::default(); fresh.params.num_levels + 1];
+        self.state = fresh;
+
+        self.state.cost.round();
+        self.state
+            .cost
+            .work(all_edges.iter().map(|e| e.rank() as u64).sum::<u64>());
+        let result = luby_maximal_matching(&all_edges, &mut self.state.rng, Some(&self.state.cost));
+        self.state.metrics.luby_iterations += result.iterations as u64;
+        let matched: FxHashSet<EdgeId> = result.edges.into_iter().collect();
+        for edge in all_edges.iter().filter(|e| matched.contains(&e.id)) {
+            self.state.register_edge(edge, true, 0);
+            self.state.metrics.record_epoch_created(0, 0);
+        }
+        for edge in all_edges.iter().filter(|e| !matched.contains(&e.id)) {
+            self.state.register_edge(edge, false, 0);
+        }
+        self.state.updates_since_rebuild = 0;
+        self.state.flush_dirty();
+    }
+}
+
+impl DynamicMatcher for ParallelDynamicMatching {
+    fn apply_batch(&mut self, batch: &UpdateBatch) {
+        let _ = ParallelDynamicMatching::apply_batch(self, batch);
+    }
+
+    fn matching_edge_ids(&self) -> Vec<EdgeId> {
+        self.matching()
+    }
+
+    fn name(&self) -> &'static str {
+        "parallel-dynamic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdmm_hypergraph::generators::gnm_graph;
+    use pdmm_hypergraph::graph::DynamicHypergraph;
+    use pdmm_hypergraph::matching::verify_maximality;
+
+    fn pair(id: u64, a: u32, b: u32) -> HyperEdge {
+        HyperEdge::pair(EdgeId(id), VertexId(a), VertexId(b))
+    }
+
+    /// Mirrors the updates into a ground-truth graph and checks maximality of the
+    /// algorithm's matching against it after every batch.
+    fn run_checked(num_vertices: usize, batches: &[UpdateBatch], config: Config) {
+        let mut alg = ParallelDynamicMatching::new(num_vertices, config);
+        let mut truth = DynamicHypergraph::new(num_vertices);
+        for batch in batches {
+            truth.apply_batch(batch);
+            alg.apply_batch(batch);
+            let ids = alg.matching();
+            assert_eq!(verify_maximality(&truth, &ids), Ok(()), "batch broke maximality");
+            alg.verify_invariants().expect("invariants must hold");
+        }
+    }
+
+    #[test]
+    fn insert_only_batch_matches_greedily() {
+        let mut alg = ParallelDynamicMatching::new(6, Config::for_graphs(1));
+        let report = alg.apply_batch(&vec![
+            Update::Insert(pair(0, 0, 1)),
+            Update::Insert(pair(1, 2, 3)),
+            Update::Insert(pair(2, 4, 5)),
+        ]);
+        assert_eq!(report.batch_size, 3);
+        assert_eq!(report.matching_size, 3);
+        assert!(report.depth >= 1);
+        assert!(report.work >= 3);
+        assert_eq!(alg.matching_size(), 3);
+        assert_eq!(alg.level_of(VertexId(0)), 0);
+    }
+
+    #[test]
+    fn delete_unmatched_edge_is_cheap() {
+        let mut alg = ParallelDynamicMatching::new(4, Config::for_graphs(2));
+        alg.apply_batch(&vec![
+            Update::Insert(pair(0, 0, 1)),
+            Update::Insert(pair(1, 1, 2)),
+        ]);
+        assert_eq!(alg.matching_size(), 1);
+        // The two edges conflict at vertex 1, so exactly one is matched; delete
+        // the *unmatched* one and verify the matching is untouched.
+        let matched = alg.matching()[0];
+        let unmatched = if matched == EdgeId(0) { EdgeId(1) } else { EdgeId(0) };
+        let report = alg.apply_batch(&vec![Update::Delete(unmatched)]);
+        assert_eq!(report.matched_deletions, 0);
+        assert_eq!(alg.matching_size(), 1);
+        assert_eq!(alg.matching(), vec![matched]);
+    }
+
+    #[test]
+    fn delete_matched_edge_restores_maximality() {
+        let config = Config::for_graphs(3).with_invariant_checks();
+        let batches = vec![
+            vec![
+                Update::Insert(pair(0, 0, 1)),
+                Update::Insert(pair(1, 1, 2)),
+                Update::Insert(pair(2, 2, 3)),
+                Update::Insert(pair(3, 3, 4)),
+            ],
+            vec![Update::Delete(EdgeId(0))],
+            vec![Update::Delete(EdgeId(2))],
+        ];
+        run_checked(5, &batches, config);
+    }
+
+    #[test]
+    fn unmatched_vertices_sit_at_level_minus_one() {
+        let mut alg = ParallelDynamicMatching::new(3, Config::for_graphs(4).with_invariant_checks());
+        alg.apply_batch(&vec![Update::Insert(pair(0, 0, 1))]);
+        alg.apply_batch(&vec![Update::Delete(EdgeId(0))]);
+        assert_eq!(alg.matching_size(), 0);
+        assert_eq!(alg.level_of(VertexId(0)), -1);
+        assert_eq!(alg.level_of(VertexId(1)), -1);
+        assert_eq!(alg.level_of(VertexId(2)), -1);
+    }
+
+    #[test]
+    fn duplicate_endpoint_insert_and_reinsert_of_same_id_after_delete() {
+        let mut alg = ParallelDynamicMatching::new(4, Config::for_graphs(5).with_invariant_checks());
+        alg.apply_batch(&vec![Update::Insert(pair(0, 0, 1))]);
+        alg.apply_batch(&vec![Update::Delete(EdgeId(0))]);
+        // The same id may be reused after its deletion.
+        alg.apply_batch(&vec![Update::Insert(pair(0, 2, 3))]);
+        assert_eq!(alg.matching_size(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown edge")]
+    fn deleting_unknown_edge_panics() {
+        let mut alg = ParallelDynamicMatching::new(3, Config::for_graphs(6));
+        alg.apply_batch(&vec![Update::Delete(EdgeId(77))]);
+    }
+
+    #[test]
+    fn rebuild_triggers_and_preserves_correctness() {
+        // Tiny initial capacity forces the N-doubling rule to fire quickly.
+        let mut config = Config::for_graphs(7).with_invariant_checks();
+        config.initial_update_capacity = 0;
+        let mut alg = ParallelDynamicMatching::new(8, config);
+        let mut truth = DynamicHypergraph::new(8);
+        let edges = gnm_graph(8, 20, 11, 0);
+        let mut rebuilt = false;
+        for chunk in edges.chunks(4) {
+            let batch: UpdateBatch = chunk.iter().cloned().map(Update::Insert).collect();
+            truth.apply_batch(&batch);
+            let report = alg.apply_batch(&batch);
+            rebuilt |= report.rebuilt;
+            assert_eq!(verify_maximality(&truth, &alg.matching()), Ok(()));
+        }
+        assert!(rebuilt, "expected at least one rebuild with the tiny capacity");
+        assert!(alg.metrics().rebuilds >= 1);
+    }
+
+    #[test]
+    fn batch_report_counts_are_consistent_with_metrics() {
+        let mut alg = ParallelDynamicMatching::new(10, Config::for_graphs(8));
+        let edges = gnm_graph(10, 15, 3, 0);
+        let insert_batch: UpdateBatch = edges.iter().cloned().map(Update::Insert).collect();
+        alg.apply_batch(&insert_batch);
+        let matched = alg.matching();
+        let delete_batch: UpdateBatch = matched.iter().map(|id| Update::Delete(*id)).collect();
+        let report = alg.apply_batch(&delete_batch);
+        assert_eq!(report.matched_deletions, matched.len());
+        assert_eq!(alg.metrics().matched_deletions, matched.len() as u64);
+        assert_eq!(alg.metrics().batches, 2);
+        assert_eq!(
+            alg.metrics().updates,
+            (edges.len() + matched.len()) as u64
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! Algorithm configuration and the derived leveling parameters of §3.2.1.
+//!
+//! The leveling scheme uses `α = 4·r` and `L = ⌈log_α N⌉`, where `N` is a
+//! constant-approximate upper bound on the number of vertices plus the total number
+//! of updates processed so far.  When more than `N` updates accumulate the algorithm
+//! doubles `N` and rebuilds from scratch (see `rebuild` in the algorithm module), so
+//! `N` — and with it `L` — is a slowly growing quantity.
+
+/// User-facing configuration of [`crate::ParallelDynamicMatching`].
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Maximum rank `r` of any hyperedge that will ever be inserted.
+    pub max_rank: usize,
+    /// Seed for all algorithm randomness (oblivious-adversary model: the update
+    /// stream must be generated independently of this seed).
+    pub seed: u64,
+    /// Run the rising pass (`process-level` Step 2) after insertion-only batches as
+    /// well.  §3.3.3 of the paper does not do this; the flag exists for the ablation
+    /// experiment E10.
+    pub settle_after_insert: bool,
+    /// Replace the parallel `grand-random-settle` by the sequential per-node
+    /// `random-settle` of §3.3.2 ("Performing Step 2 in sequential setting").
+    /// Used by the ablation experiment E10; the parallel procedure also falls back
+    /// to it if it ever fails to converge.
+    pub sequential_settle: bool,
+    /// Verify the full invariant set (Invariants 3.1, 3.2, 3.5 and maximality)
+    /// after every batch.  Expensive (`O(n + m)` per batch); intended for tests.
+    pub check_invariants: bool,
+    /// Initial guess for the total number of updates; `N` starts at
+    /// `2 · (num_vertices + initial_update_capacity)` and doubles on rebuild.
+    pub initial_update_capacity: usize,
+}
+
+impl Config {
+    /// Configuration for ordinary graphs (rank 2) with the given seed.
+    #[must_use]
+    pub fn for_graphs(seed: u64) -> Self {
+        Config {
+            max_rank: 2,
+            seed,
+            settle_after_insert: false,
+            sequential_settle: false,
+            check_invariants: false,
+            initial_update_capacity: 0,
+        }
+    }
+
+    /// Configuration for hypergraphs of rank at most `max_rank`.
+    #[must_use]
+    pub fn for_hypergraphs(max_rank: usize, seed: u64) -> Self {
+        Config {
+            max_rank,
+            seed,
+            settle_after_insert: false,
+            sequential_settle: false,
+            check_invariants: false,
+            initial_update_capacity: 0,
+        }
+    }
+
+    /// Enables per-batch invariant checking (used by the test suite).
+    #[must_use]
+    pub fn with_invariant_checks(mut self) -> Self {
+        self.check_invariants = true;
+        self
+    }
+
+    /// Enables the post-insertion rising pass (ablation E10).
+    #[must_use]
+    pub fn with_settle_after_insert(mut self) -> Self {
+        self.settle_after_insert = true;
+        self
+    }
+
+    /// Uses the sequential per-node `random-settle` instead of the parallel
+    /// `grand-random-settle` (ablation E10).
+    #[must_use]
+    pub fn with_sequential_settle(mut self) -> Self {
+        self.sequential_settle = true;
+        self
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::for_graphs(0)
+    }
+}
+
+/// The derived leveling parameters: `α`, `N`, and `L`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelingParams {
+    /// `α = 4·r`.
+    pub alpha: u64,
+    /// Current bound `N` on vertices plus updates.
+    pub n_bound: u64,
+    /// Number of levels `L = ⌈log_α N⌉`; vertex levels live in `-1..=L`.
+    pub num_levels: usize,
+}
+
+impl LevelingParams {
+    /// Computes the parameters for rank `max_rank` and bound `n_bound`.
+    #[must_use]
+    pub fn new(max_rank: usize, n_bound: u64) -> Self {
+        let alpha = 4 * max_rank.max(1) as u64;
+        let n_bound = n_bound.max(2);
+        LevelingParams {
+            alpha,
+            n_bound,
+            num_levels: ceil_log(n_bound, alpha),
+        }
+    }
+
+    /// `α^ℓ`, saturating at `u64::MAX` (levels are small, so this rarely saturates).
+    #[must_use]
+    pub fn alpha_pow(&self, level: usize) -> u64 {
+        self.alpha.saturating_pow(level as u32)
+    }
+
+    /// Doubles `N` (used on rebuild) and recomputes `L`.
+    #[must_use]
+    pub fn doubled(&self, at_least: u64) -> Self {
+        let mut n = self.n_bound;
+        while n < at_least {
+            n = n.saturating_mul(2);
+        }
+        LevelingParams::new((self.alpha / 4) as usize, n.saturating_mul(2))
+    }
+}
+
+/// `⌈log_base(n)⌉` for `n ≥ 1`, `base ≥ 2`.
+fn ceil_log(n: u64, base: u64) -> usize {
+    debug_assert!(base >= 2);
+    let mut levels = 0usize;
+    let mut value = 1u64;
+    while value < n {
+        value = value.saturating_mul(base);
+        levels += 1;
+    }
+    levels.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_config_defaults() {
+        let c = Config::for_graphs(7);
+        assert_eq!(c.max_rank, 2);
+        assert_eq!(c.seed, 7);
+        assert!(!c.settle_after_insert);
+        assert!(!c.check_invariants);
+        let c = c.with_invariant_checks().with_settle_after_insert();
+        assert!(c.settle_after_insert);
+        assert!(c.check_invariants);
+    }
+
+    #[test]
+    fn leveling_params_basic() {
+        let p = LevelingParams::new(2, 4096);
+        assert_eq!(p.alpha, 8);
+        assert_eq!(p.num_levels, 4); // 8^4 = 4096
+        assert_eq!(p.alpha_pow(0), 1);
+        assert_eq!(p.alpha_pow(3), 512);
+    }
+
+    #[test]
+    fn ceil_log_edge_cases() {
+        assert_eq!(ceil_log(1, 8), 1);
+        assert_eq!(ceil_log(2, 8), 1);
+        assert_eq!(ceil_log(8, 8), 1);
+        assert_eq!(ceil_log(9, 8), 2);
+        assert_eq!(ceil_log(64, 8), 2);
+        assert_eq!(ceil_log(65, 8), 3);
+    }
+
+    #[test]
+    fn hypergraph_alpha_scales_with_rank() {
+        let p = LevelingParams::new(5, 1000);
+        assert_eq!(p.alpha, 20);
+        assert!(p.num_levels >= 2);
+    }
+
+    #[test]
+    fn doubling_grows_bound() {
+        let p = LevelingParams::new(2, 100);
+        let q = p.doubled(100);
+        assert!(q.n_bound >= 200);
+        assert!(q.num_levels >= p.num_levels);
+        let big = p.doubled(10_000);
+        assert!(big.n_bound >= 20_000);
+    }
+
+    #[test]
+    fn alpha_pow_saturates() {
+        let p = LevelingParams::new(2, 1 << 40);
+        assert_eq!(p.alpha_pow(64), u64::MAX);
+    }
+}

@@ -1,0 +1,362 @@
+//! Structural invariant checking (Invariants 3.1, 3.2 and maximality).
+//!
+//! These checks are `O(n·L + Σ_e r)` per call and are used by the test suite (and by
+//! [`crate::Config::check_invariants`]) after every batch:
+//!
+//! * **Invariant 3.1** — levels: `ℓ(e) ∈ [0, L]`, `ℓ(v) ∈ [-1, L]` with
+//!   `ℓ(v) = -1` iff `v` is unmatched; matched edges have all endpoints at their
+//!   level; unmatched edges sit at the maximum level of their endpoints.
+//! * **Invariant 3.2** — every temporarily deleted edge is incident on a matched
+//!   edge (in fact on the matched edge responsible for it).
+//! * **Maximality** — every live, non-temporarily-deleted edge has a matched
+//!   endpoint, and matched edges are pairwise disjoint.
+//! * **Structure consistency** — the `O(v)` / `A(v,ℓ)` tables and the `S_ℓ` sets
+//!   agree exactly with the edge records.
+
+use crate::state::MatcherState;
+use pdmm_hypergraph::types::{EdgeId, VertexId};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Runs every invariant check; returns the first violation found.
+pub(crate) fn check_all(state: &MatcherState) -> Result<(), String> {
+    check_levels(state)?;
+    check_matching(state)?;
+    check_temp_deleted(state)?;
+    check_structures(state)?;
+    check_s_levels(state)?;
+    Ok(())
+}
+
+/// Invariant 3.1: level ranges and the level rules for matched/unmatched edges.
+fn check_levels(state: &MatcherState) -> Result<(), String> {
+    let num_levels = state.num_levels() as i32;
+    for (i, vs) in state.vertices.iter().enumerate() {
+        if vs.level < -1 || vs.level > num_levels {
+            return Err(format!("vertex v{i} has level {} outside [-1, {num_levels}]", vs.level));
+        }
+        match (vs.level == -1, vs.matched_edge.is_none()) {
+            (true, false) => {
+                return Err(format!("vertex v{i} is matched but sits at level -1"));
+            }
+            (false, true) => {
+                return Err(format!(
+                    "vertex v{i} is unmatched but sits at level {}",
+                    vs.level
+                ));
+            }
+            _ => {}
+        }
+    }
+    for (id, e) in &state.edges {
+        if e.temp_deleted {
+            continue;
+        }
+        if e.level > state.num_levels() {
+            return Err(format!("edge {id} has level {} above L", e.level));
+        }
+        if e.matched {
+            for &v in e.vertices.iter() {
+                if state.level_of(v) != e.level as i32 {
+                    return Err(format!(
+                        "matched edge {id} at level {} has endpoint {v} at level {}",
+                        e.level,
+                        state.level_of(v)
+                    ));
+                }
+            }
+        } else {
+            let max_level = e
+                .vertices
+                .iter()
+                .map(|&v| state.level_of(v))
+                .max()
+                .unwrap_or(-1);
+            if e.level as i32 != max_level.max(0) {
+                return Err(format!(
+                    "unmatched edge {id} has level {} but max endpoint level is {max_level}",
+                    e.level
+                ));
+            }
+            let owner_level = state.level_of(e.owner);
+            if owner_level != max_level {
+                return Err(format!(
+                    "edge {id} is owned by {} at level {owner_level}, not a maximum-level endpoint ({max_level})",
+                    e.owner
+                ));
+            }
+        }
+        if !e.vertices.contains(&e.owner) {
+            return Err(format!("edge {id} is owned by non-endpoint {}", e.owner));
+        }
+    }
+    Ok(())
+}
+
+/// Matching validity (disjointness, pointer consistency) and maximality.
+fn check_matching(state: &MatcherState) -> Result<(), String> {
+    let mut covered: FxHashMap<VertexId, EdgeId> = FxHashMap::default();
+    for (id, e) in &state.edges {
+        if !e.matched {
+            continue;
+        }
+        if e.temp_deleted {
+            return Err(format!("matched edge {id} is also temporarily deleted"));
+        }
+        for &v in e.vertices.iter() {
+            if let Some(other) = covered.insert(v, *id) {
+                return Err(format!("vertex {v} is covered by both {other} and {id}"));
+            }
+            if state.vertices[v.index()].matched_edge != Some(*id) {
+                return Err(format!(
+                    "vertex {v} does not point back at its matched edge {id}"
+                ));
+            }
+        }
+    }
+    for (i, vs) in state.vertices.iter().enumerate() {
+        if let Some(m) = vs.matched_edge {
+            match state.edges.get(&m) {
+                None => return Err(format!("vertex v{i} points at missing matched edge {m}")),
+                Some(e) if !e.matched => {
+                    return Err(format!("vertex v{i} points at unmatched edge {m}"))
+                }
+                Some(e) if !e.vertices.contains(&VertexId(i as u32)) => {
+                    return Err(format!("vertex v{i} points at edge {m} that does not contain it"))
+                }
+                _ => {}
+            }
+        }
+    }
+    // Maximality over every live, non-temporarily-deleted edge.
+    for (id, e) in &state.edges {
+        if e.temp_deleted || e.matched {
+            continue;
+        }
+        if e.vertices.iter().all(|&v| !covered.contains_key(&v)) {
+            return Err(format!(
+                "matching is not maximal: edge {id} has no matched endpoint"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Invariant 3.2: temporarily deleted edges are incident on their (matched)
+/// responsible edge.
+fn check_temp_deleted(state: &MatcherState) -> Result<(), String> {
+    for (id, e) in &state.edges {
+        if !e.temp_deleted {
+            continue;
+        }
+        let Some(resp_id) = e.responsible else {
+            return Err(format!("temp-deleted edge {id} has no responsible edge"));
+        };
+        let Some(resp) = state.edges.get(&resp_id) else {
+            return Err(format!(
+                "temp-deleted edge {id} is responsible to missing edge {resp_id}"
+            ));
+        };
+        if !resp.matched {
+            return Err(format!(
+                "temp-deleted edge {id} is responsible to unmatched edge {resp_id}"
+            ));
+        }
+        let shares_vertex = e.vertices.iter().any(|v| resp.vertices.contains(v));
+        if !shares_vertex {
+            return Err(format!(
+                "temp-deleted edge {id} is not incident on its responsible edge {resp_id}"
+            ));
+        }
+        if !resp.bucket.contains(id) {
+            return Err(format!(
+                "temp-deleted edge {id} is missing from D({resp_id})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The `O(v)` / `A(v, ℓ)` tables agree exactly with the edge records.
+fn check_structures(state: &MatcherState) -> Result<(), String> {
+    // Every live, non-temp-deleted edge appears exactly where it should.
+    for (id, e) in &state.edges {
+        if e.temp_deleted {
+            // Temp-deleted edges must not appear in any vertex structure.
+            for (i, vs) in state.vertices.iter().enumerate() {
+                if vs.owned.contains(id) || vs.unowned.iter().any(|b| b.contains(id)) {
+                    return Err(format!("temp-deleted edge {id} still referenced by v{i}"));
+                }
+            }
+            continue;
+        }
+        for &v in e.vertices.iter() {
+            let vs = &state.vertices[v.index()];
+            if v == e.owner {
+                if !vs.owned.contains(id) {
+                    return Err(format!("edge {id} missing from O({v})"));
+                }
+            } else {
+                if !vs.unowned[e.level].contains(id) {
+                    return Err(format!("edge {id} missing from A({v}, {})", e.level));
+                }
+                if vs.owned.contains(id) {
+                    return Err(format!("edge {id} wrongly present in O({v})"));
+                }
+            }
+        }
+    }
+    // No vertex structure references a dead or out-of-place edge.
+    let mut referenced: FxHashSet<(usize, EdgeId)> = FxHashSet::default();
+    for (i, vs) in state.vertices.iter().enumerate() {
+        for id in &vs.owned {
+            referenced.insert((i, *id));
+            match state.edges.get(id) {
+                None => return Err(format!("O(v{i}) references dead edge {id}")),
+                Some(e) if e.owner != VertexId(i as u32) => {
+                    return Err(format!("O(v{i}) contains edge {id} owned by {}", e.owner))
+                }
+                _ => {}
+            }
+        }
+        for (level, bucket) in vs.unowned.iter().enumerate() {
+            for id in bucket {
+                referenced.insert((i, *id));
+                match state.edges.get(id) {
+                    None => return Err(format!("A(v{i}, {level}) references dead edge {id}")),
+                    Some(e) if e.level != level => {
+                        return Err(format!(
+                            "A(v{i}, {level}) contains edge {id} whose level is {}",
+                            e.level
+                        ))
+                    }
+                    Some(e) if !e.vertices.contains(&VertexId(i as u32)) => {
+                        return Err(format!(
+                            "A(v{i}, {level}) contains edge {id} not incident on v{i}"
+                        ))
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    // Conversely, every incidence of a live edge is referenced exactly once.
+    for (id, e) in &state.edges {
+        if e.temp_deleted {
+            continue;
+        }
+        for &v in e.vertices.iter() {
+            if !referenced.contains(&(v.index(), *id)) {
+                return Err(format!("incidence ({v}, {id}) is not indexed anywhere"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The `S_ℓ` sets agree with the definition of §3.2.3 (requires `flush_dirty` to
+/// have run, which [`crate::ParallelDynamicMatching::verify_invariants`] ensures).
+fn check_s_levels(state: &MatcherState) -> Result<(), String> {
+    for level in 0..=state.num_levels() {
+        let threshold = state.params.alpha_pow(level);
+        for i in 0..state.num_vertices() {
+            let v = VertexId(i as u32);
+            let should = (state.level_of(v) as i64) < level as i64
+                && state.o_tilde(v, level) >= threshold;
+            let is = state.s_levels[level].contains(&v);
+            if should != is {
+                return Err(format!(
+                    "S_{level} disagrees for {v}: stored {is}, expected {should} \
+                     (level {}, õ {})",
+                    state.level_of(v),
+                    state.o_tilde(v, level)
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use pdmm_hypergraph::types::HyperEdge;
+
+    fn edge(id: u64, vs: &[u32]) -> HyperEdge {
+        HyperEdge::new(EdgeId(id), vs.iter().map(|&i| VertexId(i)).collect())
+    }
+
+    #[test]
+    fn empty_state_satisfies_all_invariants() {
+        let mut s = MatcherState::new(5, Config::for_graphs(0));
+        s.flush_dirty();
+        assert_eq!(check_all(&s), Ok(()));
+    }
+
+    #[test]
+    fn healthy_small_state_passes() {
+        let mut s = MatcherState::new(4, Config::for_graphs(1));
+        s.register_edge(&edge(0, &[0, 1]), false, 0);
+        s.register_edge(&edge(1, &[1, 2]), false, 0);
+        s.match_edge(EdgeId(0), 0);
+        s.flush_dirty();
+        assert_eq!(check_all(&s), Ok(()));
+    }
+
+    #[test]
+    fn detects_non_maximal_matching() {
+        let mut s = MatcherState::new(4, Config::for_graphs(2));
+        s.register_edge(&edge(0, &[0, 1]), false, 0);
+        s.register_edge(&edge(1, &[2, 3]), false, 0);
+        s.match_edge(EdgeId(0), 0);
+        s.flush_dirty();
+        let err = check_all(&s).unwrap_err();
+        assert!(err.contains("not maximal"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn detects_undecided_vertex_left_behind() {
+        let mut s = MatcherState::new(2, Config::for_graphs(3));
+        s.register_edge(&edge(0, &[0, 1]), false, 0);
+        s.match_edge(EdgeId(0), 1);
+        // Unmatching without running the level sweep leaves the endpoints at level
+        // 1 while unmatched — exactly what Invariant 3.1(1) forbids.
+        s.unmatch_edge(EdgeId(0));
+        s.flush_dirty();
+        let err = check_all(&s).unwrap_err();
+        assert!(err.contains("unmatched but sits at level"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn detects_stale_level_bucket() {
+        let mut s = MatcherState::new(3, Config::for_graphs(4));
+        s.register_edge(&edge(0, &[0, 1]), false, 0);
+        s.register_edge(&edge(1, &[1, 2]), false, 0);
+        s.match_edge(EdgeId(0), 0);
+        // Corrupt the state: claim the unmatched edge sits at level 2 without
+        // moving it between buckets.
+        s.edges.get_mut(&EdgeId(1)).unwrap().level = 2;
+        s.flush_dirty();
+        assert!(check_all(&s).is_err());
+    }
+
+    #[test]
+    fn detects_orphaned_temp_deletion() {
+        let mut s = MatcherState::new(4, Config::for_graphs(5));
+        s.register_edge(&edge(0, &[0, 1]), false, 0);
+        s.register_edge(&edge(1, &[1, 2]), false, 0);
+        s.match_edge(EdgeId(0), 0);
+        s.temp_delete_edge(EdgeId(1), EdgeId(0));
+        // Forcibly unmatch the responsible edge: Invariant 3.2 is now violated
+        // because the temp-deleted edge hangs off an unmatched edge.
+        s.edges.get_mut(&EdgeId(0)).unwrap().matched = false;
+        s.vertices[0].matched_edge = None;
+        s.vertices[1].matched_edge = None;
+        s.vertices[0].level = -1;
+        s.vertices[1].level = -1;
+        s.flush_dirty();
+        // Several invariants are now broken (maximality, 3.1(1), 3.2); the checker
+        // must flag the state as invalid whichever it reports first.
+        assert!(check_all(&s).is_err());
+    }
+}

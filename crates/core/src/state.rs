@@ -1,0 +1,647 @@
+//! The leveling-scheme state and its update procedures (§3.2 of the paper).
+//!
+//! This module owns every data structure listed in §3.2.3:
+//!
+//! * per-vertex: the level `ℓ(v)`, the matched edge `M(v)`, the owned set `O(v)`,
+//!   and the per-level non-owned incidence sets `A(v, ℓ)` (from which the
+//!   prospective ownership counts `õ_{v,ℓ}` are derived by a prefix scan),
+//! * per-edge: the level `ℓ(e)`, the owner `O(e)`, the matched flag, and the set
+//!   `D(e)` of temporarily deleted edges the matched edge is responsible for,
+//! * per-level: the rising-candidate sets `S_ℓ` of §3.2.3 (nodes `v` with
+//!   `ℓ(v) < ℓ` and `õ_{v,ℓ} ≥ α^ℓ`), which the sequential algorithms do not need
+//!   but the parallel `grand-random-settle` uses to seed its working set `B`.
+//!
+//! It also implements the two primitive procedures of §3.2.4 — `set-owner`
+//! (folded into [`MatcherState::reindex_edge`]) and `set-level`
+//! ([`MatcherState::set_vertex_level`]) — with the bookkeeping of Claims 3.3/3.4:
+//! changing a vertex's level re-indexes exactly the edges it owns plus, when
+//! rising, the edges it starts to own.
+
+use crate::config::{Config, LevelingParams};
+use crate::metrics::Metrics;
+use pdmm_hypergraph::types::{EdgeId, HyperEdge, VertexId};
+use pdmm_primitives::cost_model::CostTracker;
+use pdmm_primitives::random::RandomSource;
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Per-vertex state (§3.2.3, "data structures for vertices").
+#[derive(Debug, Clone)]
+pub(crate) struct VertexState {
+    /// `ℓ(v)`: `-1` iff the vertex is unmatched and settled at the bottom.
+    pub level: i32,
+    /// `M(v)`: the matched edge covering this vertex, if any.
+    pub matched_edge: Option<EdgeId>,
+    /// `O(v)`: edges owned by this vertex.
+    pub owned: FxHashSet<EdgeId>,
+    /// `A(v, ℓ)`: incident edges not owned by `v`, bucketed by their level.
+    pub unowned: Vec<FxHashSet<EdgeId>>,
+}
+
+impl VertexState {
+    fn new(num_levels: usize) -> Self {
+        VertexState {
+            level: -1,
+            matched_edge: None,
+            owned: FxHashSet::default(),
+            unowned: vec![FxHashSet::default(); num_levels + 1],
+        }
+    }
+
+    /// Total number of live, non-temporarily-deleted incident edges.
+    #[allow(dead_code)] // exercised by unit and integration tests
+    pub fn degree(&self) -> usize {
+        self.owned.len() + self.unowned.iter().map(FxHashSet::len).sum::<usize>()
+    }
+}
+
+/// Per-edge state (§3.2.3, "data structures for edges").
+#[derive(Debug, Clone)]
+pub(crate) struct EdgeState {
+    /// The endpoints of the hyperedge (sorted, deduplicated).
+    pub vertices: Box<[VertexId]>,
+    /// `ℓ(e)`.
+    pub level: usize,
+    /// `O(e)`: the owning endpoint.
+    pub owner: VertexId,
+    /// Whether the edge is currently in the matching.
+    pub matched: bool,
+    /// Whether the edge is temporarily deleted (lives only in some `D(·)`).
+    pub temp_deleted: bool,
+    /// For temporarily deleted edges: the matched edge responsible for them.
+    pub responsible: Option<EdgeId>,
+    /// `D(e)`: temporarily deleted edges this matched edge is responsible for.
+    pub bucket: Vec<EdgeId>,
+    /// How many edges of `D(e)` the adversary has deleted while this epoch lives
+    /// (the "uninterrupted duration" proxy used by the E8 metrics).
+    pub d_deleted_count: u64,
+}
+
+impl EdgeState {
+    fn new(edge: &HyperEdge) -> Self {
+        EdgeState {
+            vertices: edge.vertices().to_vec().into_boxed_slice(),
+            level: 0,
+            owner: edge.vertices()[0],
+            matched: false,
+            temp_deleted: false,
+            responsible: None,
+            bucket: Vec::new(),
+            d_deleted_count: 0,
+        }
+    }
+
+    /// Rank of this edge.
+    #[allow(dead_code)] // exercised by unit and integration tests
+    pub fn rank(&self) -> usize {
+        self.vertices.len()
+    }
+}
+
+/// The complete mutable state of the dynamic matching algorithm.
+#[derive(Debug)]
+pub(crate) struct MatcherState {
+    pub config: Config,
+    pub params: LevelingParams,
+    pub vertices: Vec<VertexState>,
+    pub edges: FxHashMap<EdgeId, EdgeState>,
+    /// `S_ℓ` for `ℓ ∈ 0..=L`.
+    pub s_levels: Vec<FxHashSet<VertexId>>,
+    /// Vertices whose `S_ℓ` memberships are stale and need refreshing.
+    pub dirty: FxHashSet<VertexId>,
+    /// Unmatched vertices at level `≥ 0` that still await a decision in the
+    /// current level sweep (§3.3.2 "undecided nodes").
+    pub undecided: FxHashSet<VertexId>,
+    pub rng: RandomSource,
+    pub cost: CostTracker,
+    pub metrics: Metrics,
+    /// Updates processed since the last rebuild (drives the `N`-doubling rule).
+    pub updates_since_rebuild: u64,
+}
+
+impl MatcherState {
+    /// Creates the state for an empty hypergraph on `num_vertices` vertices.
+    pub fn new(num_vertices: usize, config: Config) -> Self {
+        let initial_bound =
+            2 * (num_vertices as u64 + config.initial_update_capacity as u64).max(8);
+        let params = LevelingParams::new(config.max_rank, initial_bound);
+        let num_levels = params.num_levels;
+        MatcherState {
+            rng: RandomSource::from_seed(config.seed),
+            config,
+            params,
+            vertices: (0..num_vertices)
+                .map(|_| VertexState::new(num_levels))
+                .collect(),
+            edges: FxHashMap::default(),
+            s_levels: vec![FxHashSet::default(); num_levels + 1],
+            dirty: FxHashSet::default(),
+            undecided: FxHashSet::default(),
+            cost: CostTracker::new(),
+            metrics: Metrics::new(num_levels),
+            updates_since_rebuild: 0,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of levels `L` under the current parameters.
+    pub fn num_levels(&self) -> usize {
+        self.params.num_levels
+    }
+
+    /// Level of vertex `v`.
+    pub fn level_of(&self, v: VertexId) -> i32 {
+        self.vertices[v.index()].level
+    }
+
+    /// Whether vertex `v` is covered by a matched edge.
+    pub fn is_matched_vertex(&self, v: VertexId) -> bool {
+        self.vertices[v.index()].matched_edge.is_some()
+    }
+
+    /// Current matching, as edge ids.
+    pub fn matched_edge_ids(&self) -> Vec<EdgeId> {
+        self.edges
+            .iter()
+            .filter(|(_, e)| e.matched)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Number of matched edges.
+    pub fn matching_size(&self) -> usize {
+        self.edges.values().filter(|e| e.matched).count()
+    }
+
+    /// Number of live edges (including temporarily deleted ones).
+    #[allow(dead_code)] // exercised by unit and integration tests
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    // ------------------------------------------------------------------
+    // õ_{v,ℓ} and S_ℓ maintenance
+    // ------------------------------------------------------------------
+
+    /// `õ_{v,ℓ}`: the number of edges `v` would own if raised to level `ℓ`
+    /// (meaningful for `ℓ > ℓ(v)`): `|O(v)| + Σ_{ℓ' = max(ℓ(v),0)}^{ℓ-1} |A(v,ℓ')|`.
+    pub fn o_tilde(&self, v: VertexId, level: usize) -> u64 {
+        let vs = &self.vertices[v.index()];
+        let from = vs.level.max(0) as usize;
+        let mut total = vs.owned.len() as u64;
+        for l in from..level.min(vs.unowned.len()) {
+            total += vs.unowned[l].len() as u64;
+        }
+        total
+    }
+
+    /// Marks `v` as needing an `S_ℓ` membership refresh.
+    #[allow(dead_code)] // convenience wrapper kept for external callers and tests
+    pub fn mark_dirty(&mut self, v: VertexId) {
+        self.dirty.insert(v);
+    }
+
+    /// Refreshes the `S_ℓ` memberships of all dirty vertices (one parallel round,
+    /// `O(L)` work per vertex).
+    pub fn flush_dirty(&mut self) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        let dirty: Vec<VertexId> = self.dirty.drain().collect();
+        self.cost.round();
+        self.cost
+            .work(dirty.len() as u64 * (self.params.num_levels as u64 + 1));
+        for v in dirty {
+            self.refresh_s_membership(v);
+        }
+    }
+
+    /// Recomputes `v`'s membership in every `S_ℓ`.
+    fn refresh_s_membership(&mut self, v: VertexId) {
+        let num_levels = self.params.num_levels;
+        let vs_level = self.vertices[v.index()].level;
+        let from = vs_level.max(0) as usize;
+        // Running õ value, accumulated level by level.
+        let mut running = self.vertices[v.index()].owned.len() as u64;
+        // Levels ≤ ℓ(v) can never contain v.
+        for l in 0..=num_levels {
+            let member = if (l as i32) <= vs_level {
+                false
+            } else {
+                // running currently equals õ_{v,l} because we add A(v, l-1) as we
+                // pass each level boundary below.
+                running >= self.params.alpha_pow(l)
+            };
+            if member {
+                self.s_levels[l].insert(v);
+            } else {
+                self.s_levels[l].remove(&v);
+            }
+            if l >= from && l < self.vertices[v.index()].unowned.len() {
+                running += self.vertices[v.index()].unowned[l].len() as u64;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Edge <-> vertex structure maintenance
+    // ------------------------------------------------------------------
+
+    /// Adds a (live, non-temporarily-deleted) edge to its endpoints' structures,
+    /// using its stored owner and level.
+    pub fn add_edge_to_structures(&mut self, id: EdgeId) {
+        let (verts, owner, level) = {
+            let e = &self.edges[&id];
+            debug_assert!(!e.temp_deleted, "temp-deleted edges stay out of structures");
+            (e.vertices.clone(), e.owner, e.level)
+        };
+        self.cost.work(verts.len() as u64);
+        for &v in verts.iter() {
+            let vs = &mut self.vertices[v.index()];
+            if v == owner {
+                vs.owned.insert(id);
+            } else {
+                vs.unowned[level].insert(id);
+            }
+            self.dirty.insert(v);
+        }
+    }
+
+    /// Removes an edge from its endpoints' structures (stored owner and level must
+    /// still describe where it currently sits).
+    pub fn remove_edge_from_structures(&mut self, id: EdgeId) {
+        let (verts, owner, level) = {
+            let e = &self.edges[&id];
+            (e.vertices.clone(), e.owner, e.level)
+        };
+        self.cost.work(verts.len() as u64);
+        for &v in verts.iter() {
+            let vs = &mut self.vertices[v.index()];
+            if v == owner {
+                vs.owned.remove(&id);
+            } else {
+                vs.unowned[level].remove(&id);
+            }
+            self.dirty.insert(v);
+        }
+    }
+
+    /// Recomputes the owner (and, for unmatched edges, the level) of an edge from
+    /// its endpoints' current levels.  The edge must *not* currently be registered
+    /// in any vertex structure.
+    fn recompute_owner_and_level(&mut self, id: EdgeId) {
+        let verts = self.edges[&id].vertices.clone();
+        let mut best_v = verts[0];
+        let mut best_level = self.vertices[best_v.index()].level;
+        for &v in verts.iter().skip(1) {
+            let l = self.vertices[v.index()].level;
+            if l > best_level {
+                best_level = l;
+                best_v = v;
+            }
+        }
+        let e = self.edges.get_mut(&id).expect("edge exists");
+        e.owner = best_v;
+        if !e.matched {
+            // Invariant 3.1(3): unmatched edges sit at the maximum endpoint level
+            // (clamped into `0..=L`).
+            e.level = best_level.max(0) as usize;
+        }
+    }
+
+    /// `set-owner`/re-index: removes the edge from the structures, recomputes its
+    /// owner and level, and re-adds it (§3.2.4, Claim 3.3).
+    pub fn reindex_edge(&mut self, id: EdgeId) {
+        self.remove_edge_from_structures(id);
+        self.recompute_owner_and_level(id);
+        self.add_edge_to_structures(id);
+    }
+
+    /// `set-level(v, ℓ)` (§3.2.4, Claim 3.4): sets `ℓ(v) = ℓ` and re-indexes the
+    /// edges whose ownership or level this changes — everything `v` owns plus, when
+    /// rising, the buckets `A(v, ℓ')` for `ℓ(v) ≤ ℓ' < ℓ` that `v` now takes over.
+    pub fn set_vertex_level(&mut self, v: VertexId, new_level: i32) {
+        let old_level = self.vertices[v.index()].level;
+        if old_level == new_level {
+            return;
+        }
+        debug_assert!(new_level >= -1 && new_level <= self.params.num_levels as i32);
+        let mut affected: Vec<EdgeId> = self.vertices[v.index()].owned.iter().copied().collect();
+        if new_level > old_level {
+            let from = old_level.max(0) as usize;
+            let to = (new_level as usize).min(self.vertices[v.index()].unowned.len());
+            for l in from..to {
+                affected.extend(self.vertices[v.index()].unowned[l].iter().copied());
+            }
+        }
+        self.cost
+            .work(affected.len() as u64 + self.params.num_levels as u64);
+        self.vertices[v.index()].level = new_level;
+        self.dirty.insert(v);
+        for id in affected {
+            self.reindex_edge(id);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Matching changes
+    // ------------------------------------------------------------------
+
+    /// Adds edge `id` to the matching at `level`: raises every endpoint to `level`,
+    /// records `M(v)` pointers, and re-indexes the edge.  Every endpoint must be
+    /// unmatched when this is called (kicked-out edges are handled by the caller).
+    pub fn match_edge(&mut self, id: EdgeId, level: usize) {
+        let verts = self.edges[&id].vertices.clone();
+        for &v in verts.iter() {
+            debug_assert!(
+                self.vertices[v.index()].matched_edge.is_none(),
+                "endpoint {v} must be unmatched before matching {id}"
+            );
+            self.set_vertex_level(v, level as i32);
+        }
+        {
+            let e = self.edges.get_mut(&id).expect("edge exists");
+            e.matched = true;
+            e.level = level;
+        }
+        for &v in verts.iter() {
+            self.vertices[v.index()].matched_edge = Some(id);
+            self.undecided.remove(&v);
+            self.dirty.insert(v);
+        }
+        self.reindex_edge(id);
+        self.cost.work(verts.len() as u64);
+    }
+
+    /// Removes edge `id` from the matching, leaving endpoint levels untouched.
+    /// Endpoints become undecided (they keep their levels until the level sweep
+    /// reaches them).  Returns the endpoints that became undecided.
+    pub fn unmatch_edge(&mut self, id: EdgeId) -> Vec<VertexId> {
+        let verts = self.edges[&id].vertices.clone();
+        {
+            let e = self.edges.get_mut(&id).expect("edge exists");
+            debug_assert!(e.matched, "unmatch_edge requires a matched edge");
+            e.matched = false;
+        }
+        let mut exposed = Vec::with_capacity(verts.len());
+        for &v in verts.iter() {
+            debug_assert_eq!(self.vertices[v.index()].matched_edge, Some(id));
+            self.vertices[v.index()].matched_edge = None;
+            self.undecided.insert(v);
+            self.dirty.insert(v);
+            exposed.push(v);
+        }
+        self.cost.work(verts.len() as u64);
+        exposed
+    }
+
+    /// Temporarily deletes edge `id`, making matched edge `responsible` responsible
+    /// for it (Invariant 3.2): the edge leaves every vertex structure and is parked
+    /// in `D(responsible)` until that matched edge disappears.
+    pub fn temp_delete_edge(&mut self, id: EdgeId, responsible: EdgeId) {
+        debug_assert!(id != responsible);
+        debug_assert!(!self.edges[&id].matched, "matched edges cannot be temp-deleted");
+        self.remove_edge_from_structures(id);
+        {
+            let e = self.edges.get_mut(&id).expect("edge exists");
+            e.temp_deleted = true;
+            e.responsible = Some(responsible);
+        }
+        self.edges
+            .get_mut(&responsible)
+            .expect("responsible edge exists")
+            .bucket
+            .push(id);
+        self.metrics.temp_deletions += 1;
+        self.cost.work(1);
+    }
+
+    /// Registers a brand-new edge (from an insertion) with the given matched flag
+    /// and level, and adds it to the structures.  The owner/level of unmatched
+    /// edges is recomputed from the endpoints.
+    pub fn register_edge(&mut self, edge: &HyperEdge, matched: bool, level: usize) {
+        debug_assert!(
+            !self.edges.contains_key(&edge.id),
+            "edge {} already registered",
+            edge.id
+        );
+        debug_assert!(
+            edge.rank() <= self.config.max_rank,
+            "edge {} has rank {} > configured max rank {}",
+            edge.id,
+            edge.rank(),
+            self.config.max_rank
+        );
+        let mut state = EdgeState::new(edge);
+        state.matched = matched;
+        state.level = level;
+        self.edges.insert(edge.id, state);
+        if matched {
+            for &v in edge.vertices() {
+                debug_assert!(self.vertices[v.index()].matched_edge.is_none());
+                self.set_vertex_level(v, level as i32);
+                self.vertices[v.index()].matched_edge = Some(edge.id);
+                self.undecided.remove(&v);
+            }
+        }
+        self.recompute_owner_and_level(edge.id);
+        self.add_edge_to_structures(edge.id);
+        self.cost.work(edge.rank() as u64);
+    }
+
+    /// Removes an edge from the state entirely (it is gone from the graph), and
+    /// returns its final [`EdgeState`].  Temporarily deleted edges are *not*
+    /// removed from their responsible edge's bucket here (the bucket is scrubbed
+    /// lazily when it is consumed); the caller updates metrics.
+    pub fn remove_edge_completely(&mut self, id: EdgeId) -> EdgeState {
+        let temp_deleted = self.edges[&id].temp_deleted;
+        if !temp_deleted {
+            self.remove_edge_from_structures(id);
+        }
+        self.edges.remove(&id).expect("edge exists")
+    }
+
+    /// The prospective ownership set `Õ_{v,ℓ}`: every edge `v` would own if raised
+    /// to level `ℓ` — its owned edges plus `A(v, ℓ')` for `ℓ(v) ≤ ℓ' < ℓ`.
+    pub fn prospective_owned(&self, v: VertexId, level: usize) -> Vec<EdgeId> {
+        let vs = &self.vertices[v.index()];
+        let from = vs.level.max(0) as usize;
+        let mut out: Vec<EdgeId> = vs.owned.iter().copied().collect();
+        for l in from..level.min(vs.unowned.len()) {
+            out.extend(vs.unowned[l].iter().copied());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn edge(id: u64, vs: &[u32]) -> HyperEdge {
+        HyperEdge::new(EdgeId(id), vs.iter().map(|&i| VertexId(i)).collect())
+    }
+
+    fn fresh(n: usize) -> MatcherState {
+        MatcherState::new(n, Config::for_graphs(1))
+    }
+
+    #[test]
+    fn new_state_is_empty() {
+        let s = fresh(4);
+        assert_eq!(s.num_vertices(), 4);
+        assert_eq!(s.num_edges(), 0);
+        assert_eq!(s.matching_size(), 0);
+        assert_eq!(s.level_of(v(0)), -1);
+        assert!(!s.is_matched_vertex(v(0)));
+        assert!(s.num_levels() >= 1);
+    }
+
+    #[test]
+    fn register_unmatched_edge_sets_owner_and_level_zero() {
+        let mut s = fresh(4);
+        s.register_edge(&edge(0, &[0, 1]), false, 0);
+        let e = &s.edges[&EdgeId(0)];
+        assert_eq!(e.level, 0);
+        assert!(!e.matched);
+        // Both endpoints are at level -1, so the owner is the smallest-id vertex
+        // and the edge is in its owned set.
+        assert_eq!(e.owner, v(0));
+        assert!(s.vertices[0].owned.contains(&EdgeId(0)));
+        assert!(s.vertices[1].unowned[0].contains(&EdgeId(0)));
+        assert_eq!(s.vertices[0].degree(), 1);
+    }
+
+    #[test]
+    fn register_matched_edge_raises_endpoints() {
+        let mut s = fresh(4);
+        s.register_edge(&edge(0, &[1, 2]), true, 0);
+        assert_eq!(s.level_of(v(1)), 0);
+        assert_eq!(s.level_of(v(2)), 0);
+        assert!(s.is_matched_vertex(v(1)));
+        assert_eq!(s.matched_edge_ids(), vec![EdgeId(0)]);
+    }
+
+    #[test]
+    fn o_tilde_counts_owned_and_lower_buckets() {
+        let mut s = fresh(6);
+        // Vertex 0 matched at level 0 so other edges incident to it go to A(·, 0).
+        s.register_edge(&edge(0, &[0, 1]), true, 0);
+        s.register_edge(&edge(1, &[0, 2]), false, 0);
+        s.register_edge(&edge(2, &[0, 3]), false, 0);
+        s.register_edge(&edge(3, &[4, 5]), false, 0);
+        // Vertex 0 owns edges 1 and 2 (it is the highest-level endpoint) plus the
+        // matched edge 0 depending on tie-breaks; õ at level 1 counts them all.
+        let ot = s.o_tilde(v(0), 1);
+        assert!(ot >= 3, "vertex 0 should prospectively own its 3 incident edges, got {ot}");
+        // Vertex 4 at level -1 owns edge 3 (smaller id than 5).
+        assert_eq!(s.o_tilde(v(4), 1), 1);
+        assert_eq!(s.o_tilde(v(5), 1), 1);
+    }
+
+    #[test]
+    fn s_levels_pick_up_heavy_vertices() {
+        let mut s = fresh(40);
+        // α = 8 for rank 2, so α^1 = 8: a vertex prospectively owning ≥ 8 edges
+        // must appear in S_1 after a flush.
+        for i in 0..10u64 {
+            s.register_edge(&edge(i, &[0, 1 + i as u32]), false, 0);
+        }
+        s.flush_dirty();
+        assert!(s.s_levels[1].contains(&v(0)), "hub vertex should be in S_1");
+        assert!(!s.s_levels[1].contains(&v(1)));
+    }
+
+    #[test]
+    fn set_vertex_level_moves_ownership() {
+        let mut s = fresh(4);
+        s.register_edge(&edge(0, &[0, 1]), false, 0);
+        // Raise vertex 1 to level 2: it becomes the highest endpoint, so it must
+        // now own the edge and the edge level must follow it.
+        s.set_vertex_level(v(1), 2);
+        let e = &s.edges[&EdgeId(0)];
+        assert_eq!(e.owner, v(1));
+        assert_eq!(e.level, 2);
+        assert!(s.vertices[1].owned.contains(&EdgeId(0)));
+        assert!(s.vertices[0].unowned[2].contains(&EdgeId(0)));
+        assert!(!s.vertices[0].owned.contains(&EdgeId(0)));
+        // Lower it back to -1: ownership returns to vertex 0 and the level drops.
+        s.set_vertex_level(v(1), -1);
+        let e = &s.edges[&EdgeId(0)];
+        assert_eq!(e.owner, v(0));
+        assert_eq!(e.level, 0);
+    }
+
+    #[test]
+    fn match_and_unmatch_roundtrip() {
+        let mut s = fresh(4);
+        s.register_edge(&edge(0, &[0, 1]), false, 0);
+        s.register_edge(&edge(1, &[1, 2]), false, 0);
+        s.match_edge(EdgeId(0), 2);
+        assert!(s.edges[&EdgeId(0)].matched);
+        assert_eq!(s.edges[&EdgeId(0)].level, 2);
+        assert_eq!(s.level_of(v(0)), 2);
+        assert_eq!(s.level_of(v(1)), 2);
+        assert_eq!(s.matching_size(), 1);
+        // The unmatched neighbour edge 1 now sits at level 2 (max endpoint level).
+        assert_eq!(s.edges[&EdgeId(1)].level, 2);
+
+        let exposed = s.unmatch_edge(EdgeId(0));
+        assert_eq!(exposed.len(), 2);
+        assert!(!s.edges[&EdgeId(0)].matched);
+        assert!(s.undecided.contains(&v(0)));
+        assert!(s.undecided.contains(&v(1)));
+        // Levels are untouched by unmatching.
+        assert_eq!(s.level_of(v(0)), 2);
+    }
+
+    #[test]
+    fn temp_delete_parks_edge_in_bucket() {
+        let mut s = fresh(4);
+        s.register_edge(&edge(0, &[0, 1]), false, 0);
+        s.register_edge(&edge(1, &[1, 2]), false, 0);
+        s.match_edge(EdgeId(0), 1);
+        s.temp_delete_edge(EdgeId(1), EdgeId(0));
+        assert!(s.edges[&EdgeId(1)].temp_deleted);
+        assert_eq!(s.edges[&EdgeId(1)].responsible, Some(EdgeId(0)));
+        assert_eq!(s.edges[&EdgeId(0)].bucket, vec![EdgeId(1)]);
+        // The temp-deleted edge is out of every vertex structure.
+        assert_eq!(s.vertices[2].degree(), 0);
+        assert_eq!(s.metrics.temp_deletions, 1);
+    }
+
+    #[test]
+    fn prospective_owned_matches_o_tilde() {
+        let mut s = fresh(8);
+        for i in 0..5u64 {
+            s.register_edge(&edge(i, &[0, 1 + i as u32]), false, 0);
+        }
+        let set = s.prospective_owned(v(0), 2);
+        assert_eq!(set.len() as u64, s.o_tilde(v(0), 2));
+    }
+
+    #[test]
+    fn remove_edge_completely_clears_structures() {
+        let mut s = fresh(3);
+        s.register_edge(&edge(0, &[0, 1]), false, 0);
+        let st = s.remove_edge_completely(EdgeId(0));
+        assert_eq!(st.vertices.len(), 2);
+        assert_eq!(s.num_edges(), 0);
+        assert_eq!(s.vertices[0].degree(), 0);
+        assert_eq!(s.vertices[1].degree(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn register_edge_enforces_max_rank() {
+        let mut s = fresh(5);
+        s.register_edge(&edge(0, &[0, 1, 2]), false, 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Common interface for dynamic maximal-matching algorithms.
+//!
+//! Both the paper's parallel algorithm (`pdmm-core`) and the sequential baselines
+//! (`pdmm-seq-dynamic`) maintain a maximal matching under batches of updates.  The
+//! experiment harness and the integration tests drive them through this trait so
+//! that every algorithm is exercised by exactly the same workloads and verified by
+//! exactly the same checks.
+
+use crate::types::{EdgeId, UpdateBatch};
+
+/// A fully dynamic maximal-matching algorithm driven by update batches.
+pub trait DynamicMatcher {
+    /// Applies one batch of simultaneous updates and restores maximality.
+    fn apply_batch(&mut self, batch: &UpdateBatch);
+
+    /// The current matching, as edge ids.
+    fn matching_edge_ids(&self) -> Vec<EdgeId>;
+
+    /// Short human-readable name used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Applies every batch of a workload in order.
+    fn apply_all(&mut self, batches: &[UpdateBatch]) {
+        for batch in batches {
+            self.apply_batch(batch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DynamicHypergraph;
+    use crate::matching::{greedy_maximal_matching, verify_maximality};
+    use crate::types::Update;
+
+    /// A deliberately simple reference implementation: replay the live graph and
+    /// recompute a greedy matching after every batch.  Used here only to exercise
+    /// the trait's default methods.
+    struct RecomputeEachBatch {
+        graph: DynamicHypergraph,
+        matching: Vec<EdgeId>,
+    }
+
+    impl DynamicMatcher for RecomputeEachBatch {
+        fn apply_batch(&mut self, batch: &UpdateBatch) {
+            self.graph.apply_batch(batch);
+            self.matching = greedy_maximal_matching(&self.graph);
+        }
+
+        fn matching_edge_ids(&self) -> Vec<EdgeId> {
+            self.matching.clone()
+        }
+
+        fn name(&self) -> &'static str {
+            "recompute-greedy"
+        }
+    }
+
+    #[test]
+    fn apply_all_processes_every_batch() {
+        use crate::types::{HyperEdge, VertexId};
+        let mut alg = RecomputeEachBatch {
+            graph: DynamicHypergraph::new(6),
+            matching: vec![],
+        };
+        let batches = vec![
+            vec![
+                Update::Insert(HyperEdge::pair(EdgeId(0), VertexId(0), VertexId(1))),
+                Update::Insert(HyperEdge::pair(EdgeId(1), VertexId(2), VertexId(3))),
+            ],
+            vec![Update::Delete(EdgeId(0))],
+            vec![Update::Insert(HyperEdge::pair(EdgeId(2), VertexId(1), VertexId(4)))],
+        ];
+        alg.apply_all(&batches);
+        assert_eq!(alg.name(), "recompute-greedy");
+        let ids = alg.matching_edge_ids();
+        assert_eq!(verify_maximality(&alg.graph, &ids), Ok(()));
+    }
+}

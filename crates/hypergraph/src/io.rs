@@ -1,0 +1,239 @@
+//! Plain-text serialization of hypergraphs and update streams.
+//!
+//! A small, dependency-free exchange format so that workloads can be generated
+//! once, stored, and replayed across runs or shared with other implementations:
+//!
+//! * **edge list** — one hyperedge per line: `<id> <v1> <v2> ... <vk>`;
+//! * **update stream** — one batch per blank-line-separated block, one update per
+//!   line: `+ <id> <v1> ... <vk>` for an insertion, `- <id>` for a deletion.
+//!
+//! Lines starting with `#` are comments.  Parsing is strict: malformed lines return
+//! an error rather than being skipped, so corrupted workload files are caught
+//! early.
+
+use crate::types::{EdgeId, HyperEdge, Update, UpdateBatch, VertexId};
+use std::fmt::Write as _;
+
+/// Error produced by the parsers in this module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes hyperedges as an edge list.
+#[must_use]
+pub fn edges_to_string(edges: &[HyperEdge]) -> String {
+    let mut out = String::new();
+    for e in edges {
+        let _ = write!(out, "{}", e.id.0);
+        for v in e.vertices() {
+            let _ = write!(out, " {}", v.0);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses an edge list produced by [`edges_to_string`].
+pub fn edges_from_string(text: &str) -> Result<Vec<HyperEdge>, ParseError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let id = parse_u64(parts.next(), i + 1, "edge id")?;
+        let vertices: Vec<VertexId> = parts
+            .map(|p| parse_u32(Some(p), i + 1, "vertex id").map(VertexId))
+            .collect::<Result<_, _>>()?;
+        if vertices.is_empty() {
+            return Err(ParseError {
+                line: i + 1,
+                message: "edge with no endpoints".into(),
+            });
+        }
+        out.push(HyperEdge::new(EdgeId(id), vertices));
+    }
+    Ok(out)
+}
+
+/// Serializes a sequence of update batches.
+#[must_use]
+pub fn batches_to_string(batches: &[UpdateBatch]) -> String {
+    let mut out = String::new();
+    for (i, batch) in batches.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        for update in batch {
+            match update {
+                Update::Insert(e) => {
+                    let _ = write!(out, "+ {}", e.id.0);
+                    for v in e.vertices() {
+                        let _ = write!(out, " {}", v.0);
+                    }
+                    out.push('\n');
+                }
+                Update::Delete(id) => {
+                    let _ = writeln!(out, "- {}", id.0);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parses an update stream produced by [`batches_to_string`].
+pub fn batches_from_string(text: &str) -> Result<Vec<UpdateBatch>, ParseError> {
+    let mut batches: Vec<UpdateBatch> = Vec::new();
+    let mut current: UpdateBatch = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('#') {
+            continue;
+        }
+        if line.is_empty() {
+            if !current.is_empty() {
+                batches.push(std::mem::take(&mut current));
+            }
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let op = parts.next().expect("non-empty line has a first token");
+        match op {
+            "+" => {
+                let id = parse_u64(parts.next(), i + 1, "edge id")?;
+                let vertices: Vec<VertexId> = parts
+                    .map(|p| parse_u32(Some(p), i + 1, "vertex id").map(VertexId))
+                    .collect::<Result<_, _>>()?;
+                if vertices.is_empty() {
+                    return Err(ParseError {
+                        line: i + 1,
+                        message: "insertion with no endpoints".into(),
+                    });
+                }
+                current.push(Update::Insert(HyperEdge::new(EdgeId(id), vertices)));
+            }
+            "-" => {
+                let id = parse_u64(parts.next(), i + 1, "edge id")?;
+                if parts.next().is_some() {
+                    return Err(ParseError {
+                        line: i + 1,
+                        message: "deletion takes exactly one id".into(),
+                    });
+                }
+                current.push(Update::Delete(EdgeId(id)));
+            }
+            other => {
+                return Err(ParseError {
+                    line: i + 1,
+                    message: format!("unknown operation `{other}` (expected `+` or `-`)"),
+                });
+            }
+        }
+    }
+    if !current.is_empty() {
+        batches.push(current);
+    }
+    Ok(batches)
+}
+
+fn parse_u64(token: Option<&str>, line: usize, what: &str) -> Result<u64, ParseError> {
+    token
+        .ok_or_else(|| ParseError {
+            line,
+            message: format!("missing {what}"),
+        })?
+        .parse()
+        .map_err(|_| ParseError {
+            line,
+            message: format!("invalid {what}"),
+        })
+}
+
+fn parse_u32(token: Option<&str>, line: usize, what: &str) -> Result<u32, ParseError> {
+    parse_u64(token, line, what).and_then(|v| {
+        u32::try_from(v).map_err(|_| ParseError {
+            line,
+            message: format!("{what} out of range"),
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{gnm_graph, random_hypergraph};
+    use crate::streams::random_churn;
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let edges = random_hypergraph(30, 50, 3, 7, 10);
+        let text = edges_to_string(&edges);
+        let parsed = edges_from_string(&text).unwrap();
+        assert_eq!(parsed, edges);
+    }
+
+    #[test]
+    fn edge_list_ignores_comments_and_blank_lines() {
+        let text = "# a comment\n\n3 1 2\n";
+        let parsed = edges_from_string(text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].id, EdgeId(3));
+        assert_eq!(parsed[0].rank(), 2);
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        assert!(edges_from_string("abc 1 2").is_err());
+        assert!(edges_from_string("5").is_err());
+        let err = edges_from_string("1 2\nbroken").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(format!("{err}").contains("line 2"));
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let w = random_churn(40, 2, 30, 5, 20, 0.5, 9);
+        let text = batches_to_string(&w.batches);
+        let parsed = batches_from_string(&text).unwrap();
+        assert_eq!(parsed, w.batches);
+    }
+
+    #[test]
+    fn batch_roundtrip_for_graph_workload() {
+        let edges = gnm_graph(20, 40, 3, 0);
+        let batches: Vec<UpdateBatch> = vec![
+            edges.iter().take(20).cloned().map(Update::Insert).collect(),
+            edges.iter().take(5).map(|e| Update::Delete(e.id)).collect(),
+        ];
+        let parsed = batches_from_string(&batches_to_string(&batches)).unwrap();
+        assert_eq!(parsed, batches);
+    }
+
+    #[test]
+    fn batch_parser_rejects_bad_operations() {
+        assert!(batches_from_string("* 1 2 3").is_err());
+        assert!(batches_from_string("+ 1").is_err());
+        assert!(batches_from_string("- 1 2").is_err());
+        assert!(batches_from_string("+ x 1 2").is_err());
+    }
+
+    #[test]
+    fn empty_input_gives_no_batches() {
+        assert_eq!(batches_from_string("").unwrap(), Vec::<UpdateBatch>::new());
+        assert_eq!(batches_from_string("# only comments\n\n").unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # pdmm-hypergraph
+//!
+//! Dynamic rank-`r` hypergraph substrate for the Parallel Dynamic Maximal Matching
+//! reproduction (Ghaffari & Trygub, SPAA 2024):
+//!
+//! * [`types`] — vertex/edge identifiers, hyperedges and the fully dynamic
+//!   [`types::Update`] model of §2,
+//! * [`graph`] — the ground-truth dynamic hypergraph,
+//! * [`matching`] — matchings, validity/maximality verification, reference
+//!   (greedy / exact) matching algorithms,
+//! * [`generators`] — synthetic graph and hypergraph families,
+//! * [`streams`] — batched oblivious-adversary update streams,
+//! * [`stats`] — structural statistics for the experiment tables.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod dynamic;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod matching;
+pub mod stats;
+pub mod streams;
+pub mod types;
+
+pub use dynamic::DynamicMatcher;
+pub use graph::DynamicHypergraph;
+pub use matching::{verify_maximality, verify_validity, Matching, MatchingError};
+pub use streams::Workload;
+pub use types::{EdgeId, HyperEdge, Update, UpdateBatch, VertexId};

@@ -1,0 +1,420 @@
+//! Matchings and their verification.
+//!
+//! Per §2 of the paper, a matching `M ⊆ E` is a set of pairwise-disjoint hyperedges,
+//! and `M` is *maximal* if no further live hyperedge can be added to it.  A maximal
+//! matching in a rank-`r` hypergraph is a `1/r`-approximation of the maximum
+//! matching, and the endpoint set of a maximal matching is a vertex cover of size at
+//! most `r` times the minimum vertex cover.  This module provides the matching
+//! container, the validity and maximality checkers used throughout the test suite,
+//! and reference algorithms (greedy maximal matching, exact maximum matching on
+//! small inputs) used by the quality experiments (E7).
+
+use crate::graph::DynamicHypergraph;
+use crate::types::{EdgeId, HyperEdge, VertexId};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// A matching: a set of edge ids together with the vertices they cover.
+#[derive(Debug, Clone, Default)]
+pub struct Matching {
+    edges: FxHashSet<EdgeId>,
+    matched_vertices: FxHashMap<VertexId, EdgeId>,
+}
+
+impl Matching {
+    /// Creates an empty matching.
+    #[must_use]
+    pub fn new() -> Self {
+        Matching::default()
+    }
+
+    /// Number of edges in the matching.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the matching has no edges.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Whether edge `id` is in the matching.
+    #[must_use]
+    pub fn contains_edge(&self, id: EdgeId) -> bool {
+        self.edges.contains(&id)
+    }
+
+    /// Whether vertex `v` is covered by some matching edge.
+    #[must_use]
+    pub fn is_matched(&self, v: VertexId) -> bool {
+        self.matched_vertices.contains_key(&v)
+    }
+
+    /// The matching edge covering `v`, if any.
+    #[must_use]
+    pub fn matched_edge_of(&self, v: VertexId) -> Option<EdgeId> {
+        self.matched_vertices.get(&v).copied()
+    }
+
+    /// Ids of all edges in the matching (unspecified order).
+    #[must_use]
+    pub fn edge_ids(&self) -> Vec<EdgeId> {
+        self.edges.iter().copied().collect()
+    }
+
+    /// The vertex cover induced by the matching (all endpoints of matched edges).
+    #[must_use]
+    pub fn vertex_cover(&self) -> Vec<VertexId> {
+        self.matched_vertices.keys().copied().collect()
+    }
+
+    /// Adds `edge` to the matching.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge is already present or if any endpoint is already matched
+    /// (which would make the matching invalid).
+    pub fn add(&mut self, edge: &HyperEdge) {
+        assert!(
+            self.edges.insert(edge.id),
+            "edge {} already in matching",
+            edge.id
+        );
+        for &v in edge.vertices() {
+            let prev = self.matched_vertices.insert(v, edge.id);
+            assert!(
+                prev.is_none(),
+                "vertex {v} already matched by {:?} while adding {}",
+                prev,
+                edge.id
+            );
+        }
+    }
+
+    /// Removes `edge` from the matching (must be present).
+    pub fn remove(&mut self, edge: &HyperEdge) {
+        assert!(
+            self.edges.remove(&edge.id),
+            "edge {} not in matching",
+            edge.id
+        );
+        for &v in edge.vertices() {
+            self.matched_vertices.remove(&v);
+        }
+    }
+
+    /// Builds a matching from edge ids, looking endpoints up in `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is not live in `graph` or if the edges are not disjoint.
+    #[must_use]
+    pub fn from_edge_ids(graph: &DynamicHypergraph, ids: &[EdgeId]) -> Self {
+        let mut m = Matching::new();
+        for &id in ids {
+            let edge = graph
+                .edge(id)
+                .unwrap_or_else(|| panic!("edge {id} not live in graph"));
+            m.add(edge);
+        }
+        m
+    }
+}
+
+/// Outcome of matching verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchingError {
+    /// A matched edge id is not live in the graph.
+    MissingEdge(EdgeId),
+    /// Two matched edges share a vertex.
+    Conflict(EdgeId, EdgeId, VertexId),
+    /// A live edge has no matched endpoint, so the matching is not maximal.
+    NotMaximal(EdgeId),
+}
+
+/// Checks that `ids` forms a valid matching of `graph` (live, pairwise disjoint).
+///
+/// Returns the first violation found, or `Ok(())`.
+pub fn verify_validity(graph: &DynamicHypergraph, ids: &[EdgeId]) -> Result<(), MatchingError> {
+    let mut owner: FxHashMap<VertexId, EdgeId> = FxHashMap::default();
+    for &id in ids {
+        let Some(edge) = graph.edge(id) else {
+            return Err(MatchingError::MissingEdge(id));
+        };
+        for &v in edge.vertices() {
+            if let Some(&other) = owner.get(&v) {
+                return Err(MatchingError::Conflict(other, id, v));
+            }
+            owner.insert(v, id);
+        }
+    }
+    Ok(())
+}
+
+/// Checks that `ids` is a valid *maximal* matching of `graph`.
+pub fn verify_maximality(graph: &DynamicHypergraph, ids: &[EdgeId]) -> Result<(), MatchingError> {
+    verify_validity(graph, ids)?;
+    let mut matched: FxHashSet<VertexId> = FxHashSet::default();
+    for &id in ids {
+        if let Some(edge) = graph.edge(id) {
+            matched.extend(edge.vertices().iter().copied());
+        }
+    }
+    for edge in graph.edges() {
+        if !edge.vertices().iter().any(|v| matched.contains(v)) {
+            return Err(MatchingError::NotMaximal(edge.id));
+        }
+    }
+    Ok(())
+}
+
+/// Sequential greedy maximal matching: scans edges in id order and adds every edge
+/// whose endpoints are all free.  Used as a yardstick and in tests.
+#[must_use]
+pub fn greedy_maximal_matching(graph: &DynamicHypergraph) -> Vec<EdgeId> {
+    let mut edges = graph.snapshot_edges();
+    edges.sort_by_key(|e| e.id);
+    let mut matched: FxHashSet<VertexId> = FxHashSet::default();
+    let mut out = Vec::new();
+    for edge in edges {
+        if edge.vertices().iter().all(|v| !matched.contains(v)) {
+            matched.extend(edge.vertices().iter().copied());
+            out.push(edge.id);
+        }
+    }
+    out
+}
+
+/// Exact maximum matching size, by branch and bound over the live edges.
+///
+/// Exponential in the worst case — intended only for the small instances used in
+/// tests and the quality experiment, where it provides the exact optimum that the
+/// `1/r` approximation guarantee is checked against.
+///
+/// # Panics
+///
+/// Panics if the graph has more than 64 live edges (to guard against accidental use
+/// on large inputs — use [`greedy_maximal_matching`] or the LP-free bounds instead).
+#[must_use]
+pub fn maximum_matching_size_exact(graph: &DynamicHypergraph) -> usize {
+    let edges = graph.snapshot_edges();
+    assert!(
+        edges.len() <= 64,
+        "exact maximum matching is only supported for at most 64 edges"
+    );
+    // Precompute pairwise conflicts.
+    let m = edges.len();
+    let mut conflict = vec![0u64; m];
+    for i in 0..m {
+        for j in (i + 1)..m {
+            if edges[i].intersects(&edges[j]) {
+                conflict[i] |= 1 << j;
+                conflict[j] |= 1 << i;
+            }
+        }
+    }
+    fn solve(i: usize, used: u64, blocked: u64, edges_len: usize, conflict: &[u64]) -> usize {
+        if i == edges_len {
+            return used.count_ones() as usize;
+        }
+        // Upper bound prune: even taking all remaining edges cannot beat nothing
+        // special here; plain exhaustive with skip/take ordering is fine at ≤ 64.
+        let skip = solve(i + 1, used, blocked, edges_len, conflict);
+        if blocked & (1 << i) != 0 {
+            return skip;
+        }
+        let take = solve(
+            i + 1,
+            used | (1 << i),
+            blocked | conflict[i],
+            edges_len,
+            conflict,
+        );
+        skip.max(take)
+    }
+    solve(0, 0, 0, m, &conflict)
+}
+
+/// Counts how many live edges are *not* covered by the given vertex set — zero means
+/// the set is a vertex cover (§2: endpoints of a maximal matching form one).
+#[must_use]
+pub fn uncovered_edges(graph: &DynamicHypergraph, cover: &[VertexId]) -> usize {
+    let set: FxHashSet<VertexId> = cover.iter().copied().collect();
+    graph
+        .edges()
+        .filter(|e| !e.vertices().iter().any(|v| set.contains(v)))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Update;
+    use proptest::prelude::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn pair(id: u64, a: u32, b: u32) -> HyperEdge {
+        HyperEdge::pair(EdgeId(id), v(a), v(b))
+    }
+
+    fn path_graph(n: u32) -> DynamicHypergraph {
+        let mut g = DynamicHypergraph::new(n as usize);
+        for i in 0..n - 1 {
+            g.insert_edge(pair(u64::from(i), i, i + 1));
+        }
+        g
+    }
+
+    #[test]
+    fn empty_matching_on_empty_graph_is_maximal() {
+        let g = DynamicHypergraph::new(3);
+        assert_eq!(verify_maximality(&g, &[]), Ok(()));
+    }
+
+    #[test]
+    fn add_remove_tracks_vertices() {
+        let e = pair(0, 1, 2);
+        let mut m = Matching::new();
+        m.add(&e);
+        assert_eq!(m.len(), 1);
+        assert!(m.is_matched(v(1)));
+        assert_eq!(m.matched_edge_of(v(2)), Some(EdgeId(0)));
+        m.remove(&e);
+        assert!(m.is_empty());
+        assert!(!m.is_matched(v(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already matched")]
+    fn conflicting_add_panics() {
+        let mut m = Matching::new();
+        m.add(&pair(0, 1, 2));
+        m.add(&pair(1, 2, 3));
+    }
+
+    #[test]
+    fn validity_detects_conflict_and_missing() {
+        let mut g = DynamicHypergraph::new(4);
+        g.insert_edge(pair(0, 0, 1));
+        g.insert_edge(pair(1, 1, 2));
+        assert_eq!(
+            verify_validity(&g, &[EdgeId(0), EdgeId(1)]),
+            Err(MatchingError::Conflict(EdgeId(0), EdgeId(1), v(1)))
+        );
+        assert_eq!(
+            verify_validity(&g, &[EdgeId(9)]),
+            Err(MatchingError::MissingEdge(EdgeId(9)))
+        );
+        assert_eq!(verify_validity(&g, &[EdgeId(0)]), Ok(()));
+    }
+
+    #[test]
+    fn maximality_detects_free_edge() {
+        let g = path_graph(5); // edges 0-1, 1-2, 2-3, 3-4
+        // Matching {1-2} leaves edge 3-4 with both endpoints free.
+        assert_eq!(
+            verify_maximality(&g, &[EdgeId(1)]),
+            Err(MatchingError::NotMaximal(EdgeId(3)))
+        );
+        // Greedy is maximal.
+        let greedy = greedy_maximal_matching(&g);
+        assert_eq!(verify_maximality(&g, &greedy), Ok(()));
+    }
+
+    #[test]
+    fn greedy_on_path_picks_alternate_edges() {
+        let g = path_graph(6);
+        let m = greedy_maximal_matching(&g);
+        assert_eq!(m, vec![EdgeId(0), EdgeId(2), EdgeId(4)]);
+    }
+
+    #[test]
+    fn exact_maximum_on_small_graphs() {
+        let g = path_graph(4); // P4 has maximum matching 2 (but greedy from middle could give 1)
+        assert_eq!(maximum_matching_size_exact(&g), 2);
+        let mut star = DynamicHypergraph::new(5);
+        for i in 1..5u32 {
+            star.insert_edge(pair(u64::from(i), 0, i));
+        }
+        assert_eq!(maximum_matching_size_exact(&star), 1);
+    }
+
+    #[test]
+    fn maximal_is_half_of_maximum_on_graphs() {
+        // Classical 2-approximation check (r = 2 ⇒ factor 1/2).
+        let g = path_graph(20);
+        let greedy = greedy_maximal_matching(&g);
+        let opt = maximum_matching_size_exact(&g);
+        assert!(greedy.len() * 2 >= opt);
+    }
+
+    #[test]
+    fn vertex_cover_covers_all_edges() {
+        let g = path_graph(10);
+        let ids = greedy_maximal_matching(&g);
+        let m = Matching::from_edge_ids(&g, &ids);
+        assert_eq!(uncovered_edges(&g, &m.vertex_cover()), 0);
+    }
+
+    #[test]
+    fn hypergraph_matching_and_cover() {
+        let mut g = DynamicHypergraph::new(9);
+        g.insert_edge(HyperEdge::new(EdgeId(0), vec![v(0), v(1), v(2)]));
+        g.insert_edge(HyperEdge::new(EdgeId(1), vec![v(2), v(3), v(4)]));
+        g.insert_edge(HyperEdge::new(EdgeId(2), vec![v(4), v(5), v(6)]));
+        g.insert_edge(HyperEdge::new(EdgeId(3), vec![v(6), v(7), v(8)]));
+        let greedy = greedy_maximal_matching(&g);
+        assert_eq!(verify_maximality(&g, &greedy), Ok(()));
+        let opt = maximum_matching_size_exact(&g);
+        assert_eq!(opt, 2);
+        // maximal ≥ opt / r with r = 3.
+        assert!(greedy.len() * 3 >= opt);
+    }
+
+    #[test]
+    fn matching_tracks_graph_changes() {
+        let mut g = path_graph(4);
+        let ids = greedy_maximal_matching(&g);
+        assert_eq!(verify_maximality(&g, &ids), Ok(()));
+        // Delete a matched edge from the graph: validity now fails.
+        g.apply_batch(&vec![Update::Delete(ids[0])]);
+        assert_eq!(
+            verify_validity(&g, &ids),
+            Err(MatchingError::MissingEdge(ids[0]))
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_greedy_is_always_maximal(
+            n in 2usize..40,
+            edges in proptest::collection::vec((0u32..40, 0u32..40), 0..80)
+        ) {
+            let mut g = DynamicHypergraph::new(40);
+            let _ = n;
+            for (i, (a, b)) in edges.iter().enumerate() {
+                g.insert_edge(HyperEdge::pair(EdgeId(i as u64), v(*a), v(*b)));
+            }
+            let m = greedy_maximal_matching(&g);
+            prop_assert_eq!(verify_maximality(&g, &m), Ok(()));
+        }
+
+        #[test]
+        fn prop_maximal_within_factor_two_of_optimum(
+            edges in proptest::collection::vec((0u32..12, 0u32..12), 1..20)
+        ) {
+            let mut g = DynamicHypergraph::new(12);
+            for (i, (a, b)) in edges.iter().enumerate() {
+                g.insert_edge(HyperEdge::pair(EdgeId(i as u64), v(*a), v(*b)));
+            }
+            let greedy = greedy_maximal_matching(&g);
+            let opt = maximum_matching_size_exact(&g);
+            prop_assert!(greedy.len() * 2 >= opt);
+            prop_assert!(greedy.len() <= opt);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Simple structural statistics used by the experiment tables.
+
+use crate::graph::DynamicHypergraph;
+use crate::types::VertexId;
+
+/// Degree statistics of a hypergraph snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Maximum vertex degree.
+    pub max: usize,
+    /// Mean vertex degree.
+    pub mean: f64,
+    /// Number of isolated (degree-0) vertices.
+    pub isolated: usize,
+}
+
+/// Computes degree statistics over all vertices of `graph`.
+#[must_use]
+pub fn degree_stats(graph: &DynamicHypergraph) -> DegreeStats {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return DegreeStats {
+            max: 0,
+            mean: 0.0,
+            isolated: 0,
+        };
+    }
+    let mut max = 0usize;
+    let mut sum = 0usize;
+    let mut isolated = 0usize;
+    for i in 0..n {
+        let d = graph.degree(VertexId(i as u32));
+        max = max.max(d);
+        sum += d;
+        if d == 0 {
+            isolated += 1;
+        }
+    }
+    DegreeStats {
+        max,
+        mean: sum as f64 / n as f64,
+        isolated,
+    }
+}
+
+/// Histogram of vertex degrees: `hist[d]` is the number of vertices of degree `d`.
+#[must_use]
+pub fn degree_histogram(graph: &DynamicHypergraph) -> Vec<usize> {
+    let stats = degree_stats(graph);
+    let mut hist = vec![0usize; stats.max + 1];
+    for i in 0..graph.num_vertices() {
+        hist[graph.degree(VertexId(i as u32))] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{gnm_graph, star_graph};
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = DynamicHypergraph::new(0);
+        let s = degree_stats(&g);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.isolated, 0);
+    }
+
+    #[test]
+    fn star_graph_stats() {
+        let g = DynamicHypergraph::from_edges(6, star_graph(6, 0));
+        let s = degree_stats(&g);
+        assert_eq!(s.max, 5);
+        assert_eq!(s.isolated, 0);
+        assert!((s.mean - 10.0 / 6.0).abs() < 1e-9);
+        let hist = degree_histogram(&g);
+        assert_eq!(hist[1], 5);
+        assert_eq!(hist[5], 1);
+    }
+
+    #[test]
+    fn histogram_sums_to_vertex_count() {
+        let g = DynamicHypergraph::from_edges(100, gnm_graph(100, 250, 3, 0));
+        let hist = degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<usize>(), 100);
+    }
+}

@@ -1,0 +1,238 @@
+//! Core identifier and update types shared by every crate in the workspace.
+//!
+//! The update model of §2: the input is a rank-`r` hypergraph `H = (V, E)` that
+//! evolves through *batches* of hyperedge insertions and deletions, chosen by an
+//! adversary that is oblivious to the algorithm's randomness.  Hyperedges are
+//! identified by an [`EdgeId`] assigned by whoever produces the update stream, so a
+//! deletion can name exactly which copy of an edge disappears (parallel edges with
+//! identical endpoint sets are allowed and occasionally produced by the generators).
+
+use std::fmt;
+
+/// Identifier of a vertex; vertices are numbered `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// The vertex index as a `usize`, for indexing into per-vertex arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    fn from(v: u32) -> Self {
+        VertexId(v)
+    }
+}
+
+/// Identifier of a hyperedge; unique over the whole update sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub u64);
+
+impl EdgeId {
+    /// The edge id as a `usize` (used for dense side tables in the algorithm).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<u64> for EdgeId {
+    fn from(v: u64) -> Self {
+        EdgeId(v)
+    }
+}
+
+/// A hyperedge: an identifier plus its (at most `r`) endpoints.
+///
+/// Endpoints are stored deduplicated and sorted, so two structurally equal edges
+/// compare equal regardless of the order the endpoints were listed in.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HyperEdge {
+    /// Unique identifier of this hyperedge.
+    pub id: EdgeId,
+    /// Sorted, deduplicated endpoints.
+    vertices: Box<[VertexId]>,
+}
+
+impl HyperEdge {
+    /// Creates a hyperedge, sorting and deduplicating the endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vertices` is empty: a hyperedge must have at least one endpoint.
+    #[must_use]
+    pub fn new(id: EdgeId, mut vertices: Vec<VertexId>) -> Self {
+        assert!(!vertices.is_empty(), "a hyperedge needs at least one endpoint");
+        vertices.sort_unstable();
+        vertices.dedup();
+        HyperEdge {
+            id,
+            vertices: vertices.into_boxed_slice(),
+        }
+    }
+
+    /// Convenience constructor for an ordinary (rank-2) graph edge.
+    #[must_use]
+    pub fn pair(id: EdgeId, a: VertexId, b: VertexId) -> Self {
+        HyperEdge::new(id, vec![a, b])
+    }
+
+    /// The endpoints of the hyperedge (sorted, deduplicated).
+    #[must_use]
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// Number of endpoints (the "rank" of this particular edge).
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Whether `v` is one of the endpoints.
+    #[must_use]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.vertices.binary_search(&v).is_ok()
+    }
+
+    /// Whether this edge shares an endpoint with `other`.
+    #[must_use]
+    pub fn intersects(&self, other: &HyperEdge) -> bool {
+        // Both endpoint lists are sorted: merge-scan.
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.vertices.len() && j < other.vertices.len() {
+            match self.vertices[i].cmp(&other.vertices[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+}
+
+/// One update in the fully dynamic model of §2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Update {
+    /// Insert a new hyperedge (its id must not currently be present).
+    Insert(HyperEdge),
+    /// Delete the hyperedge with this id (which must currently be present).
+    Delete(EdgeId),
+}
+
+impl Update {
+    /// Whether this update is an insertion.
+    #[must_use]
+    pub fn is_insert(&self) -> bool {
+        matches!(self, Update::Insert(_))
+    }
+
+    /// Whether this update is a deletion.
+    #[must_use]
+    pub fn is_delete(&self) -> bool {
+        matches!(self, Update::Delete(_))
+    }
+
+    /// The edge id this update refers to.
+    #[must_use]
+    pub fn edge_id(&self) -> EdgeId {
+        match self {
+            Update::Insert(e) => e.id,
+            Update::Delete(id) => *id,
+        }
+    }
+}
+
+/// A batch of simultaneous updates, processed by one invocation of the algorithm.
+pub type UpdateBatch = Vec<Update>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    #[test]
+    fn ids_display_and_index() {
+        assert_eq!(VertexId(3).index(), 3);
+        assert_eq!(EdgeId(9).index(), 9);
+        assert_eq!(format!("{}", VertexId(3)), "v3");
+        assert_eq!(format!("{}", EdgeId(9)), "e9");
+        assert_eq!(VertexId::from(2u32), VertexId(2));
+        assert_eq!(EdgeId::from(5u64), EdgeId(5));
+    }
+
+    #[test]
+    fn hyperedge_sorts_and_dedups() {
+        let e = HyperEdge::new(EdgeId(0), vec![v(5), v(1), v(5), v(3)]);
+        assert_eq!(e.vertices(), &[v(1), v(3), v(5)]);
+        assert_eq!(e.rank(), 3);
+        assert!(e.contains(v(3)));
+        assert!(!e.contains(v(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one endpoint")]
+    fn empty_hyperedge_panics() {
+        let _ = HyperEdge::new(EdgeId(0), vec![]);
+    }
+
+    #[test]
+    fn pair_edge() {
+        let e = HyperEdge::pair(EdgeId(1), v(7), v(2));
+        assert_eq!(e.vertices(), &[v(2), v(7)]);
+        assert_eq!(e.rank(), 2);
+    }
+
+    #[test]
+    fn self_loop_pair_has_rank_one() {
+        let e = HyperEdge::pair(EdgeId(1), v(4), v(4));
+        assert_eq!(e.rank(), 1);
+    }
+
+    #[test]
+    fn intersects_detects_shared_endpoint() {
+        let a = HyperEdge::new(EdgeId(0), vec![v(1), v(2), v(3)]);
+        let b = HyperEdge::new(EdgeId(1), vec![v(3), v(4)]);
+        let c = HyperEdge::new(EdgeId(2), vec![v(5), v(6)]);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        assert!(a.intersects(&a));
+    }
+
+    #[test]
+    fn update_accessors() {
+        let e = HyperEdge::pair(EdgeId(4), v(0), v(1));
+        let ins = Update::Insert(e.clone());
+        let del = Update::Delete(EdgeId(4));
+        assert!(ins.is_insert() && !ins.is_delete());
+        assert!(del.is_delete() && !del.is_insert());
+        assert_eq!(ins.edge_id(), EdgeId(4));
+        assert_eq!(del.edge_id(), EdgeId(4));
+    }
+
+    #[test]
+    fn structural_equality_ignores_input_order() {
+        let a = HyperEdge::new(EdgeId(0), vec![v(1), v(2)]);
+        let b = HyperEdge::new(EdgeId(0), vec![v(2), v(1)]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,194 @@
+//! Concurrent fixed-size bitset.
+//!
+//! Used for parallel marking phases (for example "which edges are marked in this
+//! `grand-random-subsubsettle` iteration" or "which vertices became undecided"):
+//! many rayon tasks set bits concurrently, then the coordinating phase reads them
+//! back.  Bits are stored in `AtomicU64` words; setting a bit is a relaxed
+//! `fetch_or`, which is sufficient because phases are separated by a rayon join
+//! (which synchronises all writes before the next phase reads them).
+
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-capacity bitset whose bits can be set/cleared concurrently.
+#[derive(Debug)]
+pub struct AtomicBitset {
+    words: Vec<AtomicU64>,
+    len: usize,
+}
+
+impl AtomicBitset {
+    /// Creates a bitset with `len` bits, all cleared.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        let words = (0..len.div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
+        AtomicBitset { words, len }
+    }
+
+    /// Number of bits in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitset has zero capacity.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `index`; returns `true` if the bit was previously clear.
+    pub fn set(&self, index: usize) -> bool {
+        assert!(index < self.len, "AtomicBitset index out of bounds");
+        let word = index / 64;
+        let mask = 1u64 << (index % 64);
+        let prev = self.words[word].fetch_or(mask, Ordering::Relaxed);
+        prev & mask == 0
+    }
+
+    /// Clears bit `index`; returns `true` if the bit was previously set.
+    pub fn clear(&self, index: usize) -> bool {
+        assert!(index < self.len, "AtomicBitset index out of bounds");
+        let word = index / 64;
+        let mask = 1u64 << (index % 64);
+        let prev = self.words[word].fetch_and(!mask, Ordering::Relaxed);
+        prev & mask != 0
+    }
+
+    /// Reads bit `index`.
+    #[must_use]
+    pub fn get(&self, index: usize) -> bool {
+        assert!(index < self.len, "AtomicBitset index out of bounds");
+        let word = index / 64;
+        let mask = 1u64 << (index % 64);
+        self.words[word].load(Ordering::Relaxed) & mask != 0
+    }
+
+    /// Clears every bit.
+    pub fn clear_all(&self) {
+        for w in &self.words {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of set bits.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    /// Indices of all set bits, in increasing order.
+    #[must_use]
+    pub fn iter_ones(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.count_ones());
+        for (wi, w) in self.words.iter().enumerate() {
+            let mut bits = w.load(Ordering::Relaxed);
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as usize;
+                let idx = wi * 64 + bit;
+                if idx < self.len {
+                    out.push(idx);
+                }
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+
+    /// Sets all the given indices in parallel.
+    pub fn set_all(&self, indices: &[usize]) {
+        if indices.len() < 1 << 12 {
+            for &i in indices {
+                self.set(i);
+            }
+        } else {
+            indices.par_iter().for_each(|&i| {
+                self.set(i);
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_all_clear() {
+        let b = AtomicBitset::new(130);
+        assert_eq!(b.len(), 130);
+        assert_eq!(b.count_ones(), 0);
+        assert!(!b.get(0));
+        assert!(!b.get(129));
+    }
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let b = AtomicBitset::new(100);
+        assert!(b.set(42));
+        assert!(!b.set(42));
+        assert!(b.get(42));
+        assert!(b.clear(42));
+        assert!(!b.clear(42));
+        assert!(!b.get(42));
+    }
+
+    #[test]
+    fn count_and_iter_ones() {
+        let b = AtomicBitset::new(200);
+        for i in (0..200).step_by(7) {
+            b.set(i);
+        }
+        let ones = b.iter_ones();
+        assert_eq!(ones.len(), b.count_ones());
+        assert_eq!(ones, (0..200).step_by(7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clear_all_resets() {
+        let b = AtomicBitset::new(64);
+        b.set(0);
+        b.set(63);
+        b.clear_all();
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    fn concurrent_sets_are_all_visible() {
+        let n = 100_000;
+        let b = AtomicBitset::new(n);
+        (0..n).into_par_iter().filter(|i| i % 3 == 0).for_each(|i| {
+            b.set(i);
+        });
+        assert_eq!(b.count_ones(), n.div_ceil(3));
+        for i in 0..n {
+            assert_eq!(b.get(i), i % 3 == 0);
+        }
+    }
+
+    #[test]
+    fn set_all_bulk() {
+        let n = 10_000;
+        let b = AtomicBitset::new(n);
+        let idx: Vec<usize> = (0..n).step_by(2).collect();
+        b.set_all(&idx);
+        assert_eq!(b.count_ones(), idx.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let b = AtomicBitset::new(10);
+        let _ = b.get(10);
+    }
+
+    #[test]
+    fn empty_bitset() {
+        let b = AtomicBitset::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.iter_ones(), Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,192 @@
+//! Parallel compaction, filtering, and deduplication.
+//!
+//! These are the folklore PRAM utilities the paper leans on implicitly whenever it
+//! says "consider the set of marked edges" or "keep only nodes v for which …": given
+//! a predicate over a slice, produce the packed vector of survivors in `O(n)` work
+//! and `O(log n)` depth.  They are implemented on top of rayon's parallel iterators,
+//! which realise exactly this filter/collect pattern with logarithmic task depth.
+
+use rayon::prelude::*;
+use rustc_hash::FxHashSet;
+use std::hash::Hash;
+
+/// Below this size the sequential path is used to avoid task-spawn overhead.
+const SEQ_THRESHOLD: usize = 1 << 11;
+
+/// Keeps the elements satisfying `pred`, preserving relative order.
+#[must_use]
+pub fn filter<T: Clone + Send + Sync>(items: &[T], pred: impl Fn(&T) -> bool + Sync) -> Vec<T> {
+    if items.len() <= SEQ_THRESHOLD {
+        items.iter().filter(|x| pred(x)).cloned().collect()
+    } else {
+        items.par_iter().filter(|x| pred(x)).cloned().collect()
+    }
+}
+
+/// Applies `f` to every element in parallel, preserving order.
+#[must_use]
+pub fn map<T: Send + Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
+    if items.len() <= SEQ_THRESHOLD {
+        items.iter().map(&f).collect()
+    } else {
+        items.par_iter().map(&f).collect()
+    }
+}
+
+/// Applies `f` and keeps the `Some` results (a fused filter + map), preserving order.
+#[must_use]
+pub fn filter_map<T: Send + Sync, U: Send>(
+    items: &[T],
+    f: impl Fn(&T) -> Option<U> + Sync,
+) -> Vec<U> {
+    if items.len() <= SEQ_THRESHOLD {
+        items.iter().filter_map(&f).collect()
+    } else {
+        items.par_iter().filter_map(&f).collect()
+    }
+}
+
+/// Splits `items` into (satisfying, not satisfying) `pred`, preserving order.
+#[must_use]
+pub fn partition<T: Clone + Send + Sync>(
+    items: &[T],
+    pred: impl Fn(&T) -> bool + Sync,
+) -> (Vec<T>, Vec<T>) {
+    if items.len() <= SEQ_THRESHOLD {
+        items.iter().cloned().partition(|x| pred(x))
+    } else {
+        let yes = items.par_iter().filter(|x| pred(x)).cloned().collect();
+        let no = items.par_iter().filter(|x| !pred(x)).cloned().collect();
+        (yes, no)
+    }
+}
+
+/// Removes duplicates, keeping the first occurrence of each element.
+///
+/// The order of first occurrences is preserved, which keeps downstream processing
+/// deterministic for a fixed seed.
+#[must_use]
+pub fn dedup<T: Clone + Eq + Hash + Send + Sync>(items: &[T]) -> Vec<T> {
+    let mut seen = FxHashSet::default();
+    seen.reserve(items.len());
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        if seen.insert(item.clone()) {
+            out.push(item.clone());
+        }
+    }
+    out
+}
+
+/// Flattens a slice of vectors into one vector, preserving order.
+#[must_use]
+pub fn flatten<T: Clone + Send + Sync>(nested: &[Vec<T>]) -> Vec<T> {
+    let total: usize = nested.iter().map(Vec::len).sum();
+    if total <= SEQ_THRESHOLD {
+        let mut out = Vec::with_capacity(total);
+        for v in nested {
+            out.extend_from_slice(v);
+        }
+        out
+    } else {
+        nested
+            .par_iter()
+            .flat_map(|v| v.par_iter().cloned())
+            .collect()
+    }
+}
+
+/// Counts the elements satisfying `pred`.
+#[must_use]
+pub fn count<T: Send + Sync>(items: &[T], pred: impl Fn(&T) -> bool + Sync) -> usize {
+    if items.len() <= SEQ_THRESHOLD {
+        items.iter().filter(|x| pred(x)).count()
+    } else {
+        items.par_iter().filter(|x| pred(x)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn filter_small_and_large() {
+        let small: Vec<u32> = (0..100).collect();
+        assert_eq!(filter(&small, |x| x % 10 == 0).len(), 10);
+        let large: Vec<u32> = (0..100_000).collect();
+        let got = filter(&large, |x| x % 1000 == 0);
+        assert_eq!(got.len(), 100);
+        assert_eq!(got[0], 0);
+        assert_eq!(got[99], 99_000);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let input: Vec<u32> = (0..50_000).collect();
+        let out = map(&input, |x| x * 2);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i as u32) * 2);
+        }
+    }
+
+    #[test]
+    fn filter_map_combines() {
+        let input: Vec<u32> = (0..10_000).collect();
+        let out = filter_map(&input, |x| if x % 2 == 0 { Some(x / 2) } else { None });
+        assert_eq!(out.len(), 5000);
+        assert_eq!(out[10], 10);
+    }
+
+    #[test]
+    fn partition_splits() {
+        let input: Vec<u32> = (0..10_000).collect();
+        let (even, odd) = partition(&input, |x| x % 2 == 0);
+        assert_eq!(even.len(), 5000);
+        assert_eq!(odd.len(), 5000);
+        assert!(even.iter().all(|x| x % 2 == 0));
+        assert!(odd.iter().all(|x| x % 2 == 1));
+    }
+
+    #[test]
+    fn dedup_keeps_first_occurrence() {
+        let input = vec![3u32, 1, 3, 2, 1, 5];
+        assert_eq!(dedup(&input), vec![3, 1, 2, 5]);
+    }
+
+    #[test]
+    fn flatten_concatenates() {
+        let nested = vec![vec![1u32, 2], vec![], vec![3, 4, 5]];
+        assert_eq!(flatten(&nested), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn count_matches_filter_len() {
+        let input: Vec<u32> = (0..30_000).collect();
+        assert_eq!(count(&input, |x| x % 3 == 0), filter(&input, |x| x % 3 == 0).len());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_filter_matches_std(values in proptest::collection::vec(0u32..100, 0..3000)) {
+            let expected: Vec<u32> = values.iter().filter(|x| **x % 7 == 0).cloned().collect();
+            prop_assert_eq!(filter(&values, |x| x % 7 == 0), expected);
+        }
+
+        #[test]
+        fn prop_partition_is_exhaustive(values in proptest::collection::vec(0u32..100, 0..3000)) {
+            let (yes, no) = partition(&values, |x| x % 2 == 0);
+            prop_assert_eq!(yes.len() + no.len(), values.len());
+        }
+
+        #[test]
+        fn prop_dedup_has_unique_elements(values in proptest::collection::vec(0u32..50, 0..500)) {
+            let d = dedup(&values);
+            let set: FxHashSet<u32> = d.iter().copied().collect();
+            prop_assert_eq!(set.len(), d.len());
+            let orig: FxHashSet<u32> = values.iter().copied().collect();
+            prop_assert_eq!(set, orig);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Batch-parallel grouping helpers.
+//!
+//! A recurring step of the algorithm is: produce a multiset of `(key, value)` deltas
+//! in parallel, then process all deltas of each key together (and different keys in
+//! parallel).  `group_by_key` realises this with `O(n)` expected work and
+//! logarithmic depth by hashing keys into shards, grouping within each shard in
+//! parallel, and concatenating.  The output order of groups is deterministic for a
+//! fixed input order, which keeps the whole algorithm reproducible under a fixed
+//! seed.
+
+use rayon::prelude::*;
+use rustc_hash::FxHashMap;
+use std::hash::Hash;
+
+/// Number of shards used by the parallel grouping path.
+const SHARDS: usize = 64;
+/// Below this many pairs grouping is done sequentially.
+const SEQ_THRESHOLD: usize = 1 << 12;
+
+/// Groups `(key, value)` pairs by key.
+///
+/// Returns one `(key, values)` entry per distinct key.  Within each group the
+/// values appear in the same relative order as in the input; the order of the
+/// groups themselves is deterministic (by shard, then first occurrence) but
+/// otherwise unspecified.
+#[must_use]
+pub fn group_by_key<K, V>(pairs: Vec<(K, V)>) -> Vec<(K, Vec<V>)>
+where
+    K: Eq + Hash + Clone + Send + Sync,
+    V: Send + Sync,
+{
+    if pairs.len() <= SEQ_THRESHOLD {
+        return group_sequential(pairs);
+    }
+
+    // Shard by hash so that each shard can be grouped independently in parallel.
+    let mut shards: Vec<Vec<(K, V)>> = (0..SHARDS).map(|_| Vec::new()).collect();
+    for (k, v) in pairs {
+        let shard = shard_of(&k);
+        shards[shard].push((k, v));
+    }
+    shards
+        .into_par_iter()
+        .flat_map_iter(group_sequential)
+        .collect()
+}
+
+/// Groups pairs sequentially, preserving first-occurrence order of keys.
+fn group_sequential<K, V>(pairs: Vec<(K, V)>) -> Vec<(K, Vec<V>)>
+where
+    K: Eq + Hash + Clone,
+{
+    let mut index: FxHashMap<K, usize> = FxHashMap::default();
+    let mut out: Vec<(K, Vec<V>)> = Vec::new();
+    for (k, v) in pairs {
+        match index.get(&k) {
+            Some(&i) => out[i].1.push(v),
+            None => {
+                index.insert(k.clone(), out.len());
+                out.push((k, vec![v]));
+            }
+        }
+    }
+    out
+}
+
+fn shard_of<K: Hash>(key: &K) -> usize {
+    use std::hash::Hasher;
+    let mut h = rustc_hash::FxHasher::default();
+    key.hash(&mut h);
+    (h.finish() as usize) % SHARDS
+}
+
+/// Counts occurrences of each key.
+#[must_use]
+pub fn count_by_key<K>(keys: &[K]) -> FxHashMap<K, usize>
+where
+    K: Eq + Hash + Clone + Send + Sync,
+{
+    let mut out: FxHashMap<K, usize> = FxHashMap::default();
+    for k in keys {
+        *out.entry(k.clone()).or_insert(0) += 1;
+    }
+    out
+}
+
+/// Runs `f` over every element in parallel, collecting the per-element results.
+///
+/// Convenience wrapper that keeps callers free of explicit rayon imports and uses a
+/// sequential path for small inputs.
+#[must_use]
+pub fn par_map_collect<T, U>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+{
+    if items.len() <= SEQ_THRESHOLD {
+        items.iter().map(&f).collect()
+    } else {
+        items.par_iter().map(&f).collect()
+    }
+}
+
+/// Argmax over `(index, score)` pairs: returns the index with the largest score,
+/// breaking ties towards the smaller index so the result is deterministic.
+#[must_use]
+pub fn argmax_by_score(scores: &[u64]) -> Option<usize> {
+    if scores.is_empty() {
+        return None;
+    }
+    if scores.len() <= SEQ_THRESHOLD {
+        let mut best = 0usize;
+        for (i, &s) in scores.iter().enumerate() {
+            if s > scores[best] {
+                best = i;
+            }
+        }
+        Some(best)
+    } else {
+        scores
+            .par_iter()
+            .enumerate()
+            .reduce_with(|a, b| {
+                if b.1 > a.1 || (b.1 == a.1 && b.0 < a.0) {
+                    b
+                } else {
+                    a
+                }
+            })
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn group_small_input() {
+        let pairs = vec![(1u32, 'a'), (2, 'b'), (1, 'c'), (3, 'd'), (2, 'e')];
+        let mut groups = group_by_key(pairs);
+        groups.sort_by_key(|(k, _)| *k);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0], (1, vec!['a', 'c']));
+        assert_eq!(groups[1], (2, vec!['b', 'e']));
+        assert_eq!(groups[2], (3, vec!['d']));
+    }
+
+    #[test]
+    fn group_large_input_covers_all_pairs() {
+        let n = 50_000u32;
+        let pairs: Vec<(u32, u32)> = (0..n).map(|i| (i % 97, i)).collect();
+        let groups = group_by_key(pairs);
+        assert_eq!(groups.len(), 97);
+        let total: usize = groups.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, n as usize);
+        for (k, vs) in &groups {
+            for v in vs {
+                assert_eq!(v % 97, *k);
+            }
+        }
+    }
+
+    #[test]
+    fn group_values_preserve_relative_order() {
+        let pairs: Vec<(u32, u32)> = (0..20_000).map(|i| (i % 13, i)).collect();
+        let groups = group_by_key(pairs);
+        for (_, vs) in groups {
+            assert!(vs.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn count_by_key_counts() {
+        let keys = vec![1u32, 2, 1, 1, 3];
+        let counts = count_by_key(&keys);
+        assert_eq!(counts[&1], 3);
+        assert_eq!(counts[&2], 1);
+        assert_eq!(counts[&3], 1);
+    }
+
+    #[test]
+    fn argmax_finds_largest() {
+        assert_eq!(argmax_by_score(&[]), None);
+        assert_eq!(argmax_by_score(&[5]), Some(0));
+        assert_eq!(argmax_by_score(&[1, 9, 3, 9, 2]), Some(1));
+        let big: Vec<u64> = (0..100_000).map(|i| (i * 31) % 1000).collect();
+        let idx = argmax_by_score(&big).unwrap();
+        let max = *big.iter().max().unwrap();
+        assert_eq!(big[idx], max);
+    }
+
+    #[test]
+    fn par_map_collect_matches_map() {
+        let input: Vec<u64> = (0..30_000).collect();
+        let out = par_map_collect(&input, |x| x + 1);
+        assert_eq!(out.len(), input.len());
+        assert_eq!(out[17], 18);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_group_by_key_partition(pairs in proptest::collection::vec((0u32..30, 0u32..1000), 0..2000)) {
+            let groups = group_by_key(pairs.clone());
+            // Every pair appears exactly once across all groups.
+            let total: usize = groups.iter().map(|(_, v)| v.len()).sum();
+            prop_assert_eq!(total, pairs.len());
+            // Keys are distinct.
+            let keys: std::collections::HashSet<u32> = groups.iter().map(|(k, _)| *k).collect();
+            prop_assert_eq!(keys.len(), groups.len());
+        }
+    }
+}

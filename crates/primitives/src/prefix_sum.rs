@@ -1,0 +1,188 @@
+//! Parallel prefix sums (scans).
+//!
+//! Claim 3.3 of the paper updates the cumulative ownership counts `õ_{v,ℓ}` with the
+//! data-parallel prefix-sums algorithm of Hillis and Steele [HS86].  This module
+//! provides an exclusive and an inclusive scan with `O(n)` work and `O(log n)` depth
+//! (the classic two-pass Blelloch formulation, which is work-efficient, unlike the
+//! naive Hillis–Steele formulation whose work is `O(n log n)`), plus small-input
+//! sequential fallbacks so that the constant factors stay reasonable.
+
+use rayon::prelude::*;
+
+/// Below this size a sequential scan is faster than spawning rayon tasks.
+const SEQ_THRESHOLD: usize = 1 << 12;
+
+/// Exclusive prefix sum: `out[i] = sum(values[..i])`. Returns the total sum.
+///
+/// ```
+/// let mut v = vec![3u64, 1, 4, 1, 5];
+/// let total = pdmm_primitives::prefix_sum::exclusive_scan_in_place(&mut v);
+/// assert_eq!(v, vec![0, 3, 4, 8, 9]);
+/// assert_eq!(total, 14);
+/// ```
+pub fn exclusive_scan_in_place(values: &mut [u64]) -> u64 {
+    let n = values.len();
+    if n == 0 {
+        return 0;
+    }
+    if n <= SEQ_THRESHOLD {
+        return seq_exclusive(values);
+    }
+
+    // Blelloch scan over fixed-size blocks: scan each block sequentially in
+    // parallel, scan the per-block totals, then add the block offsets back.
+    let block = SEQ_THRESHOLD;
+    let num_blocks = n.div_ceil(block);
+    let mut block_totals: Vec<u64> = values
+        .par_chunks_mut(block)
+        .map(seq_exclusive)
+        .collect();
+    debug_assert_eq!(block_totals.len(), num_blocks);
+    let total = seq_exclusive(&mut block_totals);
+    values
+        .par_chunks_mut(block)
+        .zip(block_totals.par_iter())
+        .for_each(|(chunk, &offset)| {
+            if offset != 0 {
+                for x in chunk {
+                    *x += offset;
+                }
+            }
+        });
+    total
+}
+
+/// Exclusive prefix sum into a new vector; also returns the total.
+#[must_use]
+pub fn exclusive_scan(values: &[u64]) -> (Vec<u64>, u64) {
+    let mut out = values.to_vec();
+    let total = exclusive_scan_in_place(&mut out);
+    (out, total)
+}
+
+/// Inclusive prefix sum: `out[i] = sum(values[..=i])`.
+#[must_use]
+pub fn inclusive_scan(values: &[u64]) -> Vec<u64> {
+    let (mut out, _total) = exclusive_scan(values);
+    out.par_iter_mut()
+        .zip(values.par_iter())
+        .for_each(|(o, v)| *o += v);
+    out
+}
+
+/// Sequential exclusive scan used as the base case; returns the total.
+fn seq_exclusive(values: &mut [u64]) -> u64 {
+    let mut acc = 0u64;
+    for v in values {
+        let next = acc + *v;
+        *v = acc;
+        acc = next;
+    }
+    acc
+}
+
+/// Parallel sum of a slice.
+#[must_use]
+pub fn parallel_sum(values: &[u64]) -> u64 {
+    if values.len() <= SEQ_THRESHOLD {
+        values.iter().sum()
+    } else {
+        values.par_iter().sum()
+    }
+}
+
+/// Parallel maximum of a slice; `None` for an empty slice.
+#[must_use]
+pub fn parallel_max(values: &[u64]) -> Option<u64> {
+    if values.len() <= SEQ_THRESHOLD {
+        values.iter().copied().max()
+    } else {
+        values.par_iter().copied().max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn reference_exclusive(values: &[u64]) -> (Vec<u64>, u64) {
+        let mut out = Vec::with_capacity(values.len());
+        let mut acc = 0u64;
+        for &v in values {
+            out.push(acc);
+            acc += v;
+        }
+        (out, acc)
+    }
+
+    #[test]
+    fn empty_scan() {
+        let mut v: Vec<u64> = vec![];
+        assert_eq!(exclusive_scan_in_place(&mut v), 0);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn single_element() {
+        let mut v = vec![42u64];
+        assert_eq!(exclusive_scan_in_place(&mut v), 42);
+        assert_eq!(v, vec![0]);
+    }
+
+    #[test]
+    fn small_scan_matches_reference() {
+        let input = vec![3u64, 1, 4, 1, 5, 9, 2, 6];
+        let (expected, total) = reference_exclusive(&input);
+        let (got, got_total) = exclusive_scan(&input);
+        assert_eq!(got, expected);
+        assert_eq!(got_total, total);
+    }
+
+    #[test]
+    fn large_scan_matches_reference() {
+        let input: Vec<u64> = (0..100_000u64).map(|i| (i * 7 + 3) % 11).collect();
+        let (expected, total) = reference_exclusive(&input);
+        let (got, got_total) = exclusive_scan(&input);
+        assert_eq!(got, expected);
+        assert_eq!(got_total, total);
+    }
+
+    #[test]
+    fn inclusive_scan_matches_reference() {
+        let input: Vec<u64> = (0..10_000u64).map(|i| i % 5).collect();
+        let got = inclusive_scan(&input);
+        let mut acc = 0;
+        for (i, &v) in input.iter().enumerate() {
+            acc += v;
+            assert_eq!(got[i], acc);
+        }
+    }
+
+    #[test]
+    fn parallel_sum_and_max() {
+        let input: Vec<u64> = (1..=100_000u64).collect();
+        assert_eq!(parallel_sum(&input), 100_000 * 100_001 / 2);
+        assert_eq!(parallel_max(&input), Some(100_000));
+        assert_eq!(parallel_max(&[]), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_exclusive_scan_matches_reference(values in proptest::collection::vec(0u64..1000, 0..5000)) {
+            let (expected, total) = reference_exclusive(&values);
+            let (got, got_total) = exclusive_scan(&values);
+            prop_assert_eq!(got, expected);
+            prop_assert_eq!(got_total, total);
+        }
+
+        #[test]
+        fn prop_inclusive_is_exclusive_plus_value(values in proptest::collection::vec(0u64..1000, 0..2000)) {
+            let (ex, _) = exclusive_scan(&values);
+            let inc = inclusive_scan(&values);
+            for i in 0..values.len() {
+                prop_assert_eq!(inc[i], ex[i] + values[i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Disjoint-write shared slice.
+//!
+//! The batch-parallel phases of the dynamic matching algorithm follow a common
+//! pattern: compute a set of per-vertex deltas in parallel, group the deltas by
+//! vertex, and then apply each group to that vertex's state.  Because the groups
+//! are disjoint, every element of the state vector is written by at most one rayon
+//! task per phase — but the borrow checker cannot see this, since which indices a
+//! task touches is data dependent.
+//!
+//! [`SharedSlice`] encapsulates the (small) amount of `unsafe` needed for this
+//! pattern behind an API whose safety contract is "each index is accessed by at most
+//! one task at a time".  In debug builds an atomic claim table verifies the contract
+//! at runtime, so property tests and the extensive unit-test suite would catch any
+//! violation of the disjointness invariant.
+
+use std::cell::UnsafeCell;
+#[cfg(debug_assertions)]
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A mutable slice that can be written from multiple rayon tasks, provided that no
+/// two tasks touch the same index concurrently.
+pub struct SharedSlice<'a, T> {
+    data: &'a [UnsafeCell<T>],
+    #[cfg(debug_assertions)]
+    claims: Vec<AtomicBool>,
+}
+
+// SAFETY: access is externally synchronised by the disjointness contract of
+// `get_mut`; `T: Send` suffices because each element is only touched by one thread
+// at a time.
+unsafe impl<'a, T: Send> Send for SharedSlice<'a, T> {}
+unsafe impl<'a, T: Send> Sync for SharedSlice<'a, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wraps a mutable slice for disjoint parallel access.
+    #[must_use]
+    pub fn new(slice: &'a mut [T]) -> Self {
+        #[cfg(debug_assertions)]
+        let len = slice.len();
+        // SAFETY: `UnsafeCell<T>` has the same layout as `T`.
+        let data = unsafe { &*(slice as *mut [T] as *const [UnsafeCell<T>]) };
+        SharedSlice {
+            data,
+            #[cfg(debug_assertions)]
+            claims: (0..len).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// Number of elements in the underlying slice.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the underlying slice is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Runs `f` with a mutable reference to element `index`.
+    ///
+    /// # Safety contract (checked in debug builds)
+    ///
+    /// The caller must guarantee that no other task accesses `index` concurrently.
+    /// In the matching algorithm this is established by grouping deltas by index
+    /// before the parallel apply phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds, or (debug builds only) if a concurrent
+    /// access to the same index is detected.
+    pub fn with_mut<R>(&self, index: usize, f: impl FnOnce(&mut T) -> R) -> R {
+        assert!(index < self.data.len(), "SharedSlice index out of bounds");
+        #[cfg(debug_assertions)]
+        {
+            let was = self.claims[index].swap(true, Ordering::Acquire);
+            assert!(
+                !was,
+                "SharedSlice: concurrent access to index {index} detected"
+            );
+        }
+        // SAFETY: bounds checked above; exclusivity guaranteed by the caller
+        // contract (verified by the claim table in debug builds).
+        let result = {
+            let elem = unsafe { &mut *self.data[index].get() };
+            f(elem)
+        };
+        #[cfg(debug_assertions)]
+        {
+            self.claims[index].store(false, Ordering::Release);
+        }
+        result
+    }
+
+    /// Reads element `index` by cloning it.
+    ///
+    /// The same exclusivity contract as [`SharedSlice::with_mut`] applies: the read
+    /// must not race with a concurrent write to the same index.
+    pub fn read(&self, index: usize) -> T
+    where
+        T: Clone,
+    {
+        self.with_mut(index, |v| v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn sequential_writes_apply() {
+        let mut v = vec![0u64; 8];
+        {
+            let s = SharedSlice::new(&mut v);
+            for i in 0..8 {
+                s.with_mut(i, |x| *x = i as u64 * 10);
+            }
+        }
+        assert_eq!(v, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn disjoint_parallel_writes_apply() {
+        let n = 4096;
+        let mut v = vec![0u64; n];
+        {
+            let s = SharedSlice::new(&mut v);
+            (0..n).into_par_iter().for_each(|i| {
+                s.with_mut(i, |x| *x = i as u64 + 1);
+            });
+        }
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn grouped_parallel_writes_apply() {
+        // Mimics the delta-grouping pattern used by the matching algorithm: each
+        // group owns one index and performs several writes to it.
+        let n = 512;
+        let mut v = vec![0u64; n];
+        let groups: Vec<(usize, Vec<u64>)> = (0..n).map(|i| (i, vec![1, 2, 3])).collect();
+        {
+            let s = SharedSlice::new(&mut v);
+            groups.par_iter().for_each(|(idx, deltas)| {
+                s.with_mut(*idx, |x| {
+                    for d in deltas {
+                        *x += d;
+                    }
+                });
+            });
+        }
+        assert!(v.iter().all(|&x| x == 6));
+    }
+
+    #[test]
+    fn read_returns_value() {
+        let mut v = vec![5i32, 7, 9];
+        let s = SharedSlice::new(&mut v);
+        assert_eq!(s.read(1), 7);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let mut v = vec![0u8; 2];
+        let s = SharedSlice::new(&mut v);
+        s.with_mut(2, |_| ());
+    }
+}

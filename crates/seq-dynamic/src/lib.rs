@@ -1,0 +1,27 @@
+//! # pdmm-seq-dynamic
+//!
+//! Baseline dynamic maximal-matching algorithms for the Parallel Dynamic Maximal
+//! Matching reproduction (Ghaffari & Trygub, SPAA 2024):
+//!
+//! * [`naive`] — the §3.1 strawman: one update at a time, greedy repair by scanning
+//!   the incidence lists of exposed endpoints;
+//! * [`random_replace`] — the same structure with uniformly random replacement
+//!   choices (the raw intuition behind random-settle, without a leveling scheme);
+//! * [`recompute`] — recompute a static maximal matching of the whole graph after
+//!   every batch (Theorem 2.2 used statically).
+//!
+//! The *leveled* sequential dynamic algorithm of [BGS11]/[AS21] is obtained by
+//! driving the paper's algorithm (`pdmm-core`) with single-update batches; the
+//! experiment harness (`pdmm-bench`) does exactly that for experiment E5, so it is
+//! not duplicated here.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod naive;
+pub mod random_replace;
+pub mod recompute;
+
+pub use naive::NaiveDynamicMatching;
+pub use random_replace::RandomReplaceMatching;
+pub use recompute::RecomputeFromScratch;

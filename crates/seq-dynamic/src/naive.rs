@@ -1,0 +1,230 @@
+//! Naive sequential dynamic maximal matching.
+//!
+//! This is exactly the strawman the paper describes in §3.1: process updates one by
+//! one; an insertion whose endpoints are all free joins the matching; when a matched
+//! hyperedge is deleted, scan the incidence lists of its (now exposed) endpoints for
+//! hyperedges whose endpoints are all free and add any that are found.  Per-update
+//! work is `O(Σ_{v ∈ e} deg(v) · r)` in the worst case — the quantity the leveling
+//! scheme of the real algorithms is designed to avoid — and the depth of a batch of
+//! `k` updates is `Θ(k)` because updates are handled strictly sequentially.
+
+use pdmm_hypergraph::dynamic::DynamicMatcher;
+use pdmm_hypergraph::graph::DynamicHypergraph;
+use pdmm_hypergraph::matching::Matching;
+use pdmm_hypergraph::types::{EdgeId, HyperEdge, Update, UpdateBatch};
+use pdmm_primitives::cost_model::CostTracker;
+
+/// Naive one-update-at-a-time dynamic maximal matching.
+#[derive(Debug)]
+pub struct NaiveDynamicMatching {
+    graph: DynamicHypergraph,
+    matching: Matching,
+    cost: CostTracker,
+    updates_processed: u64,
+}
+
+impl NaiveDynamicMatching {
+    /// Creates the algorithm over an empty graph with `num_vertices` vertices.
+    #[must_use]
+    pub fn new(num_vertices: usize) -> Self {
+        NaiveDynamicMatching {
+            graph: DynamicHypergraph::new(num_vertices),
+            matching: Matching::new(),
+            cost: CostTracker::new(),
+            updates_processed: 0,
+        }
+    }
+
+    /// The current matching.
+    #[must_use]
+    pub fn matching(&self) -> &Matching {
+        &self.matching
+    }
+
+    /// The ground-truth graph the algorithm has built from the updates.
+    #[must_use]
+    pub fn graph(&self) -> &DynamicHypergraph {
+        &self.graph
+    }
+
+    /// Work/depth counters accumulated so far.
+    #[must_use]
+    pub fn cost(&self) -> &CostTracker {
+        &self.cost
+    }
+
+    /// Number of single updates processed so far.
+    #[must_use]
+    pub fn updates_processed(&self) -> u64 {
+        self.updates_processed
+    }
+
+    fn edge_is_free(&self, edge: &HyperEdge) -> bool {
+        edge.vertices().iter().all(|&v| !self.matching.is_matched(v))
+    }
+
+    fn handle_insert(&mut self, edge: HyperEdge) {
+        self.cost.work(edge.rank() as u64);
+        self.graph.insert_edge(edge.clone());
+        if self.edge_is_free(&edge) {
+            self.matching.add(&edge);
+        }
+    }
+
+    fn handle_delete(&mut self, id: EdgeId) {
+        let edge = self.graph.delete_edge(id);
+        self.cost.work(edge.rank() as u64);
+        if !self.matching.contains_edge(id) {
+            return;
+        }
+        self.matching.remove(&edge);
+        // Restore maximality: only edges incident to the exposed endpoints can have
+        // become addable.  Scan their incidence lists greedily.
+        for &v in edge.vertices() {
+            if self.matching.is_matched(v) {
+                continue;
+            }
+            let incident = self.graph.incident_edges(v);
+            self.cost.work(incident.len() as u64);
+            for cand_id in incident {
+                let cand = self
+                    .graph
+                    .edge(cand_id)
+                    .expect("incident edge must be live")
+                    .clone();
+                self.cost.work(cand.rank() as u64);
+                if self.edge_is_free(&cand) {
+                    self.matching.add(&cand);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+impl DynamicMatcher for NaiveDynamicMatching {
+    fn apply_batch(&mut self, batch: &UpdateBatch) {
+        for update in batch {
+            // Each update is one sequential step: depth grows linearly in the batch.
+            self.cost.round();
+            self.updates_processed += 1;
+            match update {
+                Update::Insert(edge) => self.handle_insert(edge.clone()),
+                Update::Delete(id) => self.handle_delete(*id),
+            }
+        }
+    }
+
+    fn matching_edge_ids(&self) -> Vec<EdgeId> {
+        self.matching.edge_ids()
+    }
+
+    fn name(&self) -> &'static str {
+        "naive-sequential"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdmm_hypergraph::generators::gnm_graph;
+    use pdmm_hypergraph::matching::verify_maximality;
+    use pdmm_hypergraph::streams::{insert_then_teardown, random_churn, sliding_window};
+    use pdmm_hypergraph::types::VertexId;
+    use proptest::prelude::*;
+
+    fn check_after_every_batch(num_vertices: usize, batches: &[UpdateBatch]) {
+        let mut alg = NaiveDynamicMatching::new(num_vertices);
+        for batch in batches {
+            alg.apply_batch(batch);
+            let ids = alg.matching_edge_ids();
+            assert_eq!(verify_maximality(alg.graph(), &ids), Ok(()));
+        }
+    }
+
+    #[test]
+    fn insert_free_edge_joins_matching() {
+        let mut alg = NaiveDynamicMatching::new(4);
+        alg.apply_batch(&vec![Update::Insert(HyperEdge::pair(
+            EdgeId(0),
+            VertexId(0),
+            VertexId(1),
+        ))]);
+        assert_eq!(alg.matching_edge_ids(), vec![EdgeId(0)]);
+    }
+
+    #[test]
+    fn delete_matched_edge_repairs_maximality() {
+        let mut alg = NaiveDynamicMatching::new(4);
+        // Path 0-1-2-3: greedy matches (0,1); delete it; (1,2) or (0,?) must appear.
+        alg.apply_batch(&vec![
+            Update::Insert(HyperEdge::pair(EdgeId(0), VertexId(0), VertexId(1))),
+            Update::Insert(HyperEdge::pair(EdgeId(1), VertexId(1), VertexId(2))),
+            Update::Insert(HyperEdge::pair(EdgeId(2), VertexId(2), VertexId(3))),
+        ]);
+        alg.apply_batch(&vec![Update::Delete(EdgeId(0))]);
+        let ids = alg.matching_edge_ids();
+        assert_eq!(verify_maximality(alg.graph(), &ids), Ok(()));
+    }
+
+    #[test]
+    fn deleting_unmatched_edge_is_cheap_and_safe() {
+        let mut alg = NaiveDynamicMatching::new(4);
+        alg.apply_batch(&vec![
+            Update::Insert(HyperEdge::pair(EdgeId(0), VertexId(0), VertexId(1))),
+            Update::Insert(HyperEdge::pair(EdgeId(1), VertexId(1), VertexId(2))),
+        ]);
+        alg.apply_batch(&vec![Update::Delete(EdgeId(1))]);
+        assert_eq!(alg.matching_edge_ids(), vec![EdgeId(0)]);
+    }
+
+    #[test]
+    fn maximal_throughout_sliding_window() {
+        let edges = gnm_graph(60, 200, 3, 0);
+        let w = sliding_window(60, edges, 20, 4);
+        check_after_every_batch(w.num_vertices, &w.batches);
+    }
+
+    #[test]
+    fn maximal_throughout_random_churn() {
+        let w = random_churn(80, 2, 150, 15, 40, 0.5, 7);
+        check_after_every_batch(w.num_vertices, &w.batches);
+    }
+
+    #[test]
+    fn maximal_throughout_hypergraph_churn() {
+        let w = random_churn(50, 4, 100, 10, 30, 0.4, 11);
+        check_after_every_batch(w.num_vertices, &w.batches);
+    }
+
+    #[test]
+    fn teardown_empties_matching() {
+        let edges = gnm_graph(40, 120, 5, 0);
+        let w = insert_then_teardown(40, edges, 25, 2);
+        let mut alg = NaiveDynamicMatching::new(w.num_vertices);
+        alg.apply_all(&w.batches);
+        assert!(alg.matching_edge_ids().is_empty());
+        assert_eq!(alg.graph().num_edges(), 0);
+        assert_eq!(alg.updates_processed(), w.total_updates() as u64);
+    }
+
+    #[test]
+    fn depth_equals_number_of_updates() {
+        let w = random_churn(30, 2, 20, 5, 10, 0.5, 3);
+        let mut alg = NaiveDynamicMatching::new(w.num_vertices);
+        alg.apply_all(&w.batches);
+        assert_eq!(alg.cost().total_depth(), w.total_updates() as u64);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_naive_stays_maximal(
+            seed in 0u64..500,
+            batch_size in 1usize..30,
+            p_ins in 0.2f64..0.8,
+        ) {
+            let w = random_churn(40, 2, 60, 8, batch_size, p_ins, seed);
+            check_after_every_batch(w.num_vertices, &w.batches);
+        }
+    }
+}

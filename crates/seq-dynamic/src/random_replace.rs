@@ -1,0 +1,175 @@
+//! Randomized sequential repair baseline.
+//!
+//! A light-weight cousin of the random-settle idea from the sequential dynamic
+//! algorithms [BGS11, Sol16, AS21]: when a matched hyperedge is deleted, each
+//! exposed endpoint picks a *uniformly random* free incident hyperedge (instead of
+//! the first one found).  Against an oblivious adversary this already spreads the
+//! expensive repairs over the adversary's deletions in practice, although — unlike
+//! the leveling scheme of the paper — it has no amortized guarantee.  It serves as a
+//! middle baseline between [`crate::naive::NaiveDynamicMatching`] and the real
+//! algorithm in the E5/E10 experiments.
+
+use pdmm_hypergraph::dynamic::DynamicMatcher;
+use pdmm_hypergraph::graph::DynamicHypergraph;
+use pdmm_hypergraph::matching::Matching;
+use pdmm_hypergraph::types::{EdgeId, HyperEdge, Update, UpdateBatch};
+use pdmm_primitives::cost_model::CostTracker;
+use pdmm_primitives::random::RandomSource;
+
+/// Sequential dynamic maximal matching with randomized replacement choices.
+#[derive(Debug)]
+pub struct RandomReplaceMatching {
+    graph: DynamicHypergraph,
+    matching: Matching,
+    rng: RandomSource,
+    cost: CostTracker,
+}
+
+impl RandomReplaceMatching {
+    /// Creates the algorithm over an empty graph with `num_vertices` vertices.
+    #[must_use]
+    pub fn new(num_vertices: usize, seed: u64) -> Self {
+        RandomReplaceMatching {
+            graph: DynamicHypergraph::new(num_vertices),
+            matching: Matching::new(),
+            rng: RandomSource::from_seed(seed),
+            cost: CostTracker::new(),
+        }
+    }
+
+    /// The current matching.
+    #[must_use]
+    pub fn matching(&self) -> &Matching {
+        &self.matching
+    }
+
+    /// The ground-truth graph built from the updates.
+    #[must_use]
+    pub fn graph(&self) -> &DynamicHypergraph {
+        &self.graph
+    }
+
+    /// Work/depth counters accumulated so far.
+    #[must_use]
+    pub fn cost(&self) -> &CostTracker {
+        &self.cost
+    }
+
+    fn edge_is_free(&self, edge: &HyperEdge) -> bool {
+        edge.vertices().iter().all(|&v| !self.matching.is_matched(v))
+    }
+
+    fn handle_insert(&mut self, edge: HyperEdge) {
+        self.cost.work(edge.rank() as u64);
+        self.graph.insert_edge(edge.clone());
+        if self.edge_is_free(&edge) {
+            self.matching.add(&edge);
+        }
+    }
+
+    fn handle_delete(&mut self, id: EdgeId) {
+        let edge = self.graph.delete_edge(id);
+        self.cost.work(edge.rank() as u64);
+        if !self.matching.contains_edge(id) {
+            return;
+        }
+        self.matching.remove(&edge);
+        for &v in edge.vertices() {
+            if self.matching.is_matched(v) {
+                continue;
+            }
+            // Collect the free incident edges and pick one uniformly at random.
+            let incident = self.graph.incident_edges(v);
+            self.cost.work(incident.len() as u64);
+            let free: Vec<HyperEdge> = incident
+                .iter()
+                .filter_map(|cand_id| self.graph.edge(*cand_id).cloned())
+                .filter(|cand| self.edge_is_free(cand))
+                .collect();
+            self.cost
+                .work(free.iter().map(|e| e.rank() as u64).sum::<u64>());
+            if !free.is_empty() {
+                let pick = self.rng.uniform_below(free.len() as u64) as usize;
+                self.matching.add(&free[pick]);
+            }
+        }
+    }
+}
+
+impl DynamicMatcher for RandomReplaceMatching {
+    fn apply_batch(&mut self, batch: &UpdateBatch) {
+        for update in batch {
+            self.cost.round();
+            match update {
+                Update::Insert(edge) => self.handle_insert(edge.clone()),
+                Update::Delete(id) => self.handle_delete(*id),
+            }
+        }
+    }
+
+    fn matching_edge_ids(&self) -> Vec<EdgeId> {
+        self.matching.edge_ids()
+    }
+
+    fn name(&self) -> &'static str {
+        "random-replace-sequential"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdmm_hypergraph::generators::gnm_graph;
+    use pdmm_hypergraph::matching::verify_maximality;
+    use pdmm_hypergraph::streams::{insert_then_teardown, random_churn};
+    use proptest::prelude::*;
+
+    fn check_after_every_batch(num_vertices: usize, batches: &[UpdateBatch], seed: u64) {
+        let mut alg = RandomReplaceMatching::new(num_vertices, seed);
+        for batch in batches {
+            alg.apply_batch(batch);
+            let ids = alg.matching_edge_ids();
+            assert_eq!(verify_maximality(alg.graph(), &ids), Ok(()));
+        }
+    }
+
+    #[test]
+    fn maximal_throughout_teardown() {
+        let edges = gnm_graph(50, 180, 2, 0);
+        let w = insert_then_teardown(50, edges, 30, 1);
+        check_after_every_batch(w.num_vertices, &w.batches, 42);
+    }
+
+    #[test]
+    fn maximal_throughout_churn_rank_three() {
+        let w = random_churn(60, 3, 120, 12, 30, 0.45, 5);
+        check_after_every_batch(w.num_vertices, &w.batches, 43);
+    }
+
+    #[test]
+    fn different_seeds_may_pick_different_matchings() {
+        let edges = gnm_graph(30, 120, 4, 0);
+        let w = insert_then_teardown(30, edges, 10, 9);
+        let mut a = RandomReplaceMatching::new(30, 1);
+        let mut b = RandomReplaceMatching::new(30, 2);
+        // Apply only the first two thirds of batches so matchings are non-empty.
+        let prefix = &w.batches[..w.batches.len() * 2 / 3];
+        a.apply_all(prefix);
+        b.apply_all(prefix);
+        // Both must be maximal regardless of the coin flips.
+        assert_eq!(verify_maximality(a.graph(), &a.matching_edge_ids()), Ok(()));
+        assert_eq!(verify_maximality(b.graph(), &b.matching_edge_ids()), Ok(()));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_random_replace_stays_maximal(
+            seed in 0u64..300,
+            alg_seed in 0u64..10,
+            batch_size in 1usize..25,
+        ) {
+            let w = random_churn(35, 2, 50, 6, batch_size, 0.5, seed);
+            check_after_every_batch(w.num_vertices, &w.batches, alg_seed);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Recompute-from-scratch baseline.
+//!
+//! The obvious alternative to a dynamic algorithm: after every batch, throw the old
+//! matching away and recompute a maximal matching of the *entire* current graph with
+//! the static parallel algorithm of Theorem 2.2.  Its depth per batch is fine
+//! (`O(log M)`), but its work per batch is `Θ(M·r)` regardless of how small the
+//! batch is — this is the baseline the dynamic algorithm must beat in experiment E4,
+//! and the crossover point (batch size vs. graph size) is part of what that
+//! experiment reports.
+
+use pdmm_hypergraph::dynamic::DynamicMatcher;
+use pdmm_hypergraph::graph::DynamicHypergraph;
+use pdmm_hypergraph::types::{EdgeId, UpdateBatch};
+use pdmm_primitives::cost_model::CostTracker;
+use pdmm_primitives::random::RandomSource;
+use pdmm_static::luby::luby_maximal_matching;
+
+/// Baseline that recomputes a static maximal matching after every batch.
+#[derive(Debug)]
+pub struct RecomputeFromScratch {
+    graph: DynamicHypergraph,
+    matching: Vec<EdgeId>,
+    rng: RandomSource,
+    cost: CostTracker,
+}
+
+impl RecomputeFromScratch {
+    /// Creates the baseline over an empty graph with `num_vertices` vertices.
+    #[must_use]
+    pub fn new(num_vertices: usize, seed: u64) -> Self {
+        RecomputeFromScratch {
+            graph: DynamicHypergraph::new(num_vertices),
+            matching: Vec::new(),
+            rng: RandomSource::from_seed(seed),
+            cost: CostTracker::new(),
+        }
+    }
+
+    /// The ground-truth graph built from the updates.
+    #[must_use]
+    pub fn graph(&self) -> &DynamicHypergraph {
+        &self.graph
+    }
+
+    /// Work/depth counters accumulated so far.
+    #[must_use]
+    pub fn cost(&self) -> &CostTracker {
+        &self.cost
+    }
+}
+
+impl DynamicMatcher for RecomputeFromScratch {
+    fn apply_batch(&mut self, batch: &UpdateBatch) {
+        self.graph.apply_batch(batch);
+        self.cost.work(batch.len() as u64);
+        self.cost.round();
+        let edges = self.graph.snapshot_edges();
+        let result = luby_maximal_matching(&edges, &mut self.rng, Some(&self.cost));
+        self.matching = result.edges;
+    }
+
+    fn matching_edge_ids(&self) -> Vec<EdgeId> {
+        self.matching.clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "recompute-from-scratch"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdmm_hypergraph::generators::gnm_graph;
+    use pdmm_hypergraph::matching::verify_maximality;
+    use pdmm_hypergraph::streams::random_churn;
+
+    #[test]
+    fn maximal_after_each_batch() {
+        let w = random_churn(70, 2, 100, 10, 25, 0.5, 3);
+        let mut alg = RecomputeFromScratch::new(w.num_vertices, 1);
+        for batch in &w.batches {
+            alg.apply_batch(batch);
+            assert_eq!(
+                verify_maximality(alg.graph(), &alg.matching_edge_ids()),
+                Ok(())
+            );
+        }
+    }
+
+    #[test]
+    fn work_scales_with_graph_size_not_batch_size() {
+        // Prime a small and a large graph, then apply the same number of
+        // single-deletion batches to each: the larger graph must cost far more
+        // work per (tiny) batch, because recomputation touches the whole graph.
+        fn work_for(n: usize, m: usize) -> u64 {
+            let edges = gnm_graph(n, m, 1, 0);
+            let ids: Vec<_> = edges.iter().map(|e| e.id).collect();
+            let mut alg = RecomputeFromScratch::new(n, 1);
+            alg.apply_batch(&edges.into_iter().map(pdmm_hypergraph::types::Update::Insert).collect());
+            let before = alg.cost().snapshot();
+            for id in ids.iter().take(10) {
+                alg.apply_batch(&vec![pdmm_hypergraph::types::Update::Delete(*id)]);
+            }
+            alg.cost().snapshot().since(&before).work
+        }
+        let small = work_for(40, 100);
+        let large = work_for(400, 4000);
+        assert!(
+            large > small * 5,
+            "large-graph recompute work {large} should dwarf small-graph work {small}"
+        );
+    }
+
+    #[test]
+    fn name_is_stable() {
+        let alg = RecomputeFromScratch::new(4, 0);
+        assert_eq!(alg.name(), "recompute-from-scratch");
+    }
+}

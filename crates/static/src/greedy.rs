@@ -1,0 +1,103 @@
+//! Sequential greedy maximal matching.
+//!
+//! The paper notes (§3.1) that computing a maximal matching from scratch is trivial
+//! sequentially — a single linear scan.  This module provides that scan as the
+//! work-efficiency yardstick for the static experiments (E1) and as the
+//! "recompute-from-scratch" baseline's sequential lower bound in E4.
+
+use pdmm_hypergraph::types::{EdgeId, HyperEdge, VertexId};
+use pdmm_primitives::cost_model::CostTracker;
+use rustc_hash::FxHashSet;
+
+/// Greedy maximal matching over `edges`, scanning in the given order.
+///
+/// Work is `O(Σ rank(e))`; depth equals the number of edges (it is inherently
+/// sequential), which is exactly why the paper needs Luby's algorithm for the
+/// parallel setting.
+#[must_use]
+pub fn greedy_maximal_matching(edges: &[HyperEdge], cost: Option<&CostTracker>) -> Vec<EdgeId> {
+    let mut matched_vertices: FxHashSet<VertexId> = FxHashSet::default();
+    let mut out = Vec::new();
+    if let Some(c) = cost {
+        c.work(edges.iter().map(|e| e.rank() as u64).sum());
+        c.rounds(edges.len() as u64);
+    }
+    for edge in edges {
+        if edge
+            .vertices()
+            .iter()
+            .all(|v| !matched_vertices.contains(v))
+        {
+            matched_vertices.extend(edge.vertices().iter().copied());
+            out.push(edge.id);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdmm_hypergraph::generators::{gnm_graph, path_graph, random_hypergraph};
+    use pdmm_hypergraph::graph::DynamicHypergraph;
+    use pdmm_hypergraph::matching::verify_maximality;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_input_gives_empty_matching() {
+        assert!(greedy_maximal_matching(&[], None).is_empty());
+    }
+
+    #[test]
+    fn path_graph_greedy() {
+        let edges = path_graph(7, 0);
+        let m = greedy_maximal_matching(&edges, None);
+        assert_eq!(m, vec![EdgeId(0), EdgeId(2), EdgeId(4)]);
+    }
+
+    #[test]
+    fn order_dependence() {
+        let mut edges = path_graph(3, 0); // edges (0,1) and (1,2)
+        let forward = greedy_maximal_matching(&edges, None);
+        edges.reverse();
+        let backward = greedy_maximal_matching(&edges, None);
+        assert_eq!(forward, vec![EdgeId(0)]);
+        assert_eq!(backward, vec![EdgeId(1)]);
+    }
+
+    #[test]
+    fn cost_accounts_sequential_depth() {
+        let edges = gnm_graph(50, 120, 1, 0);
+        let cost = CostTracker::new();
+        let _ = greedy_maximal_matching(&edges, Some(&cost));
+        assert_eq!(cost.total_depth(), 120);
+        assert_eq!(cost.total_work(), 240);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_greedy_is_maximal_on_graphs(
+            n in 4usize..50,
+            m in 0usize..120,
+            seed in 0u64..300,
+        ) {
+            let edges = gnm_graph(n, m, seed, 0);
+            let g = DynamicHypergraph::from_edges(n, edges.clone());
+            let matched = greedy_maximal_matching(&edges, None);
+            prop_assert_eq!(verify_maximality(&g, &matched), Ok(()));
+        }
+
+        #[test]
+        fn prop_greedy_is_maximal_on_hypergraphs(
+            n in 6usize..30,
+            m in 0usize..60,
+            r in 2usize..5,
+            seed in 0u64..200,
+        ) {
+            let edges = random_hypergraph(n, m, r.min(n), seed, 0);
+            let g = DynamicHypergraph::from_edges(n, edges.clone());
+            let matched = greedy_maximal_matching(&edges, None);
+            prop_assert_eq!(verify_maximality(&g, &matched), Ok(()));
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! # pdmm-static
+//!
+//! Static maximal-matching algorithms for the Parallel Dynamic Maximal Matching
+//! reproduction (Ghaffari & Trygub, SPAA 2024):
+//!
+//! * [`luby`] — the parallel maximal matching of Theorem 2.2 (Luby's MIS on the
+//!   hyperedge conflict graph), used both inside the dynamic algorithm (insertion
+//!   handling, `process-level` Step 1) and as the recompute-from-scratch baseline;
+//! * [`greedy`] — the trivial sequential scan, the work-efficiency yardstick.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod greedy;
+pub mod luby;
+
+pub use greedy::greedy_maximal_matching;
+pub use luby::{luby_maximal_matching, luby_on_free_edges, StaticMatching};

@@ -1,0 +1,74 @@
+//! Social-network friendship stream (the §1 "intrinsically dynamic" scenario).
+//!
+//! ```bash
+//! cargo run --release --example social_stream
+//! ```
+//!
+//! A power-law (Chung–Lu) friendship graph evolves over time: new friendships are
+//! created around hub accounts and old ones are dropped.  The application needs a
+//! *matching* over the current friendship graph at all times — think of pairing
+//! users up for a "catch up with a friend" prompt, where no user may be paired
+//! twice — and the matching must stay maximal so that nobody who could be paired is
+//! left out.  Each "tick" of the platform delivers one batch of updates, and the
+//! dynamic algorithm adjusts the matching without recomputing it from scratch.
+
+use pdmm::hypergraph::generators::chung_lu_graph;
+use pdmm::hypergraph::streams::sliding_window;
+use pdmm::prelude::*;
+use pdmm::seq_dynamic::RecomputeFromScratch;
+
+fn main() {
+    let users = 50_000;
+    let friendships = 200_000;
+    let tick_size = 2_000; // updates per tick
+    let window = 20; // a friendship lasts 20 ticks
+
+    println!("== social friendship stream ==");
+    println!("users = {users}, friendships = {friendships}, tick = {tick_size} updates");
+
+    // The oblivious adversary: the whole update schedule is fixed up front.
+    let edges = chung_lu_graph(users, friendships, 2.4, 1234, 0);
+    let workload = sliding_window(users, edges, tick_size, window);
+
+    let mut dynamic = ParallelDynamicMatching::new(users, Config::for_graphs(7));
+    let mut recompute = RecomputeFromScratch::new(users, 7);
+
+    let mut dynamic_time = std::time::Duration::ZERO;
+    let mut recompute_time = std::time::Duration::ZERO;
+
+    for (tick, batch) in workload.batches.iter().enumerate() {
+        let t0 = std::time::Instant::now();
+        let report = dynamic.apply_batch(batch);
+        dynamic_time += t0.elapsed();
+
+        let t1 = std::time::Instant::now();
+        DynamicMatcher::apply_batch(&mut recompute, batch);
+        recompute_time += t1.elapsed();
+
+        if tick % 25 == 0 {
+            println!(
+                "tick {tick:>4}: matching = {:>6}, batch depth = {:>5} rounds, batch work = {:>8}",
+                report.matching_size, report.depth, report.work
+            );
+        }
+    }
+
+    let updates = dynamic.metrics().updates;
+    println!("\nprocessed {updates} updates over {} ticks", workload.batches.len());
+    println!(
+        "dynamic matcher:   total {dynamic_time:?} ({:.1} µs/update), final matching {}",
+        dynamic_time.as_micros() as f64 / updates as f64,
+        dynamic.matching_size()
+    );
+    println!(
+        "recompute-per-tick baseline: total {recompute_time:?} ({:.1} µs/update), final matching {}",
+        recompute_time.as_micros() as f64 / updates as f64,
+        recompute.matching_edge_ids().len()
+    );
+    println!(
+        "speedup of dynamic over recompute: {:.1}x",
+        recompute_time.as_secs_f64() / dynamic_time.as_secs_f64().max(1e-9)
+    );
+
+    dynamic.verify_invariants().expect("invariants hold");
+}

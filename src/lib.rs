@@ -1,0 +1,69 @@
+//! # pdmm — Parallel Dynamic Maximal Matching
+//!
+//! A from-scratch Rust reproduction of *Parallel Dynamic Maximal Matching*
+//! (Ghaffari & Trygub, SPAA 2024): a randomized batch-dynamic algorithm that
+//! maintains a maximal matching of a rank-`r` hypergraph under arbitrary batches of
+//! hyperedge insertions and deletions, in polylogarithmic depth per batch and
+//! polylogarithmic (amortized, `poly(r)`) work per update.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`core`] ([`ParallelDynamicMatching`]) — the paper's algorithm,
+//! * [`hypergraph`] — the dynamic hypergraph substrate, workload generators,
+//!   update streams and matching verification,
+//! * [`static_matching`] — the static parallel maximal matching of Theorem 2.2,
+//! * [`seq_dynamic`] — sequential dynamic baselines,
+//! * [`primitives`] — PRAM-style parallel building blocks (parallel dictionary,
+//!   prefix sums, cost model, …).
+//!
+//! ```
+//! use pdmm::prelude::*;
+//!
+//! // Build a random graph workload delivered in batches of 64 updates.
+//! let edges = pdmm::hypergraph::generators::gnm_graph(1_000, 4_000, 7, 0);
+//! let workload = pdmm::hypergraph::streams::sliding_window(1_000, edges, 64, 16);
+//!
+//! // Maintain a maximal matching through the whole stream.
+//! let mut matcher = ParallelDynamicMatching::new(workload.num_vertices, Config::for_graphs(42));
+//! for batch in &workload.batches {
+//!     matcher.apply_batch(batch);
+//! }
+//! assert!(matcher.verify_invariants().is_ok());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub use pdmm_core as core;
+pub use pdmm_hypergraph as hypergraph;
+pub use pdmm_primitives as primitives;
+pub use pdmm_seq_dynamic as seq_dynamic;
+pub use pdmm_static as static_matching;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use pdmm_core::{BatchReport, Config, ParallelDynamicMatching};
+    pub use pdmm_hypergraph::dynamic::DynamicMatcher;
+    pub use pdmm_hypergraph::graph::DynamicHypergraph;
+    pub use pdmm_hypergraph::matching::{verify_maximality, verify_validity};
+    pub use pdmm_hypergraph::streams::Workload;
+    pub use pdmm_hypergraph::types::{EdgeId, HyperEdge, Update, UpdateBatch, VertexId};
+}
+
+pub use prelude::{Config, ParallelDynamicMatching};
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_work_together() {
+        let mut matcher = ParallelDynamicMatching::new(4, Config::for_graphs(0));
+        matcher.apply_batch(&vec![Update::Insert(HyperEdge::pair(
+            EdgeId(0),
+            VertexId(0),
+            VertexId(1),
+        ))]);
+        assert_eq!(matcher.matching_size(), 1);
+    }
+}

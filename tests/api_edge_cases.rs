@@ -1,0 +1,168 @@
+//! Edge-case integration tests of the public API: degenerate batches, degenerate
+//! edges, id reuse, accessor consistency, and the vertex-cover corollary of §2.
+
+use pdmm::hypergraph::matching::verify_maximality;
+use pdmm::prelude::*;
+
+fn pair(id: u64, a: u32, b: u32) -> HyperEdge {
+    HyperEdge::pair(EdgeId(id), VertexId(a), VertexId(b))
+}
+
+#[test]
+fn empty_batches_are_noops() {
+    let mut matcher = ParallelDynamicMatching::new(10, Config::for_graphs(1));
+    let report = matcher.apply_batch(&vec![]);
+    assert_eq!(report.batch_size, 0);
+    assert_eq!(matcher.matching_size(), 0);
+    matcher.apply_batch(&vec![Update::Insert(pair(0, 0, 1))]);
+    let before = matcher.matching();
+    matcher.apply_batch(&vec![]);
+    assert_eq!(matcher.matching(), before);
+    matcher.verify_invariants().unwrap();
+}
+
+#[test]
+fn graph_with_zero_vertices_accepts_empty_batches() {
+    let mut matcher = ParallelDynamicMatching::new(0, Config::for_graphs(2));
+    matcher.apply_batch(&vec![]);
+    assert_eq!(matcher.matching_size(), 0);
+    matcher.verify_invariants().unwrap();
+}
+
+#[test]
+fn rank_one_edges_are_matched_like_singleton_sets() {
+    // A rank-1 hyperedge {v} is matched iff v is free; two rank-1 edges on the same
+    // vertex conflict.
+    let mut matcher = ParallelDynamicMatching::new(3, Config::for_graphs(3));
+    matcher.apply_batch(&vec![
+        Update::Insert(HyperEdge::new(EdgeId(0), vec![VertexId(0)])),
+        Update::Insert(HyperEdge::new(EdgeId(1), vec![VertexId(0)])),
+        Update::Insert(HyperEdge::new(EdgeId(2), vec![VertexId(1)])),
+    ]);
+    assert_eq!(matcher.matching_size(), 2);
+    matcher.verify_invariants().unwrap();
+    // Deleting the matched singleton on vertex 0 promotes the other one.
+    let matched_on_v0 = matcher.matched_edge_of(VertexId(0)).unwrap();
+    matcher.apply_batch(&vec![Update::Delete(matched_on_v0)]);
+    assert_eq!(matcher.matching_size(), 2);
+    matcher.verify_invariants().unwrap();
+}
+
+#[test]
+fn self_loop_pairs_collapse_to_rank_one() {
+    let mut matcher = ParallelDynamicMatching::new(2, Config::for_graphs(4));
+    matcher.apply_batch(&vec![Update::Insert(pair(0, 1, 1))]);
+    assert_eq!(matcher.matching_size(), 1);
+    assert!(matcher.matched_edge_of(VertexId(1)).is_some());
+    assert!(matcher.matched_edge_of(VertexId(0)).is_none());
+    matcher.verify_invariants().unwrap();
+}
+
+#[test]
+fn edge_ids_can_be_reused_after_deletion_many_times() {
+    let mut matcher = ParallelDynamicMatching::new(4, Config::for_graphs(5));
+    for round in 0..20u32 {
+        let (a, b) = ((round % 3), (round % 3) + 1);
+        matcher.apply_batch(&vec![Update::Insert(pair(7, a, b))]);
+        assert_eq!(matcher.matching_size(), 1);
+        matcher.apply_batch(&vec![Update::Delete(EdgeId(7))]);
+        assert_eq!(matcher.matching_size(), 0);
+    }
+    matcher.verify_invariants().unwrap();
+}
+
+#[test]
+fn accessors_are_mutually_consistent() {
+    let mut matcher = ParallelDynamicMatching::new(6, Config::for_graphs(6));
+    matcher.apply_batch(&vec![
+        Update::Insert(pair(0, 0, 1)),
+        Update::Insert(pair(1, 2, 3)),
+        Update::Insert(pair(2, 3, 4)),
+    ]);
+    let matching = matcher.matching();
+    assert_eq!(matching.len(), matcher.matching_size());
+    for id in &matching {
+        // Every matched edge's endpoints point back at it and sit at its level.
+        let live = matcher.live_edges();
+        let edge = live.iter().find(|e| e.id == *id).unwrap();
+        for &v in edge.vertices() {
+            assert_eq!(matcher.matched_edge_of(v), Some(*id));
+            assert!(matcher.level_of(v) >= 0);
+        }
+    }
+    // Unmatched vertices report level -1 and no matched edge.
+    for v in 0..6u32 {
+        let v = VertexId(v);
+        if matcher.matched_edge_of(v).is_none() {
+            assert_eq!(matcher.level_of(v), -1);
+        }
+    }
+}
+
+#[test]
+fn matched_endpoints_form_a_vertex_cover() {
+    // §2: the endpoint set of a maximal matching is a vertex cover (within a factor
+    // r of minimum).  Check the covering property directly on a random graph.
+    let edges = pdmm::hypergraph::generators::gnm_graph(80, 400, 3, 0);
+    let mut truth = DynamicHypergraph::new(80);
+    let mut matcher = ParallelDynamicMatching::new(80, Config::for_graphs(7));
+    let batch: UpdateBatch = edges.into_iter().map(Update::Insert).collect();
+    truth.apply_batch(&batch);
+    matcher.apply_batch(&batch);
+    assert_eq!(verify_maximality(&truth, &matcher.matching()), Ok(()));
+    let cover: Vec<VertexId> = matcher
+        .matching()
+        .iter()
+        .flat_map(|id| truth.edge(*id).unwrap().vertices().to_vec())
+        .collect();
+    assert_eq!(pdmm::hypergraph::matching::uncovered_edges(&truth, &cover), 0);
+}
+
+#[test]
+fn one_giant_batch_is_the_static_case() {
+    // Feeding the whole graph as a single batch reduces to the static parallel
+    // algorithm (§3.1): one batch, polylog depth, maximal result.
+    let edges = pdmm::hypergraph::generators::gnm_graph(500, 3_000, 9, 0);
+    let mut truth = DynamicHypergraph::new(500);
+    let batch: UpdateBatch = edges.into_iter().map(Update::Insert).collect();
+    truth.apply_batch(&batch);
+    let mut matcher = ParallelDynamicMatching::new(500, Config::for_graphs(8));
+    let report = matcher.apply_batch(&batch);
+    assert_eq!(verify_maximality(&truth, &matcher.matching()), Ok(()));
+    assert!(
+        report.depth < 200,
+        "one batch of 3000 insertions should take polylog rounds, got {}",
+        report.depth
+    );
+    matcher.verify_invariants().unwrap();
+}
+
+#[test]
+fn deleting_everything_in_one_batch_empties_the_matching() {
+    let edges = pdmm::hypergraph::generators::gnm_graph(100, 500, 13, 0);
+    let ids: Vec<EdgeId> = edges.iter().map(|e| e.id).collect();
+    let mut matcher = ParallelDynamicMatching::new(100, Config::for_graphs(9));
+    matcher.apply_batch(&edges.into_iter().map(Update::Insert).collect());
+    assert!(matcher.matching_size() > 0);
+    let report = matcher.apply_batch(&ids.into_iter().map(Update::Delete).collect());
+    assert_eq!(matcher.matching_size(), 0);
+    assert_eq!(matcher.num_temp_deleted(), 0);
+    assert!(report.matched_deletions > 0);
+    matcher.verify_invariants().unwrap();
+}
+
+#[test]
+fn cost_counters_are_monotone_and_reported_per_batch() {
+    let mut matcher = ParallelDynamicMatching::new(50, Config::for_graphs(10));
+    let edges = pdmm::hypergraph::generators::gnm_graph(50, 200, 17, 0);
+    let mut last_work = 0u64;
+    for chunk in edges.chunks(40) {
+        let before = matcher.cost().snapshot();
+        let report = matcher.apply_batch(&chunk.iter().cloned().map(Update::Insert).collect());
+        let after = matcher.cost().snapshot();
+        assert_eq!(after.since(&before).work, report.work);
+        assert_eq!(after.since(&before).depth, report.depth);
+        assert!(after.work >= last_work);
+        last_work = after.work;
+    }
+}

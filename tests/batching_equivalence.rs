@@ -1,0 +1,172 @@
+//! Batching-robustness integration tests.
+//!
+//! The defining feature of the paper's algorithm is that it accepts *any* batch
+//! size: one giant batch, single-update batches (the sequential dynamic regime), or
+//! anything in between.  These tests replay the same underlying update sequence
+//! under different batchings and check that correctness (validity, maximality,
+//! invariants) never depends on how the sequence was chopped up, and that the depth
+//! per batch does not blow up with the batch size.
+
+use pdmm::hypergraph::matching::verify_maximality;
+use pdmm::hypergraph::streams::{self, Workload};
+use pdmm::prelude::*;
+
+/// Flattens a workload into one long update sequence and re-batches it.
+///
+/// A batch's deletions are processed before its insertions (§3.3), so a deletion
+/// must never share a batch with the insertion of the edge it targets: whenever
+/// that would happen, the current batch is flushed early.
+fn rebatch(workload: &Workload, batch_size: usize) -> Workload {
+    let updates: Vec<Update> = workload.batches.iter().flatten().cloned().collect();
+    rebatch_updates(&updates, batch_size, workload)
+}
+
+/// Re-batches an explicit update sequence under the same same-batch constraint.
+fn rebatch_updates(updates: &[Update], batch_size: usize, proto: &Workload) -> Workload {
+    let mut batches: Vec<UpdateBatch> = Vec::new();
+    let mut current: UpdateBatch = Vec::new();
+    let mut inserted_in_current: std::collections::HashSet<EdgeId> = std::collections::HashSet::new();
+    for update in updates {
+        let conflicts = matches!(update, Update::Delete(id) if inserted_in_current.contains(id));
+        if current.len() >= batch_size || conflicts {
+            batches.push(std::mem::take(&mut current));
+            inserted_in_current.clear();
+        }
+        if let Update::Insert(e) = update {
+            inserted_in_current.insert(e.id);
+        }
+        current.push(update.clone());
+    }
+    if !current.is_empty() {
+        batches.push(current);
+    }
+    Workload {
+        num_vertices: proto.num_vertices,
+        rank: proto.rank,
+        batches,
+        name: format!("{} rebatched({batch_size})", proto.name),
+    }
+}
+
+fn run(workload: &Workload, seed: u64) -> ParallelDynamicMatching {
+    let mut matcher = ParallelDynamicMatching::new(
+        workload.num_vertices,
+        Config::for_hypergraphs(workload.rank, seed),
+    );
+    let mut truth = DynamicHypergraph::new(workload.num_vertices);
+    for batch in &workload.batches {
+        truth.apply_batch(batch);
+        matcher.apply_batch(batch);
+        assert_eq!(verify_maximality(&truth, &matcher.matching()), Ok(()));
+    }
+    matcher.verify_invariants().unwrap();
+    matcher
+}
+
+/// Base sequence used by the re-batching tests: insertions followed by a random
+/// teardown, which guarantees every deletion's target was inserted in an earlier
+/// chunk for every batch size we test with.
+fn base_workload() -> Workload {
+    let edges = pdmm::hypergraph::generators::gnm_graph(120, 600, 3, 0);
+    streams::insert_then_teardown(120, edges, 1, 9)
+}
+
+#[test]
+fn different_batch_sizes_all_stay_correct() {
+    let base = base_workload();
+    for &batch_size in &[1usize, 7, 64, 300, 1200] {
+        let w = rebatch(&base, batch_size);
+        assert!(streams::validate_workload(&w), "rebatched({batch_size}) is malformed");
+        let matcher = run(&w, 5);
+        assert_eq!(
+            matcher.matching_size(),
+            0,
+            "teardown must empty the matching for batch size {batch_size}"
+        );
+    }
+}
+
+#[test]
+fn final_matching_sizes_are_comparable_across_batchings() {
+    // Stop the teardown halfway so the final matching is non-trivial, then check
+    // that all batchings produce matchings of comparable size (all maximal
+    // matchings of the same graph are within a factor 2 of each other).
+    let base = base_workload();
+    let updates: Vec<Update> = base.batches.iter().flatten().cloned().collect();
+    let prefix = &updates[..updates.len() * 3 / 4];
+    let mut sizes = Vec::new();
+    for &batch_size in &[1usize, 16, 128, 2048] {
+        let w = rebatch_updates(prefix, batch_size, &base);
+        let matcher = run(&w, 11);
+        sizes.push(matcher.matching_size());
+    }
+    let max = *sizes.iter().max().unwrap();
+    let min = *sizes.iter().min().unwrap();
+    assert!(min * 2 >= max, "matching sizes across batchings: {sizes:?}");
+}
+
+#[test]
+fn depth_per_batch_stays_flat_as_batches_grow() {
+    // Theorem 4.4 in practice: processing one batch of k updates takes far fewer
+    // rounds than processing k single-update batches.
+    let base = base_workload();
+    let updates: Vec<Update> = base.batches.iter().flatten().cloned().collect();
+
+    let mut single = ParallelDynamicMatching::new(base.num_vertices, Config::for_graphs(3));
+    let mut single_max_depth = 0u64;
+    let mut single_total_depth = 0u64;
+    for u in &updates {
+        let report = single.apply_batch(&vec![u.clone()]);
+        single_max_depth = single_max_depth.max(report.depth);
+        single_total_depth += report.depth;
+    }
+
+    let mut batched = ParallelDynamicMatching::new(base.num_vertices, Config::for_graphs(3));
+    let mut batched_max_depth = 0u64;
+    let mut batched_total_depth = 0u64;
+    for batch in &rebatch_updates(&updates, 300, &base).batches {
+        let report = batched.apply_batch(batch);
+        batched_max_depth = batched_max_depth.max(report.depth);
+        batched_total_depth += report.depth;
+    }
+
+    // The depth of one large batch is of the same order as the depth of a single
+    // update (both polylog), so the *total* depth collapses when batching.
+    assert!(
+        batched_total_depth * 5 < single_total_depth,
+        "batched total depth {batched_total_depth} should be far below one-by-one total depth {single_total_depth}"
+    );
+    // And no single large batch costs more than a small multiple of the deepest
+    // single-update batch (both are polylogarithmic).
+    assert!(
+        batched_max_depth < single_max_depth * 50 + 200,
+        "per-batch depth exploded: batched max {batched_max_depth}, single max {single_max_depth}"
+    );
+}
+
+#[test]
+fn deterministic_for_a_fixed_seed() {
+    let base = base_workload();
+    let w = rebatch(&base, 64);
+    let a = run(&w, 77);
+    let b = run(&w, 77);
+    let mut ma = a.matching();
+    let mut mb = b.matching();
+    ma.sort_unstable();
+    mb.sort_unstable();
+    assert_eq!(ma, mb, "same seed and same stream must give the same matching");
+    assert_eq!(a.cost().total_work(), b.cost().total_work());
+    assert_eq!(a.cost().total_depth(), b.cost().total_depth());
+}
+
+#[test]
+fn different_seeds_still_give_valid_maximal_matchings() {
+    let base = base_workload();
+    let updates: Vec<Update> = base.batches.iter().flatten().cloned().collect();
+    let prefix = &updates[..updates.len() / 2];
+    let w = rebatch_updates(prefix, 50, &base);
+    let sizes: Vec<usize> = (0..4).map(|seed| run(&w, seed).matching_size()).collect();
+    let max = *sizes.iter().max().unwrap();
+    let min = *sizes.iter().min().unwrap();
+    assert!(min * 2 >= max, "sizes across seeds: {sizes:?}");
+}

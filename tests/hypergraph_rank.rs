@@ -1,0 +1,107 @@
+//! Hypergraph integration tests: the algorithm's rank-`r` generalisation
+//! (Theorem 1.1 / 4.1) must maintain maximal matchings for ranks well beyond 2,
+//! with `α = 4r` levels and the `1/r` approximation guarantee of §2.
+
+use pdmm::hypergraph::matching::{maximum_matching_size_exact, verify_maximality};
+use pdmm::hypergraph::streams;
+use pdmm::hypergraph::{generators, DynamicHypergraph};
+use pdmm::prelude::*;
+
+fn run_rank(rank: usize, seed: u64) -> (ParallelDynamicMatching, DynamicHypergraph) {
+    let n = 40 * rank;
+    let w = streams::random_churn(n, rank, 200, 12, 40, 0.5, seed);
+    assert!(streams::validate_workload(&w));
+    let mut matcher = ParallelDynamicMatching::new(n, Config::for_hypergraphs(rank, seed ^ 0xABCD));
+    let mut truth = DynamicHypergraph::new(n);
+    for (i, batch) in w.batches.iter().enumerate() {
+        truth.apply_batch(batch);
+        matcher.apply_batch(batch);
+        assert_eq!(
+            verify_maximality(&truth, &matcher.matching()),
+            Ok(()),
+            "rank {rank} broke maximality at batch {i}"
+        );
+        matcher.verify_invariants().unwrap();
+    }
+    (matcher, truth)
+}
+
+#[test]
+fn rank_three_churn_stays_maximal() {
+    run_rank(3, 1);
+}
+
+#[test]
+fn rank_four_churn_stays_maximal() {
+    run_rank(4, 2);
+}
+
+#[test]
+fn rank_six_churn_stays_maximal() {
+    run_rank(6, 3);
+}
+
+#[test]
+fn rank_eight_teardown_stays_maximal() {
+    let rank = 8;
+    let n = 200;
+    let edges = generators::random_hypergraph(n, 400, rank, 4, 0);
+    let w = streams::insert_then_teardown(n, edges, 50, 5);
+    let mut matcher = ParallelDynamicMatching::new(n, Config::for_hypergraphs(rank, 9));
+    let mut truth = DynamicHypergraph::new(n);
+    for batch in &w.batches {
+        truth.apply_batch(batch);
+        matcher.apply_batch(batch);
+        assert_eq!(verify_maximality(&truth, &matcher.matching()), Ok(()));
+    }
+    assert_eq!(matcher.matching_size(), 0);
+    matcher.verify_invariants().unwrap();
+}
+
+#[test]
+fn alpha_and_levels_scale_with_rank() {
+    let low = ParallelDynamicMatching::new(100, Config::for_hypergraphs(2, 0));
+    let high = ParallelDynamicMatching::new(100, Config::for_hypergraphs(10, 0));
+    // α = 4r, so the base of the leveling scheme grows and the number of levels
+    // shrinks (L = ⌈log_α N⌉) as the rank goes up.
+    assert!(high.num_levels() <= low.num_levels());
+    assert!(low.num_levels() >= 2);
+}
+
+#[test]
+fn maximal_matching_is_one_over_r_approximation() {
+    // Small rank-3 instances where the exact optimum is computable by the
+    // branch-and-bound reference: the dynamic maximal matching must be ≥ opt/3.
+    for seed in 0..5u64 {
+        let n = 18;
+        let rank = 3;
+        let edges = generators::random_hypergraph(n, 30, rank, seed, 0);
+        let truth = DynamicHypergraph::from_edges(n, edges.clone());
+        let mut matcher = ParallelDynamicMatching::new(n, Config::for_hypergraphs(rank, seed));
+        matcher.apply_batch(&edges.into_iter().map(Update::Insert).collect());
+        assert_eq!(verify_maximality(&truth, &matcher.matching()), Ok(()));
+        let opt = maximum_matching_size_exact(&truth);
+        let got = matcher.matching_size();
+        assert!(
+            got * rank >= opt,
+            "seed {seed}: maximal matching of size {got} is below opt {opt} / r"
+        );
+    }
+}
+
+#[test]
+fn mixed_rank_edges_up_to_the_configured_maximum() {
+    // The configuration fixes the *maximum* rank; smaller edges are fine too.
+    let n = 60;
+    let mut edges = generators::random_hypergraph(n, 60, 4, 7, 0);
+    edges.extend(generators::gnm_graph(n, 60, 8, 1_000));
+    let w = streams::insert_then_teardown(n, edges, 30, 3);
+    let mut matcher = ParallelDynamicMatching::new(n, Config::for_hypergraphs(4, 2));
+    let mut truth = DynamicHypergraph::new(n);
+    for batch in &w.batches {
+        truth.apply_batch(batch);
+        matcher.apply_batch(batch);
+        assert_eq!(verify_maximality(&truth, &matcher.matching()), Ok(()));
+    }
+    matcher.verify_invariants().unwrap();
+}

@@ -1,0 +1,164 @@
+//! Integration stress tests: the parallel dynamic algorithm must keep a valid,
+//! maximal matching and every structural invariant of §3.2 through long adversarial
+//! update streams of every flavour the workload generators produce.
+
+use pdmm::hypergraph::generators;
+use pdmm::hypergraph::matching::verify_maximality;
+use pdmm::hypergraph::streams::{self, Workload};
+use pdmm::prelude::*;
+
+/// Runs a workload through the algorithm, mirroring it into a ground-truth graph
+/// and checking maximality + invariants after every batch.
+fn run_and_verify(workload: &Workload, config: Config) -> ParallelDynamicMatching {
+    assert!(streams::validate_workload(workload), "malformed workload");
+    let mut matcher = ParallelDynamicMatching::new(workload.num_vertices, config);
+    let mut truth = DynamicHypergraph::new(workload.num_vertices);
+    for (i, batch) in workload.batches.iter().enumerate() {
+        truth.apply_batch(batch);
+        matcher.apply_batch(batch);
+        let ids = matcher.matching_edge_ids();
+        assert_eq!(
+            verify_maximality(&truth, &ids),
+            Ok(()),
+            "maximality broken after batch {i} of {}",
+            workload.name
+        );
+        matcher
+            .verify_invariants()
+            .unwrap_or_else(|e| panic!("invariant broken after batch {i} of {}: {e}", workload.name));
+    }
+    matcher
+}
+
+#[test]
+fn insert_only_stream_stays_maximal() {
+    let edges = generators::gnm_graph(300, 1_500, 1, 0);
+    let w = streams::insert_only(300, edges, 100);
+    let matcher = run_and_verify(&w, Config::for_graphs(10));
+    assert!(matcher.matching_size() > 0);
+    assert_eq!(matcher.metrics().deletions, 0);
+}
+
+#[test]
+fn sliding_window_stream_stays_maximal() {
+    let edges = generators::gnm_graph(200, 1_000, 2, 0);
+    let w = streams::sliding_window(200, edges, 50, 6);
+    let matcher = run_and_verify(&w, Config::for_graphs(11));
+    assert_eq!(matcher.metrics().insertions, 1_000);
+    assert_eq!(matcher.metrics().deletions, 1_000);
+}
+
+#[test]
+fn random_churn_stream_stays_maximal() {
+    let w = streams::random_churn(250, 2, 500, 25, 80, 0.5, 3);
+    let matcher = run_and_verify(&w, Config::for_graphs(12));
+    assert!(matcher.metrics().matched_deletions > 0, "churn should hit matched edges");
+}
+
+#[test]
+fn deletion_heavy_teardown_stays_maximal_and_empties() {
+    let edges = generators::gnm_graph(150, 900, 4, 0);
+    let w = streams::insert_then_teardown(150, edges, 60, 5);
+    let matcher = run_and_verify(&w, Config::for_graphs(13));
+    assert_eq!(matcher.matching_size(), 0, "everything was deleted");
+    assert_eq!(matcher.num_temp_deleted(), 0);
+}
+
+#[test]
+fn hub_churn_exercises_the_leveling_scheme() {
+    let w = streams::hub_churn(400, 3, 30, 120, 7);
+    let matcher = run_and_verify(&w, Config::for_graphs(14));
+    // Hubs accumulate hundreds of incident edges, so the rising mechanism must
+    // have created epochs above level 0 at some point.
+    let created_above_zero: u64 = matcher
+        .metrics()
+        .per_level
+        .iter()
+        .skip(1)
+        .map(|l| l.epochs_created)
+        .sum();
+    assert!(
+        created_above_zero > 0,
+        "hub churn should create epochs above level 0 (per level: {:?})",
+        matcher
+            .metrics()
+            .per_level
+            .iter()
+            .map(|l| l.epochs_created)
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn power_law_graph_teardown_stays_maximal() {
+    let edges = generators::chung_lu_graph(300, 1_200, 2.3, 9, 0);
+    let w = streams::insert_then_teardown(300, edges, 75, 11);
+    run_and_verify(&w, Config::for_graphs(15));
+}
+
+#[test]
+fn settle_after_insert_ablation_stays_maximal() {
+    let w = streams::random_churn(150, 2, 300, 15, 60, 0.6, 21);
+    run_and_verify(&w, Config::for_graphs(16).with_settle_after_insert());
+}
+
+#[test]
+fn sequential_settle_ablation_stays_maximal() {
+    let w = streams::hub_churn(300, 3, 20, 100, 23);
+    run_and_verify(&w, Config::for_graphs(17).with_sequential_settle());
+}
+
+#[test]
+fn rebuilds_preserve_correctness_over_long_streams() {
+    // A tiny initial capacity forces repeated N-doubling rebuilds.
+    let mut config = Config::for_graphs(18);
+    config.initial_update_capacity = 0;
+    let w = streams::random_churn(64, 2, 100, 30, 40, 0.5, 31);
+    let matcher = run_and_verify(&w, config);
+    assert!(matcher.metrics().rebuilds >= 1);
+}
+
+#[test]
+fn single_update_batches_match_sequential_processing() {
+    // Batch size 1 degenerates to the sequential dynamic algorithm; everything must
+    // still hold, and the depth per batch must stay small.
+    let w = streams::random_churn(80, 2, 150, 40, 1, 0.5, 37);
+    let matcher = run_and_verify(&w, Config::for_graphs(19));
+    assert_eq!(matcher.metrics().batches as usize, w.batches.len());
+}
+
+#[test]
+fn temp_deleted_edges_are_restored_when_their_epoch_dies() {
+    // Star-heavy workload: settle parks many edges in D(·); deleting the matched
+    // hub edge must bring them back (they are needed for maximality).
+    let mut batches: Vec<UpdateBatch> = Vec::new();
+    let fan = 40u32;
+    batches.push(
+        (0..fan)
+            .map(|i| Update::Insert(HyperEdge::pair(EdgeId(u64::from(i)), VertexId(0), VertexId(i + 1))))
+            .collect(),
+    );
+    let w = Workload {
+        num_vertices: fan as usize + 1,
+        rank: 2,
+        batches,
+        name: "star".into(),
+    };
+    let mut matcher = run_and_verify(&w, Config::for_graphs(20));
+    // Delete whatever edge is currently matched, repeatedly; the matching must
+    // always recover using the parked edges.
+    let mut truth = DynamicHypergraph::new(w.num_vertices);
+    truth.apply_batch(&w.batches[0]);
+    for _ in 0..10 {
+        let matched = matcher.matching_edge_ids();
+        assert_eq!(matched.len(), 1, "a star has a maximal matching of size 1");
+        let batch = vec![Update::Delete(matched[0])];
+        truth.apply_batch(&batch);
+        matcher.apply_batch(&batch);
+        assert_eq!(verify_maximality(&truth, &matcher.matching_edge_ids()), Ok(()));
+        matcher.verify_invariants().unwrap();
+        if truth.num_edges() == 0 {
+            break;
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based integration tests (proptest): arbitrary small update streams,
+//! arbitrary batchings and arbitrary ranks must never break validity, maximality or
+//! the structural invariants of the parallel dynamic algorithm.
+
+use pdmm::hypergraph::matching::{verify_maximality, verify_validity};
+use pdmm::hypergraph::streams::{random_churn, validate_workload};
+use pdmm::prelude::*;
+use proptest::prelude::*;
+
+/// Builds a small random workload directly from proptest-chosen parameters.
+fn workload(
+    n: usize,
+    rank: usize,
+    batches: usize,
+    batch_size: usize,
+    p_insert: f64,
+    seed: u64,
+) -> pdmm::hypergraph::Workload {
+    random_churn(n, rank, n / 2, batches, batch_size, p_insert, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn prop_parallel_matcher_stays_maximal_on_graphs(
+        seed in 0u64..10_000,
+        alg_seed in 0u64..100,
+        batch_size in 1usize..40,
+        p_insert in 0.25f64..0.75,
+    ) {
+        let w = workload(50, 2, 8, batch_size, p_insert, seed);
+        prop_assume!(validate_workload(&w));
+        let mut matcher = ParallelDynamicMatching::new(w.num_vertices, Config::for_graphs(alg_seed));
+        let mut truth = DynamicHypergraph::new(w.num_vertices);
+        for batch in &w.batches {
+            truth.apply_batch(batch);
+            matcher.apply_batch(batch);
+            let ids = matcher.matching();
+            prop_assert_eq!(verify_validity(&truth, &ids), Ok(()));
+            prop_assert_eq!(verify_maximality(&truth, &ids), Ok(()));
+        }
+        prop_assert!(matcher.verify_invariants().is_ok());
+    }
+
+    #[test]
+    fn prop_parallel_matcher_stays_maximal_on_hypergraphs(
+        seed in 0u64..5_000,
+        rank in 2usize..5,
+        batch_size in 1usize..25,
+    ) {
+        let w = workload(40, rank, 6, batch_size, 0.5, seed);
+        prop_assume!(validate_workload(&w));
+        let mut matcher =
+            ParallelDynamicMatching::new(w.num_vertices, Config::for_hypergraphs(rank, seed ^ 1));
+        let mut truth = DynamicHypergraph::new(w.num_vertices);
+        for batch in &w.batches {
+            truth.apply_batch(batch);
+            matcher.apply_batch(batch);
+            prop_assert_eq!(verify_maximality(&truth, &matcher.matching()), Ok(()));
+        }
+        prop_assert!(matcher.verify_invariants().is_ok());
+    }
+
+    #[test]
+    fn prop_ablation_configurations_stay_maximal(
+        seed in 0u64..2_000,
+        sequential in proptest::bool::ANY,
+        settle_after_insert in proptest::bool::ANY,
+    ) {
+        let w = workload(40, 2, 6, 20, 0.5, seed);
+        prop_assume!(validate_workload(&w));
+        let mut config = Config::for_graphs(seed ^ 7);
+        config.sequential_settle = sequential;
+        config.settle_after_insert = settle_after_insert;
+        let mut matcher = ParallelDynamicMatching::new(w.num_vertices, config);
+        let mut truth = DynamicHypergraph::new(w.num_vertices);
+        for batch in &w.batches {
+            truth.apply_batch(batch);
+            matcher.apply_batch(batch);
+            prop_assert_eq!(verify_maximality(&truth, &matcher.matching()), Ok(()));
+        }
+        prop_assert!(matcher.verify_invariants().is_ok());
+    }
+
+    #[test]
+    fn prop_work_is_bounded_per_update(
+        seed in 0u64..2_000,
+        batch_size in 1usize..30,
+    ) {
+        // A coarse sanity bound on amortized work per update: polylogarithmic in
+        // theory, so certainly far below the naive O(n · m) blow-up.  The constant
+        // here is deliberately generous — the precise scaling is measured by the
+        // benchmark harness (E3), not asserted in a property test.
+        let w = workload(60, 2, 10, batch_size, 0.5, seed);
+        prop_assume!(validate_workload(&w));
+        let mut matcher = ParallelDynamicMatching::new(w.num_vertices, Config::for_graphs(3));
+        for batch in &w.batches {
+            matcher.apply_batch(batch);
+        }
+        let updates = matcher.metrics().updates.max(1);
+        let per_update = matcher.cost().total_work() as f64 / updates as f64;
+        prop_assert!(
+            per_update < 50_000.0,
+            "amortized work per update unexpectedly large: {per_update}"
+        );
+    }
+}

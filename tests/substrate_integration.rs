@@ -1,0 +1,107 @@
+//! Cross-crate substrate tests: the PRAM-style primitives, the static matcher and
+//! the hypergraph layer working together the way the core algorithm uses them.
+
+use pdmm::hypergraph::generators;
+use pdmm::hypergraph::io;
+use pdmm::hypergraph::matching::verify_maximality;
+use pdmm::prelude::*;
+use pdmm::primitives::cost_model::CostTracker;
+use pdmm::primitives::dictionary::ParallelDictionary;
+use pdmm::primitives::prefix_sum;
+use pdmm::primitives::random::RandomSource;
+use pdmm::static_matching::luby::luby_maximal_matching;
+
+#[test]
+fn dictionary_tracks_incidence_like_the_algorithm_does() {
+    // Mimics how the core algorithm uses the parallel dictionary interface of
+    // §3.2.3: batch-insert all incidences of a graph, batch-erase the incidences of
+    // deleted edges, and retrieve what remains.
+    let edges = generators::gnm_graph(100, 400, 1, 0);
+    let cost = CostTracker::new();
+    let mut dict: ParallelDictionary<(u32, u64), ()> = ParallelDictionary::new();
+    let incidences: Vec<((u32, u64), ())> = edges
+        .iter()
+        .flat_map(|e| e.vertices().iter().map(|v| ((v.0, e.id.0), ())).collect::<Vec<_>>())
+        .collect();
+    let total = incidences.len();
+    dict.insert_batch(incidences, Some(&cost));
+    assert_eq!(dict.len(), total);
+
+    let deleted: Vec<(u32, u64)> = edges
+        .iter()
+        .take(100)
+        .flat_map(|e| e.vertices().iter().map(|v| (v.0, e.id.0)).collect::<Vec<_>>())
+        .collect();
+    dict.erase_batch(&deleted, Some(&cost));
+    assert_eq!(dict.len(), total - deleted.len());
+    assert!(cost.total_work() > 0);
+    assert_eq!(cost.total_depth(), 2);
+}
+
+#[test]
+fn prefix_sums_compute_o_tilde_style_cumulative_counts() {
+    // The õ_{v,ℓ} quantities are cumulative sums of per-level counts (Claim 3.3);
+    // check the prefix-sum substrate against a direct computation on real data.
+    let edges = generators::random_hypergraph(60, 300, 3, 5, 0);
+    let graph = DynamicHypergraph::from_edges(60, edges);
+    let degrees: Vec<u64> = (0..60u32).map(|v| graph.degree(VertexId(v)) as u64).collect();
+    let (prefix, total) = prefix_sum::exclusive_scan(&degrees);
+    assert_eq!(total, graph.total_incidence() as u64);
+    for v in 0..60usize {
+        let direct: u64 = degrees[..v].iter().sum();
+        assert_eq!(prefix[v], direct);
+    }
+}
+
+#[test]
+fn static_matcher_feeds_the_dynamic_one() {
+    // The dynamic algorithm's insertion path runs the static matcher on the free
+    // edges; check the two agree on maximality when driven by the same stream.
+    let edges = generators::gnm_graph(200, 900, 3, 0);
+    let truth = DynamicHypergraph::from_edges(200, edges.clone());
+
+    let mut rng = RandomSource::from_seed(11);
+    let static_result = luby_maximal_matching(&edges, &mut rng, None);
+    assert_eq!(verify_maximality(&truth, &static_result.edges), Ok(()));
+
+    let mut dynamic = ParallelDynamicMatching::new(200, Config::for_graphs(11));
+    dynamic.apply_batch(&edges.into_iter().map(Update::Insert).collect());
+    assert_eq!(verify_maximality(&truth, &dynamic.matching()), Ok(()));
+
+    // Both are maximal matchings of the same graph, hence 2-approximations of each
+    // other.
+    let (s, d) = (static_result.edges.len(), dynamic.matching_size());
+    assert!(s * 2 >= d && d * 2 >= s);
+}
+
+#[test]
+fn serialized_workload_replays_identically() {
+    let w = pdmm::hypergraph::streams::random_churn(80, 2, 150, 10, 30, 0.5, 13);
+    let text = io::batches_to_string(&w.batches);
+    let parsed = io::batches_from_string(&text).expect("parse");
+    assert_eq!(parsed, w.batches);
+
+    let mut a = ParallelDynamicMatching::new(80, Config::for_graphs(4));
+    let mut b = ParallelDynamicMatching::new(80, Config::for_graphs(4));
+    for batch in &w.batches {
+        a.apply_batch(batch);
+    }
+    for batch in &parsed {
+        b.apply_batch(batch);
+    }
+    let mut ma = a.matching();
+    let mut mb = b.matching();
+    ma.sort_unstable();
+    mb.sort_unstable();
+    assert_eq!(ma, mb);
+}
+
+#[test]
+fn edge_list_files_round_trip_through_the_graph() {
+    let edges = generators::random_hypergraph(40, 120, 4, 9, 0);
+    let text = io::edges_to_string(&edges);
+    let parsed = io::edges_from_string(&text).expect("parse");
+    let graph = DynamicHypergraph::from_edges(40, parsed);
+    assert_eq!(graph.num_edges(), 120);
+    assert_eq!(graph.max_rank_seen(), 4);
+}
