@@ -1,10 +1,14 @@
 //! Criterion bench for experiment E10: the parallel `grand-random-settle` vs the
 //! sequential per-node `random-settle`, and the optional post-insertion rising
 //! pass, on a hub-churn workload that exercises the rising mechanism heavily.
+//!
+//! The ablation flags only exist on the parallel algorithm's `Config`, so this
+//! bench constructs the concrete engine — execution still goes through the shared
+//! engine-agnostic runner.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pdmm_bench::run_parallel;
-use pdmm_core::Config;
+use pdmm_bench::run_workload;
+use pdmm_core::{Config, ParallelDynamicMatching};
 use pdmm_hypergraph::streams;
 use std::hint::black_box;
 
@@ -16,26 +20,26 @@ fn bench_ablation(c: &mut Criterion) {
     let n = 1 << 12;
     let w = streams::hub_churn(n, 8, 40, n / 8, 91);
 
-    group.bench_function("grand_random_settle", |b| {
-        b.iter(|| {
-            let (_, stats) = run_parallel(black_box(&w), Config::for_graphs(3));
-            black_box(stats.work)
+    let configs: Vec<(&str, Config)> = vec![
+        ("grand_random_settle", Config::for_graphs(3)),
+        (
+            "sequential_random_settle",
+            Config::for_graphs(3).with_sequential_settle(),
+        ),
+        (
+            "settle_after_insert",
+            Config::for_graphs(3).with_settle_after_insert(),
+        ),
+    ];
+    for (name, config) in configs {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut engine = ParallelDynamicMatching::new(n, config.clone());
+                let stats = run_workload(black_box(&w), &mut engine).expect("valid workload");
+                black_box(stats.work)
+            });
         });
-    });
-    group.bench_function("sequential_random_settle", |b| {
-        b.iter(|| {
-            let (_, stats) =
-                run_parallel(black_box(&w), Config::for_graphs(3).with_sequential_settle());
-            black_box(stats.work)
-        });
-    });
-    group.bench_function("settle_after_insert", |b| {
-        b.iter(|| {
-            let (_, stats) =
-                run_parallel(black_box(&w), Config::for_graphs(3).with_settle_after_insert());
-            black_box(stats.work)
-        });
-    });
+    }
     group.finish();
 }
 

@@ -3,8 +3,8 @@
 //! the time — per update is polylogarithmic in `n`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pdmm_bench::run_parallel;
-use pdmm_core::Config;
+use pdmm::engine::{EngineBuilder, EngineKind};
+use pdmm_bench::run_kind;
 use pdmm_hypergraph::streams;
 use std::hint::black_box;
 
@@ -17,9 +17,10 @@ fn bench_amortized_work(c: &mut Criterion) {
         let w = streams::random_churn(n, 2, 2 * n, 10, n / 4, 0.5, 17);
         let updates = w.batches.iter().map(Vec::len).sum::<usize>() as u64;
         group.throughput(Throughput::Elements(updates));
+        let builder = EngineBuilder::new(n).seed(23);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                let (_, stats) = run_parallel(black_box(&w), Config::for_graphs(23));
+                let (_, stats) = run_kind(black_box(&w), EngineKind::Parallel, &builder);
                 black_box(stats.work)
             });
         });

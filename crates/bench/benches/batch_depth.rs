@@ -3,8 +3,8 @@
 //! `experiments` binary, since criterion measures time only).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pdmm_bench::run_parallel;
-use pdmm_core::Config;
+use pdmm::engine::{EngineBuilder, EngineKind};
+use pdmm_bench::run_kind;
 use pdmm_hypergraph::{generators, streams};
 use std::hint::black_box;
 
@@ -15,6 +15,7 @@ fn bench_batch_sizes(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     let n = 1 << 13;
     let edges = generators::gnm_graph(n, 4 * n, 21, 0);
+    let builder = EngineBuilder::new(n).seed(8);
     for &batch in &[64usize, 1_024, 16_384] {
         let w = streams::insert_then_teardown(n, edges.clone(), batch, 3);
         group.throughput(Throughput::Elements(
@@ -22,7 +23,7 @@ fn bench_batch_sizes(c: &mut Criterion) {
         ));
         group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
             b.iter(|| {
-                let (_, stats) = run_parallel(black_box(&w), Config::for_graphs(8));
+                let (_, stats) = run_kind(black_box(&w), EngineKind::Parallel, &builder);
                 black_box(stats.depth)
             });
         });

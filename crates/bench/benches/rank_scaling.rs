@@ -2,8 +2,8 @@
 //! rank `r` grows (Theorem 4.1 allows a `poly(r)` increase in work).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pdmm_bench::run_parallel;
-use pdmm_core::Config;
+use pdmm::engine::{EngineBuilder, EngineKind};
+use pdmm_bench::run_kind;
 use pdmm_hypergraph::streams;
 use std::hint::black_box;
 
@@ -17,9 +17,10 @@ fn bench_rank_scaling(c: &mut Criterion) {
         let w = streams::random_churn(n, r, n, 10, n / 8, 0.5, 53);
         let updates = w.batches.iter().map(Vec::len).sum::<usize>() as u64;
         group.throughput(Throughput::Elements(updates));
+        let builder = EngineBuilder::new(n).rank(r).seed(7);
         group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, _| {
             b.iter(|| {
-                let (_, stats) = run_parallel(black_box(&w), Config::for_hypergraphs(r, 7));
+                let (_, stats) = run_kind(black_box(&w), EngineKind::Parallel, &builder);
                 black_box(stats.work)
             });
         });

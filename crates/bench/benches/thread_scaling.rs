@@ -2,8 +2,8 @@
 //! under rayon thread pools of different sizes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pdmm_bench::run_parallel;
-use pdmm_core::Config;
+use pdmm::engine::{EngineBuilder, EngineKind};
+use pdmm_bench::run_kind;
 use pdmm_hypergraph::{generators, streams};
 use std::hint::black_box;
 
@@ -21,9 +21,10 @@ fn bench_thread_scaling(c: &mut Criterion) {
                 .num_threads(t)
                 .build()
                 .expect("thread pool");
+            let builder = EngineBuilder::new(n).seed(13).threads(t);
             b.iter(|| {
                 pool.install(|| {
-                    let (_, stats) = run_parallel(black_box(&w), Config::for_graphs(13));
+                    let (_, stats) = run_kind(black_box(&w), EngineKind::Parallel, &builder);
                     black_box(stats.final_matching)
                 })
             });

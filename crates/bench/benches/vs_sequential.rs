@@ -1,11 +1,11 @@
 //! Criterion bench for experiment E5: the parallel batch algorithm vs the
-//! sequential one-update-at-a-time baselines on the same churn stream.
+//! sequential one-update-at-a-time baselines on the same churn stream, every
+//! engine driven through the identical runner.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pdmm_bench::{run_generic, run_parallel};
-use pdmm_core::Config;
+use pdmm::engine::{EngineBuilder, EngineKind};
+use pdmm_bench::run_kind;
 use pdmm_hypergraph::streams;
-use pdmm_seq_dynamic::{NaiveDynamicMatching, RandomReplaceMatching};
 use std::hint::black_box;
 
 fn bench_vs_sequential(c: &mut Criterion) {
@@ -15,25 +15,20 @@ fn bench_vs_sequential(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     let n = 1 << 12;
     let w = streams::random_churn(n, 2, 2 * n, 10, n / 2, 0.5, 41);
+    let builder = EngineBuilder::new(n).seed(1);
 
-    group.bench_function("parallel_dynamic", |b| {
-        b.iter(|| {
-            let (_, stats) = run_parallel(black_box(&w), Config::for_graphs(1));
-            black_box(stats.final_matching)
+    for kind in [
+        EngineKind::Parallel,
+        EngineKind::NaiveSequential,
+        EngineKind::RandomReplace,
+    ] {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let (_, stats) = run_kind(black_box(&w), kind, &builder);
+                black_box(stats.final_matching)
+            });
         });
-    });
-    group.bench_function("naive_sequential", |b| {
-        b.iter(|| {
-            let (_, stats) = run_generic(black_box(&w), NaiveDynamicMatching::new(n));
-            black_box(stats.final_matching)
-        });
-    });
-    group.bench_function("random_replace_sequential", |b| {
-        b.iter(|| {
-            let (_, stats) = run_generic(black_box(&w), RandomReplaceMatching::new(n, 2));
-            black_box(stats.final_matching)
-        });
-    });
+    }
     group.finish();
 }
 

@@ -2,10 +2,9 @@
 //! matching from scratch with the static parallel matcher after every batch.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pdmm_bench::{run_generic, run_parallel};
-use pdmm_core::Config;
+use pdmm::engine::{EngineBuilder, EngineKind};
+use pdmm_bench::run_kind;
 use pdmm_hypergraph::{generators, streams};
-use pdmm_seq_dynamic::RecomputeFromScratch;
 use std::hint::black_box;
 
 fn bench_dynamic_vs_recompute(c: &mut Criterion) {
@@ -15,17 +14,18 @@ fn bench_dynamic_vs_recompute(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     let n = 1 << 12;
     let edges = generators::gnm_graph(n, 4 * n, 31, 0);
+    let builder = EngineBuilder::new(n).seed(5);
     for &batch in &[64usize, 1_024] {
         let w = streams::sliding_window(n, edges.clone(), batch, 8);
         group.bench_with_input(BenchmarkId::new("dynamic", batch), &batch, |b, _| {
             b.iter(|| {
-                let (_, stats) = run_parallel(black_box(&w), Config::for_graphs(5));
+                let (_, stats) = run_kind(black_box(&w), EngineKind::Parallel, &builder);
                 black_box(stats.final_matching)
             });
         });
         group.bench_with_input(BenchmarkId::new("recompute", batch), &batch, |b, _| {
             b.iter(|| {
-                let (_, stats) = run_generic(black_box(&w), RecomputeFromScratch::new(n, 5));
+                let (_, stats) = run_kind(black_box(&w), EngineKind::RecomputeSequential, &builder);
                 black_box(stats.final_matching)
             });
         });

@@ -36,7 +36,10 @@ fn main() {
         match run_by_id(id, scale) {
             Some(_) => {}
             None => {
-                eprintln!("unknown experiment id: {id} (known: {})", ALL_EXPERIMENTS.join(", "));
+                eprintln!(
+                    "unknown experiment id: {id} (known: {})",
+                    ALL_EXPERIMENTS.join(", ")
+                );
                 std::process::exit(2);
             }
         }

@@ -6,18 +6,23 @@
 //! `EXPERIMENTS.md`).  Every experiment is a pure function of its parameters and a
 //! seed, prints an aligned table, and also returns it as a string so the binary can
 //! collect them.
+//!
+//! Cross-engine experiments (E4, E5) construct their engines through
+//! [`pdmm::engine::build`] and run them through the single engine-agnostic
+//! [`run_workload`] path; experiments that report parallel-algorithm internals
+//! (levels, epochs, settle counters — E6, E7, E8, E10) construct the concrete
+//! [`ParallelDynamicMatching`] but still execute through the same runner.
 
-use crate::runner::{run_generic, run_parallel};
+use crate::runner::{run_kind, run_workload, RunStats};
 use crate::table::{f, Table};
+use pdmm::engine::{EngineBuilder, EngineKind, MatchingEngine};
 use pdmm_core::{Config, ParallelDynamicMatching};
-use pdmm_hypergraph::dynamic::DynamicMatcher;
 use pdmm_hypergraph::generators;
 use pdmm_hypergraph::graph::DynamicHypergraph;
 use pdmm_hypergraph::matching::greedy_maximal_matching;
-use pdmm_hypergraph::streams;
+use pdmm_hypergraph::streams::{self, Workload};
 use pdmm_primitives::cost_model::CostTracker;
 use pdmm_primitives::random::RandomSource;
-use pdmm_seq_dynamic::{NaiveDynamicMatching, RandomReplaceMatching, RecomputeFromScratch};
 use pdmm_static::luby::luby_maximal_matching;
 use std::time::Instant;
 
@@ -37,6 +42,23 @@ impl Scale {
             Scale::Full => full,
             Scale::Quick => quick,
         }
+    }
+}
+
+/// Runs a workload through a concrete engine (for experiments that introspect
+/// engine-specific state afterwards); the execution path is the shared runner.
+fn run_engine<E: MatchingEngine>(workload: &Workload, mut engine: E) -> (E, RunStats) {
+    let stats = run_workload(workload, &mut engine).expect("generated workloads are valid");
+    (engine, stats)
+}
+
+/// A sub-range of a workload's batches, as its own workload.
+fn slice_workload(w: &Workload, range: std::ops::Range<usize>) -> Workload {
+    Workload {
+        num_vertices: w.num_vertices,
+        rank: w.rank,
+        batches: w.batches[range].to_vec(),
+        name: w.name.clone(),
     }
 }
 
@@ -86,7 +108,14 @@ pub fn e1_static_matching(scale: Scale) -> String {
 pub fn e2_batch_depth(scale: Scale) -> String {
     let mut table = Table::new(
         "E2  depth per batch vs batch size (Theorem 4.4)",
-        &["batch", "batches", "mean depth", "max depth", "depth/update", "ms/batch"],
+        &[
+            "batch",
+            "batches",
+            "mean depth",
+            "max depth",
+            "depth/update",
+            "ms/batch",
+        ],
     );
     let n = scale.div(1 << 15, 1 << 12);
     let m = 4 * n;
@@ -96,7 +125,7 @@ pub fn e2_batch_depth(scale: Scale) -> String {
             continue;
         }
         let w = streams::insert_then_teardown(n, edges.clone(), batch, 3);
-        let (_, stats) = run_parallel(&w, Config::for_graphs(8));
+        let (_, stats) = run_kind(&w, EngineKind::Parallel, &EngineBuilder::new(n).seed(8));
         table.row(vec![
             batch.to_string(),
             stats.batches.to_string(),
@@ -115,7 +144,14 @@ pub fn e2_batch_depth(scale: Scale) -> String {
 pub fn e3_amortized_work(scale: Scale) -> String {
     let mut table = Table::new(
         "E3  amortized work per update vs n (Theorem 4.16)",
-        &["n", "updates", "work/update", "work/update/log^2(n)", "us/update", "rebuilds"],
+        &[
+            "n",
+            "updates",
+            "work/update",
+            "work/update/log^2(n)",
+            "us/update",
+            "rebuilds",
+        ],
     );
     let ns = match scale {
         Scale::Full => vec![1usize << 11, 1 << 13, 1 << 15, 1 << 17],
@@ -123,7 +159,8 @@ pub fn e3_amortized_work(scale: Scale) -> String {
     };
     for &n in &ns {
         let w = streams::random_churn(n, 2, 2 * n, 20, n / 4, 0.5, 17);
-        let (matcher, stats) = run_parallel(&w, Config::for_graphs(23));
+        let builder = EngineBuilder::new(n).seed(23);
+        let (_, stats) = run_kind(&w, EngineKind::Parallel, &builder);
         let log_n = (n as f64).log2();
         table.row(vec![
             n.to_string(),
@@ -131,109 +168,94 @@ pub fn e3_amortized_work(scale: Scale) -> String {
             f(stats.work_per_update(), 1),
             f(stats.work_per_update() / (log_n * log_n), 3),
             f(stats.micros_per_update(), 2),
-            matcher.metrics().rebuilds.to_string(),
+            stats.rebuilds.to_string(),
         ]);
     }
     finish(table)
 }
 
-/// E4 — dynamic batches vs recompute-from-scratch: both algorithms are primed with
-/// the same large standing graph, then process the same churn batches; the dynamic
-/// algorithm's per-update cost depends on the batch, the recompute baseline pays
-/// for the whole graph every batch.
+/// E4 — dynamic batches vs recompute-from-scratch: both engines are primed with
+/// the same large standing graph through the same staged-session path, then
+/// process the same churn batches; the dynamic algorithm's per-update cost depends
+/// on the batch, the recompute baselines pay for the whole graph every batch.
 #[must_use]
 pub fn e4_vs_static_recompute(scale: Scale) -> String {
     let mut table = Table::new(
-        "E4  dynamic algorithm vs recompute-from-scratch (standing graph, churn batches)",
-        &["batch", "churn updates", "dyn us/upd", "recompute us/upd", "speedup", "dyn matching", "recompute matching"],
+        "E4  dynamic algorithm vs recompute baselines (standing graph, churn batches)",
+        &[
+            "engine",
+            "batch",
+            "churn updates",
+            "us/update",
+            "work/update",
+            "matching",
+        ],
     );
     let n = scale.div(1 << 14, 1 << 11);
     for &batch in &[16usize, 256, 4_096] {
-        // A standing graph of 4n edges, a warm-up churn phase (un-timed, so both
-        // algorithms are measured in steady state — the first deletions after the
-        // bulk load trigger the one-time rising phase whose cost the paper
-        // amortizes against the insertions), then 20 timed churn batches.
+        // A standing graph of 4n edges, a warm-up churn phase (un-timed, so every
+        // engine is measured in steady state — the first deletions after the bulk
+        // load trigger the one-time rising phase whose cost the paper amortizes
+        // against the insertions), then the timed churn batches.
         let w = streams::random_churn(n, 2, 4 * n, 25, batch, 0.5, 31);
-        let warmup = &w.batches[..6];
-        let churn = &w.batches[6..];
-        let churn_updates: usize = churn.iter().map(Vec::len).sum();
+        let warmup = slice_workload(&w, 0..6);
+        let churn = slice_workload(&w, 6..w.batches.len());
+        let builder = EngineBuilder::new(n).seed(5);
 
-        let mut dynamic = ParallelDynamicMatching::new(n, Config::for_graphs(5));
-        for b in warmup {
-            dynamic.apply_batch(b);
+        for kind in [EngineKind::Parallel, EngineKind::RecomputeSequential] {
+            let mut engine = pdmm::engine::build(kind, &builder);
+            run_workload(&warmup, engine.as_mut()).expect("valid warmup");
+            let stats = run_workload(&churn, engine.as_mut()).expect("valid churn");
+            table.row(vec![
+                kind.name().into(),
+                batch.to_string(),
+                stats.updates.to_string(),
+                f(stats.micros_per_update(), 2),
+                f(stats.work_per_update(), 1),
+                stats.final_matching.to_string(),
+            ]);
         }
-        let t0 = Instant::now();
-        for b in churn {
-            dynamic.apply_batch(b);
-        }
-        let dyn_us = t0.elapsed().as_micros() as f64 / churn_updates as f64;
-
-        let mut recompute = RecomputeFromScratch::new(n, 5);
-        for b in warmup {
-            DynamicMatcher::apply_batch(&mut recompute, b);
-        }
-        let t1 = Instant::now();
-        for b in churn {
-            DynamicMatcher::apply_batch(&mut recompute, b);
-        }
-        let rec_us = t1.elapsed().as_micros() as f64 / churn_updates as f64;
-
-        table.row(vec![
-            batch.to_string(),
-            churn_updates.to_string(),
-            f(dyn_us, 2),
-            f(rec_us, 2),
-            f(rec_us / dyn_us.max(1e-9), 1),
-            dynamic.matching_size().to_string(),
-            recompute.matching_edge_ids().len().to_string(),
-        ]);
     }
     finish(table)
 }
 
 /// E5 — batch processing vs one-update-at-a-time sequential baselines: total depth
-/// (the quantity parallelism cares about) and wall-clock per update.
+/// (the quantity parallelism cares about) and wall-clock per update, every engine
+/// driven through the identical runner.
 #[must_use]
 pub fn e5_vs_sequential(scale: Scale) -> String {
     let mut table = Table::new(
         "E5  parallel batches vs sequential one-by-one processing",
-        &["algorithm", "batch", "total depth", "us/update", "matching"],
+        &["engine", "batch", "total depth", "us/update", "matching"],
     );
     let n = scale.div(1 << 13, 1 << 11);
     let w_batched = streams::random_churn(n, 2, 2 * n, 10, n / 2, 0.5, 41);
     let w_single = streams::random_churn(n, 2, 2 * n, 10 * (n / 2), 1, 0.5, 41);
+    let builder = EngineBuilder::new(n).seed(1);
 
-    let (m1, s1) = run_parallel(&w_batched, Config::for_graphs(1));
-    table.row(vec![
-        "parallel-dynamic".into(),
-        (n / 2).to_string(),
-        m1.cost().total_depth().to_string(),
-        f(s1.micros_per_update(), 2),
-        s1.final_matching.to_string(),
-    ]);
-    let (m2, s2) = run_parallel(&w_single, Config::for_graphs(1));
+    for kind in [
+        EngineKind::Parallel,
+        EngineKind::NaiveSequential,
+        EngineKind::RandomReplace,
+    ] {
+        let (_, stats) = run_kind(&w_batched, kind, &builder);
+        table.row(vec![
+            kind.name().into(),
+            (n / 2).to_string(),
+            stats.depth.to_string(),
+            f(stats.micros_per_update(), 2),
+            stats.final_matching.to_string(),
+        ]);
+    }
+    // The leveled *sequential* dynamic algorithm of [BGS11]/[AS21]: the paper's
+    // engine degraded to single-update batches.
+    let (_, stats) = run_kind(&w_single, EngineKind::Parallel, &builder);
     table.row(vec![
         "parallel-dynamic (batch=1)".into(),
         "1".into(),
-        m2.cost().total_depth().to_string(),
-        f(s2.micros_per_update(), 2),
-        s2.final_matching.to_string(),
-    ]);
-    let (naive, s3) = run_generic(&w_batched, NaiveDynamicMatching::new(n));
-    table.row(vec![
-        "naive-sequential".into(),
-        (n / 2).to_string(),
-        naive.cost().total_depth().to_string(),
-        f(s3.micros_per_update(), 2),
-        s3.final_matching.to_string(),
-    ]);
-    let (rr, s4) = run_generic(&w_batched, RandomReplaceMatching::new(n, 2));
-    table.row(vec![
-        "random-replace-sequential".into(),
-        (n / 2).to_string(),
-        rr.cost().total_depth().to_string(),
-        f(s4.micros_per_update(), 2),
-        s4.final_matching.to_string(),
+        stats.depth.to_string(),
+        f(stats.micros_per_update(), 2),
+        stats.final_matching.to_string(),
     ]);
     finish(table)
 }
@@ -244,12 +266,20 @@ pub fn e5_vs_sequential(scale: Scale) -> String {
 pub fn e6_rank_scaling(scale: Scale) -> String {
     let mut table = Table::new(
         "E6  work per update vs hypergraph rank r (Theorem 4.1)",
-        &["r", "alpha", "levels", "work/update", "us/update", "matching"],
+        &[
+            "r",
+            "alpha",
+            "levels",
+            "work/update",
+            "us/update",
+            "matching",
+        ],
     );
     let n = scale.div(1 << 13, 1 << 11);
     for &r in &[2usize, 3, 4, 6, 8, 10] {
         let w = streams::random_churn(n, r, n, 10, n / 8, 0.5, 53);
-        let (matcher, stats) = run_parallel(&w, Config::for_hypergraphs(r, 7));
+        let builder = EngineBuilder::new(n).rank(r).seed(7);
+        let (matcher, stats) = run_engine(&w, ParallelDynamicMatching::from_builder(&builder));
         table.row(vec![
             r.to_string(),
             (4 * r).to_string(),
@@ -268,38 +298,58 @@ pub fn e6_rank_scaling(scale: Scale) -> String {
 pub fn e7_quality(scale: Scale) -> String {
     let mut table = Table::new(
         "E7  matching quality vs greedy static reference",
-        &["workload", "r", "dynamic", "greedy", "ratio", "uncovered edges"],
+        &[
+            "workload",
+            "r",
+            "dynamic",
+            "greedy",
+            "ratio",
+            "uncovered edges",
+        ],
     );
     let n = scale.div(1 << 13, 1 << 11);
     let workloads = vec![
-        ("uniform", 2, streams::random_churn(n, 2, 2 * n, 10, n / 4, 0.5, 61)),
+        (
+            "uniform",
+            2,
+            streams::random_churn(n, 2, 2 * n, 10, n / 4, 0.5, 61),
+        ),
         (
             "power-law",
             2,
-            streams::insert_then_teardown(n, generators::chung_lu_graph(n, 3 * n, 2.3, 3, 0), n / 4, 5),
+            streams::insert_then_teardown(
+                n,
+                generators::chung_lu_graph(n, 3 * n, 2.3, 3, 0),
+                n / 4,
+                5,
+            ),
         ),
-        ("rank-4", 4, streams::random_churn(n, 4, n, 10, n / 8, 0.6, 67)),
+        (
+            "rank-4",
+            4,
+            streams::random_churn(n, 4, n, 10, n / 8, 0.6, 67),
+        ),
     ];
     for (name, r, w) in workloads {
         // Stop three quarters of the way through so the final graph is non-empty.
-        let cut = w.batches.len() * 3 / 4;
-        let partial = pdmm_hypergraph::streams::Workload {
-            num_vertices: w.num_vertices,
-            rank: w.rank,
-            batches: w.batches[..cut].to_vec(),
-            name: w.name.clone(),
-        };
-        let (matcher, _) = run_parallel(&partial, Config::for_hypergraphs(r, 3));
+        let partial = slice_workload(&w, 0..w.batches.len() * 3 / 4);
+        let builder = EngineBuilder::new(partial.num_vertices).rank(r).seed(3);
+        let (matcher, _) = run_engine(&partial, ParallelDynamicMatching::from_builder(&builder));
         let mut truth = DynamicHypergraph::new(partial.num_vertices);
         for batch in &partial.batches {
             truth.apply_batch(batch);
         }
         let greedy = greedy_maximal_matching(&truth).len();
         let dynamic = matcher.matching_size();
-        let matched_ids = matcher.matching();
-        let cover: Vec<_> = matched_ids
-            .iter()
-            .flat_map(|id| truth.edge(*id).expect("matched edge is live").vertices().to_vec())
+        let cover: Vec<_> = matcher
+            .matching()
+            .flat_map(|id| {
+                truth
+                    .edge(id)
+                    .expect("matched edge is live")
+                    .vertices()
+                    .to_vec()
+            })
             .collect();
         let uncovered = pdmm_hypergraph::matching::uncovered_edges(&truth, &cover);
         table.row(vec![
@@ -319,12 +369,20 @@ pub fn e7_quality(scale: Scale) -> String {
 pub fn e8_epoch_stats(scale: Scale) -> String {
     let mut table = Table::new(
         "E8  epoch statistics per level (Lemmas 4.6, 4.13, 4.14)",
-        &["level", "created", "natural end", "induced end", "avg |D|", "avg D-deleted before end"],
+        &[
+            "level",
+            "created",
+            "natural end",
+            "induced end",
+            "avg |D|",
+            "avg D-deleted before end",
+        ],
     );
     let n = scale.div(1 << 13, 1 << 11);
     let w = streams::hub_churn(n, 8, 60, n / 8, 71);
-    let (matcher, _) = run_parallel(&w, Config::for_graphs(9));
-    let metrics = matcher.metrics();
+    let builder = EngineBuilder::new(n).seed(9);
+    let (matcher, _) = run_engine(&w, ParallelDynamicMatching::from_builder(&builder));
+    let metrics = matcher.epoch_metrics();
     for (level, stats) in metrics.per_level.iter().enumerate() {
         if stats.epochs_created == 0 {
             continue;
@@ -334,7 +392,10 @@ pub fn e8_epoch_stats(scale: Scale) -> String {
             stats.epochs_created.to_string(),
             stats.epochs_ended_natural.to_string(),
             stats.epochs_ended_induced.to_string(),
-            f(stats.d_size_at_creation as f64 / stats.epochs_created as f64, 2),
+            f(
+                stats.d_size_at_creation as f64 / stats.epochs_created as f64,
+                2,
+            ),
             f(
                 stats.d_deleted_before_natural_end as f64
                     / stats.epochs_ended_natural.max(1) as f64,
@@ -366,8 +427,9 @@ pub fn e9_thread_scaling(scale: Scale) -> String {
             .num_threads(threads)
             .build()
             .expect("thread pool");
+        let builder = EngineBuilder::new(n).seed(13).threads(threads);
         let stats = pool.install(|| {
-            let (_, stats) = run_parallel(&w, Config::for_graphs(13));
+            let (_, stats) = run_kind(&w, EngineKind::Parallel, &builder);
             stats
         });
         table.row(vec![
@@ -385,23 +447,36 @@ pub fn e9_thread_scaling(scale: Scale) -> String {
 pub fn e10_ablation(scale: Scale) -> String {
     let mut table = Table::new(
         "E10  ablation of the settle procedure",
-        &["configuration", "work/update", "total depth", "us/update", "settle iters", "matching"],
+        &[
+            "configuration",
+            "work/update",
+            "total depth",
+            "us/update",
+            "settle iters",
+            "matching",
+        ],
     );
     let n = scale.div(1 << 13, 1 << 11);
     let w = streams::hub_churn(n, 8, 50, n / 8, 91);
     let configs: Vec<(&str, Config)> = vec![
         ("grand-random-settle (paper)", Config::for_graphs(3)),
-        ("sequential random-settle", Config::for_graphs(3).with_sequential_settle()),
-        ("settle-after-insert", Config::for_graphs(3).with_settle_after_insert()),
+        (
+            "sequential random-settle",
+            Config::for_graphs(3).with_sequential_settle(),
+        ),
+        (
+            "settle-after-insert",
+            Config::for_graphs(3).with_settle_after_insert(),
+        ),
     ];
     for (name, config) in configs {
-        let (matcher, stats) = run_parallel(&w, config);
+        let (matcher, stats) = run_engine(&w, ParallelDynamicMatching::new(n, config));
         table.row(vec![
             name.into(),
             f(stats.work_per_update(), 1),
-            matcher.cost().total_depth().to_string(),
+            stats.depth.to_string(),
             f(stats.micros_per_update(), 2),
-            matcher.metrics().settle_iterations.to_string(),
+            matcher.epoch_metrics().settle_iterations.to_string(),
             stats.final_matching.to_string(),
         ]);
     }
@@ -453,6 +528,18 @@ mod tests {
         let out = e8_epoch_stats(Scale::Quick);
         assert!(out.contains("E8"));
         assert!(out.contains("settle invocations"));
+    }
+
+    #[test]
+    fn quick_cross_engine_experiment_lists_every_engine_uniformly() {
+        let out = e5_vs_sequential(Scale::Quick);
+        for name in [
+            "parallel-dynamic",
+            "naive-sequential",
+            "random-replace-sequential",
+        ] {
+            assert!(out.contains(name), "missing engine {name} in:\n{out}");
+        }
     }
 
     #[test]

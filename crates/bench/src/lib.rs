@@ -5,8 +5,9 @@
 //! * [`experiments`] — the E1–E10 experiment suite (one function per claim of the
 //!   paper, see the per-experiment index in `DESIGN.md`); the `experiments` binary
 //!   drives it and its output is recorded in `EXPERIMENTS.md`;
-//! * [`runner`] — workload execution helpers shared with the criterion benches in
-//!   `benches/`;
+//! * [`runner`] — the single engine-agnostic workload runner shared with the
+//!   criterion benches in `benches/` (every engine goes through
+//!   [`runner::run_workload`]; no per-engine code paths);
 //! * [`table`] — plain-text table rendering.
 
 #![warn(missing_docs)]
@@ -17,4 +18,4 @@ pub mod runner;
 pub mod table;
 
 pub use experiments::{run_by_id, Scale, ALL_EXPERIMENTS};
-pub use runner::{run_generic, run_parallel, RunStats};
+pub use runner::{run_kind, run_workload, RunStats};

@@ -1,27 +1,39 @@
-//! Workload execution helpers shared by the experiment binary and the criterion
-//! benches: run a workload through a dynamic matcher, collecting per-batch depth,
-//! work and wall-clock statistics.
+//! Workload execution shared by the experiment binary and the criterion benches.
+//!
+//! There is exactly one way to run a workload: [`run_workload`] drives *any*
+//! [`MatchingEngine`] through [`MatchingEngine::apply_batch`], accumulating the
+//! per-batch [`BatchReport`]s into [`RunStats`].  No engine-specific branching —
+//! the paper's algorithm, every baseline, and the static adapter are measured
+//! through identical code.
+//!
+//! The timed region deliberately calls `apply_batch` directly rather than the
+//! staged `BatchSession` path: sessions clone and re-validate every update,
+//! which would add ingest bookkeeping to the measured per-update cost (and
+//! proportionally most to the cheapest baselines, skewing every comparison).
+//! The session path has its own coverage in `tests/engine_conformance.rs` and
+//! `Workload::drive`.
 
-use pdmm_core::{Config, ParallelDynamicMatching};
-use pdmm_hypergraph::dynamic::DynamicMatcher;
+use pdmm::engine::{self, BatchError, EngineBuilder, EngineKind, MatchingEngine};
 use pdmm_hypergraph::streams::Workload;
 use std::time::{Duration, Instant};
 
-/// Aggregated statistics from running one workload through one algorithm.
+/// Aggregated statistics from running one workload through one engine.
 #[derive(Debug, Clone, Default)]
 pub struct RunStats {
     /// Total number of updates processed.
     pub updates: u64,
     /// Number of batches processed.
     pub batches: u64,
-    /// Total work units (from the algorithm's cost tracker, when available).
+    /// Total work units (from the engine's batch reports).
     pub work: u64,
-    /// Total depth in parallel rounds (when available).
+    /// Total depth in parallel rounds (from the engine's batch reports).
     pub depth: u64,
     /// Maximum depth of any single batch.
     pub max_batch_depth: u64,
     /// Mean depth per batch.
     pub mean_batch_depth: f64,
+    /// Number of batches that triggered an `N`-doubling rebuild.
+    pub rebuilds: u64,
     /// Total wall-clock time.
     pub wall: Duration,
     /// Final matching size.
@@ -42,43 +54,52 @@ impl RunStats {
     }
 }
 
-/// Runs the paper's algorithm over a workload, collecting the full statistics.
-#[must_use]
-pub fn run_parallel(workload: &Workload, config: Config) -> (ParallelDynamicMatching, RunStats) {
-    let mut matcher = ParallelDynamicMatching::new(workload.num_vertices, config);
+/// Runs a workload through any engine, applying every batch through the shared
+/// trait and collecting uniform statistics.
+///
+/// # Errors
+///
+/// Stops at (and returns) the first batch the engine rejects — a correctly
+/// generated workload never triggers this.
+pub fn run_workload(
+    workload: &Workload,
+    engine: &mut dyn MatchingEngine,
+) -> Result<RunStats, BatchError> {
     let mut stats = RunStats::default();
     let started = Instant::now();
-    let mut depth_sum = 0u64;
     for batch in &workload.batches {
-        let report = matcher.apply_batch(batch);
-        stats.updates += batch.len() as u64;
+        let report = engine.apply_batch(batch)?;
+        stats.updates += report.batch_size as u64;
         stats.batches += 1;
-        depth_sum += report.depth;
+        stats.work += report.work;
+        stats.depth += report.depth;
         stats.max_batch_depth = stats.max_batch_depth.max(report.depth);
+        stats.rebuilds += u64::from(report.rebuilt);
+        stats.final_matching = report.matching_size;
     }
     stats.wall = started.elapsed();
-    let cost = matcher.cost().snapshot();
-    stats.work = cost.work;
-    stats.depth = cost.depth;
-    stats.mean_batch_depth = depth_sum as f64 / stats.batches.max(1) as f64;
-    stats.final_matching = matcher.matching_size();
-    (matcher, stats)
+    stats.mean_batch_depth = stats.depth as f64 / stats.batches.max(1) as f64;
+    Ok(stats)
 }
 
-/// Runs any [`DynamicMatcher`] over a workload, collecting wall-clock statistics
-/// (work/depth are filled in by the caller if the algorithm exposes them).
+/// Builds the engine of `kind` from `builder`, runs the workload through it, and
+/// returns both (the engine for engine-specific introspection, e.g. the §4.2
+/// epoch metrics of the parallel algorithm).
+///
+/// # Panics
+///
+/// Panics if the workload is rejected — workloads from
+/// [`pdmm_hypergraph::streams`] are always valid.
 #[must_use]
-pub fn run_generic<A: DynamicMatcher>(workload: &Workload, mut alg: A) -> (A, RunStats) {
-    let mut stats = RunStats::default();
-    let started = Instant::now();
-    for batch in &workload.batches {
-        alg.apply_batch(batch);
-        stats.updates += batch.len() as u64;
-        stats.batches += 1;
-    }
-    stats.wall = started.elapsed();
-    stats.final_matching = alg.matching_edge_ids().len();
-    (alg, stats)
+pub fn run_kind(
+    workload: &Workload,
+    kind: EngineKind,
+    builder: &EngineBuilder,
+) -> (Box<dyn MatchingEngine>, RunStats) {
+    let mut engine = engine::build(kind, builder);
+    let stats = run_workload(workload, engine.as_mut())
+        .unwrap_or_else(|e| panic!("workload {} rejected by {}: {e}", workload.name, kind));
+    (engine, stats)
 }
 
 #[cfg(test)]
@@ -86,26 +107,31 @@ mod tests {
     use super::*;
     use pdmm_hypergraph::generators::gnm_graph;
     use pdmm_hypergraph::streams::insert_only;
-    use pdmm_seq_dynamic::NaiveDynamicMatching;
 
     #[test]
-    fn run_parallel_collects_stats() {
+    fn run_workload_collects_uniform_stats_for_every_engine() {
         let w = insert_only(50, gnm_graph(50, 200, 1, 0), 40);
-        let (matcher, stats) = run_parallel(&w, Config::for_graphs(1));
-        assert_eq!(stats.updates, 200);
-        assert_eq!(stats.batches, 5);
-        assert!(stats.work > 0);
-        assert!(stats.depth > 0);
-        assert!(stats.work_per_update() > 0.0);
-        assert_eq!(stats.final_matching, matcher.matching_size());
-        assert!(stats.mean_batch_depth <= stats.max_batch_depth as f64);
+        let builder = EngineBuilder::new(50).seed(1);
+        for kind in EngineKind::ALL {
+            let (engine, stats) = run_kind(&w, kind, &builder);
+            assert_eq!(stats.updates, 200, "{kind}");
+            assert_eq!(stats.batches, 5, "{kind}");
+            assert!(stats.work > 0, "{kind}");
+            assert!(stats.work_per_update() > 0.0, "{kind}");
+            assert_eq!(stats.final_matching, engine.matching_size(), "{kind}");
+            assert!(
+                stats.mean_batch_depth <= stats.max_batch_depth as f64,
+                "{kind}"
+            );
+            assert_eq!(engine.metrics().updates, 200, "{kind}");
+        }
     }
 
     #[test]
-    fn run_generic_collects_stats() {
-        let w = insert_only(30, gnm_graph(30, 90, 2, 0), 30);
-        let (_alg, stats) = run_generic(&w, NaiveDynamicMatching::new(30));
-        assert_eq!(stats.updates, 90);
-        assert!(stats.final_matching > 0);
+    fn parallel_engine_reports_depth_and_rebuild_counters() {
+        let w = insert_only(50, gnm_graph(50, 200, 1, 0), 40);
+        let (_, stats) = run_kind(&w, EngineKind::Parallel, &EngineBuilder::new(50).seed(1));
+        assert!(stats.depth > 0);
+        assert!(stats.max_batch_depth > 0);
     }
 }

@@ -21,43 +21,32 @@ use crate::invariants;
 use crate::metrics::Metrics;
 use crate::settle::{process_level, release_bucket_and_remove};
 use crate::state::MatcherState;
-use pdmm_hypergraph::dynamic::DynamicMatcher;
-use pdmm_hypergraph::types::{EdgeId, HyperEdge, Update, UpdateBatch, VertexId};
+use pdmm_hypergraph::engine::{
+    validate_batch, BatchError, BatchReport, EngineBuilder, EngineMetrics, MatchingEngine,
+    MatchingIter,
+};
+use pdmm_hypergraph::types::{EdgeId, HyperEdge, Update, VertexId};
 use pdmm_primitives::cost_model::{CostSnapshot, CostTracker};
 use pdmm_static::luby::luby_maximal_matching;
 use rustc_hash::FxHashSet;
-
-/// Summary of one `apply_batch` call, used by the experiment harness.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct BatchReport {
-    /// Number of updates in the batch.
-    pub batch_size: usize,
-    /// Parallel rounds (depth) spent on this batch.
-    pub depth: u64,
-    /// Work units spent on this batch.
-    pub work: u64,
-    /// How many of the deletions hit matched edges.
-    pub matched_deletions: usize,
-    /// Size of the matching after the batch.
-    pub matching_size: usize,
-    /// Whether this batch triggered an `N`-doubling rebuild.
-    pub rebuilt: bool,
-}
 
 /// Parallel dynamic maximal matching for rank-`r` hypergraphs
 /// (Ghaffari–Trygub, SPAA 2024).
 ///
 /// ```
-/// use pdmm_core::{Config, ParallelDynamicMatching};
+/// use pdmm_core::{EngineBuilder, ParallelDynamicMatching};
 /// use pdmm_hypergraph::types::{EdgeId, HyperEdge, Update, VertexId};
 ///
-/// let mut matcher = ParallelDynamicMatching::new(4, Config::for_graphs(42));
-/// matcher.apply_batch(&vec![
-///     Update::Insert(HyperEdge::pair(EdgeId(0), VertexId(0), VertexId(1))),
-///     Update::Insert(HyperEdge::pair(EdgeId(1), VertexId(2), VertexId(3))),
-/// ]);
+/// let mut matcher =
+///     ParallelDynamicMatching::from_builder(&EngineBuilder::new(4).seed(42));
+/// matcher
+///     .apply_batch(&[
+///         Update::Insert(HyperEdge::pair(EdgeId(0), VertexId(0), VertexId(1))),
+///         Update::Insert(HyperEdge::pair(EdgeId(1), VertexId(2), VertexId(3))),
+///     ])
+///     .unwrap();
 /// assert_eq!(matcher.matching_size(), 2);
-/// matcher.apply_batch(&vec![Update::Delete(EdgeId(0))]);
+/// matcher.apply_batch(&[Update::Delete(EdgeId(0))]).unwrap();
 /// assert_eq!(matcher.matching_size(), 1);
 /// ```
 #[derive(Debug)]
@@ -74,10 +63,11 @@ impl ParallelDynamicMatching {
         }
     }
 
-    /// Creates the algorithm with the default (rank-2, seed-0) configuration.
+    /// Creates the algorithm from the engine-agnostic builder (the canonical
+    /// constructor; `new` remains for algorithm-specific `Config` knobs).
     #[must_use]
-    pub fn with_defaults(num_vertices: usize) -> Self {
-        Self::new(num_vertices, Config::default())
+    pub fn from_builder(builder: &EngineBuilder) -> Self {
+        Self::new(builder.num_vertices, Config::from_builder(builder))
     }
 
     /// Number of vertices.
@@ -98,9 +88,14 @@ impl ParallelDynamicMatching {
         self.state.matching_size()
     }
 
-    /// Ids of the currently matched hyperedges.
+    /// The current matching, iterated zero-copy out of the internal edge table.
+    pub fn matching(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.state.matched_ids()
+    }
+
+    /// Ids of the currently matched hyperedges, collected into a vector.
     #[must_use]
-    pub fn matching(&self) -> Vec<EdgeId> {
+    pub fn matching_ids(&self) -> Vec<EdgeId> {
         self.state.matched_edge_ids()
     }
 
@@ -122,9 +117,11 @@ impl ParallelDynamicMatching {
         &self.state.cost
     }
 
-    /// The accumulated epoch/update metrics.
+    /// The accumulated epoch/update metrics of §4.2 (per-level epoch counts,
+    /// settle counters, …).  The engine-agnostic counters every engine shares
+    /// are available through [`MatchingEngine::metrics`].
     #[must_use]
-    pub fn metrics(&self) -> &Metrics {
+    pub fn epoch_metrics(&self) -> &Metrics {
         &self.state.metrics
     }
 
@@ -157,20 +154,29 @@ impl ParallelDynamicMatching {
 
     /// Processes one batch of simultaneous updates and returns a cost report.
     ///
-    /// # Panics
+    /// The batch is validated up front; on error nothing was applied.
     ///
-    /// Panics if a deletion names an unknown edge, an insertion reuses a live id,
-    /// or an inserted edge exceeds the configured maximum rank.
-    pub fn apply_batch(&mut self, batch: &UpdateBatch) -> BatchReport {
+    /// # Errors
+    ///
+    /// Returns a [`BatchError`] if a deletion names an unknown edge, an insertion
+    /// reuses a live id, or an inserted edge exceeds the configured maximum rank
+    /// or the vertex range.
+    pub fn apply_batch(&mut self, updates: &[Update]) -> Result<BatchReport, BatchError> {
+        validate_batch(
+            updates,
+            |id| self.state.edges.contains_key(&id),
+            self.state.config.max_rank,
+            self.state.num_vertices(),
+        )?;
         let start: CostSnapshot = self.state.cost.snapshot();
         let mut report = BatchReport {
-            batch_size: batch.len(),
+            batch_size: updates.len(),
             ..BatchReport::default()
         };
 
         self.state.metrics.batches += 1;
-        self.state.metrics.updates += batch.len() as u64;
-        self.state.updates_since_rebuild += batch.len() as u64;
+        self.state.metrics.updates += updates.len() as u64;
+        self.state.updates_since_rebuild += updates.len() as u64;
 
         // §3.2.1: once N more updates have arrived, double N and rebuild.
         if self.state.updates_since_rebuild + self.state.num_vertices() as u64
@@ -183,12 +189,12 @@ impl ParallelDynamicMatching {
         // Categorize the batch (§3.3): unmatched deletions, matched deletions,
         // temporarily-deleted deletions, insertions.
         self.state.cost.round();
-        self.state.cost.work(batch.len() as u64);
+        self.state.cost.work(updates.len() as u64);
         let mut unmatched_deletions: Vec<EdgeId> = Vec::new();
         let mut matched_deletions: Vec<EdgeId> = Vec::new();
         let mut temp_deleted_deletions: Vec<EdgeId> = Vec::new();
         let mut insertions: Vec<HyperEdge> = Vec::new();
-        for update in batch {
+        for update in updates {
             match update {
                 Update::Insert(edge) => {
                     self.state.metrics.insertions += 1;
@@ -200,7 +206,7 @@ impl ParallelDynamicMatching {
                         .state
                         .edges
                         .get(id)
-                        .unwrap_or_else(|| panic!("deletion of unknown edge {id}"));
+                        .expect("validated batch: deletion names a live edge");
                     if e.temp_deleted {
                         temp_deleted_deletions.push(*id);
                     } else if e.matched {
@@ -242,7 +248,9 @@ impl ParallelDynamicMatching {
         for id in &matched_deletions {
             let level = self.state.edges[id].level;
             let d_deleted = self.state.edges[id].d_deleted_count;
-            self.state.metrics.record_epoch_natural_end(level, d_deleted);
+            self.state
+                .metrics
+                .record_epoch_natural_end(level, d_deleted);
             self.state.unmatch_edge(*id);
             release_bucket_and_remove(&mut self.state, *id, false, &mut pending_reinsertions);
         }
@@ -282,7 +290,7 @@ impl ParallelDynamicMatching {
         report.depth = cost.depth;
         report.work = cost.work;
         report.matching_size = self.state.matching_size();
-        report
+        Ok(report)
     }
 
     /// §3.3.3: run the static parallel matcher over the inserted hyperedges whose
@@ -330,7 +338,12 @@ impl ParallelDynamicMatching {
         self.state.metrics.rebuilds += 1;
         let needed = self.state.num_vertices() as u64 + self.state.updates_since_rebuild;
         let new_params = self.state.params.doubled(needed);
-        let all_edges: Vec<HyperEdge> = self.state.edges.keys().copied().collect::<Vec<_>>()
+        let all_edges: Vec<HyperEdge> = self
+            .state
+            .edges
+            .keys()
+            .copied()
+            .collect::<Vec<_>>()
             .into_iter()
             .map(|id| HyperEdge::new(id, self.state.edges[&id].vertices.to_vec()))
             .collect();
@@ -373,17 +386,53 @@ impl ParallelDynamicMatching {
     }
 }
 
-impl DynamicMatcher for ParallelDynamicMatching {
-    fn apply_batch(&mut self, batch: &UpdateBatch) {
-        let _ = ParallelDynamicMatching::apply_batch(self, batch);
-    }
-
-    fn matching_edge_ids(&self) -> Vec<EdgeId> {
-        self.matching()
-    }
-
+impl MatchingEngine for ParallelDynamicMatching {
     fn name(&self) -> &'static str {
         "parallel-dynamic"
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.state.num_vertices()
+    }
+
+    fn max_rank(&self) -> usize {
+        self.state.config.max_rank
+    }
+
+    fn contains_edge(&self, id: EdgeId) -> bool {
+        // Temporarily deleted edges are still live from the adversary's view.
+        self.state.edges.contains_key(&id)
+    }
+
+    fn apply_batch(&mut self, updates: &[Update]) -> Result<BatchReport, BatchError> {
+        ParallelDynamicMatching::apply_batch(self, updates)
+    }
+
+    fn matching(&self) -> MatchingIter<'_> {
+        MatchingIter::new(self.state.matched_ids())
+    }
+
+    fn matching_size(&self) -> usize {
+        self.state.matching_size()
+    }
+
+    fn verify(&mut self) -> Result<(), String> {
+        self.verify_invariants()
+    }
+
+    fn metrics(&self) -> EngineMetrics {
+        let metrics = &self.state.metrics;
+        let cost = self.state.cost.snapshot();
+        EngineMetrics {
+            batches: metrics.batches,
+            updates: metrics.updates,
+            insertions: metrics.insertions,
+            deletions: metrics.deletions,
+            matched_deletions: metrics.matched_deletions,
+            work: cost.work,
+            depth: cost.depth,
+            rebuilds: metrics.rebuilds,
+        }
     }
 }
 
@@ -393,6 +442,7 @@ mod tests {
     use pdmm_hypergraph::generators::gnm_graph;
     use pdmm_hypergraph::graph::DynamicHypergraph;
     use pdmm_hypergraph::matching::verify_maximality;
+    use pdmm_hypergraph::types::UpdateBatch;
 
     fn pair(id: u64, a: u32, b: u32) -> HyperEdge {
         HyperEdge::pair(EdgeId(id), VertexId(a), VertexId(b))
@@ -405,9 +455,13 @@ mod tests {
         let mut truth = DynamicHypergraph::new(num_vertices);
         for batch in batches {
             truth.apply_batch(batch);
-            alg.apply_batch(batch);
-            let ids = alg.matching();
-            assert_eq!(verify_maximality(&truth, &ids), Ok(()), "batch broke maximality");
+            alg.apply_batch(batch).expect("valid batch");
+            let ids = alg.matching_ids();
+            assert_eq!(
+                verify_maximality(&truth, &ids),
+                Ok(()),
+                "batch broke maximality"
+            );
             alg.verify_invariants().expect("invariants must hold");
         }
     }
@@ -415,11 +469,13 @@ mod tests {
     #[test]
     fn insert_only_batch_matches_greedily() {
         let mut alg = ParallelDynamicMatching::new(6, Config::for_graphs(1));
-        let report = alg.apply_batch(&vec![
-            Update::Insert(pair(0, 0, 1)),
-            Update::Insert(pair(1, 2, 3)),
-            Update::Insert(pair(2, 4, 5)),
-        ]);
+        let report = alg
+            .apply_batch(&[
+                Update::Insert(pair(0, 0, 1)),
+                Update::Insert(pair(1, 2, 3)),
+                Update::Insert(pair(2, 4, 5)),
+            ])
+            .unwrap();
         assert_eq!(report.batch_size, 3);
         assert_eq!(report.matching_size, 3);
         assert!(report.depth >= 1);
@@ -431,19 +487,21 @@ mod tests {
     #[test]
     fn delete_unmatched_edge_is_cheap() {
         let mut alg = ParallelDynamicMatching::new(4, Config::for_graphs(2));
-        alg.apply_batch(&vec![
-            Update::Insert(pair(0, 0, 1)),
-            Update::Insert(pair(1, 1, 2)),
-        ]);
+        alg.apply_batch(&[Update::Insert(pair(0, 0, 1)), Update::Insert(pair(1, 1, 2))])
+            .unwrap();
         assert_eq!(alg.matching_size(), 1);
         // The two edges conflict at vertex 1, so exactly one is matched; delete
         // the *unmatched* one and verify the matching is untouched.
-        let matched = alg.matching()[0];
-        let unmatched = if matched == EdgeId(0) { EdgeId(1) } else { EdgeId(0) };
-        let report = alg.apply_batch(&vec![Update::Delete(unmatched)]);
+        let matched = alg.matching_ids()[0];
+        let unmatched = if matched == EdgeId(0) {
+            EdgeId(1)
+        } else {
+            EdgeId(0)
+        };
+        let report = alg.apply_batch(&[Update::Delete(unmatched)]).unwrap();
         assert_eq!(report.matched_deletions, 0);
         assert_eq!(alg.matching_size(), 1);
-        assert_eq!(alg.matching(), vec![matched]);
+        assert_eq!(alg.matching_ids(), vec![matched]);
     }
 
     #[test]
@@ -464,9 +522,10 @@ mod tests {
 
     #[test]
     fn unmatched_vertices_sit_at_level_minus_one() {
-        let mut alg = ParallelDynamicMatching::new(3, Config::for_graphs(4).with_invariant_checks());
-        alg.apply_batch(&vec![Update::Insert(pair(0, 0, 1))]);
-        alg.apply_batch(&vec![Update::Delete(EdgeId(0))]);
+        let mut alg =
+            ParallelDynamicMatching::new(3, Config::for_graphs(4).with_invariant_checks());
+        alg.apply_batch(&[Update::Insert(pair(0, 0, 1))]).unwrap();
+        alg.apply_batch(&[Update::Delete(EdgeId(0))]).unwrap();
         assert_eq!(alg.matching_size(), 0);
         assert_eq!(alg.level_of(VertexId(0)), -1);
         assert_eq!(alg.level_of(VertexId(1)), -1);
@@ -475,19 +534,43 @@ mod tests {
 
     #[test]
     fn duplicate_endpoint_insert_and_reinsert_of_same_id_after_delete() {
-        let mut alg = ParallelDynamicMatching::new(4, Config::for_graphs(5).with_invariant_checks());
-        alg.apply_batch(&vec![Update::Insert(pair(0, 0, 1))]);
-        alg.apply_batch(&vec![Update::Delete(EdgeId(0))]);
+        let mut alg =
+            ParallelDynamicMatching::new(4, Config::for_graphs(5).with_invariant_checks());
+        alg.apply_batch(&[Update::Insert(pair(0, 0, 1))]).unwrap();
+        alg.apply_batch(&[Update::Delete(EdgeId(0))]).unwrap();
         // The same id may be reused after its deletion.
-        alg.apply_batch(&vec![Update::Insert(pair(0, 2, 3))]);
+        alg.apply_batch(&[Update::Insert(pair(0, 2, 3))]).unwrap();
         assert_eq!(alg.matching_size(), 1);
     }
 
     #[test]
-    #[should_panic(expected = "unknown edge")]
-    fn deleting_unknown_edge_panics() {
+    fn invalid_batches_return_typed_errors_and_change_nothing() {
         let mut alg = ParallelDynamicMatching::new(3, Config::for_graphs(6));
-        alg.apply_batch(&vec![Update::Delete(EdgeId(77))]);
+        alg.apply_batch(&[Update::Insert(pair(0, 0, 1))]).unwrap();
+        assert_eq!(
+            alg.apply_batch(&[Update::Delete(EdgeId(77))]),
+            Err(BatchError::UnknownDeletion { id: EdgeId(77) })
+        );
+        assert_eq!(
+            alg.apply_batch(&[Update::Insert(pair(0, 1, 2))]),
+            Err(BatchError::DuplicateEdgeId { id: EdgeId(0) })
+        );
+        assert!(matches!(
+            alg.apply_batch(&[Update::Insert(HyperEdge::new(
+                EdgeId(5),
+                vec![VertexId(0), VertexId(1), VertexId(2)],
+            ))]),
+            Err(BatchError::RankExceeded { .. })
+        ));
+        // A rejected batch is rejected atomically: a valid prefix does not leak.
+        assert_eq!(
+            alg.apply_batch(&[Update::Insert(pair(9, 1, 2)), Update::Delete(EdgeId(42))]),
+            Err(BatchError::UnknownDeletion { id: EdgeId(42) })
+        );
+        assert!(!MatchingEngine::contains_edge(&alg, EdgeId(9)));
+        assert_eq!(alg.matching_size(), 1);
+        assert_eq!(alg.metrics().batches, 1, "failed batches are not counted");
+        alg.verify_invariants().unwrap();
     }
 
     #[test]
@@ -502,11 +585,14 @@ mod tests {
         for chunk in edges.chunks(4) {
             let batch: UpdateBatch = chunk.iter().cloned().map(Update::Insert).collect();
             truth.apply_batch(&batch);
-            let report = alg.apply_batch(&batch);
+            let report = alg.apply_batch(&batch).unwrap();
             rebuilt |= report.rebuilt;
-            assert_eq!(verify_maximality(&truth, &alg.matching()), Ok(()));
+            assert_eq!(verify_maximality(&truth, &alg.matching_ids()), Ok(()));
         }
-        assert!(rebuilt, "expected at least one rebuild with the tiny capacity");
+        assert!(
+            rebuilt,
+            "expected at least one rebuild with the tiny capacity"
+        );
         assert!(alg.metrics().rebuilds >= 1);
     }
 
@@ -515,16 +601,13 @@ mod tests {
         let mut alg = ParallelDynamicMatching::new(10, Config::for_graphs(8));
         let edges = gnm_graph(10, 15, 3, 0);
         let insert_batch: UpdateBatch = edges.iter().cloned().map(Update::Insert).collect();
-        alg.apply_batch(&insert_batch);
-        let matched = alg.matching();
+        alg.apply_batch(&insert_batch).unwrap();
+        let matched = alg.matching_ids();
         let delete_batch: UpdateBatch = matched.iter().map(|id| Update::Delete(*id)).collect();
-        let report = alg.apply_batch(&delete_batch);
+        let report = alg.apply_batch(&delete_batch).unwrap();
         assert_eq!(report.matched_deletions, matched.len());
         assert_eq!(alg.metrics().matched_deletions, matched.len() as u64);
         assert_eq!(alg.metrics().batches, 2);
-        assert_eq!(
-            alg.metrics().updates,
-            (edges.len() + matched.len()) as u64
-        );
+        assert_eq!(alg.metrics().updates, (edges.len() + matched.len()) as u64);
     }
 }

@@ -6,7 +6,14 @@
 //! doubles `N` and rebuilds from scratch (see `rebuild` in the algorithm module), so
 //! `N` — and with it `L` — is a slowly growing quantity.
 
-/// User-facing configuration of [`crate::ParallelDynamicMatching`].
+use pdmm_hypergraph::engine::EngineBuilder;
+
+/// Algorithm-specific configuration of [`crate::ParallelDynamicMatching`].
+///
+/// Most users configure engines through the engine-agnostic
+/// [`EngineBuilder`] (see [`Config::from_builder`]); this struct additionally
+/// exposes the ablation knobs of experiment E10 that only the parallel
+/// algorithm has.
 #[derive(Debug, Clone)]
 pub struct Config {
     /// Maximum rank `r` of any hyperedge that will ever be inserted.
@@ -32,6 +39,20 @@ pub struct Config {
 }
 
 impl Config {
+    /// The configuration an [`EngineBuilder`] describes (the canonical way to
+    /// configure the engine; the ablation flags default to off).
+    #[must_use]
+    pub fn from_builder(builder: &EngineBuilder) -> Self {
+        Config {
+            max_rank: builder.max_rank,
+            seed: builder.seed,
+            settle_after_insert: false,
+            sequential_settle: false,
+            check_invariants: builder.check_invariants,
+            initial_update_capacity: builder.capacity_hint,
+        }
+    }
+
     /// Configuration for ordinary graphs (rank 2) with the given seed.
     #[must_use]
     pub fn for_graphs(seed: u64) -> Self {

@@ -32,7 +32,10 @@ fn check_levels(state: &MatcherState) -> Result<(), String> {
     let num_levels = state.num_levels() as i32;
     for (i, vs) in state.vertices.iter().enumerate() {
         if vs.level < -1 || vs.level > num_levels {
-            return Err(format!("vertex v{i} has level {} outside [-1, {num_levels}]", vs.level));
+            return Err(format!(
+                "vertex v{i} has level {} outside [-1, {num_levels}]",
+                vs.level
+            ));
         }
         match (vs.level == -1, vs.matched_edge.is_none()) {
             (true, false) => {
@@ -121,7 +124,9 @@ fn check_matching(state: &MatcherState) -> Result<(), String> {
                     return Err(format!("vertex v{i} points at unmatched edge {m}"))
                 }
                 Some(e) if !e.vertices.contains(&VertexId(i as u32)) => {
-                    return Err(format!("vertex v{i} points at edge {m} that does not contain it"))
+                    return Err(format!(
+                        "vertex v{i} points at edge {m} that does not contain it"
+                    ))
                 }
                 _ => {}
             }
@@ -260,8 +265,8 @@ fn check_s_levels(state: &MatcherState) -> Result<(), String> {
         let threshold = state.params.alpha_pow(level);
         for i in 0..state.num_vertices() {
             let v = VertexId(i as u32);
-            let should = (state.level_of(v) as i64) < level as i64
-                && state.o_tilde(v, level) >= threshold;
+            let should =
+                (state.level_of(v) as i64) < level as i64 && state.o_tilde(v, level) >= threshold;
             let is = state.s_levels[level].contains(&v);
             if should != is {
                 return Err(format!(
@@ -324,7 +329,10 @@ mod tests {
         s.unmatch_edge(EdgeId(0));
         s.flush_dirty();
         let err = check_all(&s).unwrap_err();
-        assert!(err.contains("unmatched but sits at level"), "unexpected error: {err}");
+        assert!(
+            err.contains("unmatched but sits at level"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

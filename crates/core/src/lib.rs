@@ -8,7 +8,7 @@
 //!
 //! The crate is organised along the paper's structure:
 //!
-//! * [`config`] — `α = 4r`, `N`, `L = ⌈log_α N⌉` and the user-facing knobs,
+//! * [`config`] — `α = 4r`, `N`, `L = ⌈log_α N⌉` and the ablation knobs,
 //! * `state` — the leveling scheme, ownership tables, `D(·)` buckets and `S_ℓ`
 //!   sets of §3.2 with the `set-owner`/`set-level` procedures of §3.2.4,
 //! * `settle` — `process-level`, `grand-random-settle` and the sequential
@@ -19,27 +19,49 @@
 //!
 //! ## Quick start
 //!
+//! [`ParallelDynamicMatching`] is configured through the engine-agnostic
+//! [`EngineBuilder`] and implements the workspace-wide [`MatchingEngine`] trait:
+//! batches are `&[Update]` slices, invalid batches come back as typed
+//! [`BatchError`]s, and the matching is queried zero-copy.
+//!
 //! ```
-//! use pdmm_core::{Config, ParallelDynamicMatching};
+//! use pdmm_core::{EngineBuilder, MatchingEngine, ParallelDynamicMatching};
 //! use pdmm_hypergraph::types::{EdgeId, HyperEdge, Update, VertexId};
 //!
 //! // A dynamic graph on 6 vertices, rank 2, seeded randomness.
-//! let mut matcher = ParallelDynamicMatching::new(6, Config::for_graphs(7));
+//! let mut matcher =
+//!     ParallelDynamicMatching::from_builder(&EngineBuilder::new(6).seed(7));
 //!
 //! // One batch of simultaneous insertions.
-//! matcher.apply_batch(&vec![
-//!     Update::Insert(HyperEdge::pair(EdgeId(0), VertexId(0), VertexId(1))),
-//!     Update::Insert(HyperEdge::pair(EdgeId(1), VertexId(1), VertexId(2))),
-//!     Update::Insert(HyperEdge::pair(EdgeId(2), VertexId(3), VertexId(4))),
-//! ]);
+//! matcher
+//!     .apply_batch(&[
+//!         Update::Insert(HyperEdge::pair(EdgeId(0), VertexId(0), VertexId(1))),
+//!         Update::Insert(HyperEdge::pair(EdgeId(1), VertexId(1), VertexId(2))),
+//!         Update::Insert(HyperEdge::pair(EdgeId(2), VertexId(3), VertexId(4))),
+//!     ])
+//!     .unwrap();
 //! assert!(matcher.matching_size() >= 2);
 //!
-//! // A batch mixing a deletion with an insertion.
-//! matcher.apply_batch(&vec![
-//!     Update::Delete(EdgeId(0)),
-//!     Update::Insert(HyperEdge::pair(EdgeId(3), VertexId(4), VertexId(5))),
-//! ]);
+//! // A batch mixing a deletion with an insertion; the matching is read without
+//! // copying, straight out of the engine's tables.
+//! matcher
+//!     .apply_batch(&[
+//!         Update::Delete(EdgeId(0)),
+//!         Update::Insert(HyperEdge::pair(EdgeId(3), VertexId(4), VertexId(5))),
+//!     ])
+//!     .unwrap();
+//! assert!(matcher.matching().all(|id| id != EdgeId(0)));
 //! assert!(matcher.verify_invariants().is_ok());
+//!
+//! // Invalid batches are typed errors, not panics.
+//! let err = matcher.apply_batch(&[Update::Delete(EdgeId(99))]);
+//! assert!(err.is_err());
+//!
+//! // Staged ingestion deduplicates and validates before anything is applied.
+//! let mut session = matcher.begin_batch();
+//! session.stage(Update::Delete(EdgeId(1))).unwrap();
+//! assert!(!session.stage(Update::Delete(EdgeId(1))).unwrap()); // deduplicated
+//! session.commit().unwrap();
 //! ```
 
 #![warn(missing_docs)]
@@ -52,6 +74,9 @@ pub mod metrics;
 pub(crate) mod settle;
 pub(crate) mod state;
 
-pub use algorithm::{BatchReport, ParallelDynamicMatching};
+pub use algorithm::ParallelDynamicMatching;
 pub use config::{Config, LevelingParams};
 pub use metrics::{LevelStats, Metrics};
+pub use pdmm_hypergraph::engine::{
+    BatchError, BatchReport, BatchSession, EngineBuilder, EngineMetrics, MatchingEngine,
+};

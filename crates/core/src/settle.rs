@@ -259,7 +259,9 @@ fn subsubsettle(
             if marked.contains(&eid) {
                 continue;
             }
-            let Some(e) = state.edges.get(&eid) else { continue };
+            let Some(e) = state.edges.get(&eid) else {
+                continue;
+            };
             if e.matched || e.temp_deleted {
                 continue;
             }
@@ -486,7 +488,12 @@ mod tests {
         // The postcondition of the procedure: the hub either reached level 1 or its
         // prospective ownership fell below α/2 = 4.
         let ok = s.level_of(v(0)) == 1 || s.o_tilde(v(0), 1) < 4;
-        assert!(ok, "postcondition violated: level {}, õ {}", s.level_of(v(0)), s.o_tilde(v(0), 1));
+        assert!(
+            ok,
+            "postcondition violated: level {}, õ {}",
+            s.level_of(v(0)),
+            s.o_tilde(v(0), 1)
+        );
         // At least one matched edge at level 1 must exist (Lemma 4.6 with |B| = 1).
         let matched_at_1 = s
             .edges
@@ -503,7 +510,10 @@ mod tests {
         }
         assert_eq!(s.metrics.settle_invocations, 1);
         assert!(s.metrics.settle_iterations >= 1);
-        assert!(pending.is_empty(), "no matched edges existed, nothing to kick");
+        assert!(
+            pending.is_empty(),
+            "no matched edges existed, nothing to kick"
+        );
     }
 
     #[test]

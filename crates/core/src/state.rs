@@ -162,13 +162,17 @@ impl MatcherState {
         self.vertices[v.index()].matched_edge.is_some()
     }
 
-    /// Current matching, as edge ids.
-    pub fn matched_edge_ids(&self) -> Vec<EdgeId> {
+    /// Current matching, iterated zero-copy out of the edge table.
+    pub fn matched_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
         self.edges
             .iter()
             .filter(|(_, e)| e.matched)
             .map(|(id, _)| *id)
-            .collect()
+    }
+
+    /// Current matching, as edge ids.
+    pub fn matched_edge_ids(&self) -> Vec<EdgeId> {
+        self.matched_ids().collect()
     }
 
     /// Number of matched edges.
@@ -403,7 +407,10 @@ impl MatcherState {
     /// in `D(responsible)` until that matched edge disappears.
     pub fn temp_delete_edge(&mut self, id: EdgeId, responsible: EdgeId) {
         debug_assert!(id != responsible);
-        debug_assert!(!self.edges[&id].matched, "matched edges cannot be temp-deleted");
+        debug_assert!(
+            !self.edges[&id].matched,
+            "matched edges cannot be temp-deleted"
+        );
         self.remove_edge_from_structures(id);
         {
             let e = self.edges.get_mut(&id).expect("edge exists");
@@ -540,7 +547,10 @@ mod tests {
         // Vertex 0 owns edges 1 and 2 (it is the highest-level endpoint) plus the
         // matched edge 0 depending on tie-breaks; õ at level 1 counts them all.
         let ot = s.o_tilde(v(0), 1);
-        assert!(ot >= 3, "vertex 0 should prospectively own its 3 incident edges, got {ot}");
+        assert!(
+            ot >= 3,
+            "vertex 0 should prospectively own its 3 incident edges, got {ot}"
+        );
         // Vertex 4 at level -1 owns edge 3 (smaller id than 5).
         assert_eq!(s.o_tilde(v(4), 1), 1);
         assert_eq!(s.o_tilde(v(5), 1), 1);

@@ -1,0 +1,998 @@
+//! The engine layer: one API for every dynamic maximal-matching implementation.
+//!
+//! The experiments of the paper compare the parallel batch-dynamic algorithm
+//! against static and sequential baselines under *identical* update streams.  This
+//! module is the contract that makes that comparison honest: every implementation
+//! in the workspace — the paper's algorithm (`pdmm-core`), the three sequential
+//! baselines (`pdmm-seq-dynamic`), and the static-recompute adapter
+//! (`pdmm-static`) — is driven through the [`MatchingEngine`] trait, configured
+//! through the [`EngineBuilder`], and fed batches through the staged
+//! [`BatchSession`] API, so the harness, the conformance tests, and user code all
+//! exercise exactly the same code paths.
+//!
+//! Design points:
+//!
+//! * **Typed errors** — invalid batches (duplicate ids, rank violations, unknown
+//!   deletions, out-of-range endpoints) return a [`BatchError`] instead of
+//!   panicking, and an engine rejects the *whole* batch before mutating anything.
+//! * **Zero-copy queries** — [`MatchingEngine::matching`] iterates the current
+//!   matching straight out of the engine's internal tables ([`MatchingIter`]
+//!   borrows the engine; no `Vec` is materialised unless the caller asks with
+//!   [`MatchingEngine::matching_ids`]).
+//! * **Staged ingestion** — [`MatchingEngine::begin_batch`] opens a
+//!   [`BatchSession`] that validates and deduplicates updates *before* they are
+//!   applied, the shape a production ingest path needs.
+
+use crate::types::{EdgeId, Update, UpdateBatch, VertexId};
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// A structurally invalid batch, rejected before any state was mutated.
+///
+/// The update model of §2 requires ids to be unique among live edges, deletions
+/// to name pre-batch live edges, and every hyperedge to respect the configured
+/// maximum rank and vertex range.  A batch violating any of these is refused as a
+/// whole with the first violation found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchError {
+    /// An insertion reuses the id of a live edge (or of an earlier insertion in
+    /// the same batch).
+    DuplicateEdgeId {
+        /// The conflicting edge id.
+        id: EdgeId,
+    },
+    /// An inserted hyperedge has more endpoints than the engine's configured
+    /// maximum rank.
+    RankExceeded {
+        /// The offending edge id.
+        id: EdgeId,
+        /// Its rank.
+        rank: usize,
+        /// The configured maximum.
+        max_rank: usize,
+    },
+    /// A deletion names an edge that was not live before the batch (deletions are
+    /// processed before insertions, so an id inserted in the same batch does not
+    /// count).
+    UnknownDeletion {
+        /// The unknown edge id.
+        id: EdgeId,
+    },
+    /// The same edge id is deleted twice in one batch.
+    DuplicateDeletion {
+        /// The doubly-deleted edge id.
+        id: EdgeId,
+    },
+    /// An inserted hyperedge has an endpoint outside `0..num_vertices`.
+    VertexOutOfRange {
+        /// The offending edge id.
+        id: EdgeId,
+        /// The out-of-range endpoint.
+        vertex: VertexId,
+        /// The engine's vertex-set size.
+        num_vertices: usize,
+    },
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::DuplicateEdgeId { id } => {
+                write!(f, "insertion reuses live edge id {id}")
+            }
+            BatchError::RankExceeded { id, rank, max_rank } => {
+                write!(
+                    f,
+                    "edge {id} has rank {rank} > configured maximum {max_rank}"
+                )
+            }
+            BatchError::UnknownDeletion { id } => {
+                write!(f, "deletion of unknown edge {id}")
+            }
+            BatchError::DuplicateDeletion { id } => {
+                write!(f, "edge {id} deleted twice in one batch")
+            }
+            BatchError::VertexOutOfRange {
+                id,
+                vertex,
+                num_vertices,
+            } => {
+                write!(
+                    f,
+                    "edge {id} endpoint {vertex} out of range (n = {num_vertices})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+// ---------------------------------------------------------------------------
+// Reports and metrics
+// ---------------------------------------------------------------------------
+
+/// Summary of one successfully applied batch.
+///
+/// Every engine produces one (the parallel algorithm fills all fields; baselines
+/// report their cost-model counters and never rebuild).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Number of updates in the batch.
+    pub batch_size: usize,
+    /// Parallel rounds (depth) spent on this batch.
+    pub depth: u64,
+    /// Work units spent on this batch.
+    pub work: u64,
+    /// How many of the deletions hit matched edges.
+    pub matched_deletions: usize,
+    /// Size of the matching after the batch.
+    pub matching_size: usize,
+    /// Whether this batch triggered an `N`-doubling rebuild.
+    pub rebuilt: bool,
+}
+
+/// Lifetime counters every engine can report uniformly.
+///
+/// Engine-specific metrics (the epoch statistics of §4.2, say) stay on the
+/// concrete type; these are the fields the harness tables need from *any* engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineMetrics {
+    /// Batches applied.
+    pub batches: u64,
+    /// Individual updates applied.
+    pub updates: u64,
+    /// Insertions applied.
+    pub insertions: u64,
+    /// Deletions applied.
+    pub deletions: u64,
+    /// Deletions that hit a matched edge (the expensive case).
+    pub matched_deletions: u64,
+    /// Total work units (cost model).
+    pub work: u64,
+    /// Total depth in parallel rounds (cost model).
+    pub depth: u64,
+    /// `N`-doubling rebuilds (always zero for the baselines).
+    pub rebuilds: u64,
+}
+
+impl EngineMetrics {
+    /// Amortized work per update.
+    #[must_use]
+    pub fn work_per_update(&self) -> f64 {
+        self.work as f64 / self.updates.max(1) as f64
+    }
+}
+
+/// Per-batch update counters shared by the baseline engines.
+///
+/// (`pdmm-core` derives the same numbers from its richer §4.2 metrics.)
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UpdateCounters {
+    /// Batches applied.
+    pub batches: u64,
+    /// Individual updates applied.
+    pub updates: u64,
+    /// Insertions applied.
+    pub insertions: u64,
+    /// Deletions applied.
+    pub deletions: u64,
+    /// Deletions that hit a matched edge.
+    pub matched_deletions: u64,
+}
+
+impl UpdateCounters {
+    /// Folds the counters into an [`EngineMetrics`] with the given cost totals.
+    #[must_use]
+    pub fn into_metrics(self, work: u64, depth: u64) -> EngineMetrics {
+        EngineMetrics {
+            batches: self.batches,
+            updates: self.updates,
+            insertions: self.insertions,
+            deletions: self.deletions,
+            matched_deletions: self.matched_deletions,
+            work,
+            depth,
+            rebuilds: 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy matching view
+// ---------------------------------------------------------------------------
+
+/// Borrowing iterator over the ids of the current matching.
+///
+/// Engines build it straight over their internal tables: the matching itself is
+/// never copied into a `Vec`.  The one cost per `matching()` call is the small
+/// `Box` holding the iterator — required because [`MatchingEngine`] must stay
+/// usable as a trait object.
+pub struct MatchingIter<'a> {
+    inner: Box<dyn Iterator<Item = EdgeId> + 'a>,
+}
+
+impl<'a> MatchingIter<'a> {
+    /// Wraps an engine-internal iterator.
+    pub fn new(inner: impl Iterator<Item = EdgeId> + 'a) -> Self {
+        MatchingIter {
+            inner: Box::new(inner),
+        }
+    }
+}
+
+impl Iterator for MatchingIter<'_> {
+    type Item = EdgeId;
+
+    fn next(&mut self) -> Option<EdgeId> {
+        self.inner.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl fmt::Debug for MatchingIter<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("MatchingIter")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The engine trait
+// ---------------------------------------------------------------------------
+
+/// A fully dynamic maximal-matching engine driven by update batches.
+///
+/// Implemented by the paper's parallel algorithm, all sequential baselines, and
+/// the static-recompute adapter; the bench runner, the conformance suite, and the
+/// examples are written against this trait only.
+pub trait MatchingEngine {
+    /// Short human-readable name used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Number of vertices of the underlying hypergraph.
+    fn num_vertices(&self) -> usize;
+
+    /// Maximum rank accepted by [`MatchingEngine::apply_batch`].
+    fn max_rank(&self) -> usize;
+
+    /// Whether an edge with this id is currently live (from the adversary's point
+    /// of view — edges the algorithm has only *temporarily* deleted are live).
+    fn contains_edge(&self, id: EdgeId) -> bool;
+
+    /// Applies one batch of simultaneous updates and restores maximality.
+    ///
+    /// The batch is validated as a whole first; on error nothing was applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`BatchError`] found in the batch.
+    fn apply_batch(&mut self, updates: &[Update]) -> Result<BatchReport, BatchError>;
+
+    /// The current matching, iterated zero-copy out of the engine's state.
+    fn matching(&self) -> MatchingIter<'_>;
+
+    /// Current matching size.
+    fn matching_size(&self) -> usize {
+        self.matching().count()
+    }
+
+    /// The current matching collected into a vector (allocating convenience).
+    fn matching_ids(&self) -> Vec<EdgeId> {
+        self.matching().collect()
+    }
+
+    /// Verifies the engine's internal invariants (at minimum: the matching is
+    /// valid and maximal on the engine's view of the graph).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation.
+    fn verify(&mut self) -> Result<(), String>;
+
+    /// Uniform lifetime counters.
+    fn metrics(&self) -> EngineMetrics;
+
+    /// Applies every batch of a workload in order.
+    ///
+    /// # Errors
+    ///
+    /// Stops at (and returns) the first invalid batch.
+    fn apply_all(&mut self, batches: &[UpdateBatch]) -> Result<Vec<BatchReport>, BatchError> {
+        let mut reports = Vec::with_capacity(batches.len());
+        for batch in batches {
+            reports.push(self.apply_batch(batch)?);
+        }
+        Ok(reports)
+    }
+
+    /// Opens a staged batch session: stage updates with validation and
+    /// deduplication, then commit them as one batch.
+    fn begin_batch(&mut self) -> BatchSession<'_, Self>
+    where
+        Self: Sized,
+    {
+        BatchSession::new(self)
+    }
+}
+
+/// Validates a batch against the live-edge predicate of an engine.
+///
+/// Shared by every [`MatchingEngine::apply_batch`] implementation so all engines
+/// reject exactly the same batches with exactly the same errors.  `delete X`
+/// followed by `insert X` in one batch is legal (deletions are processed first,
+/// §3.3); `insert X` followed by `delete X` is not.
+///
+/// # Errors
+///
+/// Returns the first violation in batch order.
+pub fn validate_batch(
+    updates: &[Update],
+    is_live: impl Fn(EdgeId) -> bool,
+    max_rank: usize,
+    num_vertices: usize,
+) -> Result<(), BatchError> {
+    let mut inserted: FxHashSet<EdgeId> = FxHashSet::default();
+    let mut deleted: FxHashSet<EdgeId> = FxHashSet::default();
+    for update in updates {
+        match update {
+            Update::Insert(edge) => {
+                if edge.rank() > max_rank {
+                    return Err(BatchError::RankExceeded {
+                        id: edge.id,
+                        rank: edge.rank(),
+                        max_rank,
+                    });
+                }
+                if let Some(&v) = edge.vertices().iter().find(|v| v.index() >= num_vertices) {
+                    return Err(BatchError::VertexOutOfRange {
+                        id: edge.id,
+                        vertex: v,
+                        num_vertices,
+                    });
+                }
+                let live_and_staying = is_live(edge.id) && !deleted.contains(&edge.id);
+                if live_and_staying || !inserted.insert(edge.id) {
+                    return Err(BatchError::DuplicateEdgeId { id: edge.id });
+                }
+            }
+            Update::Delete(id) => {
+                if deleted.contains(id) {
+                    return Err(BatchError::DuplicateDeletion { id: *id });
+                }
+                if inserted.contains(id) || !is_live(*id) {
+                    return Err(BatchError::UnknownDeletion { id: *id });
+                }
+                deleted.insert(*id);
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Staged batch sessions
+// ---------------------------------------------------------------------------
+
+/// A staged batch: updates are validated and deduplicated as they are staged,
+/// then committed to the engine as one batch.
+///
+/// Staging rules:
+///
+/// * an exact duplicate (same deletion id, or an insertion structurally equal to
+///   an already-staged one) is silently dropped — [`BatchSession::stage`] returns
+///   `Ok(false)`;
+/// * a *conflicting* duplicate (two different edges with one id) or an otherwise
+///   invalid update is rejected with the same [`BatchError`] the engine itself
+///   would return;
+/// * nothing touches the engine until [`BatchSession::commit`].
+#[derive(Debug)]
+pub struct BatchSession<'a, E: MatchingEngine + ?Sized> {
+    engine: &'a mut E,
+    staged: Vec<Update>,
+    /// Staged insertions by id, pointing at their index in `staged`.
+    inserts: FxHashMap<EdgeId, usize>,
+    /// Staged deletion ids.
+    deletes: FxHashSet<EdgeId>,
+    /// Exact duplicates dropped so far.
+    deduplicated: usize,
+}
+
+impl<'a, E: MatchingEngine + ?Sized> BatchSession<'a, E> {
+    /// Opens a session on `engine`.
+    pub fn new(engine: &'a mut E) -> Self {
+        BatchSession {
+            engine,
+            staged: Vec::new(),
+            inserts: FxHashMap::default(),
+            deletes: FxHashSet::default(),
+            deduplicated: 0,
+        }
+    }
+
+    /// Stages one update.  Returns `Ok(true)` if it was staged, `Ok(false)` if it
+    /// was an exact duplicate of an already-staged update (dropped).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`BatchError`] this update would trigger on commit; the
+    /// session itself stays usable (the offending update is simply not staged).
+    pub fn stage(&mut self, update: Update) -> Result<bool, BatchError> {
+        match update {
+            Update::Insert(edge) => {
+                if edge.rank() > self.engine.max_rank() {
+                    return Err(BatchError::RankExceeded {
+                        id: edge.id,
+                        rank: edge.rank(),
+                        max_rank: self.engine.max_rank(),
+                    });
+                }
+                if let Some(&v) = edge
+                    .vertices()
+                    .iter()
+                    .find(|v| v.index() >= self.engine.num_vertices())
+                {
+                    return Err(BatchError::VertexOutOfRange {
+                        id: edge.id,
+                        vertex: v,
+                        num_vertices: self.engine.num_vertices(),
+                    });
+                }
+                if let Some(&at) = self.inserts.get(&edge.id) {
+                    // Structurally identical re-stage is a no-op; a different
+                    // edge under the same id is a conflict.
+                    return if matches!(&self.staged[at], Update::Insert(prev) if *prev == edge) {
+                        self.deduplicated += 1;
+                        Ok(false)
+                    } else {
+                        Err(BatchError::DuplicateEdgeId { id: edge.id })
+                    };
+                }
+                if self.engine.contains_edge(edge.id) && !self.deletes.contains(&edge.id) {
+                    return Err(BatchError::DuplicateEdgeId { id: edge.id });
+                }
+                self.inserts.insert(edge.id, self.staged.len());
+                self.staged.push(Update::Insert(edge));
+                Ok(true)
+            }
+            Update::Delete(id) => {
+                if self.deletes.contains(&id) {
+                    // A re-staged deletion of the same pre-batch edge dedups —
+                    // unless the id was re-inserted after the staged deletion,
+                    // in which case this targets the *new* edge, which a single
+                    // batch cannot express (deletions run first, §3.3).
+                    if self.inserts.contains_key(&id) {
+                        return Err(BatchError::DuplicateDeletion { id });
+                    }
+                    self.deduplicated += 1;
+                    return Ok(false);
+                }
+                if self.inserts.contains_key(&id) || !self.engine.contains_edge(id) {
+                    return Err(BatchError::UnknownDeletion { id });
+                }
+                self.deletes.insert(id);
+                self.staged.push(Update::Delete(id));
+                Ok(true)
+            }
+        }
+    }
+
+    /// Stages every update of an iterator; returns how many were actually staged
+    /// (exact duplicates are dropped and not counted).
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first invalid update.
+    pub fn stage_all(
+        &mut self,
+        updates: impl IntoIterator<Item = Update>,
+    ) -> Result<usize, BatchError> {
+        let mut staged = 0;
+        for update in updates {
+            if self.stage(update)? {
+                staged += 1;
+            }
+        }
+        Ok(staged)
+    }
+
+    /// The updates staged so far, in staging order.
+    #[must_use]
+    pub fn staged(&self) -> &[Update] {
+        &self.staged
+    }
+
+    /// Number of staged updates.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Whether nothing has been staged.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.staged.is_empty()
+    }
+
+    /// How many exact duplicates were dropped during staging.
+    #[must_use]
+    pub fn deduplicated(&self) -> usize {
+        self.deduplicated
+    }
+
+    /// Applies the staged updates as one batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine's batch validation (which cannot fire for updates
+    /// staged through this session).
+    pub fn commit(self) -> Result<BatchReport, BatchError> {
+        self.engine.apply_batch(&self.staged)
+    }
+
+    /// Discards the staged updates without touching the engine.
+    pub fn abort(self) {}
+}
+
+// ---------------------------------------------------------------------------
+// Builder and engine registry
+// ---------------------------------------------------------------------------
+
+/// Uniform configuration for every engine, replacing the per-engine `Config`
+/// constructors (`Config::for_graphs`, `with_defaults`, bare seeds, …).
+///
+/// ```
+/// use pdmm_hypergraph::engine::EngineBuilder;
+///
+/// let builder = EngineBuilder::new(1_000)
+///     .rank(3)
+///     .seed(42)
+///     .threads(8)
+///     .capacity_hint(100_000)
+///     .check_invariants(false);
+/// assert_eq!(builder.max_rank, 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    /// Number of vertices of the hypergraph.
+    pub num_vertices: usize,
+    /// Maximum rank any inserted hyperedge may have (`α = 4·max_rank`).
+    pub max_rank: usize,
+    /// Seed for all engine randomness (oblivious-adversary model: streams must be
+    /// generated independently of it).
+    pub seed: u64,
+    /// Thread budget hint for parallel engines (`None`: use the global pool).
+    ///
+    /// Currently recorded but not consumed by any engine: the vendored rayon
+    /// stand-in is sequential, so callers that want a bounded pool wrap
+    /// execution in `rayon::ThreadPoolBuilder` themselves (as the E9 bench
+    /// does).  The field exists so the configuration surface is stable when
+    /// real thread pools land (see ROADMAP "Open items").
+    pub threads: Option<usize>,
+    /// Expected total number of updates; sizes the `N` bound so early batches do
+    /// not trigger rebuilds.
+    pub capacity_hint: usize,
+    /// Verify the full invariant set after every batch (expensive; tests only).
+    pub check_invariants: bool,
+}
+
+impl EngineBuilder {
+    /// A rank-2, seed-0 configuration on `num_vertices` vertices.
+    #[must_use]
+    pub fn new(num_vertices: usize) -> Self {
+        EngineBuilder {
+            num_vertices,
+            max_rank: 2,
+            seed: 0,
+            threads: None,
+            capacity_hint: 0,
+            check_invariants: false,
+        }
+    }
+
+    /// Sets the maximum hyperedge rank (must be ≥ 1).
+    #[must_use]
+    pub fn rank(mut self, max_rank: usize) -> Self {
+        assert!(max_rank >= 1, "rank must be at least 1");
+        self.max_rank = max_rank;
+        self
+    }
+
+    /// Sets the randomness seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the thread budget hint.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Sets the expected total number of updates.
+    #[must_use]
+    pub fn capacity_hint(mut self, updates: usize) -> Self {
+        self.capacity_hint = updates;
+        self
+    }
+
+    /// Enables or disables per-batch invariant checking.
+    #[must_use]
+    pub fn check_invariants(mut self, enabled: bool) -> Self {
+        self.check_invariants = enabled;
+        self
+    }
+}
+
+/// The engines the workspace ships; the facade's `pdmm::engine::build` turns a
+/// kind plus an [`EngineBuilder`] into a boxed [`MatchingEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// The paper's parallel batch-dynamic algorithm (`pdmm-core`).
+    Parallel,
+    /// One-update-at-a-time greedy repair (§3.1 strawman).
+    NaiveSequential,
+    /// Sequential repair with uniformly random replacement choices.
+    RandomReplace,
+    /// Recompute with the parallel static matcher after every batch.
+    RecomputeSequential,
+    /// Recompute with the sequential greedy scan after every batch
+    /// (the static adapter over `pdmm-static`).
+    StaticRecompute,
+}
+
+impl EngineKind {
+    /// Every engine kind, in the order the experiment tables list them.
+    pub const ALL: [EngineKind; 5] = [
+        EngineKind::Parallel,
+        EngineKind::NaiveSequential,
+        EngineKind::RandomReplace,
+        EngineKind::RecomputeSequential,
+        EngineKind::StaticRecompute,
+    ];
+
+    /// The engine's stable display name (matches [`MatchingEngine::name`]).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Parallel => "parallel-dynamic",
+            EngineKind::NaiveSequential => "naive-sequential",
+            EngineKind::RandomReplace => "random-replace-sequential",
+            EngineKind::RecomputeSequential => "recompute-from-scratch",
+            EngineKind::StaticRecompute => "static-recompute",
+        }
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DynamicHypergraph;
+    use crate::matching::{greedy_maximal_matching, verify_maximality};
+    use crate::types::HyperEdge;
+
+    /// Minimal reference engine: replay the graph, recompute greedily.  Exercises
+    /// the trait's default methods and the session logic without pulling in the
+    /// real engines (which live in downstream crates).
+    struct ToyEngine {
+        graph: DynamicHypergraph,
+        matching: Vec<EdgeId>,
+        counters: UpdateCounters,
+    }
+
+    impl ToyEngine {
+        fn new(num_vertices: usize) -> Self {
+            ToyEngine {
+                graph: DynamicHypergraph::new(num_vertices),
+                matching: Vec::new(),
+                counters: UpdateCounters::default(),
+            }
+        }
+    }
+
+    impl MatchingEngine for ToyEngine {
+        fn name(&self) -> &'static str {
+            "toy-recompute"
+        }
+
+        fn num_vertices(&self) -> usize {
+            self.graph.num_vertices()
+        }
+
+        fn max_rank(&self) -> usize {
+            3
+        }
+
+        fn contains_edge(&self, id: EdgeId) -> bool {
+            self.graph.contains_edge(id)
+        }
+
+        fn apply_batch(&mut self, updates: &[Update]) -> Result<BatchReport, BatchError> {
+            validate_batch(
+                updates,
+                |id| self.graph.contains_edge(id),
+                self.max_rank(),
+                self.num_vertices(),
+            )?;
+            self.graph.apply_batch(&updates.to_vec());
+            self.matching = greedy_maximal_matching(&self.graph);
+            self.counters.batches += 1;
+            self.counters.updates += updates.len() as u64;
+            Ok(BatchReport {
+                batch_size: updates.len(),
+                matching_size: self.matching.len(),
+                ..BatchReport::default()
+            })
+        }
+
+        fn matching(&self) -> MatchingIter<'_> {
+            MatchingIter::new(self.matching.iter().copied())
+        }
+
+        fn verify(&mut self) -> Result<(), String> {
+            verify_maximality(&self.graph, &self.matching).map_err(|e| format!("{e:?}"))
+        }
+
+        fn metrics(&self) -> EngineMetrics {
+            self.counters.into_metrics(0, 0)
+        }
+    }
+
+    fn pair(id: u64, a: u32, b: u32) -> HyperEdge {
+        HyperEdge::pair(EdgeId(id), VertexId(a), VertexId(b))
+    }
+
+    #[test]
+    fn apply_all_and_matching_defaults_work() {
+        let mut engine = ToyEngine::new(6);
+        let batches: Vec<UpdateBatch> = vec![
+            vec![Update::Insert(pair(0, 0, 1)), Update::Insert(pair(1, 2, 3))],
+            vec![Update::Delete(EdgeId(0))],
+            vec![Update::Insert(pair(2, 1, 4))],
+        ];
+        let reports = engine.apply_all(&batches).unwrap();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(engine.name(), "toy-recompute");
+        assert_eq!(engine.matching_size(), engine.matching_ids().len());
+        assert_eq!(engine.metrics().batches, 3);
+        engine.verify().unwrap();
+    }
+
+    #[test]
+    fn validate_batch_catches_every_error_kind() {
+        let live = |id: EdgeId| id == EdgeId(7);
+        let ok = validate_batch(&[Update::Delete(EdgeId(7))], live, 2, 10);
+        assert_eq!(ok, Ok(()));
+
+        assert_eq!(
+            validate_batch(&[Update::Delete(EdgeId(9))], live, 2, 10),
+            Err(BatchError::UnknownDeletion { id: EdgeId(9) })
+        );
+        assert_eq!(
+            validate_batch(
+                &[Update::Delete(EdgeId(7)), Update::Delete(EdgeId(7))],
+                live,
+                2,
+                10
+            ),
+            Err(BatchError::DuplicateDeletion { id: EdgeId(7) })
+        );
+        assert_eq!(
+            validate_batch(&[Update::Insert(pair(7, 0, 1))], live, 2, 10),
+            Err(BatchError::DuplicateEdgeId { id: EdgeId(7) })
+        );
+        assert_eq!(
+            validate_batch(
+                &[Update::Insert(pair(1, 0, 1)), Update::Insert(pair(1, 2, 3)),],
+                live,
+                2,
+                10
+            ),
+            Err(BatchError::DuplicateEdgeId { id: EdgeId(1) })
+        );
+        assert_eq!(
+            validate_batch(
+                &[Update::Insert(HyperEdge::new(
+                    EdgeId(1),
+                    vec![VertexId(0), VertexId(1), VertexId(2)]
+                ))],
+                live,
+                2,
+                10
+            ),
+            Err(BatchError::RankExceeded {
+                id: EdgeId(1),
+                rank: 3,
+                max_rank: 2
+            })
+        );
+        assert_eq!(
+            validate_batch(&[Update::Insert(pair(1, 0, 99))], live, 2, 10),
+            Err(BatchError::VertexOutOfRange {
+                id: EdgeId(1),
+                vertex: VertexId(99),
+                num_vertices: 10
+            })
+        );
+        // delete X then insert X in one batch is legal (§3.3 ordering) …
+        assert_eq!(
+            validate_batch(
+                &[Update::Delete(EdgeId(7)), Update::Insert(pair(7, 0, 1))],
+                live,
+                2,
+                10
+            ),
+            Ok(())
+        );
+        // … but insert X then delete X is not.
+        assert_eq!(
+            validate_batch(
+                &[Update::Insert(pair(1, 0, 1)), Update::Delete(EdgeId(1))],
+                live,
+                2,
+                10
+            ),
+            Err(BatchError::UnknownDeletion { id: EdgeId(1) })
+        );
+    }
+
+    #[test]
+    fn session_stages_validates_and_dedups() {
+        let mut engine = ToyEngine::new(6);
+        engine
+            .apply_batch(&[Update::Insert(pair(0, 0, 1))])
+            .unwrap();
+
+        let mut session = engine.begin_batch();
+        assert!(session.stage(Update::Insert(pair(1, 2, 3))).unwrap());
+        // Exact duplicate insertion: dropped.
+        assert!(!session.stage(Update::Insert(pair(1, 2, 3))).unwrap());
+        // Conflicting insertion under the same id: typed error.
+        assert_eq!(
+            session.stage(Update::Insert(pair(1, 4, 5))),
+            Err(BatchError::DuplicateEdgeId { id: EdgeId(1) })
+        );
+        // Deleting the live edge works; deleting it again dedups.
+        assert!(session.stage(Update::Delete(EdgeId(0))).unwrap());
+        assert!(!session.stage(Update::Delete(EdgeId(0))).unwrap());
+        // Deleting an edge only staged in this session: refused (§3.3 ordering).
+        assert_eq!(
+            session.stage(Update::Delete(EdgeId(1))),
+            Err(BatchError::UnknownDeletion { id: EdgeId(1) })
+        );
+        // Oversized and out-of-range edges: refused before commit.
+        assert!(matches!(
+            session.stage(Update::Insert(HyperEdge::new(
+                EdgeId(9),
+                (0..4).map(VertexId).collect()
+            ))),
+            Err(BatchError::RankExceeded { .. })
+        ));
+        assert!(matches!(
+            session.stage(Update::Insert(pair(9, 0, 77))),
+            Err(BatchError::VertexOutOfRange { .. })
+        ));
+
+        assert_eq!(session.len(), 2);
+        assert_eq!(session.deduplicated(), 2);
+        let report = session.commit().unwrap();
+        assert_eq!(report.batch_size, 2);
+        assert_eq!(engine.matching_ids(), vec![EdgeId(1)]);
+        engine.verify().unwrap();
+    }
+
+    #[test]
+    fn session_rejects_delete_of_a_reinserted_id() {
+        let mut engine = ToyEngine::new(4);
+        engine
+            .apply_batch(&[Update::Insert(pair(0, 0, 1))])
+            .unwrap();
+        let mut session = engine.begin_batch();
+        assert!(session.stage(Update::Delete(EdgeId(0))).unwrap());
+        // Legal delete-then-reinsert of the same id.
+        assert!(session.stage(Update::Insert(pair(0, 2, 3))).unwrap());
+        // Deleting id 0 again targets the re-inserted edge; one batch cannot
+        // express delete/insert/delete, so this must be an error — not a
+        // silent dedup that would drop the caller's request.
+        assert_eq!(
+            session.stage(Update::Delete(EdgeId(0))),
+            Err(BatchError::DuplicateDeletion { id: EdgeId(0) })
+        );
+        assert_eq!(session.len(), 2);
+        session.commit().unwrap();
+        assert!(engine.contains_edge(EdgeId(0)));
+    }
+
+    #[test]
+    fn session_abort_leaves_engine_untouched() {
+        let mut engine = ToyEngine::new(4);
+        engine
+            .apply_batch(&[Update::Insert(pair(0, 0, 1))])
+            .unwrap();
+        let mut session = engine.begin_batch();
+        session.stage(Update::Delete(EdgeId(0))).unwrap();
+        session.abort();
+        assert!(engine.contains_edge(EdgeId(0)));
+        assert_eq!(engine.matching_size(), 1);
+    }
+
+    #[test]
+    fn session_works_through_a_trait_object() {
+        let mut boxed: Box<dyn MatchingEngine> = Box::new(ToyEngine::new(4));
+        let mut session = BatchSession::new(&mut *boxed);
+        session
+            .stage_all(vec![
+                Update::Insert(pair(0, 0, 1)),
+                Update::Insert(pair(1, 2, 3)),
+            ])
+            .unwrap();
+        let report = session.commit().unwrap();
+        assert_eq!(report.matching_size, 2);
+    }
+
+    #[test]
+    fn builder_defaults_and_setters() {
+        let b = EngineBuilder::new(100);
+        assert_eq!(b.num_vertices, 100);
+        assert_eq!(b.max_rank, 2);
+        assert_eq!(b.seed, 0);
+        assert_eq!(b.threads, None);
+        assert!(!b.check_invariants);
+        let b = b
+            .rank(4)
+            .seed(9)
+            .threads(2)
+            .capacity_hint(50)
+            .check_invariants(true);
+        assert_eq!(b.max_rank, 4);
+        assert_eq!(b.seed, 9);
+        assert_eq!(b.threads, Some(2));
+        assert_eq!(b.capacity_hint, 50);
+        assert!(b.check_invariants);
+    }
+
+    #[test]
+    fn engine_kinds_have_stable_names() {
+        assert_eq!(EngineKind::ALL.len(), 5);
+        let names: Vec<&str> = EngineKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "parallel-dynamic",
+                "naive-sequential",
+                "random-replace-sequential",
+                "recompute-from-scratch",
+                "static-recompute",
+            ]
+        );
+        assert_eq!(EngineKind::Parallel.to_string(), "parallel-dynamic");
+    }
+
+    #[test]
+    fn batch_error_messages_name_the_edge() {
+        let msg = BatchError::UnknownDeletion { id: EdgeId(3) }.to_string();
+        assert!(msg.contains("e3"), "message should name the edge: {msg}");
+        let msg = BatchError::RankExceeded {
+            id: EdgeId(1),
+            rank: 5,
+            max_rank: 2,
+        }
+        .to_string();
+        assert!(msg.contains("rank 5"));
+    }
+}

@@ -250,7 +250,10 @@ mod tests {
         }
         let low: usize = (0..10).map(|i| deg.get(&i).copied().unwrap_or(0)).sum();
         let high: usize = (990..1000).map(|i| deg.get(&i).copied().unwrap_or(0)).sum();
-        assert!(low > high * 3, "low-id hubs should dominate: {low} vs {high}");
+        assert!(
+            low > high * 3,
+            "low-id hubs should dominate: {low} vs {high}"
+        );
     }
 
     #[test]

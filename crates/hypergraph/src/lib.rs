@@ -5,6 +5,10 @@
 //!
 //! * [`types`] — vertex/edge identifiers, hyperedges and the fully dynamic
 //!   [`types::Update`] model of §2,
+//! * [`engine`] — the [`engine::MatchingEngine`] API every matcher in the
+//!   workspace implements: typed [`engine::BatchError`]s, zero-copy matching
+//!   queries, the [`engine::EngineBuilder`] configuration, and staged
+//!   [`engine::BatchSession`] ingestion,
 //! * [`graph`] — the ground-truth dynamic hypergraph,
 //! * [`matching`] — matchings, validity/maximality verification, reference
 //!   (greedy / exact) matching algorithms,
@@ -15,7 +19,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
-pub mod dynamic;
+pub mod engine;
 pub mod generators;
 pub mod graph;
 pub mod io;
@@ -24,7 +28,10 @@ pub mod stats;
 pub mod streams;
 pub mod types;
 
-pub use dynamic::DynamicMatcher;
+pub use engine::{
+    BatchError, BatchReport, BatchSession, EngineBuilder, EngineKind, EngineMetrics,
+    MatchingEngine, MatchingIter,
+};
 pub use graph::DynamicHypergraph;
 pub use matching::{verify_maximality, verify_validity, Matching, MatchingError};
 pub use streams::Workload;

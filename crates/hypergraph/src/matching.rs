@@ -57,10 +57,15 @@ impl Matching {
         self.matched_vertices.get(&v).copied()
     }
 
+    /// Iterates over the ids of all edges in the matching (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edges.iter().copied()
+    }
+
     /// Ids of all edges in the matching (unspecified order).
     #[must_use]
     pub fn edge_ids(&self) -> Vec<EdgeId> {
-        self.edges.iter().copied().collect()
+        self.iter().collect()
     }
 
     /// The vertex cover induced by the matching (all endpoints of matched edges).
@@ -315,7 +320,7 @@ mod tests {
     #[test]
     fn maximality_detects_free_edge() {
         let g = path_graph(5); // edges 0-1, 1-2, 2-3, 3-4
-        // Matching {1-2} leaves edge 3-4 with both endpoints free.
+                               // Matching {1-2} leaves edge 3-4 with both endpoints free.
         assert_eq!(
             verify_maximality(&g, &[EdgeId(1)]),
             Err(MatchingError::NotMaximal(EdgeId(3)))

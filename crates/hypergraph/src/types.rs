@@ -77,7 +77,10 @@ impl HyperEdge {
     /// Panics if `vertices` is empty: a hyperedge must have at least one endpoint.
     #[must_use]
     pub fn new(id: EdgeId, mut vertices: Vec<VertexId>) -> Self {
-        assert!(!vertices.is_empty(), "a hyperedge needs at least one endpoint");
+        assert!(
+            !vertices.is_empty(),
+            "a hyperedge needs at least one endpoint"
+        );
         vertices.sort_unstable();
         vertices.dedup();
         HyperEdge {

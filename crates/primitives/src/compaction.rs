@@ -164,7 +164,10 @@ mod tests {
     #[test]
     fn count_matches_filter_len() {
         let input: Vec<u32> = (0..30_000).collect();
-        assert_eq!(count(&input, |x| x % 3 == 0), filter(&input, |x| x % 3 == 0).len());
+        assert_eq!(
+            count(&input, |x| x % 3 == 0),
+            filter(&input, |x| x % 3 == 0).len()
+        );
     }
 
     proptest! {

@@ -227,10 +227,7 @@ where
             c.rounds(1);
         }
         if n <= SEQ_THRESHOLD {
-            self.shards
-                .iter()
-                .flat_map(|s| s.keys().cloned())
-                .collect()
+            self.shards.iter().flat_map(|s| s.keys().cloned()).collect()
         } else {
             self.shards
                 .par_iter()

@@ -33,10 +33,7 @@ pub fn exclusive_scan_in_place(values: &mut [u64]) -> u64 {
     // parallel, scan the per-block totals, then add the block offsets back.
     let block = SEQ_THRESHOLD;
     let num_blocks = n.div_ceil(block);
-    let mut block_totals: Vec<u64> = values
-        .par_chunks_mut(block)
-        .map(seq_exclusive)
-        .collect();
+    let mut block_totals: Vec<u64> = values.par_chunks_mut(block).map(seq_exclusive).collect();
     debug_assert_eq!(block_totals.len(), num_blocks);
     let total = seq_exclusive(&mut block_totals);
     values

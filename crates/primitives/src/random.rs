@@ -188,7 +188,9 @@ mod tests {
         let mut s = RandomSource::from_seed(0);
         let p1 = s.next_phase();
         let p2 = s.next_phase();
-        let same = (0..100u64).filter(|&i| p1.hash64(i) == p2.hash64(i)).count();
+        let same = (0..100u64)
+            .filter(|&i| p1.hash64(i) == p2.hash64(i))
+            .count();
         assert_eq!(same, 0);
     }
 

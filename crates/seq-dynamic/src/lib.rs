@@ -14,6 +14,11 @@
 //! driving the paper's algorithm (`pdmm-core`) with single-update batches; the
 //! experiment harness (`pdmm-bench`) does exactly that for experiment E5, so it is
 //! not duplicated here.
+//!
+//! Every baseline implements the workspace-wide
+//! [`pdmm_hypergraph::engine::MatchingEngine`] trait and is constructed from the
+//! same [`pdmm_hypergraph::engine::EngineBuilder`] as the parallel algorithm, so
+//! the harness and the conformance tests drive all of them identically.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]

@@ -8,10 +8,13 @@
 //! scheme of the real algorithms is designed to avoid — and the depth of a batch of
 //! `k` updates is `Θ(k)` because updates are handled strictly sequentially.
 
-use pdmm_hypergraph::dynamic::DynamicMatcher;
+use pdmm_hypergraph::engine::{
+    validate_batch, BatchError, BatchReport, EngineBuilder, EngineMetrics, MatchingEngine,
+    MatchingIter, UpdateCounters,
+};
 use pdmm_hypergraph::graph::DynamicHypergraph;
-use pdmm_hypergraph::matching::Matching;
-use pdmm_hypergraph::types::{EdgeId, HyperEdge, Update, UpdateBatch};
+use pdmm_hypergraph::matching::{verify_maximality, Matching};
+use pdmm_hypergraph::types::{EdgeId, HyperEdge, Update};
 use pdmm_primitives::cost_model::CostTracker;
 
 /// Naive one-update-at-a-time dynamic maximal matching.
@@ -20,24 +23,37 @@ pub struct NaiveDynamicMatching {
     graph: DynamicHypergraph,
     matching: Matching,
     cost: CostTracker,
-    updates_processed: u64,
+    counters: UpdateCounters,
+    max_rank: usize,
 }
 
 impl NaiveDynamicMatching {
-    /// Creates the algorithm over an empty graph with `num_vertices` vertices.
+    /// Creates the algorithm over an empty graph with `num_vertices` vertices and
+    /// no rank restriction.
     #[must_use]
     pub fn new(num_vertices: usize) -> Self {
         NaiveDynamicMatching {
             graph: DynamicHypergraph::new(num_vertices),
             matching: Matching::new(),
             cost: CostTracker::new(),
-            updates_processed: 0,
+            counters: UpdateCounters::default(),
+            max_rank: usize::MAX,
         }
     }
 
-    /// The current matching.
+    /// Creates the algorithm from the engine-agnostic builder (enforcing the
+    /// builder's maximum rank, like every other engine).
     #[must_use]
-    pub fn matching(&self) -> &Matching {
+    pub fn from_builder(builder: &EngineBuilder) -> Self {
+        let mut alg = Self::new(builder.num_vertices);
+        alg.max_rank = builder.max_rank;
+        alg
+    }
+
+    /// The current matching container (the trait's zero-copy
+    /// [`MatchingEngine::matching`] iterator is usually what callers want).
+    #[must_use]
+    pub fn matching_state(&self) -> &Matching {
         &self.matching
     }
 
@@ -56,11 +72,13 @@ impl NaiveDynamicMatching {
     /// Number of single updates processed so far.
     #[must_use]
     pub fn updates_processed(&self) -> u64 {
-        self.updates_processed
+        self.counters.updates
     }
 
     fn edge_is_free(&self, edge: &HyperEdge) -> bool {
-        edge.vertices().iter().all(|&v| !self.matching.is_matched(v))
+        edge.vertices()
+            .iter()
+            .all(|&v| !self.matching.is_matched(v))
     }
 
     fn handle_insert(&mut self, edge: HyperEdge) {
@@ -77,6 +95,7 @@ impl NaiveDynamicMatching {
         if !self.matching.contains_edge(id) {
             return;
         }
+        self.counters.matched_deletions += 1;
         self.matching.remove(&edge);
         // Restore maximality: only edges incident to the exposed endpoints can have
         // become addable.  Scan their incidence lists greedily.
@@ -102,25 +121,75 @@ impl NaiveDynamicMatching {
     }
 }
 
-impl DynamicMatcher for NaiveDynamicMatching {
-    fn apply_batch(&mut self, batch: &UpdateBatch) {
-        for update in batch {
-            // Each update is one sequential step: depth grows linearly in the batch.
-            self.cost.round();
-            self.updates_processed += 1;
-            match update {
-                Update::Insert(edge) => self.handle_insert(edge.clone()),
-                Update::Delete(id) => self.handle_delete(*id),
-            }
-        }
-    }
-
-    fn matching_edge_ids(&self) -> Vec<EdgeId> {
-        self.matching.edge_ids()
-    }
-
+impl MatchingEngine for NaiveDynamicMatching {
     fn name(&self) -> &'static str {
         "naive-sequential"
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    fn max_rank(&self) -> usize {
+        self.max_rank
+    }
+
+    fn contains_edge(&self, id: EdgeId) -> bool {
+        self.graph.contains_edge(id)
+    }
+
+    fn apply_batch(&mut self, updates: &[Update]) -> Result<BatchReport, BatchError> {
+        validate_batch(
+            updates,
+            |id| self.graph.contains_edge(id),
+            self.max_rank,
+            self.graph.num_vertices(),
+        )?;
+        let start = self.cost.snapshot();
+        let matched_deletions_before = self.counters.matched_deletions;
+        self.counters.batches += 1;
+        for update in updates {
+            // Each update is one sequential step: depth grows linearly in the batch.
+            self.cost.round();
+            self.counters.updates += 1;
+            match update {
+                Update::Insert(edge) => {
+                    self.counters.insertions += 1;
+                    self.handle_insert(edge.clone());
+                }
+                Update::Delete(id) => {
+                    self.counters.deletions += 1;
+                    self.handle_delete(*id);
+                }
+            }
+        }
+        let cost = self.cost.snapshot().since(&start);
+        Ok(BatchReport {
+            batch_size: updates.len(),
+            depth: cost.depth,
+            work: cost.work,
+            matched_deletions: (self.counters.matched_deletions - matched_deletions_before)
+                as usize,
+            matching_size: self.matching.len(),
+            rebuilt: false,
+        })
+    }
+
+    fn matching(&self) -> MatchingIter<'_> {
+        MatchingIter::new(self.matching.iter())
+    }
+
+    fn matching_size(&self) -> usize {
+        self.matching.len()
+    }
+
+    fn verify(&mut self) -> Result<(), String> {
+        verify_maximality(&self.graph, &self.matching.edge_ids()).map_err(|e| format!("{e:?}"))
+    }
+
+    fn metrics(&self) -> EngineMetrics {
+        let cost = self.cost.snapshot();
+        self.counters.into_metrics(cost.work, cost.depth)
     }
 }
 
@@ -128,16 +197,15 @@ impl DynamicMatcher for NaiveDynamicMatching {
 mod tests {
     use super::*;
     use pdmm_hypergraph::generators::gnm_graph;
-    use pdmm_hypergraph::matching::verify_maximality;
     use pdmm_hypergraph::streams::{insert_then_teardown, random_churn, sliding_window};
-    use pdmm_hypergraph::types::VertexId;
+    use pdmm_hypergraph::types::{UpdateBatch, VertexId};
     use proptest::prelude::*;
 
     fn check_after_every_batch(num_vertices: usize, batches: &[UpdateBatch]) {
         let mut alg = NaiveDynamicMatching::new(num_vertices);
         for batch in batches {
-            alg.apply_batch(batch);
-            let ids = alg.matching_edge_ids();
+            alg.apply_batch(batch).unwrap();
+            let ids = alg.matching_ids();
             assert_eq!(verify_maximality(alg.graph(), &ids), Ok(()));
         }
     }
@@ -145,37 +213,59 @@ mod tests {
     #[test]
     fn insert_free_edge_joins_matching() {
         let mut alg = NaiveDynamicMatching::new(4);
-        alg.apply_batch(&vec![Update::Insert(HyperEdge::pair(
+        alg.apply_batch(&[Update::Insert(HyperEdge::pair(
             EdgeId(0),
             VertexId(0),
             VertexId(1),
-        ))]);
-        assert_eq!(alg.matching_edge_ids(), vec![EdgeId(0)]);
+        ))])
+        .unwrap();
+        assert_eq!(alg.matching_ids(), vec![EdgeId(0)]);
     }
 
     #[test]
     fn delete_matched_edge_repairs_maximality() {
         let mut alg = NaiveDynamicMatching::new(4);
         // Path 0-1-2-3: greedy matches (0,1); delete it; (1,2) or (0,?) must appear.
-        alg.apply_batch(&vec![
+        alg.apply_batch(&[
             Update::Insert(HyperEdge::pair(EdgeId(0), VertexId(0), VertexId(1))),
             Update::Insert(HyperEdge::pair(EdgeId(1), VertexId(1), VertexId(2))),
             Update::Insert(HyperEdge::pair(EdgeId(2), VertexId(2), VertexId(3))),
-        ]);
-        alg.apply_batch(&vec![Update::Delete(EdgeId(0))]);
-        let ids = alg.matching_edge_ids();
+        ])
+        .unwrap();
+        let report = alg.apply_batch(&[Update::Delete(EdgeId(0))]).unwrap();
+        assert_eq!(report.matched_deletions, 1);
+        let ids = alg.matching_ids();
         assert_eq!(verify_maximality(alg.graph(), &ids), Ok(()));
     }
 
     #[test]
     fn deleting_unmatched_edge_is_cheap_and_safe() {
         let mut alg = NaiveDynamicMatching::new(4);
-        alg.apply_batch(&vec![
+        alg.apply_batch(&[
             Update::Insert(HyperEdge::pair(EdgeId(0), VertexId(0), VertexId(1))),
             Update::Insert(HyperEdge::pair(EdgeId(1), VertexId(1), VertexId(2))),
-        ]);
-        alg.apply_batch(&vec![Update::Delete(EdgeId(1))]);
-        assert_eq!(alg.matching_edge_ids(), vec![EdgeId(0)]);
+        ])
+        .unwrap();
+        let report = alg.apply_batch(&[Update::Delete(EdgeId(1))]).unwrap();
+        assert_eq!(report.matched_deletions, 0);
+        assert_eq!(alg.matching_ids(), vec![EdgeId(0)]);
+    }
+
+    #[test]
+    fn invalid_batches_are_typed_errors() {
+        let mut alg = NaiveDynamicMatching::from_builder(&EngineBuilder::new(4).rank(2));
+        assert_eq!(
+            alg.apply_batch(&[Update::Delete(EdgeId(3))]),
+            Err(BatchError::UnknownDeletion { id: EdgeId(3) })
+        );
+        assert!(matches!(
+            alg.apply_batch(&[Update::Insert(HyperEdge::new(
+                EdgeId(0),
+                vec![VertexId(0), VertexId(1), VertexId(2)],
+            ))]),
+            Err(BatchError::RankExceeded { .. })
+        ));
+        assert_eq!(alg.metrics().batches, 0);
     }
 
     #[test]
@@ -202,8 +292,8 @@ mod tests {
         let edges = gnm_graph(40, 120, 5, 0);
         let w = insert_then_teardown(40, edges, 25, 2);
         let mut alg = NaiveDynamicMatching::new(w.num_vertices);
-        alg.apply_all(&w.batches);
-        assert!(alg.matching_edge_ids().is_empty());
+        alg.apply_all(&w.batches).unwrap();
+        assert!(alg.matching_ids().is_empty());
         assert_eq!(alg.graph().num_edges(), 0);
         assert_eq!(alg.updates_processed(), w.total_updates() as u64);
     }
@@ -212,8 +302,9 @@ mod tests {
     fn depth_equals_number_of_updates() {
         let w = random_churn(30, 2, 20, 5, 10, 0.5, 3);
         let mut alg = NaiveDynamicMatching::new(w.num_vertices);
-        alg.apply_all(&w.batches);
+        alg.apply_all(&w.batches).unwrap();
         assert_eq!(alg.cost().total_depth(), w.total_updates() as u64);
+        assert_eq!(alg.metrics().depth, w.total_updates() as u64);
     }
 
     proptest! {

@@ -9,10 +9,13 @@
 //! middle baseline between [`crate::naive::NaiveDynamicMatching`] and the real
 //! algorithm in the E5/E10 experiments.
 
-use pdmm_hypergraph::dynamic::DynamicMatcher;
+use pdmm_hypergraph::engine::{
+    validate_batch, BatchError, BatchReport, EngineBuilder, EngineMetrics, MatchingEngine,
+    MatchingIter, UpdateCounters,
+};
 use pdmm_hypergraph::graph::DynamicHypergraph;
-use pdmm_hypergraph::matching::Matching;
-use pdmm_hypergraph::types::{EdgeId, HyperEdge, Update, UpdateBatch};
+use pdmm_hypergraph::matching::{verify_maximality, Matching};
+use pdmm_hypergraph::types::{EdgeId, HyperEdge, Update};
 use pdmm_primitives::cost_model::CostTracker;
 use pdmm_primitives::random::RandomSource;
 
@@ -23,10 +26,13 @@ pub struct RandomReplaceMatching {
     matching: Matching,
     rng: RandomSource,
     cost: CostTracker,
+    counters: UpdateCounters,
+    max_rank: usize,
 }
 
 impl RandomReplaceMatching {
-    /// Creates the algorithm over an empty graph with `num_vertices` vertices.
+    /// Creates the algorithm over an empty graph with `num_vertices` vertices and
+    /// no rank restriction.
     #[must_use]
     pub fn new(num_vertices: usize, seed: u64) -> Self {
         RandomReplaceMatching {
@@ -34,12 +40,23 @@ impl RandomReplaceMatching {
             matching: Matching::new(),
             rng: RandomSource::from_seed(seed),
             cost: CostTracker::new(),
+            counters: UpdateCounters::default(),
+            max_rank: usize::MAX,
         }
     }
 
-    /// The current matching.
+    /// Creates the algorithm from the engine-agnostic builder.
     #[must_use]
-    pub fn matching(&self) -> &Matching {
+    pub fn from_builder(builder: &EngineBuilder) -> Self {
+        let mut alg = Self::new(builder.num_vertices, builder.seed);
+        alg.max_rank = builder.max_rank;
+        alg
+    }
+
+    /// The current matching container (the trait's zero-copy
+    /// [`MatchingEngine::matching`] iterator is usually what callers want).
+    #[must_use]
+    pub fn matching_state(&self) -> &Matching {
         &self.matching
     }
 
@@ -56,7 +73,9 @@ impl RandomReplaceMatching {
     }
 
     fn edge_is_free(&self, edge: &HyperEdge) -> bool {
-        edge.vertices().iter().all(|&v| !self.matching.is_matched(v))
+        edge.vertices()
+            .iter()
+            .all(|&v| !self.matching.is_matched(v))
     }
 
     fn handle_insert(&mut self, edge: HyperEdge) {
@@ -73,6 +92,7 @@ impl RandomReplaceMatching {
         if !self.matching.contains_edge(id) {
             return;
         }
+        self.counters.matched_deletions += 1;
         self.matching.remove(&edge);
         for &v in edge.vertices() {
             if self.matching.is_matched(v) {
@@ -96,23 +116,74 @@ impl RandomReplaceMatching {
     }
 }
 
-impl DynamicMatcher for RandomReplaceMatching {
-    fn apply_batch(&mut self, batch: &UpdateBatch) {
-        for update in batch {
-            self.cost.round();
-            match update {
-                Update::Insert(edge) => self.handle_insert(edge.clone()),
-                Update::Delete(id) => self.handle_delete(*id),
-            }
-        }
-    }
-
-    fn matching_edge_ids(&self) -> Vec<EdgeId> {
-        self.matching.edge_ids()
-    }
-
+impl MatchingEngine for RandomReplaceMatching {
     fn name(&self) -> &'static str {
         "random-replace-sequential"
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    fn max_rank(&self) -> usize {
+        self.max_rank
+    }
+
+    fn contains_edge(&self, id: EdgeId) -> bool {
+        self.graph.contains_edge(id)
+    }
+
+    fn apply_batch(&mut self, updates: &[Update]) -> Result<BatchReport, BatchError> {
+        validate_batch(
+            updates,
+            |id| self.graph.contains_edge(id),
+            self.max_rank,
+            self.graph.num_vertices(),
+        )?;
+        let start = self.cost.snapshot();
+        let matched_deletions_before = self.counters.matched_deletions;
+        self.counters.batches += 1;
+        for update in updates {
+            self.cost.round();
+            self.counters.updates += 1;
+            match update {
+                Update::Insert(edge) => {
+                    self.counters.insertions += 1;
+                    self.handle_insert(edge.clone());
+                }
+                Update::Delete(id) => {
+                    self.counters.deletions += 1;
+                    self.handle_delete(*id);
+                }
+            }
+        }
+        let cost = self.cost.snapshot().since(&start);
+        Ok(BatchReport {
+            batch_size: updates.len(),
+            depth: cost.depth,
+            work: cost.work,
+            matched_deletions: (self.counters.matched_deletions - matched_deletions_before)
+                as usize,
+            matching_size: self.matching.len(),
+            rebuilt: false,
+        })
+    }
+
+    fn matching(&self) -> MatchingIter<'_> {
+        MatchingIter::new(self.matching.iter())
+    }
+
+    fn matching_size(&self) -> usize {
+        self.matching.len()
+    }
+
+    fn verify(&mut self) -> Result<(), String> {
+        verify_maximality(&self.graph, &self.matching.edge_ids()).map_err(|e| format!("{e:?}"))
+    }
+
+    fn metrics(&self) -> EngineMetrics {
+        let cost = self.cost.snapshot();
+        self.counters.into_metrics(cost.work, cost.depth)
     }
 }
 
@@ -120,15 +191,15 @@ impl DynamicMatcher for RandomReplaceMatching {
 mod tests {
     use super::*;
     use pdmm_hypergraph::generators::gnm_graph;
-    use pdmm_hypergraph::matching::verify_maximality;
     use pdmm_hypergraph::streams::{insert_then_teardown, random_churn};
+    use pdmm_hypergraph::types::UpdateBatch;
     use proptest::prelude::*;
 
     fn check_after_every_batch(num_vertices: usize, batches: &[UpdateBatch], seed: u64) {
         let mut alg = RandomReplaceMatching::new(num_vertices, seed);
         for batch in batches {
-            alg.apply_batch(batch);
-            let ids = alg.matching_edge_ids();
+            alg.apply_batch(batch).unwrap();
+            let ids = alg.matching_ids();
             assert_eq!(verify_maximality(alg.graph(), &ids), Ok(()));
         }
     }
@@ -154,11 +225,23 @@ mod tests {
         let mut b = RandomReplaceMatching::new(30, 2);
         // Apply only the first two thirds of batches so matchings are non-empty.
         let prefix = &w.batches[..w.batches.len() * 2 / 3];
-        a.apply_all(prefix);
-        b.apply_all(prefix);
+        a.apply_all(prefix).unwrap();
+        b.apply_all(prefix).unwrap();
         // Both must be maximal regardless of the coin flips.
-        assert_eq!(verify_maximality(a.graph(), &a.matching_edge_ids()), Ok(()));
-        assert_eq!(verify_maximality(b.graph(), &b.matching_edge_ids()), Ok(()));
+        assert_eq!(verify_maximality(a.graph(), &a.matching_ids()), Ok(()));
+        assert_eq!(verify_maximality(b.graph(), &b.matching_ids()), Ok(()));
+    }
+
+    #[test]
+    fn builder_rank_is_enforced() {
+        let mut alg = RandomReplaceMatching::from_builder(&EngineBuilder::new(5).rank(2).seed(1));
+        assert!(matches!(
+            alg.apply_batch(&[Update::Insert(HyperEdge::new(
+                EdgeId(0),
+                (0..3).map(pdmm_hypergraph::types::VertexId).collect(),
+            ))]),
+            Err(BatchError::RankExceeded { .. })
+        ));
     }
 
     proptest! {

@@ -7,13 +7,21 @@
 //! batch is — this is the baseline the dynamic algorithm must beat in experiment E4,
 //! and the crossover point (batch size vs. graph size) is part of what that
 //! experiment reports.
+//!
+//! (The *sequential* recompute yardstick — a greedy scan instead of Luby — is the
+//! [`pdmm_static::StaticRecompute`] adapter.)
 
-use pdmm_hypergraph::dynamic::DynamicMatcher;
+use pdmm_hypergraph::engine::{
+    validate_batch, BatchError, BatchReport, EngineBuilder, EngineMetrics, MatchingEngine,
+    MatchingIter, UpdateCounters,
+};
 use pdmm_hypergraph::graph::DynamicHypergraph;
-use pdmm_hypergraph::types::{EdgeId, UpdateBatch};
+use pdmm_hypergraph::matching::verify_maximality;
+use pdmm_hypergraph::types::{EdgeId, Update};
 use pdmm_primitives::cost_model::CostTracker;
 use pdmm_primitives::random::RandomSource;
 use pdmm_static::luby::luby_maximal_matching;
+use rustc_hash::FxHashSet;
 
 /// Baseline that recomputes a static maximal matching after every batch.
 #[derive(Debug)]
@@ -22,10 +30,13 @@ pub struct RecomputeFromScratch {
     matching: Vec<EdgeId>,
     rng: RandomSource,
     cost: CostTracker,
+    counters: UpdateCounters,
+    max_rank: usize,
 }
 
 impl RecomputeFromScratch {
-    /// Creates the baseline over an empty graph with `num_vertices` vertices.
+    /// Creates the baseline over an empty graph with `num_vertices` vertices and
+    /// no rank restriction.
     #[must_use]
     pub fn new(num_vertices: usize, seed: u64) -> Self {
         RecomputeFromScratch {
@@ -33,7 +44,17 @@ impl RecomputeFromScratch {
             matching: Vec::new(),
             rng: RandomSource::from_seed(seed),
             cost: CostTracker::new(),
+            counters: UpdateCounters::default(),
+            max_rank: usize::MAX,
         }
+    }
+
+    /// Creates the baseline from the engine-agnostic builder.
+    #[must_use]
+    pub fn from_builder(builder: &EngineBuilder) -> Self {
+        let mut alg = Self::new(builder.num_vertices, builder.seed);
+        alg.max_rank = builder.max_rank;
+        alg
     }
 
     /// The ground-truth graph built from the updates.
@@ -49,22 +70,84 @@ impl RecomputeFromScratch {
     }
 }
 
-impl DynamicMatcher for RecomputeFromScratch {
-    fn apply_batch(&mut self, batch: &UpdateBatch) {
-        self.graph.apply_batch(batch);
-        self.cost.work(batch.len() as u64);
+impl MatchingEngine for RecomputeFromScratch {
+    fn name(&self) -> &'static str {
+        "recompute-from-scratch"
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    fn max_rank(&self) -> usize {
+        self.max_rank
+    }
+
+    fn contains_edge(&self, id: EdgeId) -> bool {
+        self.graph.contains_edge(id)
+    }
+
+    fn apply_batch(&mut self, updates: &[Update]) -> Result<BatchReport, BatchError> {
+        validate_batch(
+            updates,
+            |id| self.graph.contains_edge(id),
+            self.max_rank,
+            self.graph.num_vertices(),
+        )?;
+        let start = self.cost.snapshot();
+        self.counters.batches += 1;
+        self.counters.updates += updates.len() as u64;
+        // Hash the previous matching once so per-deletion lookups are O(1)
+        // instead of a linear scan per update.
+        let matched: FxHashSet<EdgeId> = self.matching.iter().copied().collect();
+        let mut matched_deletions = 0usize;
+        for update in updates {
+            match update {
+                Update::Insert(edge) => {
+                    self.counters.insertions += 1;
+                    self.graph.insert_edge(edge.clone());
+                }
+                Update::Delete(id) => {
+                    self.counters.deletions += 1;
+                    if matched.contains(id) {
+                        matched_deletions += 1;
+                    }
+                    self.graph.delete_edge(*id);
+                }
+            }
+        }
+        self.counters.matched_deletions += matched_deletions as u64;
+        self.cost.work(updates.len() as u64);
         self.cost.round();
         let edges = self.graph.snapshot_edges();
         let result = luby_maximal_matching(&edges, &mut self.rng, Some(&self.cost));
         self.matching = result.edges;
+        let cost = self.cost.snapshot().since(&start);
+        Ok(BatchReport {
+            batch_size: updates.len(),
+            depth: cost.depth,
+            work: cost.work,
+            matched_deletions,
+            matching_size: self.matching.len(),
+            rebuilt: false,
+        })
     }
 
-    fn matching_edge_ids(&self) -> Vec<EdgeId> {
-        self.matching.clone()
+    fn matching(&self) -> MatchingIter<'_> {
+        MatchingIter::new(self.matching.iter().copied())
     }
 
-    fn name(&self) -> &'static str {
-        "recompute-from-scratch"
+    fn matching_size(&self) -> usize {
+        self.matching.len()
+    }
+
+    fn verify(&mut self) -> Result<(), String> {
+        verify_maximality(&self.graph, &self.matching).map_err(|e| format!("{e:?}"))
+    }
+
+    fn metrics(&self) -> EngineMetrics {
+        let cost = self.cost.snapshot();
+        self.counters.into_metrics(cost.work, cost.depth)
     }
 }
 
@@ -72,7 +155,6 @@ impl DynamicMatcher for RecomputeFromScratch {
 mod tests {
     use super::*;
     use pdmm_hypergraph::generators::gnm_graph;
-    use pdmm_hypergraph::matching::verify_maximality;
     use pdmm_hypergraph::streams::random_churn;
 
     #[test]
@@ -80,11 +162,8 @@ mod tests {
         let w = random_churn(70, 2, 100, 10, 25, 0.5, 3);
         let mut alg = RecomputeFromScratch::new(w.num_vertices, 1);
         for batch in &w.batches {
-            alg.apply_batch(batch);
-            assert_eq!(
-                verify_maximality(alg.graph(), &alg.matching_edge_ids()),
-                Ok(())
-            );
+            alg.apply_batch(batch).unwrap();
+            assert_eq!(verify_maximality(alg.graph(), &alg.matching_ids()), Ok(()));
         }
     }
 
@@ -97,10 +176,11 @@ mod tests {
             let edges = gnm_graph(n, m, 1, 0);
             let ids: Vec<_> = edges.iter().map(|e| e.id).collect();
             let mut alg = RecomputeFromScratch::new(n, 1);
-            alg.apply_batch(&edges.into_iter().map(pdmm_hypergraph::types::Update::Insert).collect());
+            let batch: Vec<Update> = edges.into_iter().map(Update::Insert).collect();
+            alg.apply_batch(&batch).unwrap();
             let before = alg.cost().snapshot();
             for id in ids.iter().take(10) {
-                alg.apply_batch(&vec![pdmm_hypergraph::types::Update::Delete(*id)]);
+                alg.apply_batch(&[Update::Delete(*id)]).unwrap();
             }
             alg.cost().snapshot().since(&before).work
         }
@@ -116,5 +196,14 @@ mod tests {
     fn name_is_stable() {
         let alg = RecomputeFromScratch::new(4, 0);
         assert_eq!(alg.name(), "recompute-from-scratch");
+    }
+
+    #[test]
+    fn unknown_deletion_is_a_typed_error() {
+        let mut alg = RecomputeFromScratch::new(4, 0);
+        assert_eq!(
+            alg.apply_batch(&[Update::Delete(EdgeId(1))]),
+            Err(BatchError::UnknownDeletion { id: EdgeId(1) })
+        );
     }
 }

@@ -1,0 +1,206 @@
+//! In-tree stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to a crate registry, so the workspace
+//! vendors the small slice of rayon's API it uses — `par_iter`, `par_iter_mut`,
+//! `into_par_iter`, `par_chunks_mut`, `flat_map_iter`, `reduce_with`, and
+//! `ThreadPoolBuilder` — with **sequential** execution: every parallel iterator is
+//! an ordinary `std` iterator, so all adapter chains (`map`, `filter`, `zip`,
+//! `collect`, `sum`, …) behave identically, minus the parallelism.
+//!
+//! The algorithm's *reported* work/depth counters are simulated by the cost model
+//! and are unaffected; only wall-clock parallel speedup is lost.  Swapping the
+//! real rayon back in is a pure manifest change (see ROADMAP "Open items").
+
+/// Sequential re-exports of the rayon prelude traits.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIteratorExt, ParallelSlice, ParallelSliceMut};
+}
+
+/// `par_iter`/`par_chunks` on slices, as plain sequential iterators.
+pub trait ParallelSlice<T> {
+    /// Sequential stand-in for `rayon`'s `par_iter`.
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    /// Sequential stand-in for `rayon`'s `par_chunks`.
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// `par_iter_mut`/`par_chunks_mut` on slices, as plain sequential iterators.
+pub trait ParallelSliceMut<T> {
+    /// Sequential stand-in for `rayon`'s `par_iter_mut`.
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    /// Sequential stand-in for `rayon`'s `par_chunks_mut`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+/// `into_par_iter` on anything iterable (vectors, ranges, …).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item;
+    /// The (sequential) iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Sequential stand-in for `rayon`'s `into_par_iter`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Rayon-only adapter names, mapped onto their `std` equivalents.
+pub trait ParallelIteratorExt: Iterator + Sized {
+    /// Sequential stand-in for `rayon`'s `flat_map_iter`.
+    fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+    where
+        U: IntoIterator,
+        F: FnMut(Self::Item) -> U,
+    {
+        self.flat_map(f)
+    }
+
+    /// Sequential stand-in for `rayon`'s `reduce_with`.
+    fn reduce_with<F>(self, f: F) -> Option<Self::Item>
+    where
+        F: FnMut(Self::Item, Self::Item) -> Self::Item,
+    {
+        self.reduce(f)
+    }
+
+    /// Sequential no-op stand-in for `rayon`'s `with_min_len`.
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+impl<I: Iterator> ParallelIteratorExt for I {}
+
+/// Error from [`ThreadPoolBuilder::build`]; never produced by this stand-in.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool construction failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder-compatible stand-in for rayon's `ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder.
+    #[must_use]
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Records the requested thread count (informational in this stand-in).
+    #[must_use]
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool.  Never fails.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.max(1),
+        })
+    }
+}
+
+/// A "pool" that runs closures on the calling thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` (on the calling thread in this stand-in) and returns its result.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+
+    /// The configured thread count.
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// The number of threads the default pool would use (1: sequential stand-in).
+#[must_use]
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn adapters_match_std() {
+        let v: Vec<u32> = (0..100).collect();
+        let doubled: Vec<u32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled[9], 18);
+        let sum: u32 = (0..10u32).into_par_iter().sum();
+        assert_eq!(sum, 45);
+        let flat: Vec<u32> = [vec![1u32, 2], vec![3]]
+            .par_iter()
+            .flat_map_iter(|v| v.iter().copied())
+            .collect();
+        assert_eq!(flat, vec![1, 2, 3]);
+        let max = v.par_iter().copied().reduce_with(u32::max);
+        assert_eq!(max, Some(99));
+    }
+
+    #[test]
+    fn chunks_mut_mutates() {
+        let mut v = [1u64, 2, 3, 4, 5];
+        v.par_chunks_mut(2).for_each(|c| {
+            for x in c {
+                *x += 10;
+            }
+        });
+        assert_eq!(v, [11, 12, 13, 14, 15]);
+    }
+
+    #[test]
+    fn pool_installs() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(|| 7), 7);
+        assert_eq!(pool.current_num_threads(), 4);
+    }
+}

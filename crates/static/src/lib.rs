@@ -6,13 +6,17 @@
 //! * [`luby`] — the parallel maximal matching of Theorem 2.2 (Luby's MIS on the
 //!   hyperedge conflict graph), used both inside the dynamic algorithm (insertion
 //!   handling, `process-level` Step 1) and as the recompute-from-scratch baseline;
-//! * [`greedy`] — the trivial sequential scan, the work-efficiency yardstick.
+//! * [`greedy`] — the trivial sequential scan, the work-efficiency yardstick;
+//! * [`recompute`] — the [`StaticRecompute`] adapter exposing the greedy scan
+//!   through the workspace-wide `MatchingEngine` API.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod greedy;
 pub mod luby;
+pub mod recompute;
 
 pub use greedy::greedy_maximal_matching;
 pub use luby::{luby_maximal_matching, luby_on_free_edges, StaticMatching};
+pub use recompute::StaticRecompute;

@@ -106,7 +106,11 @@ pub fn luby_maximal_matching(
         }
 
         // Remove selected edges and everything incident to a newly matched vertex.
-        alive.retain(|e| !e.vertices().iter().any(|v| matched_vertices.contains_key(v)));
+        alive.retain(|e| {
+            !e.vertices()
+                .iter()
+                .any(|v| matched_vertices.contains_key(v))
+        });
     }
 
     StaticMatching {

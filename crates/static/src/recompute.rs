@@ -1,0 +1,201 @@
+//! Static-recompute adapter: the crate's static matchers behind the dynamic
+//! [`MatchingEngine`] API.
+//!
+//! The adapter maintains the ground-truth graph and, after every batch, throws the
+//! old matching away and recomputes one with the **sequential greedy scan** of
+//! §3.1 — the work-efficiency yardstick of experiment E1.  Together with
+//! `pdmm-seq-dynamic`'s `RecomputeFromScratch` (which recomputes with the
+//! *parallel* Luby matcher of Theorem 2.2) this brackets the recompute design
+//! space: greedy is work-optimal per recomputation but `Θ(M)` deep; Luby is
+//! `O(log M)` deep but pays a log factor of work.
+
+use crate::greedy::greedy_maximal_matching;
+use pdmm_hypergraph::engine::{
+    validate_batch, BatchError, BatchReport, EngineBuilder, EngineMetrics, MatchingEngine,
+    MatchingIter, UpdateCounters,
+};
+use pdmm_hypergraph::graph::DynamicHypergraph;
+use pdmm_hypergraph::matching::verify_maximality;
+use pdmm_hypergraph::types::{EdgeId, Update};
+use pdmm_primitives::cost_model::CostTracker;
+use rustc_hash::FxHashSet;
+
+/// Adapter driving the static greedy matcher through the dynamic engine API.
+#[derive(Debug)]
+pub struct StaticRecompute {
+    graph: DynamicHypergraph,
+    matching: Vec<EdgeId>,
+    cost: CostTracker,
+    counters: UpdateCounters,
+    max_rank: usize,
+}
+
+impl StaticRecompute {
+    /// Creates the adapter over an empty graph with `num_vertices` vertices and
+    /// no rank restriction.
+    #[must_use]
+    pub fn new(num_vertices: usize) -> Self {
+        StaticRecompute {
+            graph: DynamicHypergraph::new(num_vertices),
+            matching: Vec::new(),
+            cost: CostTracker::new(),
+            counters: UpdateCounters::default(),
+            max_rank: usize::MAX,
+        }
+    }
+
+    /// Creates the adapter from the engine-agnostic builder (the greedy scan is
+    /// deterministic, so the builder's seed is unused).
+    #[must_use]
+    pub fn from_builder(builder: &EngineBuilder) -> Self {
+        let mut alg = Self::new(builder.num_vertices);
+        alg.max_rank = builder.max_rank;
+        alg
+    }
+
+    /// The ground-truth graph built from the updates.
+    #[must_use]
+    pub fn graph(&self) -> &DynamicHypergraph {
+        &self.graph
+    }
+
+    /// Work/depth counters accumulated so far.
+    #[must_use]
+    pub fn cost(&self) -> &CostTracker {
+        &self.cost
+    }
+}
+
+impl MatchingEngine for StaticRecompute {
+    fn name(&self) -> &'static str {
+        "static-recompute"
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    fn max_rank(&self) -> usize {
+        self.max_rank
+    }
+
+    fn contains_edge(&self, id: EdgeId) -> bool {
+        self.graph.contains_edge(id)
+    }
+
+    fn apply_batch(&mut self, updates: &[Update]) -> Result<BatchReport, BatchError> {
+        validate_batch(
+            updates,
+            |id| self.graph.contains_edge(id),
+            self.max_rank,
+            self.graph.num_vertices(),
+        )?;
+        let start = self.cost.snapshot();
+        self.counters.batches += 1;
+        self.counters.updates += updates.len() as u64;
+        // Hash the previous matching once so per-deletion lookups are O(1)
+        // instead of a linear scan per update.
+        let matched: FxHashSet<EdgeId> = self.matching.iter().copied().collect();
+        let mut matched_deletions = 0usize;
+        for update in updates {
+            match update {
+                Update::Insert(edge) => {
+                    self.counters.insertions += 1;
+                    self.graph.insert_edge(edge.clone());
+                }
+                Update::Delete(id) => {
+                    self.counters.deletions += 1;
+                    if matched.contains(id) {
+                        matched_deletions += 1;
+                    }
+                    self.graph.delete_edge(*id);
+                }
+            }
+        }
+        self.counters.matched_deletions += matched_deletions as u64;
+        self.cost.work(updates.len() as u64);
+        // Deterministic recompute: scan the live edges in id order, as the §3.1
+        // yardstick does.
+        let mut edges = self.graph.snapshot_edges();
+        edges.sort_by_key(|e| e.id);
+        self.matching = greedy_maximal_matching(&edges, Some(&self.cost));
+        let cost = self.cost.snapshot().since(&start);
+        Ok(BatchReport {
+            batch_size: updates.len(),
+            depth: cost.depth,
+            work: cost.work,
+            matched_deletions,
+            matching_size: self.matching.len(),
+            rebuilt: false,
+        })
+    }
+
+    fn matching(&self) -> MatchingIter<'_> {
+        MatchingIter::new(self.matching.iter().copied())
+    }
+
+    fn matching_size(&self) -> usize {
+        self.matching.len()
+    }
+
+    fn verify(&mut self) -> Result<(), String> {
+        verify_maximality(&self.graph, &self.matching).map_err(|e| format!("{e:?}"))
+    }
+
+    fn metrics(&self) -> EngineMetrics {
+        let cost = self.cost.snapshot();
+        self.counters.into_metrics(cost.work, cost.depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdmm_hypergraph::generators::gnm_graph;
+    use pdmm_hypergraph::streams::{insert_then_teardown, random_churn};
+    use pdmm_hypergraph::types::{HyperEdge, VertexId};
+
+    #[test]
+    fn maximal_after_every_batch_and_deterministic() {
+        let w = random_churn(60, 2, 120, 10, 30, 0.5, 5);
+        let mut a = StaticRecompute::new(w.num_vertices);
+        let mut b = StaticRecompute::new(w.num_vertices);
+        for batch in &w.batches {
+            a.apply_batch(batch).unwrap();
+            b.apply_batch(batch).unwrap();
+            assert_eq!(verify_maximality(a.graph(), &a.matching_ids()), Ok(()));
+            // Greedy over id-sorted edges has no randomness: identical matchings.
+            assert_eq!(a.matching_ids(), b.matching_ids());
+        }
+        a.verify().unwrap();
+    }
+
+    #[test]
+    fn teardown_empties_matching() {
+        let edges = gnm_graph(40, 150, 3, 0);
+        let w = insert_then_teardown(40, edges, 25, 2);
+        let mut alg = StaticRecompute::new(w.num_vertices);
+        let reports = alg.apply_all(&w.batches).unwrap();
+        assert_eq!(alg.matching_size(), 0);
+        assert!(reports.iter().any(|r| r.matched_deletions > 0));
+        assert_eq!(alg.metrics().updates, w.total_updates() as u64);
+    }
+
+    #[test]
+    fn invalid_batches_are_typed_errors() {
+        let mut alg = StaticRecompute::from_builder(&EngineBuilder::new(4).rank(2));
+        assert_eq!(
+            alg.apply_batch(&[Update::Delete(EdgeId(0))]),
+            Err(BatchError::UnknownDeletion { id: EdgeId(0) })
+        );
+        assert!(matches!(
+            alg.apply_batch(&[Update::Insert(HyperEdge::pair(
+                EdgeId(0),
+                VertexId(0),
+                VertexId(9),
+            ))]),
+            Err(BatchError::VertexOutOfRange { .. })
+        ));
+        assert_eq!(alg.name(), "static-recompute");
+    }
+}

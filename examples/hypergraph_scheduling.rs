@@ -8,9 +8,9 @@
 //! (machines, GPUs, file locks).  A matching is a conflict-free schedule: no two
 //! running tasks share a resource.  A *maximal* matching means no submitted task
 //! that could run right now is left idle — exactly the greedy admission guarantee a
-//! scheduler wants.  Tasks are submitted and cancelled in batches; the dynamic
-//! algorithm keeps the schedule maximal after every batch, which is also the set
-//! cover / vertex cover connection the paper inherits from Assadi–Solomon [AS21].
+//! scheduler wants.  Tasks are submitted and cancelled in batches through the
+//! staged batch-session API (the shape a real admission queue has: stage
+//! submissions as they arrive, validate and deduplicate, commit once per tick).
 
 use pdmm::hypergraph::streams::random_churn;
 use pdmm::prelude::*;
@@ -25,14 +25,32 @@ fn main() {
     println!("== dynamic task scheduling over {resources} resources (rank {rank}) ==");
 
     // Submit an initial wave of tasks, then churn: cancellations + new submissions.
-    let workload = random_churn(resources, rank, initial_tasks, batches, batch_size, 0.5, 2024);
+    let workload = random_churn(
+        resources,
+        rank,
+        initial_tasks,
+        batches,
+        batch_size,
+        0.5,
+        2024,
+    );
 
-    let mut scheduler =
-        ParallelDynamicMatching::new(resources, Config::for_hypergraphs(rank, 99));
+    let builder = EngineBuilder::new(resources)
+        .rank(rank)
+        .seed(99)
+        .capacity_hint(initial_tasks + batches * batch_size);
+    let mut scheduler = ParallelDynamicMatching::from_builder(&builder);
 
     let mut running_history = Vec::new();
     for (i, batch) in workload.batches.iter().enumerate() {
-        let report = scheduler.apply_batch(batch);
+        // Admission control: stage each submission/cancellation, then commit the
+        // tick as one batch.  A malformed request would surface here as a typed
+        // BatchError instead of corrupting the schedule.
+        let mut tick = scheduler.begin_batch();
+        for update in batch {
+            tick.stage(update.clone()).expect("well-formed request");
+        }
+        let report = tick.commit().expect("validated tick");
         running_history.push(report.matching_size);
         if i % 8 == 0 {
             println!(
@@ -42,22 +60,21 @@ fn main() {
         }
     }
 
-    let metrics = scheduler.metrics();
+    let metrics = scheduler.epoch_metrics();
     println!("\n-- summary --");
     println!("updates processed:        {}", metrics.updates);
-    println!("tasks admitted (epochs):  {}", metrics.total_epochs_created());
+    println!(
+        "tasks admitted (epochs):  {}",
+        metrics.total_epochs_created()
+    );
     println!("cancelled while running:  {}", metrics.total_natural_ends());
     println!("pre-empted by scheduler:  {}", metrics.total_induced_ends());
     println!("tasks parked in D(·):     {}", metrics.temp_deletions);
     println!(
         "amortized work per update: {:.1}",
-        scheduler.cost().total_work() as f64 / metrics.updates as f64
+        scheduler.metrics().work_per_update()
     );
-    println!(
-        "levels used: {} (α = {})",
-        scheduler.num_levels(),
-        4 * rank
-    );
+    println!("levels used: {} (α = {})", scheduler.num_levels(), 4 * rank);
 
     // The resource-cover view (§2): endpoints of the matching form a vertex cover,
     // i.e. every submitted task touches at least one resource that is in use.

@@ -9,13 +9,15 @@
 //! *matching* over the current friendship graph at all times — think of pairing
 //! users up for a "catch up with a friend" prompt, where no user may be paired
 //! twice — and the matching must stay maximal so that nobody who could be paired is
-//! left out.  Each "tick" of the platform delivers one batch of updates, and the
-//! dynamic algorithm adjusts the matching without recomputing it from scratch.
+//! left out.  Each "tick" of the platform delivers one batch of updates; both the
+//! dynamic engine and the recompute baseline are built from the *same*
+//! `EngineBuilder` and driven through the *same* `MatchingEngine` API, so the
+//! comparison is apples to apples.
 
+use pdmm::engine::{self, EngineKind};
 use pdmm::hypergraph::generators::chung_lu_graph;
 use pdmm::hypergraph::streams::sliding_window;
 use pdmm::prelude::*;
-use pdmm::seq_dynamic::RecomputeFromScratch;
 
 fn main() {
     let users = 50_000;
@@ -30,19 +32,20 @@ fn main() {
     let edges = chung_lu_graph(users, friendships, 2.4, 1234, 0);
     let workload = sliding_window(users, edges, tick_size, window);
 
-    let mut dynamic = ParallelDynamicMatching::new(users, Config::for_graphs(7));
-    let mut recompute = RecomputeFromScratch::new(users, 7);
+    let builder = EngineBuilder::new(users).seed(7);
+    let mut dynamic = engine::build(EngineKind::Parallel, &builder);
+    let mut recompute = engine::build(EngineKind::RecomputeSequential, &builder);
 
     let mut dynamic_time = std::time::Duration::ZERO;
     let mut recompute_time = std::time::Duration::ZERO;
 
     for (tick, batch) in workload.batches.iter().enumerate() {
         let t0 = std::time::Instant::now();
-        let report = dynamic.apply_batch(batch);
+        let report = dynamic.apply_batch(batch).expect("valid tick");
         dynamic_time += t0.elapsed();
 
         let t1 = std::time::Instant::now();
-        DynamicMatcher::apply_batch(&mut recompute, batch);
+        recompute.apply_batch(batch).expect("valid tick");
         recompute_time += t1.elapsed();
 
         if tick % 25 == 0 {
@@ -54,21 +57,26 @@ fn main() {
     }
 
     let updates = dynamic.metrics().updates;
-    println!("\nprocessed {updates} updates over {} ticks", workload.batches.len());
     println!(
-        "dynamic matcher:   total {dynamic_time:?} ({:.1} µs/update), final matching {}",
+        "\nprocessed {updates} updates over {} ticks",
+        workload.batches.len()
+    );
+    println!(
+        "{}:   total {dynamic_time:?} ({:.1} µs/update), final matching {}",
+        dynamic.name(),
         dynamic_time.as_micros() as f64 / updates as f64,
         dynamic.matching_size()
     );
     println!(
-        "recompute-per-tick baseline: total {recompute_time:?} ({:.1} µs/update), final matching {}",
+        "{} baseline: total {recompute_time:?} ({:.1} µs/update), final matching {}",
+        recompute.name(),
         recompute_time.as_micros() as f64 / updates as f64,
-        recompute.matching_edge_ids().len()
+        recompute.matching_size()
     );
     println!(
         "speedup of dynamic over recompute: {:.1}x",
         recompute_time.as_secs_f64() / dynamic_time.as_secs_f64().max(1e-9)
     );
 
-    dynamic.verify_invariants().expect("invariants hold");
+    dynamic.verify().expect("invariants hold");
 }

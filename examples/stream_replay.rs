@@ -7,9 +7,9 @@
 //! Workloads are plain-text files (`+ id v1 v2 …` / `- id`, one batch per block),
 //! so they can be generated once, versioned, shared with other implementations, and
 //! replayed deterministically.  This example writes a churn workload to a temporary
-//! file, reads it back, replays it through the dynamic matcher, and shows that the
-//! replay is byte-for-byte the same stream and produces the same matching as the
-//! in-memory workload.
+//! file, reads it back, replays it through the dynamic matcher via the staged
+//! batch-session path, and shows that the replay is byte-for-byte the same stream
+//! and produces the same matching as the in-memory workload.
 
 use pdmm::hypergraph::io;
 use pdmm::hypergraph::streams::random_churn;
@@ -23,7 +23,7 @@ fn main() {
         "workload: {} ({} batches, {} updates)",
         workload.name,
         workload.batches.len(),
-        workload.batches.iter().map(Vec::len).sum::<usize>()
+        workload.total_updates()
     );
 
     // 1. Serialize the stream and write it to a file.
@@ -36,28 +36,35 @@ fn main() {
     let loaded = std::fs::read_to_string(&path).expect("read stream file");
     let batches = io::batches_from_string(&loaded).expect("parse stream file");
     assert_eq!(batches, workload.batches, "round-trip must be lossless");
+    let replayed = Workload {
+        num_vertices: n,
+        rank: workload.rank,
+        batches,
+        name: format!("{} (from file)", workload.name),
+    };
 
-    // 3. Replay both through the matcher with the same seed: identical results.
-    let mut from_memory = ParallelDynamicMatching::new(n, Config::for_graphs(99));
-    for batch in &workload.batches {
-        from_memory.apply_batch(batch);
-    }
-    let mut from_file = ParallelDynamicMatching::new(n, Config::for_graphs(99));
-    for batch in &batches {
-        from_file.apply_batch(batch);
-    }
-    let mut a = from_memory.matching();
-    let mut b = from_file.matching();
+    // 3. Replay both through the matcher with the same seed, feeding every batch
+    //    through the validating session path (`Workload::drive`): identical
+    //    results.
+    let builder = EngineBuilder::new(n).seed(99);
+    let mut from_memory = ParallelDynamicMatching::from_builder(&builder);
+    workload.drive(&mut from_memory).expect("valid stream");
+    let mut from_file = ParallelDynamicMatching::from_builder(&builder);
+    let reports = replayed.drive(&mut from_file).expect("valid stream");
+
+    let mut a = from_memory.matching_ids();
+    let mut b = from_file.matching_ids();
     a.sort_unstable();
     b.sort_unstable();
     assert_eq!(a, b, "replay must reproduce the exact matching");
 
+    let metrics = from_file.metrics();
     println!(
         "replayed {} batches: matching size {}, total work {}, total depth {} — identical to the in-memory run ✓",
-        batches.len(),
+        reports.len(),
         from_file.matching_size(),
-        from_file.cost().total_work(),
-        from_file.cost().total_depth()
+        metrics.work,
+        metrics.depth
     );
 
     let _ = std::fs::remove_file(&path);

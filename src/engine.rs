@@ -1,0 +1,68 @@
+//! The engine-agnostic API, plus construction of every engine the workspace
+//! ships.
+//!
+//! The trait, builder, session, and error types live in
+//! [`pdmm_hypergraph::engine`] (re-exported here); this module adds the one piece
+//! that has to sit above all engine crates: [`build`], which turns an
+//! [`EngineKind`] plus an [`EngineBuilder`] into a boxed [`MatchingEngine`].
+//!
+//! ```
+//! use pdmm::engine::{self, EngineBuilder, EngineKind};
+//! use pdmm::prelude::*;
+//!
+//! let builder = EngineBuilder::new(100).rank(2).seed(7);
+//! let mut engines = engine::build_all(&builder);
+//! let batch = vec![Update::Insert(HyperEdge::pair(EdgeId(0), VertexId(0), VertexId(1)))];
+//! for engine in &mut engines {
+//!     engine.apply_batch(&batch).unwrap();
+//!     assert_eq!(engine.matching_size(), 1, "{} disagrees", engine.name());
+//! }
+//! ```
+
+pub use pdmm_hypergraph::engine::{
+    validate_batch, BatchError, BatchReport, BatchSession, EngineBuilder, EngineKind,
+    EngineMetrics, MatchingEngine, MatchingIter, UpdateCounters,
+};
+
+/// Constructs the engine of the given kind from a shared builder configuration.
+#[must_use]
+pub fn build(kind: EngineKind, builder: &EngineBuilder) -> Box<dyn MatchingEngine> {
+    match kind {
+        EngineKind::Parallel => Box::new(pdmm_core::ParallelDynamicMatching::from_builder(builder)),
+        EngineKind::NaiveSequential => Box::new(
+            pdmm_seq_dynamic::NaiveDynamicMatching::from_builder(builder),
+        ),
+        EngineKind::RandomReplace => Box::new(
+            pdmm_seq_dynamic::RandomReplaceMatching::from_builder(builder),
+        ),
+        EngineKind::RecomputeSequential => Box::new(
+            pdmm_seq_dynamic::RecomputeFromScratch::from_builder(builder),
+        ),
+        EngineKind::StaticRecompute => {
+            Box::new(pdmm_static::StaticRecompute::from_builder(builder))
+        }
+    }
+}
+
+/// Constructs one engine of every kind from a shared builder configuration.
+#[must_use]
+pub fn build_all(builder: &EngineBuilder) -> Vec<Box<dyn MatchingEngine>> {
+    EngineKind::ALL.iter().map(|&k| build(k, builder)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_covers_every_kind_with_matching_names() {
+        let builder = EngineBuilder::new(10).rank(3).seed(1);
+        for kind in EngineKind::ALL {
+            let engine = build(kind, &builder);
+            assert_eq!(engine.name(), kind.name());
+            assert_eq!(engine.num_vertices(), 10);
+            assert_eq!(engine.max_rank(), 3);
+        }
+        assert_eq!(build_all(&builder).len(), EngineKind::ALL.len());
+    }
+}

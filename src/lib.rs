@@ -8,13 +8,24 @@
 //!
 //! This facade crate re-exports the workspace's public API:
 //!
+//! * [`engine`] — the engine-agnostic [`MatchingEngine`] API: the
+//!   [`EngineBuilder`] configuration, typed [`engine::BatchError`]s, zero-copy
+//!   matching queries, staged [`engine::BatchSession`] ingestion, and
+//!   [`engine::build`] to construct any of the five engines,
 //! * [`core`] ([`ParallelDynamicMatching`]) — the paper's algorithm,
 //! * [`hypergraph`] — the dynamic hypergraph substrate, workload generators,
 //!   update streams and matching verification,
-//! * [`static_matching`] — the static parallel maximal matching of Theorem 2.2,
+//! * [`static_matching`] — the static parallel maximal matching of Theorem 2.2
+//!   plus the static-recompute engine adapter,
 //! * [`seq_dynamic`] — sequential dynamic baselines,
 //! * [`primitives`] — PRAM-style parallel building blocks (parallel dictionary,
 //!   prefix sums, cost model, …).
+//!
+//! ## Quick start
+//!
+//! Engines are configured with the [`EngineBuilder`] and driven through the
+//! [`MatchingEngine`] trait — batches are `&[Update]` slices and invalid batches
+//! come back as typed errors instead of panics:
 //!
 //! ```
 //! use pdmm::prelude::*;
@@ -23,16 +34,47 @@
 //! let edges = pdmm::hypergraph::generators::gnm_graph(1_000, 4_000, 7, 0);
 //! let workload = pdmm::hypergraph::streams::sliding_window(1_000, edges, 64, 16);
 //!
+//! // Configure the paper's engine; the same builder configures every baseline.
+//! let builder = EngineBuilder::new(workload.num_vertices).seed(42);
+//! let mut matcher = ParallelDynamicMatching::from_builder(&builder);
+//!
 //! // Maintain a maximal matching through the whole stream.
-//! let mut matcher = ParallelDynamicMatching::new(workload.num_vertices, Config::for_graphs(42));
 //! for batch in &workload.batches {
-//!     matcher.apply_batch(batch);
+//!     matcher.apply_batch(batch).unwrap();
 //! }
 //! assert!(matcher.verify_invariants().is_ok());
+//!
+//! // Zero-copy query of the final matching.
+//! let size = matcher.matching().count();
+//! assert_eq!(size, matcher.matching_size());
+//! ```
+//!
+//! Staged ingestion validates and deduplicates before anything is applied — the
+//! shape a production ingest path needs:
+//!
+//! ```
+//! use pdmm::prelude::*;
+//!
+//! let mut engine = pdmm::engine::build(EngineKind::Parallel, &EngineBuilder::new(4));
+//! let mut session = BatchSession::new(&mut *engine);
+//! session
+//!     .stage(Update::Insert(HyperEdge::pair(EdgeId(0), VertexId(0), VertexId(1))))
+//!     .unwrap();
+//! // Exact duplicates are dropped, conflicting ones are typed errors.
+//! assert!(!session
+//!     .stage(Update::Insert(HyperEdge::pair(EdgeId(0), VertexId(0), VertexId(1))))
+//!     .unwrap());
+//! assert!(session
+//!     .stage(Update::Insert(HyperEdge::pair(EdgeId(0), VertexId(2), VertexId(3))))
+//!     .is_err());
+//! let report = session.commit().unwrap();
+//! assert_eq!(report.batch_size, 1);
 //! ```
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+
+pub mod engine;
 
 pub use pdmm_core as core;
 pub use pdmm_hypergraph as hypergraph;
@@ -42,15 +84,18 @@ pub use pdmm_static as static_matching;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
-    pub use pdmm_core::{BatchReport, Config, ParallelDynamicMatching};
-    pub use pdmm_hypergraph::dynamic::DynamicMatcher;
+    pub use crate::engine::{
+        BatchError, BatchReport, BatchSession, EngineBuilder, EngineKind, EngineMetrics,
+        MatchingEngine,
+    };
+    pub use pdmm_core::{Config, ParallelDynamicMatching};
     pub use pdmm_hypergraph::graph::DynamicHypergraph;
     pub use pdmm_hypergraph::matching::{verify_maximality, verify_validity};
     pub use pdmm_hypergraph::streams::Workload;
     pub use pdmm_hypergraph::types::{EdgeId, HyperEdge, Update, UpdateBatch, VertexId};
 }
 
-pub use prelude::{Config, ParallelDynamicMatching};
+pub use prelude::{Config, EngineBuilder, EngineKind, MatchingEngine, ParallelDynamicMatching};
 
 #[cfg(test)]
 mod tests {
@@ -58,12 +103,14 @@ mod tests {
 
     #[test]
     fn facade_reexports_work_together() {
-        let mut matcher = ParallelDynamicMatching::new(4, Config::for_graphs(0));
-        matcher.apply_batch(&vec![Update::Insert(HyperEdge::pair(
-            EdgeId(0),
-            VertexId(0),
-            VertexId(1),
-        ))]);
+        let mut matcher = ParallelDynamicMatching::from_builder(&EngineBuilder::new(4));
+        matcher
+            .apply_batch(&[Update::Insert(HyperEdge::pair(
+                EdgeId(0),
+                VertexId(0),
+                VertexId(1),
+            ))])
+            .unwrap();
         assert_eq!(matcher.matching_size(), 1);
     }
 }

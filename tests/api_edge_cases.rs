@@ -11,20 +11,22 @@ fn pair(id: u64, a: u32, b: u32) -> HyperEdge {
 #[test]
 fn empty_batches_are_noops() {
     let mut matcher = ParallelDynamicMatching::new(10, Config::for_graphs(1));
-    let report = matcher.apply_batch(&vec![]);
+    let report = matcher.apply_batch(&[]).unwrap();
     assert_eq!(report.batch_size, 0);
     assert_eq!(matcher.matching_size(), 0);
-    matcher.apply_batch(&vec![Update::Insert(pair(0, 0, 1))]);
-    let before = matcher.matching();
-    matcher.apply_batch(&vec![]);
-    assert_eq!(matcher.matching(), before);
+    matcher
+        .apply_batch(&[Update::Insert(pair(0, 0, 1))])
+        .unwrap();
+    let before = matcher.matching_ids();
+    matcher.apply_batch(&[]).unwrap();
+    assert_eq!(matcher.matching_ids(), before);
     matcher.verify_invariants().unwrap();
 }
 
 #[test]
 fn graph_with_zero_vertices_accepts_empty_batches() {
     let mut matcher = ParallelDynamicMatching::new(0, Config::for_graphs(2));
-    matcher.apply_batch(&vec![]);
+    matcher.apply_batch(&[]).unwrap();
     assert_eq!(matcher.matching_size(), 0);
     matcher.verify_invariants().unwrap();
 }
@@ -34,16 +36,20 @@ fn rank_one_edges_are_matched_like_singleton_sets() {
     // A rank-1 hyperedge {v} is matched iff v is free; two rank-1 edges on the same
     // vertex conflict.
     let mut matcher = ParallelDynamicMatching::new(3, Config::for_graphs(3));
-    matcher.apply_batch(&vec![
-        Update::Insert(HyperEdge::new(EdgeId(0), vec![VertexId(0)])),
-        Update::Insert(HyperEdge::new(EdgeId(1), vec![VertexId(0)])),
-        Update::Insert(HyperEdge::new(EdgeId(2), vec![VertexId(1)])),
-    ]);
+    matcher
+        .apply_batch(&[
+            Update::Insert(HyperEdge::new(EdgeId(0), vec![VertexId(0)])),
+            Update::Insert(HyperEdge::new(EdgeId(1), vec![VertexId(0)])),
+            Update::Insert(HyperEdge::new(EdgeId(2), vec![VertexId(1)])),
+        ])
+        .unwrap();
     assert_eq!(matcher.matching_size(), 2);
     matcher.verify_invariants().unwrap();
     // Deleting the matched singleton on vertex 0 promotes the other one.
     let matched_on_v0 = matcher.matched_edge_of(VertexId(0)).unwrap();
-    matcher.apply_batch(&vec![Update::Delete(matched_on_v0)]);
+    matcher
+        .apply_batch(&[Update::Delete(matched_on_v0)])
+        .unwrap();
     assert_eq!(matcher.matching_size(), 2);
     matcher.verify_invariants().unwrap();
 }
@@ -51,7 +57,9 @@ fn rank_one_edges_are_matched_like_singleton_sets() {
 #[test]
 fn self_loop_pairs_collapse_to_rank_one() {
     let mut matcher = ParallelDynamicMatching::new(2, Config::for_graphs(4));
-    matcher.apply_batch(&vec![Update::Insert(pair(0, 1, 1))]);
+    matcher
+        .apply_batch(&[Update::Insert(pair(0, 1, 1))])
+        .unwrap();
     assert_eq!(matcher.matching_size(), 1);
     assert!(matcher.matched_edge_of(VertexId(1)).is_some());
     assert!(matcher.matched_edge_of(VertexId(0)).is_none());
@@ -63,9 +71,11 @@ fn edge_ids_can_be_reused_after_deletion_many_times() {
     let mut matcher = ParallelDynamicMatching::new(4, Config::for_graphs(5));
     for round in 0..20u32 {
         let (a, b) = ((round % 3), (round % 3) + 1);
-        matcher.apply_batch(&vec![Update::Insert(pair(7, a, b))]);
+        matcher
+            .apply_batch(&[Update::Insert(pair(7, a, b))])
+            .unwrap();
         assert_eq!(matcher.matching_size(), 1);
-        matcher.apply_batch(&vec![Update::Delete(EdgeId(7))]);
+        matcher.apply_batch(&[Update::Delete(EdgeId(7))]).unwrap();
         assert_eq!(matcher.matching_size(), 0);
     }
     matcher.verify_invariants().unwrap();
@@ -74,12 +84,14 @@ fn edge_ids_can_be_reused_after_deletion_many_times() {
 #[test]
 fn accessors_are_mutually_consistent() {
     let mut matcher = ParallelDynamicMatching::new(6, Config::for_graphs(6));
-    matcher.apply_batch(&vec![
-        Update::Insert(pair(0, 0, 1)),
-        Update::Insert(pair(1, 2, 3)),
-        Update::Insert(pair(2, 3, 4)),
-    ]);
-    let matching = matcher.matching();
+    matcher
+        .apply_batch(&[
+            Update::Insert(pair(0, 0, 1)),
+            Update::Insert(pair(1, 2, 3)),
+            Update::Insert(pair(2, 3, 4)),
+        ])
+        .unwrap();
+    let matching = matcher.matching_ids();
     assert_eq!(matching.len(), matcher.matching_size());
     for id in &matching {
         // Every matched edge's endpoints point back at it and sit at its level.
@@ -108,14 +120,17 @@ fn matched_endpoints_form_a_vertex_cover() {
     let mut matcher = ParallelDynamicMatching::new(80, Config::for_graphs(7));
     let batch: UpdateBatch = edges.into_iter().map(Update::Insert).collect();
     truth.apply_batch(&batch);
-    matcher.apply_batch(&batch);
-    assert_eq!(verify_maximality(&truth, &matcher.matching()), Ok(()));
+    matcher.apply_batch(&batch).unwrap();
+    assert_eq!(verify_maximality(&truth, &matcher.matching_ids()), Ok(()));
     let cover: Vec<VertexId> = matcher
-        .matching()
+        .matching_ids()
         .iter()
         .flat_map(|id| truth.edge(*id).unwrap().vertices().to_vec())
         .collect();
-    assert_eq!(pdmm::hypergraph::matching::uncovered_edges(&truth, &cover), 0);
+    assert_eq!(
+        pdmm::hypergraph::matching::uncovered_edges(&truth, &cover),
+        0
+    );
 }
 
 #[test]
@@ -127,8 +142,8 @@ fn one_giant_batch_is_the_static_case() {
     let batch: UpdateBatch = edges.into_iter().map(Update::Insert).collect();
     truth.apply_batch(&batch);
     let mut matcher = ParallelDynamicMatching::new(500, Config::for_graphs(8));
-    let report = matcher.apply_batch(&batch);
-    assert_eq!(verify_maximality(&truth, &matcher.matching()), Ok(()));
+    let report = matcher.apply_batch(&batch).unwrap();
+    assert_eq!(verify_maximality(&truth, &matcher.matching_ids()), Ok(()));
     assert!(
         report.depth < 200,
         "one batch of 3000 insertions should take polylog rounds, got {}",
@@ -142,9 +157,13 @@ fn deleting_everything_in_one_batch_empties_the_matching() {
     let edges = pdmm::hypergraph::generators::gnm_graph(100, 500, 13, 0);
     let ids: Vec<EdgeId> = edges.iter().map(|e| e.id).collect();
     let mut matcher = ParallelDynamicMatching::new(100, Config::for_graphs(9));
-    matcher.apply_batch(&edges.into_iter().map(Update::Insert).collect());
+    matcher
+        .apply_batch(&edges.into_iter().map(Update::Insert).collect::<Vec<_>>())
+        .unwrap();
     assert!(matcher.matching_size() > 0);
-    let report = matcher.apply_batch(&ids.into_iter().map(Update::Delete).collect());
+    let report = matcher
+        .apply_batch(&ids.into_iter().map(Update::Delete).collect::<Vec<_>>())
+        .unwrap();
     assert_eq!(matcher.matching_size(), 0);
     assert_eq!(matcher.num_temp_deleted(), 0);
     assert!(report.matched_deletions > 0);
@@ -158,7 +177,15 @@ fn cost_counters_are_monotone_and_reported_per_batch() {
     let mut last_work = 0u64;
     for chunk in edges.chunks(40) {
         let before = matcher.cost().snapshot();
-        let report = matcher.apply_batch(&chunk.iter().cloned().map(Update::Insert).collect());
+        let report = matcher
+            .apply_batch(
+                &chunk
+                    .iter()
+                    .cloned()
+                    .map(Update::Insert)
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap();
         let after = matcher.cost().snapshot();
         assert_eq!(after.since(&before).work, report.work);
         assert_eq!(after.since(&before).depth, report.depth);

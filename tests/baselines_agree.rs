@@ -1,22 +1,19 @@
 //! Cross-algorithm integration tests: every dynamic matcher in the workspace (the
-//! paper's parallel algorithm and all baselines) processes the same oblivious
-//! update streams, and each must maintain a valid maximal matching of the same
-//! evolving graph.  Matchings are allowed to differ (maximal matchings are not
-//! unique); maximality, validity and the `1/r` approximation guarantee must not.
+//! paper's parallel algorithm, all baselines, and the static-recompute adapter)
+//! processes the same oblivious update streams through the shared `MatchingEngine`
+//! trait, and each must maintain a valid maximal matching of the same evolving
+//! graph.  Matchings are allowed to differ (maximal matchings are not unique);
+//! maximality, validity and the `1/r` approximation guarantee must not.
 
+use pdmm::engine;
 use pdmm::hypergraph::matching::{greedy_maximal_matching, verify_maximality};
 use pdmm::hypergraph::streams::{self, Workload};
 use pdmm::hypergraph::{generators, matching};
 use pdmm::prelude::*;
-use pdmm::seq_dynamic::{NaiveDynamicMatching, RandomReplaceMatching, RecomputeFromScratch};
+use pdmm::seq_dynamic::NaiveDynamicMatching;
 
-fn algorithms(num_vertices: usize) -> Vec<Box<dyn DynamicMatcher>> {
-    vec![
-        Box::new(ParallelDynamicMatching::new(num_vertices, Config::for_graphs(1))),
-        Box::new(NaiveDynamicMatching::new(num_vertices)),
-        Box::new(RandomReplaceMatching::new(num_vertices, 2)),
-        Box::new(RecomputeFromScratch::new(num_vertices, 3)),
-    ]
+fn algorithms(num_vertices: usize) -> Vec<Box<dyn MatchingEngine>> {
+    engine::build_all(&EngineBuilder::new(num_vertices).seed(1))
 }
 
 fn run_all_and_verify(workload: &Workload) {
@@ -26,8 +23,8 @@ fn run_all_and_verify(workload: &Workload) {
     for (i, batch) in workload.batches.iter().enumerate() {
         truth.apply_batch(batch);
         for alg in &mut algs {
-            alg.apply_batch(batch);
-            let ids = alg.matching_edge_ids();
+            alg.apply_batch(batch).unwrap();
+            let ids = alg.matching_ids();
             assert_eq!(
                 verify_maximality(&truth, &ids),
                 Ok(()),
@@ -39,7 +36,7 @@ fn run_all_and_verify(workload: &Workload) {
     }
     // All maximal matchings of the same graph are within a factor 2 (rank 2) of one
     // another, because each is at least half the maximum matching.
-    let sizes: Vec<usize> = algs.iter().map(|a| a.matching_edge_ids().len()).collect();
+    let sizes: Vec<usize> = algs.iter().map(|a| a.matching_ids().len()).collect();
     let max = *sizes.iter().max().unwrap();
     let min = *sizes.iter().min().unwrap();
     assert!(
@@ -71,19 +68,23 @@ fn all_algorithms_agree_on_hub_churn() {
 fn parallel_algorithm_handles_rank_three_hypergraphs_like_the_naive_one() {
     let w = streams::random_churn(90, 3, 200, 12, 40, 0.5, 17);
     assert!(streams::validate_workload(&w));
-    let mut parallel = ParallelDynamicMatching::new(w.num_vertices, Config::for_hypergraphs(3, 5));
-    let mut naive = NaiveDynamicMatching::new(w.num_vertices);
+    let builder = EngineBuilder::new(w.num_vertices).rank(3).seed(5);
+    let mut parallel = ParallelDynamicMatching::from_builder(&builder);
+    let mut naive = NaiveDynamicMatching::from_builder(&builder);
     let mut truth = DynamicHypergraph::new(w.num_vertices);
     for batch in &w.batches {
         truth.apply_batch(batch);
-        ParallelDynamicMatching::apply_batch(&mut parallel, batch);
-        DynamicMatcher::apply_batch(&mut naive, batch);
-        assert_eq!(verify_maximality(&truth, &parallel.matching()), Ok(()));
-        assert_eq!(verify_maximality(&truth, &naive.matching_edge_ids()), Ok(()));
+        parallel.apply_batch(batch).unwrap();
+        naive.apply_batch(batch).unwrap();
+        assert_eq!(verify_maximality(&truth, &parallel.matching_ids()), Ok(()));
+        assert_eq!(verify_maximality(&truth, &naive.matching_ids()), Ok(()));
         // Rank 3: both matchings are 1/3-approximations, so sizes differ by ≤ 3×.
         let p = parallel.matching_size().max(1);
-        let n = naive.matching_edge_ids().len().max(1);
-        assert!(p * 3 >= n && n * 3 >= p, "sizes {p} and {n} are not within 3x");
+        let n = naive.matching_ids().len().max(1);
+        assert!(
+            p * 3 >= n && n * 3 >= p,
+            "sizes {p} and {n} are not within 3x"
+        );
     }
     parallel.verify_invariants().unwrap();
 }
@@ -97,14 +98,14 @@ fn matching_quality_is_close_to_greedy_reference() {
     let mut truth = DynamicHypergraph::new(w.num_vertices);
     for batch in &w.batches {
         truth.apply_batch(batch);
-        matcher.apply_batch(batch);
+        matcher.apply_batch(batch).unwrap();
     }
     let dynamic_size = matcher.matching_size();
     let greedy_size = greedy_maximal_matching(&truth).len();
     assert!(dynamic_size * 2 >= greedy_size);
     assert!(greedy_size * 2 >= dynamic_size);
     // The vertex cover induced by the dynamic matching covers the whole graph.
-    let matched_ids = matcher.matching_edge_ids();
+    let matched_ids = matcher.matching_ids();
     let m = matching::Matching::from_edge_ids(&truth, &matched_ids);
     assert_eq!(matching::uncovered_edges(&truth, &m.vertex_cover()), 0);
 }

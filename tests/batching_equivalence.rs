@@ -25,7 +25,8 @@ fn rebatch(workload: &Workload, batch_size: usize) -> Workload {
 fn rebatch_updates(updates: &[Update], batch_size: usize, proto: &Workload) -> Workload {
     let mut batches: Vec<UpdateBatch> = Vec::new();
     let mut current: UpdateBatch = Vec::new();
-    let mut inserted_in_current: std::collections::HashSet<EdgeId> = std::collections::HashSet::new();
+    let mut inserted_in_current: std::collections::HashSet<EdgeId> =
+        std::collections::HashSet::new();
     for update in updates {
         let conflicts = matches!(update, Update::Delete(id) if inserted_in_current.contains(id));
         if current.len() >= batch_size || conflicts {
@@ -56,8 +57,8 @@ fn run(workload: &Workload, seed: u64) -> ParallelDynamicMatching {
     let mut truth = DynamicHypergraph::new(workload.num_vertices);
     for batch in &workload.batches {
         truth.apply_batch(batch);
-        matcher.apply_batch(batch);
-        assert_eq!(verify_maximality(&truth, &matcher.matching()), Ok(()));
+        matcher.apply_batch(batch).unwrap();
+        assert_eq!(verify_maximality(&truth, &matcher.matching_ids()), Ok(()));
     }
     matcher.verify_invariants().unwrap();
     matcher
@@ -76,7 +77,10 @@ fn different_batch_sizes_all_stay_correct() {
     let base = base_workload();
     for &batch_size in &[1usize, 7, 64, 300, 1200] {
         let w = rebatch(&base, batch_size);
-        assert!(streams::validate_workload(&w), "rebatched({batch_size}) is malformed");
+        assert!(
+            streams::validate_workload(&w),
+            "rebatched({batch_size}) is malformed"
+        );
         let matcher = run(&w, 5);
         assert_eq!(
             matcher.matching_size(),
@@ -116,7 +120,7 @@ fn depth_per_batch_stays_flat_as_batches_grow() {
     let mut single_max_depth = 0u64;
     let mut single_total_depth = 0u64;
     for u in &updates {
-        let report = single.apply_batch(&vec![u.clone()]);
+        let report = single.apply_batch(std::slice::from_ref(u)).unwrap();
         single_max_depth = single_max_depth.max(report.depth);
         single_total_depth += report.depth;
     }
@@ -125,7 +129,7 @@ fn depth_per_batch_stays_flat_as_batches_grow() {
     let mut batched_max_depth = 0u64;
     let mut batched_total_depth = 0u64;
     for batch in &rebatch_updates(&updates, 300, &base).batches {
-        let report = batched.apply_batch(batch);
+        let report = batched.apply_batch(batch).unwrap();
         batched_max_depth = batched_max_depth.max(report.depth);
         batched_total_depth += report.depth;
     }
@@ -150,11 +154,14 @@ fn deterministic_for_a_fixed_seed() {
     let w = rebatch(&base, 64);
     let a = run(&w, 77);
     let b = run(&w, 77);
-    let mut ma = a.matching();
-    let mut mb = b.matching();
+    let mut ma = a.matching_ids();
+    let mut mb = b.matching_ids();
     ma.sort_unstable();
     mb.sort_unstable();
-    assert_eq!(ma, mb, "same seed and same stream must give the same matching");
+    assert_eq!(
+        ma, mb,
+        "same seed and same stream must give the same matching"
+    );
     assert_eq!(a.cost().total_work(), b.cost().total_work());
     assert_eq!(a.cost().total_depth(), b.cost().total_depth());
 }

@@ -1,0 +1,312 @@
+//! Trait-conformance suite: every [`MatchingEngine`] in the workspace — built
+//! through the same [`EngineBuilder`] and fed through the same staged
+//! batch-session path — must behave identically at the API level on identical
+//! workloads:
+//!
+//! * every batch is applied without error and reported consistently,
+//! * the matching is always a valid, *maximal* matching of the ground-truth graph,
+//! * matching sizes agree with the recompute baseline within the factor the
+//!   theory allows (any two maximal matchings are within `r` of each other),
+//! * invalid batches are rejected with the *same* typed [`BatchError`] by every
+//!   engine, atomically (no partial application),
+//! * zero-copy queries, collected ids, and reported sizes are mutually
+//!   consistent, and `verify()` passes at every step.
+
+use pdmm::engine::{self, BatchError, BatchSession, MatchingEngine};
+use pdmm::hypergraph::streams::{self, Workload};
+use pdmm::hypergraph::{generators, verify_maximality, verify_validity};
+use pdmm::prelude::*;
+
+/// The generated workloads every engine is driven through, with the rank each
+/// one needs.
+fn conformance_workloads() -> Vec<Workload> {
+    let mut workloads = vec![
+        streams::insert_only(80, generators::gnm_graph(80, 300, 3, 0), 40),
+        streams::sliding_window(100, generators::gnm_graph(100, 400, 5, 0), 50, 3),
+        streams::random_churn(120, 2, 250, 12, 40, 0.5, 9),
+        streams::insert_then_teardown(90, generators::gnm_graph(90, 350, 7, 0), 45, 11),
+        streams::hub_churn(150, 4, 12, 50, 13),
+        streams::random_churn(60, 3, 120, 10, 30, 0.45, 15),
+        streams::random_churn(50, 4, 80, 8, 25, 0.5, 17),
+    ];
+    for w in &mut workloads {
+        assert!(streams::validate_workload(w), "bad workload {}", w.name);
+    }
+    workloads
+}
+
+fn engines_for(workload: &Workload, seed: u64) -> Vec<Box<dyn MatchingEngine>> {
+    engine::build_all(
+        &EngineBuilder::new(workload.num_vertices)
+            .rank(workload.rank.max(2))
+            .seed(seed),
+    )
+}
+
+#[test]
+fn every_engine_stays_valid_and_maximal_on_every_workload() {
+    for workload in conformance_workloads() {
+        for mut engine in engines_for(&workload, 1) {
+            let name = engine.name();
+            let mut truth = DynamicHypergraph::new(workload.num_vertices);
+            for (i, batch) in workload.batches.iter().enumerate() {
+                truth.apply_batch(batch);
+                // Feed through the staged session path (the production ingest shape).
+                let mut session = BatchSession::new(&mut *engine);
+                let staged = session
+                    .stage_all(batch.iter().cloned())
+                    .unwrap_or_else(|e| {
+                        panic!("{name} rejected batch {i} of {}: {e}", workload.name)
+                    });
+                assert_eq!(staged, batch.len(), "workloads contain no duplicates");
+                let report = session.commit().expect("staged batches commit cleanly");
+
+                let ids = engine.matching_ids();
+                assert_eq!(report.batch_size, batch.len());
+                assert_eq!(report.matching_size, ids.len());
+                assert_eq!(
+                    verify_validity(&truth, &ids),
+                    Ok(()),
+                    "{} produced an invalid matching after batch {i} of {}",
+                    engine.name(),
+                    workload.name
+                );
+                assert_eq!(
+                    verify_maximality(&truth, &ids),
+                    Ok(()),
+                    "{} broke maximality after batch {i} of {}",
+                    engine.name(),
+                    workload.name
+                );
+                engine
+                    .verify()
+                    .unwrap_or_else(|e| panic!("{} failed self-verification: {e}", engine.name()));
+            }
+            if truth.num_edges() == 0 {
+                assert_eq!(
+                    engine.matching_size(),
+                    0,
+                    "{} kept a matching on an empty graph",
+                    engine.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn matching_sizes_agree_with_the_recompute_baseline_within_rank() {
+    for workload in conformance_workloads() {
+        let rank = workload.rank.max(2);
+        let mut engines = engines_for(&workload, 3);
+        for engine in &mut engines {
+            workload
+                .drive(engine.as_mut())
+                .unwrap_or_else(|e| panic!("{} rejected {}: {e}", engine.name(), workload.name));
+        }
+        let recompute_size = engines
+            .iter()
+            .find(|e| e.name() == "recompute-from-scratch")
+            .expect("recompute baseline present")
+            .matching_size();
+        for engine in &engines {
+            let size = engine.matching_size();
+            // Any two maximal matchings of a rank-r hypergraph are within a
+            // factor r of each other (each is a 1/r approximation of maximum).
+            assert!(
+                size * rank >= recompute_size && recompute_size * rank >= size,
+                "{} matching size {size} vs recompute {recompute_size} exceeds factor {rank} on {}",
+                engine.name(),
+                workload.name
+            );
+            if recompute_size == 0 {
+                assert_eq!(
+                    size,
+                    0,
+                    "{} kept a matching on an empty graph",
+                    engine.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_engine_rejects_the_same_invalid_batches_with_the_same_errors() {
+    let builder = EngineBuilder::new(6).rank(2).seed(5);
+    for kind in EngineKind::ALL {
+        let mut engine = engine::build(kind, &builder);
+        let name = engine.name();
+        engine
+            .apply_batch(&[
+                Update::Insert(HyperEdge::pair(EdgeId(0), VertexId(0), VertexId(1))),
+                Update::Insert(HyperEdge::pair(EdgeId(1), VertexId(2), VertexId(3))),
+            ])
+            .unwrap();
+        let size_before = engine.matching_size();
+
+        // Unknown deletion.
+        assert_eq!(
+            engine.apply_batch(&[Update::Delete(EdgeId(42))]),
+            Err(BatchError::UnknownDeletion { id: EdgeId(42) }),
+            "{name}"
+        );
+        // Duplicate id against a live edge.
+        assert_eq!(
+            engine.apply_batch(&[Update::Insert(HyperEdge::pair(
+                EdgeId(0),
+                VertexId(4),
+                VertexId(5)
+            ))]),
+            Err(BatchError::DuplicateEdgeId { id: EdgeId(0) }),
+            "{name}"
+        );
+        // Duplicate id within one batch.
+        assert_eq!(
+            engine.apply_batch(&[
+                Update::Insert(HyperEdge::pair(EdgeId(9), VertexId(4), VertexId(5))),
+                Update::Insert(HyperEdge::pair(EdgeId(9), VertexId(2), VertexId(3))),
+            ]),
+            Err(BatchError::DuplicateEdgeId { id: EdgeId(9) }),
+            "{name}"
+        );
+        // Double deletion in one batch.
+        assert_eq!(
+            engine.apply_batch(&[Update::Delete(EdgeId(0)), Update::Delete(EdgeId(0))]),
+            Err(BatchError::DuplicateDeletion { id: EdgeId(0) }),
+            "{name}"
+        );
+        // Rank violation (builder capped the rank at 2).
+        assert_eq!(
+            engine.apply_batch(&[Update::Insert(HyperEdge::new(
+                EdgeId(9),
+                vec![VertexId(0), VertexId(1), VertexId(2)],
+            ))]),
+            Err(BatchError::RankExceeded {
+                id: EdgeId(9),
+                rank: 3,
+                max_rank: 2
+            }),
+            "{name}"
+        );
+        // Endpoint out of range.
+        assert_eq!(
+            engine.apply_batch(&[Update::Insert(HyperEdge::pair(
+                EdgeId(9),
+                VertexId(0),
+                VertexId(77)
+            ))]),
+            Err(BatchError::VertexOutOfRange {
+                id: EdgeId(9),
+                vertex: VertexId(77),
+                num_vertices: 6
+            }),
+            "{name}"
+        );
+        // Insert-then-delete of the same id in one batch (deletions are
+        // processed first, so the target does not exist yet).
+        assert_eq!(
+            engine.apply_batch(&[
+                Update::Insert(HyperEdge::pair(EdgeId(9), VertexId(4), VertexId(5))),
+                Update::Delete(EdgeId(9)),
+            ]),
+            Err(BatchError::UnknownDeletion { id: EdgeId(9) }),
+            "{name}"
+        );
+
+        // Rejection is atomic: a valid prefix of a bad batch must not leak.
+        assert_eq!(
+            engine.apply_batch(&[
+                Update::Insert(HyperEdge::pair(EdgeId(7), VertexId(4), VertexId(5))),
+                Update::Delete(EdgeId(42)),
+            ]),
+            Err(BatchError::UnknownDeletion { id: EdgeId(42) }),
+            "{name}"
+        );
+        assert!(
+            !engine.contains_edge(EdgeId(7)),
+            "{name} partially applied a bad batch"
+        );
+        assert_eq!(engine.matching_size(), size_before, "{name}");
+        engine.verify().unwrap();
+
+        // And delete-then-reinsert of the same id in one batch is legal.
+        engine
+            .apply_batch(&[
+                Update::Delete(EdgeId(0)),
+                Update::Insert(HyperEdge::pair(EdgeId(0), VertexId(4), VertexId(5))),
+            ])
+            .unwrap_or_else(|e| panic!("{name} rejected a legal delete+reinsert batch: {e}"));
+        assert!(engine.contains_edge(EdgeId(0)), "{name}");
+    }
+}
+
+#[test]
+fn zero_copy_iterator_collected_ids_and_size_agree() {
+    let w = streams::random_churn(100, 2, 200, 8, 30, 0.5, 21);
+    for mut engine in engines_for(&w, 7) {
+        w.drive(engine.as_mut()).unwrap();
+        let via_iter: usize = engine.matching().count();
+        let collected = engine.matching_ids();
+        assert_eq!(via_iter, collected.len(), "{}", engine.name());
+        assert_eq!(via_iter, engine.matching_size(), "{}", engine.name());
+        // The iterator yields exactly the collected ids (order-insensitively).
+        let mut a: Vec<EdgeId> = engine.matching().collect();
+        let mut b = collected;
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "{}", engine.name());
+        // Every reported matched edge is live.
+        assert!(
+            engine.matching().all(|id| engine.contains_edge(id)),
+            "{} reports a dead matched edge",
+            engine.name()
+        );
+    }
+}
+
+#[test]
+fn metrics_count_updates_uniformly_across_engines() {
+    let w = streams::random_churn(80, 2, 150, 10, 25, 0.5, 23);
+    let total = w.total_updates() as u64;
+    let insertions = w.total_insertions() as u64;
+    for mut engine in engines_for(&w, 9) {
+        let reports = w.drive(engine.as_mut()).unwrap();
+        let metrics = engine.metrics();
+        assert_eq!(metrics.batches, w.batches.len() as u64, "{}", engine.name());
+        assert_eq!(metrics.updates, total, "{}", engine.name());
+        assert_eq!(metrics.insertions, insertions, "{}", engine.name());
+        assert_eq!(metrics.deletions, total - insertions, "{}", engine.name());
+        assert!(metrics.work > 0, "{}", engine.name());
+        let report_sum: u64 = reports.iter().map(|r| r.batch_size as u64).sum();
+        assert_eq!(report_sum, total, "{}", engine.name());
+    }
+}
+
+#[test]
+fn staged_sessions_deduplicate_identically_for_every_engine() {
+    let builder = EngineBuilder::new(8).rank(2).seed(11);
+    for kind in EngineKind::ALL {
+        let mut engine = engine::build(kind, &builder);
+        let name = engine.name();
+        let mut session = BatchSession::new(&mut *engine);
+        let e0 = HyperEdge::pair(EdgeId(0), VertexId(0), VertexId(1));
+        assert!(session.stage(Update::Insert(e0.clone())).unwrap(), "{name}");
+        assert!(
+            !session.stage(Update::Insert(e0)).unwrap(),
+            "{name}: exact dup drops"
+        );
+        assert!(session
+            .stage(Update::Insert(HyperEdge::pair(
+                EdgeId(1),
+                VertexId(2),
+                VertexId(3)
+            )))
+            .unwrap());
+        assert_eq!(session.len(), 2, "{name}");
+        assert_eq!(session.deduplicated(), 1, "{name}");
+        let report = session.commit().unwrap();
+        assert_eq!(report.batch_size, 2, "{name}");
+        assert_eq!(engine.matching_size(), 2, "{name}");
+    }
+}

@@ -15,9 +15,9 @@ fn run_rank(rank: usize, seed: u64) -> (ParallelDynamicMatching, DynamicHypergra
     let mut truth = DynamicHypergraph::new(n);
     for (i, batch) in w.batches.iter().enumerate() {
         truth.apply_batch(batch);
-        matcher.apply_batch(batch);
+        matcher.apply_batch(batch).unwrap();
         assert_eq!(
-            verify_maximality(&truth, &matcher.matching()),
+            verify_maximality(&truth, &matcher.matching_ids()),
             Ok(()),
             "rank {rank} broke maximality at batch {i}"
         );
@@ -51,8 +51,8 @@ fn rank_eight_teardown_stays_maximal() {
     let mut truth = DynamicHypergraph::new(n);
     for batch in &w.batches {
         truth.apply_batch(batch);
-        matcher.apply_batch(batch);
-        assert_eq!(verify_maximality(&truth, &matcher.matching()), Ok(()));
+        matcher.apply_batch(batch).unwrap();
+        assert_eq!(verify_maximality(&truth, &matcher.matching_ids()), Ok(()));
     }
     assert_eq!(matcher.matching_size(), 0);
     matcher.verify_invariants().unwrap();
@@ -78,8 +78,10 @@ fn maximal_matching_is_one_over_r_approximation() {
         let edges = generators::random_hypergraph(n, 30, rank, seed, 0);
         let truth = DynamicHypergraph::from_edges(n, edges.clone());
         let mut matcher = ParallelDynamicMatching::new(n, Config::for_hypergraphs(rank, seed));
-        matcher.apply_batch(&edges.into_iter().map(Update::Insert).collect());
-        assert_eq!(verify_maximality(&truth, &matcher.matching()), Ok(()));
+        matcher
+            .apply_batch(&edges.into_iter().map(Update::Insert).collect::<Vec<_>>())
+            .unwrap();
+        assert_eq!(verify_maximality(&truth, &matcher.matching_ids()), Ok(()));
         let opt = maximum_matching_size_exact(&truth);
         let got = matcher.matching_size();
         assert!(
@@ -100,8 +102,8 @@ fn mixed_rank_edges_up_to_the_configured_maximum() {
     let mut truth = DynamicHypergraph::new(n);
     for batch in &w.batches {
         truth.apply_batch(batch);
-        matcher.apply_batch(batch);
-        assert_eq!(verify_maximality(&truth, &matcher.matching()), Ok(()));
+        matcher.apply_batch(batch).unwrap();
+        assert_eq!(verify_maximality(&truth, &matcher.matching_ids()), Ok(()));
     }
     matcher.verify_invariants().unwrap();
 }

@@ -15,17 +15,17 @@ fn run_and_verify(workload: &Workload, config: Config) -> ParallelDynamicMatchin
     let mut truth = DynamicHypergraph::new(workload.num_vertices);
     for (i, batch) in workload.batches.iter().enumerate() {
         truth.apply_batch(batch);
-        matcher.apply_batch(batch);
-        let ids = matcher.matching_edge_ids();
+        matcher.apply_batch(batch).unwrap();
+        let ids = matcher.matching_ids();
         assert_eq!(
             verify_maximality(&truth, &ids),
             Ok(()),
             "maximality broken after batch {i} of {}",
             workload.name
         );
-        matcher
-            .verify_invariants()
-            .unwrap_or_else(|e| panic!("invariant broken after batch {i} of {}: {e}", workload.name));
+        matcher.verify_invariants().unwrap_or_else(|e| {
+            panic!("invariant broken after batch {i} of {}: {e}", workload.name)
+        });
     }
     matcher
 }
@@ -52,7 +52,10 @@ fn sliding_window_stream_stays_maximal() {
 fn random_churn_stream_stays_maximal() {
     let w = streams::random_churn(250, 2, 500, 25, 80, 0.5, 3);
     let matcher = run_and_verify(&w, Config::for_graphs(12));
-    assert!(matcher.metrics().matched_deletions > 0, "churn should hit matched edges");
+    assert!(
+        matcher.metrics().matched_deletions > 0,
+        "churn should hit matched edges"
+    );
 }
 
 #[test]
@@ -71,7 +74,7 @@ fn hub_churn_exercises_the_leveling_scheme() {
     // Hubs accumulate hundreds of incident edges, so the rising mechanism must
     // have created epochs above level 0 at some point.
     let created_above_zero: u64 = matcher
-        .metrics()
+        .epoch_metrics()
         .per_level
         .iter()
         .skip(1)
@@ -81,7 +84,7 @@ fn hub_churn_exercises_the_leveling_scheme() {
         created_above_zero > 0,
         "hub churn should create epochs above level 0 (per level: {:?})",
         matcher
-            .metrics()
+            .epoch_metrics()
             .per_level
             .iter()
             .map(|l| l.epochs_created)
@@ -135,7 +138,13 @@ fn temp_deleted_edges_are_restored_when_their_epoch_dies() {
     let fan = 40u32;
     batches.push(
         (0..fan)
-            .map(|i| Update::Insert(HyperEdge::pair(EdgeId(u64::from(i)), VertexId(0), VertexId(i + 1))))
+            .map(|i| {
+                Update::Insert(HyperEdge::pair(
+                    EdgeId(u64::from(i)),
+                    VertexId(0),
+                    VertexId(i + 1),
+                ))
+            })
             .collect(),
     );
     let w = Workload {
@@ -150,12 +159,12 @@ fn temp_deleted_edges_are_restored_when_their_epoch_dies() {
     let mut truth = DynamicHypergraph::new(w.num_vertices);
     truth.apply_batch(&w.batches[0]);
     for _ in 0..10 {
-        let matched = matcher.matching_edge_ids();
+        let matched = matcher.matching_ids();
         assert_eq!(matched.len(), 1, "a star has a maximal matching of size 1");
         let batch = vec![Update::Delete(matched[0])];
         truth.apply_batch(&batch);
-        matcher.apply_batch(&batch);
-        assert_eq!(verify_maximality(&truth, &matcher.matching_edge_ids()), Ok(()));
+        matcher.apply_batch(&batch).unwrap();
+        assert_eq!(verify_maximality(&truth, &matcher.matching_ids()), Ok(()));
         matcher.verify_invariants().unwrap();
         if truth.num_edges() == 0 {
             break;

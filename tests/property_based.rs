@@ -35,8 +35,8 @@ proptest! {
         let mut truth = DynamicHypergraph::new(w.num_vertices);
         for batch in &w.batches {
             truth.apply_batch(batch);
-            matcher.apply_batch(batch);
-            let ids = matcher.matching();
+            matcher.apply_batch(batch).unwrap();
+            let ids = matcher.matching_ids();
             prop_assert_eq!(verify_validity(&truth, &ids), Ok(()));
             prop_assert_eq!(verify_maximality(&truth, &ids), Ok(()));
         }
@@ -56,8 +56,8 @@ proptest! {
         let mut truth = DynamicHypergraph::new(w.num_vertices);
         for batch in &w.batches {
             truth.apply_batch(batch);
-            matcher.apply_batch(batch);
-            prop_assert_eq!(verify_maximality(&truth, &matcher.matching()), Ok(()));
+            matcher.apply_batch(batch).unwrap();
+            prop_assert_eq!(verify_maximality(&truth, &matcher.matching_ids()), Ok(()));
         }
         prop_assert!(matcher.verify_invariants().is_ok());
     }
@@ -77,8 +77,8 @@ proptest! {
         let mut truth = DynamicHypergraph::new(w.num_vertices);
         for batch in &w.batches {
             truth.apply_batch(batch);
-            matcher.apply_batch(batch);
-            prop_assert_eq!(verify_maximality(&truth, &matcher.matching()), Ok(()));
+            matcher.apply_batch(batch).unwrap();
+            prop_assert_eq!(verify_maximality(&truth, &matcher.matching_ids()), Ok(()));
         }
         prop_assert!(matcher.verify_invariants().is_ok());
     }
@@ -96,7 +96,7 @@ proptest! {
         prop_assume!(validate_workload(&w));
         let mut matcher = ParallelDynamicMatching::new(w.num_vertices, Config::for_graphs(3));
         for batch in &w.batches {
-            matcher.apply_batch(batch);
+            matcher.apply_batch(batch).unwrap();
         }
         let updates = matcher.metrics().updates.max(1);
         let per_update = matcher.cost().total_work() as f64 / updates as f64;

@@ -21,7 +21,12 @@ fn dictionary_tracks_incidence_like_the_algorithm_does() {
     let mut dict: ParallelDictionary<(u32, u64), ()> = ParallelDictionary::new();
     let incidences: Vec<((u32, u64), ())> = edges
         .iter()
-        .flat_map(|e| e.vertices().iter().map(|v| ((v.0, e.id.0), ())).collect::<Vec<_>>())
+        .flat_map(|e| {
+            e.vertices()
+                .iter()
+                .map(|v| ((v.0, e.id.0), ()))
+                .collect::<Vec<_>>()
+        })
         .collect();
     let total = incidences.len();
     dict.insert_batch(incidences, Some(&cost));
@@ -30,7 +35,12 @@ fn dictionary_tracks_incidence_like_the_algorithm_does() {
     let deleted: Vec<(u32, u64)> = edges
         .iter()
         .take(100)
-        .flat_map(|e| e.vertices().iter().map(|v| (v.0, e.id.0)).collect::<Vec<_>>())
+        .flat_map(|e| {
+            e.vertices()
+                .iter()
+                .map(|v| (v.0, e.id.0))
+                .collect::<Vec<_>>()
+        })
         .collect();
     dict.erase_batch(&deleted, Some(&cost));
     assert_eq!(dict.len(), total - deleted.len());
@@ -44,7 +54,9 @@ fn prefix_sums_compute_o_tilde_style_cumulative_counts() {
     // check the prefix-sum substrate against a direct computation on real data.
     let edges = generators::random_hypergraph(60, 300, 3, 5, 0);
     let graph = DynamicHypergraph::from_edges(60, edges);
-    let degrees: Vec<u64> = (0..60u32).map(|v| graph.degree(VertexId(v)) as u64).collect();
+    let degrees: Vec<u64> = (0..60u32)
+        .map(|v| graph.degree(VertexId(v)) as u64)
+        .collect();
     let (prefix, total) = prefix_sum::exclusive_scan(&degrees);
     assert_eq!(total, graph.total_incidence() as u64);
     for v in 0..60usize {
@@ -65,8 +77,10 @@ fn static_matcher_feeds_the_dynamic_one() {
     assert_eq!(verify_maximality(&truth, &static_result.edges), Ok(()));
 
     let mut dynamic = ParallelDynamicMatching::new(200, Config::for_graphs(11));
-    dynamic.apply_batch(&edges.into_iter().map(Update::Insert).collect());
-    assert_eq!(verify_maximality(&truth, &dynamic.matching()), Ok(()));
+    dynamic
+        .apply_batch(&edges.into_iter().map(Update::Insert).collect::<Vec<_>>())
+        .unwrap();
+    assert_eq!(verify_maximality(&truth, &dynamic.matching_ids()), Ok(()));
 
     // Both are maximal matchings of the same graph, hence 2-approximations of each
     // other.
@@ -84,13 +98,13 @@ fn serialized_workload_replays_identically() {
     let mut a = ParallelDynamicMatching::new(80, Config::for_graphs(4));
     let mut b = ParallelDynamicMatching::new(80, Config::for_graphs(4));
     for batch in &w.batches {
-        a.apply_batch(batch);
+        a.apply_batch(batch).unwrap();
     }
     for batch in &parsed {
-        b.apply_batch(batch);
+        b.apply_batch(batch).unwrap();
     }
-    let mut ma = a.matching();
-    let mut mb = b.matching();
+    let mut ma = a.matching_ids();
+    let mut mb = b.matching_ids();
     ma.sort_unstable();
     mb.sort_unstable();
     assert_eq!(ma, mb);
