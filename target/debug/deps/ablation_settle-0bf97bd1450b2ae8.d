@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_settle-0bf97bd1450b2ae8.d: crates/bench/benches/ablation_settle.rs
+
+/root/repo/target/debug/deps/libablation_settle-0bf97bd1450b2ae8.rmeta: crates/bench/benches/ablation_settle.rs
+
+crates/bench/benches/ablation_settle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_settle-1dd760cc67da4eca.d: crates/bench/benches/ablation_settle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_settle-1dd760cc67da4eca.rmeta: crates/bench/benches/ablation_settle.rs Cargo.toml
+
+crates/bench/benches/ablation_settle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

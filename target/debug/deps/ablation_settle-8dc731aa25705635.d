@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_settle-8dc731aa25705635.d: crates/bench/benches/ablation_settle.rs
+
+/root/repo/target/debug/deps/ablation_settle-8dc731aa25705635: crates/bench/benches/ablation_settle.rs
+
+crates/bench/benches/ablation_settle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_settle-9f583c8d95a9e8ed.d: crates/bench/benches/ablation_settle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_settle-9f583c8d95a9e8ed.rmeta: crates/bench/benches/ablation_settle.rs Cargo.toml
+
+crates/bench/benches/ablation_settle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

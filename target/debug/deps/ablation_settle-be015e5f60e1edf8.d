@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_settle-be015e5f60e1edf8.d: crates/bench/benches/ablation_settle.rs
+
+/root/repo/target/debug/deps/ablation_settle-be015e5f60e1edf8: crates/bench/benches/ablation_settle.rs
+
+crates/bench/benches/ablation_settle.rs:

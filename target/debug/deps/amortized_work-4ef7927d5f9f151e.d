@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/amortized_work-4ef7927d5f9f151e.d: crates/bench/benches/amortized_work.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamortized_work-4ef7927d5f9f151e.rmeta: crates/bench/benches/amortized_work.rs Cargo.toml
+
+crates/bench/benches/amortized_work.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

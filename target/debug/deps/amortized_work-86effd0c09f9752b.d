@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/amortized_work-86effd0c09f9752b.d: crates/bench/benches/amortized_work.rs
+
+/root/repo/target/debug/deps/amortized_work-86effd0c09f9752b: crates/bench/benches/amortized_work.rs
+
+crates/bench/benches/amortized_work.rs:

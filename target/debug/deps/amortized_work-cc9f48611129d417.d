@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/amortized_work-cc9f48611129d417.d: crates/bench/benches/amortized_work.rs
+
+/root/repo/target/debug/deps/libamortized_work-cc9f48611129d417.rmeta: crates/bench/benches/amortized_work.rs
+
+crates/bench/benches/amortized_work.rs:

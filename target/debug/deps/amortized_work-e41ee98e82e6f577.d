@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/amortized_work-e41ee98e82e6f577.d: crates/bench/benches/amortized_work.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamortized_work-e41ee98e82e6f577.rmeta: crates/bench/benches/amortized_work.rs Cargo.toml
+
+crates/bench/benches/amortized_work.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/amortized_work-edbe84ff961223c7.d: crates/bench/benches/amortized_work.rs
+
+/root/repo/target/debug/deps/amortized_work-edbe84ff961223c7: crates/bench/benches/amortized_work.rs
+
+crates/bench/benches/amortized_work.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/api_edge_cases-2df650ab71af9478.d: tests/api_edge_cases.rs
+
+/root/repo/target/debug/deps/libapi_edge_cases-2df650ab71af9478.rmeta: tests/api_edge_cases.rs
+
+tests/api_edge_cases.rs:

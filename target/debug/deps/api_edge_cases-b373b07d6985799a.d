@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/api_edge_cases-b373b07d6985799a.d: tests/api_edge_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapi_edge_cases-b373b07d6985799a.rmeta: tests/api_edge_cases.rs Cargo.toml
+
+tests/api_edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

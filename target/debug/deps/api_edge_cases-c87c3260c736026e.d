@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/api_edge_cases-c87c3260c736026e.d: tests/api_edge_cases.rs
+
+/root/repo/target/debug/deps/api_edge_cases-c87c3260c736026e: tests/api_edge_cases.rs
+
+tests/api_edge_cases.rs:

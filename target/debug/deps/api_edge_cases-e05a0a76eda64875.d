@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/api_edge_cases-e05a0a76eda64875.d: tests/api_edge_cases.rs
+
+/root/repo/target/debug/deps/api_edge_cases-e05a0a76eda64875: tests/api_edge_cases.rs
+
+tests/api_edge_cases.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/api_edge_cases-ffd00ce33f7fce21.d: tests/api_edge_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapi_edge_cases-ffd00ce33f7fce21.rmeta: tests/api_edge_cases.rs Cargo.toml
+
+tests/api_edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baselines_agree-3886519d6ceda129.d: tests/baselines_agree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines_agree-3886519d6ceda129.rmeta: tests/baselines_agree.rs Cargo.toml
+
+tests/baselines_agree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines_agree-485204a4ece1ea65.d: tests/baselines_agree.rs
+
+/root/repo/target/debug/deps/baselines_agree-485204a4ece1ea65: tests/baselines_agree.rs
+
+tests/baselines_agree.rs:

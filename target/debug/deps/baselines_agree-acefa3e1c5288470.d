@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines_agree-acefa3e1c5288470.d: tests/baselines_agree.rs
+
+/root/repo/target/debug/deps/baselines_agree-acefa3e1c5288470: tests/baselines_agree.rs
+
+tests/baselines_agree.rs:

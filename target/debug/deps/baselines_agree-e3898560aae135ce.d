@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baselines_agree-e3898560aae135ce.d: tests/baselines_agree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines_agree-e3898560aae135ce.rmeta: tests/baselines_agree.rs Cargo.toml
+
+tests/baselines_agree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

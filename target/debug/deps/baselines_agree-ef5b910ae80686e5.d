@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines_agree-ef5b910ae80686e5.d: tests/baselines_agree.rs
+
+/root/repo/target/debug/deps/libbaselines_agree-ef5b910ae80686e5.rmeta: tests/baselines_agree.rs
+
+tests/baselines_agree.rs:

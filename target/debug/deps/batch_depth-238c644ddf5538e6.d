@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batch_depth-238c644ddf5538e6.d: crates/bench/benches/batch_depth.rs
+
+/root/repo/target/debug/deps/batch_depth-238c644ddf5538e6: crates/bench/benches/batch_depth.rs
+
+crates/bench/benches/batch_depth.rs:

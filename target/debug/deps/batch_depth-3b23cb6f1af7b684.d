@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batch_depth-3b23cb6f1af7b684.d: crates/bench/benches/batch_depth.rs
+
+/root/repo/target/debug/deps/libbatch_depth-3b23cb6f1af7b684.rmeta: crates/bench/benches/batch_depth.rs
+
+crates/bench/benches/batch_depth.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/batch_depth-4a45046b59f9a4dc.d: crates/bench/benches/batch_depth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbatch_depth-4a45046b59f9a4dc.rmeta: crates/bench/benches/batch_depth.rs Cargo.toml
+
+crates/bench/benches/batch_depth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

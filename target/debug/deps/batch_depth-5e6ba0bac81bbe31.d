@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/batch_depth-5e6ba0bac81bbe31.d: crates/bench/benches/batch_depth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbatch_depth-5e6ba0bac81bbe31.rmeta: crates/bench/benches/batch_depth.rs Cargo.toml
+
+crates/bench/benches/batch_depth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

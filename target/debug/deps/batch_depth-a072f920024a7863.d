@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batch_depth-a072f920024a7863.d: crates/bench/benches/batch_depth.rs
+
+/root/repo/target/debug/deps/batch_depth-a072f920024a7863: crates/bench/benches/batch_depth.rs
+
+crates/bench/benches/batch_depth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batching_equivalence-48ae30dcd4e79c11.d: tests/batching_equivalence.rs
+
+/root/repo/target/debug/deps/batching_equivalence-48ae30dcd4e79c11: tests/batching_equivalence.rs
+
+tests/batching_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batching_equivalence-9c1ce0c13c860ba3.d: tests/batching_equivalence.rs
+
+/root/repo/target/debug/deps/batching_equivalence-9c1ce0c13c860ba3: tests/batching_equivalence.rs
+
+tests/batching_equivalence.rs:

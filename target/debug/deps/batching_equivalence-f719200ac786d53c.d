@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/batching_equivalence-f719200ac786d53c.d: tests/batching_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbatching_equivalence-f719200ac786d53c.rmeta: tests/batching_equivalence.rs Cargo.toml
+
+tests/batching_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batching_equivalence-fa4ca726aec6b14f.d: tests/batching_equivalence.rs
+
+/root/repo/target/debug/deps/libbatching_equivalence-fa4ca726aec6b14f.rmeta: tests/batching_equivalence.rs
+
+tests/batching_equivalence.rs:

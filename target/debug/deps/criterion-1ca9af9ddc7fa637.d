@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-1ca9af9ddc7fa637.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-1ca9af9ddc7fa637: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

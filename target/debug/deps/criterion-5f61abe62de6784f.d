@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-5f61abe62de6784f.d: crates/shims/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-5f61abe62de6784f.rmeta: crates/shims/criterion/src/lib.rs Cargo.toml
+
+crates/shims/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

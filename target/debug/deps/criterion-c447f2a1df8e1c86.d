@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-c447f2a1df8e1c86.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-c447f2a1df8e1c86.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

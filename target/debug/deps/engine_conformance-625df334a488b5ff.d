@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_conformance-625df334a488b5ff.d: tests/engine_conformance.rs
+
+/root/repo/target/debug/deps/libengine_conformance-625df334a488b5ff.rmeta: tests/engine_conformance.rs
+
+tests/engine_conformance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_conformance-73519c8eb92a3cc4.d: tests/engine_conformance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_conformance-73519c8eb92a3cc4.rmeta: tests/engine_conformance.rs Cargo.toml
+
+tests/engine_conformance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_conformance-a7cd2f918a33747e.d: tests/engine_conformance.rs
+
+/root/repo/target/debug/deps/engine_conformance-a7cd2f918a33747e: tests/engine_conformance.rs
+
+tests/engine_conformance.rs:

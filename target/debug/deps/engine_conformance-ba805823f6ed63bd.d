@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_conformance-ba805823f6ed63bd.d: tests/engine_conformance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_conformance-ba805823f6ed63bd.rmeta: tests/engine_conformance.rs Cargo.toml
+
+tests/engine_conformance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

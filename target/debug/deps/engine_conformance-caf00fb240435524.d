@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_conformance-caf00fb240435524.d: tests/engine_conformance.rs
+
+/root/repo/target/debug/deps/engine_conformance-caf00fb240435524: tests/engine_conformance.rs
+
+tests/engine_conformance.rs:

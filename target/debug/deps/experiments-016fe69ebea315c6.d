@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-016fe69ebea315c6.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-016fe69ebea315c6: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

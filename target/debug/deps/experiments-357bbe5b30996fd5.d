@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-357bbe5b30996fd5.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-357bbe5b30996fd5: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

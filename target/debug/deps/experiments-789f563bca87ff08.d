@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-789f563bca87ff08.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-789f563bca87ff08: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-9a3f472890cd2650.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/libexperiments-9a3f472890cd2650.rmeta: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

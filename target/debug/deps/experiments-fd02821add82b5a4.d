@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-fd02821add82b5a4.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-fd02821add82b5a4: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hypergraph_rank-25c8a2b7c3139535.d: tests/hypergraph_rank.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhypergraph_rank-25c8a2b7c3139535.rmeta: tests/hypergraph_rank.rs Cargo.toml
+
+tests/hypergraph_rank.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

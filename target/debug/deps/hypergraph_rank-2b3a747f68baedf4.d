@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hypergraph_rank-2b3a747f68baedf4.d: tests/hypergraph_rank.rs
+
+/root/repo/target/debug/deps/hypergraph_rank-2b3a747f68baedf4: tests/hypergraph_rank.rs
+
+tests/hypergraph_rank.rs:

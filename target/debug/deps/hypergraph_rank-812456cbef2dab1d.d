@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hypergraph_rank-812456cbef2dab1d.d: tests/hypergraph_rank.rs
+
+/root/repo/target/debug/deps/libhypergraph_rank-812456cbef2dab1d.rmeta: tests/hypergraph_rank.rs
+
+tests/hypergraph_rank.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hypergraph_rank-938c9ae43acb0c04.d: tests/hypergraph_rank.rs
+
+/root/repo/target/debug/deps/hypergraph_rank-938c9ae43acb0c04: tests/hypergraph_rank.rs
+
+tests/hypergraph_rank.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hypergraph_rank-e42830618d5409d7.d: tests/hypergraph_rank.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhypergraph_rank-e42830618d5409d7.rmeta: tests/hypergraph_rank.rs Cargo.toml
+
+tests/hypergraph_rank.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

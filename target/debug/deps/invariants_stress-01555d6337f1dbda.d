@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invariants_stress-01555d6337f1dbda.d: tests/invariants_stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvariants_stress-01555d6337f1dbda.rmeta: tests/invariants_stress.rs Cargo.toml
+
+tests/invariants_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

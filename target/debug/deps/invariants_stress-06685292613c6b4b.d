@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants_stress-06685292613c6b4b.d: tests/invariants_stress.rs
+
+/root/repo/target/debug/deps/invariants_stress-06685292613c6b4b: tests/invariants_stress.rs
+
+tests/invariants_stress.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invariants_stress-0efb0647a6864d99.d: tests/invariants_stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvariants_stress-0efb0647a6864d99.rmeta: tests/invariants_stress.rs Cargo.toml
+
+tests/invariants_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants_stress-1a03d3a7ae515746.d: tests/invariants_stress.rs
+
+/root/repo/target/debug/deps/libinvariants_stress-1a03d3a7ae515746.rmeta: tests/invariants_stress.rs
+
+tests/invariants_stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants_stress-33b3476a760fabe4.d: tests/invariants_stress.rs
+
+/root/repo/target/debug/deps/invariants_stress-33b3476a760fabe4: tests/invariants_stress.rs
+
+tests/invariants_stress.rs:

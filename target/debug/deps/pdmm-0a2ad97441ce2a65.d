@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pdmm-0a2ad97441ce2a65.d: src/lib.rs src/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdmm-0a2ad97441ce2a65.rmeta: src/lib.rs src/engine.rs Cargo.toml
+
+src/lib.rs:
+src/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/pdmm-17e6f2e5997ea8b8.d: src/lib.rs src/engine.rs
+
+/root/repo/target/debug/deps/libpdmm-17e6f2e5997ea8b8.rmeta: src/lib.rs src/engine.rs
+
+src/lib.rs:
+src/engine.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pdmm-5041b5647ab4a3b1.d: src/lib.rs src/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdmm-5041b5647ab4a3b1.rmeta: src/lib.rs src/engine.rs Cargo.toml
+
+src/lib.rs:
+src/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pdmm-646f96945353404b.d: src/lib.rs src/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdmm-646f96945353404b.rmeta: src/lib.rs src/engine.rs Cargo.toml
+
+src/lib.rs:
+src/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

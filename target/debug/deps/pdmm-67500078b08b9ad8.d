@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/pdmm-67500078b08b9ad8.d: src/lib.rs src/engine.rs
+
+/root/repo/target/debug/deps/pdmm-67500078b08b9ad8: src/lib.rs src/engine.rs
+
+src/lib.rs:
+src/engine.rs:

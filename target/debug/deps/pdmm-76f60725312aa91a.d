@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pdmm-76f60725312aa91a.d: src/lib.rs src/engine.rs
+
+/root/repo/target/debug/deps/libpdmm-76f60725312aa91a.rlib: src/lib.rs src/engine.rs
+
+/root/repo/target/debug/deps/libpdmm-76f60725312aa91a.rmeta: src/lib.rs src/engine.rs
+
+src/lib.rs:
+src/engine.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/pdmm-7a8cf9e2c0750dce.d: src/lib.rs src/engine.rs
+
+/root/repo/target/debug/deps/pdmm-7a8cf9e2c0750dce: src/lib.rs src/engine.rs
+
+src/lib.rs:
+src/engine.rs:

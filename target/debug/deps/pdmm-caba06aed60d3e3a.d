@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pdmm-caba06aed60d3e3a.d: src/lib.rs src/engine.rs
+
+/root/repo/target/debug/deps/libpdmm-caba06aed60d3e3a.rlib: src/lib.rs src/engine.rs
+
+/root/repo/target/debug/deps/libpdmm-caba06aed60d3e3a.rmeta: src/lib.rs src/engine.rs
+
+src/lib.rs:
+src/engine.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/pdmm-dc17505578523c20.d: src/lib.rs src/engine.rs
+
+/root/repo/target/debug/deps/libpdmm-dc17505578523c20.rmeta: src/lib.rs src/engine.rs
+
+src/lib.rs:
+src/engine.rs:

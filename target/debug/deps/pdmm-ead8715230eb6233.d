@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pdmm-ead8715230eb6233.d: src/lib.rs src/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdmm-ead8715230eb6233.rmeta: src/lib.rs src/engine.rs Cargo.toml
+
+src/lib.rs:
+src/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pdmm_bench-8c1879ab79cdd6e2.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/pdmm_bench-8c1879ab79cdd6e2: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pdmm_bench-ac60c6c93aeaf939.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libpdmm_bench-ac60c6c93aeaf939.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/table.rs:

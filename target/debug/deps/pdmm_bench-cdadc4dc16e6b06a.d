@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pdmm_bench-cdadc4dc16e6b06a.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libpdmm_bench-cdadc4dc16e6b06a.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libpdmm_bench-cdadc4dc16e6b06a.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/table.rs:

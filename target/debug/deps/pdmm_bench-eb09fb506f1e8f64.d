@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pdmm_bench-eb09fb506f1e8f64.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runner.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdmm_bench-eb09fb506f1e8f64.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runner.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pdmm_core-2a057b8ab9e012da.d: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/config.rs crates/core/src/invariants.rs crates/core/src/metrics.rs crates/core/src/settle.rs crates/core/src/state.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdmm_core-2a057b8ab9e012da.rmeta: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/config.rs crates/core/src/invariants.rs crates/core/src/metrics.rs crates/core/src/settle.rs crates/core/src/state.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/algorithm.rs:
+crates/core/src/config.rs:
+crates/core/src/invariants.rs:
+crates/core/src/metrics.rs:
+crates/core/src/settle.rs:
+crates/core/src/state.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pdmm_core-5316c749e19ab6cc.d: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/config.rs crates/core/src/invariants.rs crates/core/src/metrics.rs crates/core/src/settle.rs crates/core/src/state.rs
+
+/root/repo/target/debug/deps/pdmm_core-5316c749e19ab6cc: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/config.rs crates/core/src/invariants.rs crates/core/src/metrics.rs crates/core/src/settle.rs crates/core/src/state.rs
+
+crates/core/src/lib.rs:
+crates/core/src/algorithm.rs:
+crates/core/src/config.rs:
+crates/core/src/invariants.rs:
+crates/core/src/metrics.rs:
+crates/core/src/settle.rs:
+crates/core/src/state.rs:

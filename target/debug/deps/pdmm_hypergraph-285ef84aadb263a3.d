@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pdmm_hypergraph-285ef84aadb263a3.d: crates/hypergraph/src/lib.rs crates/hypergraph/src/engine.rs crates/hypergraph/src/generators.rs crates/hypergraph/src/graph.rs crates/hypergraph/src/io.rs crates/hypergraph/src/matching.rs crates/hypergraph/src/stats.rs crates/hypergraph/src/streams.rs crates/hypergraph/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdmm_hypergraph-285ef84aadb263a3.rmeta: crates/hypergraph/src/lib.rs crates/hypergraph/src/engine.rs crates/hypergraph/src/generators.rs crates/hypergraph/src/graph.rs crates/hypergraph/src/io.rs crates/hypergraph/src/matching.rs crates/hypergraph/src/stats.rs crates/hypergraph/src/streams.rs crates/hypergraph/src/types.rs Cargo.toml
+
+crates/hypergraph/src/lib.rs:
+crates/hypergraph/src/engine.rs:
+crates/hypergraph/src/generators.rs:
+crates/hypergraph/src/graph.rs:
+crates/hypergraph/src/io.rs:
+crates/hypergraph/src/matching.rs:
+crates/hypergraph/src/stats.rs:
+crates/hypergraph/src/streams.rs:
+crates/hypergraph/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pdmm_hypergraph-3f4a4006d51a85be.d: crates/hypergraph/src/lib.rs crates/hypergraph/src/engine.rs crates/hypergraph/src/generators.rs crates/hypergraph/src/graph.rs crates/hypergraph/src/io.rs crates/hypergraph/src/matching.rs crates/hypergraph/src/stats.rs crates/hypergraph/src/streams.rs crates/hypergraph/src/types.rs
+
+/root/repo/target/debug/deps/libpdmm_hypergraph-3f4a4006d51a85be.rmeta: crates/hypergraph/src/lib.rs crates/hypergraph/src/engine.rs crates/hypergraph/src/generators.rs crates/hypergraph/src/graph.rs crates/hypergraph/src/io.rs crates/hypergraph/src/matching.rs crates/hypergraph/src/stats.rs crates/hypergraph/src/streams.rs crates/hypergraph/src/types.rs
+
+crates/hypergraph/src/lib.rs:
+crates/hypergraph/src/engine.rs:
+crates/hypergraph/src/generators.rs:
+crates/hypergraph/src/graph.rs:
+crates/hypergraph/src/io.rs:
+crates/hypergraph/src/matching.rs:
+crates/hypergraph/src/stats.rs:
+crates/hypergraph/src/streams.rs:
+crates/hypergraph/src/types.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pdmm_hypergraph-97d8a3e24d0e2103.d: crates/hypergraph/src/lib.rs crates/hypergraph/src/engine.rs crates/hypergraph/src/generators.rs crates/hypergraph/src/graph.rs crates/hypergraph/src/io.rs crates/hypergraph/src/matching.rs crates/hypergraph/src/stats.rs crates/hypergraph/src/streams.rs crates/hypergraph/src/types.rs
+
+/root/repo/target/debug/deps/libpdmm_hypergraph-97d8a3e24d0e2103.rlib: crates/hypergraph/src/lib.rs crates/hypergraph/src/engine.rs crates/hypergraph/src/generators.rs crates/hypergraph/src/graph.rs crates/hypergraph/src/io.rs crates/hypergraph/src/matching.rs crates/hypergraph/src/stats.rs crates/hypergraph/src/streams.rs crates/hypergraph/src/types.rs
+
+/root/repo/target/debug/deps/libpdmm_hypergraph-97d8a3e24d0e2103.rmeta: crates/hypergraph/src/lib.rs crates/hypergraph/src/engine.rs crates/hypergraph/src/generators.rs crates/hypergraph/src/graph.rs crates/hypergraph/src/io.rs crates/hypergraph/src/matching.rs crates/hypergraph/src/stats.rs crates/hypergraph/src/streams.rs crates/hypergraph/src/types.rs
+
+crates/hypergraph/src/lib.rs:
+crates/hypergraph/src/engine.rs:
+crates/hypergraph/src/generators.rs:
+crates/hypergraph/src/graph.rs:
+crates/hypergraph/src/io.rs:
+crates/hypergraph/src/matching.rs:
+crates/hypergraph/src/stats.rs:
+crates/hypergraph/src/streams.rs:
+crates/hypergraph/src/types.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pdmm_primitives-613320bda7132640.d: crates/primitives/src/lib.rs crates/primitives/src/atomic_bitset.rs crates/primitives/src/compaction.rs crates/primitives/src/cost_model.rs crates/primitives/src/dictionary.rs crates/primitives/src/par_util.rs crates/primitives/src/prefix_sum.rs crates/primitives/src/random.rs crates/primitives/src/shared_slice.rs
+
+/root/repo/target/debug/deps/libpdmm_primitives-613320bda7132640.rlib: crates/primitives/src/lib.rs crates/primitives/src/atomic_bitset.rs crates/primitives/src/compaction.rs crates/primitives/src/cost_model.rs crates/primitives/src/dictionary.rs crates/primitives/src/par_util.rs crates/primitives/src/prefix_sum.rs crates/primitives/src/random.rs crates/primitives/src/shared_slice.rs
+
+/root/repo/target/debug/deps/libpdmm_primitives-613320bda7132640.rmeta: crates/primitives/src/lib.rs crates/primitives/src/atomic_bitset.rs crates/primitives/src/compaction.rs crates/primitives/src/cost_model.rs crates/primitives/src/dictionary.rs crates/primitives/src/par_util.rs crates/primitives/src/prefix_sum.rs crates/primitives/src/random.rs crates/primitives/src/shared_slice.rs
+
+crates/primitives/src/lib.rs:
+crates/primitives/src/atomic_bitset.rs:
+crates/primitives/src/compaction.rs:
+crates/primitives/src/cost_model.rs:
+crates/primitives/src/dictionary.rs:
+crates/primitives/src/par_util.rs:
+crates/primitives/src/prefix_sum.rs:
+crates/primitives/src/random.rs:
+crates/primitives/src/shared_slice.rs:

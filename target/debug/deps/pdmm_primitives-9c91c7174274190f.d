@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pdmm_primitives-9c91c7174274190f.d: crates/primitives/src/lib.rs crates/primitives/src/atomic_bitset.rs crates/primitives/src/compaction.rs crates/primitives/src/cost_model.rs crates/primitives/src/dictionary.rs crates/primitives/src/par_util.rs crates/primitives/src/prefix_sum.rs crates/primitives/src/random.rs crates/primitives/src/shared_slice.rs
+
+/root/repo/target/debug/deps/libpdmm_primitives-9c91c7174274190f.rmeta: crates/primitives/src/lib.rs crates/primitives/src/atomic_bitset.rs crates/primitives/src/compaction.rs crates/primitives/src/cost_model.rs crates/primitives/src/dictionary.rs crates/primitives/src/par_util.rs crates/primitives/src/prefix_sum.rs crates/primitives/src/random.rs crates/primitives/src/shared_slice.rs
+
+crates/primitives/src/lib.rs:
+crates/primitives/src/atomic_bitset.rs:
+crates/primitives/src/compaction.rs:
+crates/primitives/src/cost_model.rs:
+crates/primitives/src/dictionary.rs:
+crates/primitives/src/par_util.rs:
+crates/primitives/src/prefix_sum.rs:
+crates/primitives/src/random.rs:
+crates/primitives/src/shared_slice.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pdmm_primitives-9fcaea21e683e97b.d: crates/primitives/src/lib.rs crates/primitives/src/atomic_bitset.rs crates/primitives/src/compaction.rs crates/primitives/src/cost_model.rs crates/primitives/src/dictionary.rs crates/primitives/src/par_util.rs crates/primitives/src/prefix_sum.rs crates/primitives/src/random.rs crates/primitives/src/shared_slice.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdmm_primitives-9fcaea21e683e97b.rmeta: crates/primitives/src/lib.rs crates/primitives/src/atomic_bitset.rs crates/primitives/src/compaction.rs crates/primitives/src/cost_model.rs crates/primitives/src/dictionary.rs crates/primitives/src/par_util.rs crates/primitives/src/prefix_sum.rs crates/primitives/src/random.rs crates/primitives/src/shared_slice.rs Cargo.toml
+
+crates/primitives/src/lib.rs:
+crates/primitives/src/atomic_bitset.rs:
+crates/primitives/src/compaction.rs:
+crates/primitives/src/cost_model.rs:
+crates/primitives/src/dictionary.rs:
+crates/primitives/src/par_util.rs:
+crates/primitives/src/prefix_sum.rs:
+crates/primitives/src/random.rs:
+crates/primitives/src/shared_slice.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

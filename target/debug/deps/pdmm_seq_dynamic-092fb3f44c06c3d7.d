@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pdmm_seq_dynamic-092fb3f44c06c3d7.d: crates/seq-dynamic/src/lib.rs crates/seq-dynamic/src/naive.rs crates/seq-dynamic/src/random_replace.rs crates/seq-dynamic/src/recompute.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdmm_seq_dynamic-092fb3f44c06c3d7.rmeta: crates/seq-dynamic/src/lib.rs crates/seq-dynamic/src/naive.rs crates/seq-dynamic/src/random_replace.rs crates/seq-dynamic/src/recompute.rs Cargo.toml
+
+crates/seq-dynamic/src/lib.rs:
+crates/seq-dynamic/src/naive.rs:
+crates/seq-dynamic/src/random_replace.rs:
+crates/seq-dynamic/src/recompute.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pdmm_seq_dynamic-1239fedcd43dab55.d: crates/seq-dynamic/src/lib.rs crates/seq-dynamic/src/naive.rs crates/seq-dynamic/src/random_replace.rs crates/seq-dynamic/src/recompute.rs
+
+/root/repo/target/debug/deps/pdmm_seq_dynamic-1239fedcd43dab55: crates/seq-dynamic/src/lib.rs crates/seq-dynamic/src/naive.rs crates/seq-dynamic/src/random_replace.rs crates/seq-dynamic/src/recompute.rs
+
+crates/seq-dynamic/src/lib.rs:
+crates/seq-dynamic/src/naive.rs:
+crates/seq-dynamic/src/random_replace.rs:
+crates/seq-dynamic/src/recompute.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pdmm_seq_dynamic-5d5e9635d96d6afd.d: crates/seq-dynamic/src/lib.rs crates/seq-dynamic/src/naive.rs crates/seq-dynamic/src/random_replace.rs crates/seq-dynamic/src/recompute.rs
+
+/root/repo/target/debug/deps/libpdmm_seq_dynamic-5d5e9635d96d6afd.rmeta: crates/seq-dynamic/src/lib.rs crates/seq-dynamic/src/naive.rs crates/seq-dynamic/src/random_replace.rs crates/seq-dynamic/src/recompute.rs
+
+crates/seq-dynamic/src/lib.rs:
+crates/seq-dynamic/src/naive.rs:
+crates/seq-dynamic/src/random_replace.rs:
+crates/seq-dynamic/src/recompute.rs:

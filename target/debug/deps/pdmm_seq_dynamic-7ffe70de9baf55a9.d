@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pdmm_seq_dynamic-7ffe70de9baf55a9.d: crates/seq-dynamic/src/lib.rs crates/seq-dynamic/src/naive.rs crates/seq-dynamic/src/random_replace.rs crates/seq-dynamic/src/recompute.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdmm_seq_dynamic-7ffe70de9baf55a9.rmeta: crates/seq-dynamic/src/lib.rs crates/seq-dynamic/src/naive.rs crates/seq-dynamic/src/random_replace.rs crates/seq-dynamic/src/recompute.rs Cargo.toml
+
+crates/seq-dynamic/src/lib.rs:
+crates/seq-dynamic/src/naive.rs:
+crates/seq-dynamic/src/random_replace.rs:
+crates/seq-dynamic/src/recompute.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

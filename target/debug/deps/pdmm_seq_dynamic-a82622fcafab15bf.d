@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pdmm_seq_dynamic-a82622fcafab15bf.d: crates/seq-dynamic/src/lib.rs crates/seq-dynamic/src/naive.rs crates/seq-dynamic/src/random_replace.rs crates/seq-dynamic/src/recompute.rs
+
+/root/repo/target/debug/deps/libpdmm_seq_dynamic-a82622fcafab15bf.rlib: crates/seq-dynamic/src/lib.rs crates/seq-dynamic/src/naive.rs crates/seq-dynamic/src/random_replace.rs crates/seq-dynamic/src/recompute.rs
+
+/root/repo/target/debug/deps/libpdmm_seq_dynamic-a82622fcafab15bf.rmeta: crates/seq-dynamic/src/lib.rs crates/seq-dynamic/src/naive.rs crates/seq-dynamic/src/random_replace.rs crates/seq-dynamic/src/recompute.rs
+
+crates/seq-dynamic/src/lib.rs:
+crates/seq-dynamic/src/naive.rs:
+crates/seq-dynamic/src/random_replace.rs:
+crates/seq-dynamic/src/recompute.rs:

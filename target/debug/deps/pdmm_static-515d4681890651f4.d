@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pdmm_static-515d4681890651f4.d: crates/static/src/lib.rs crates/static/src/greedy.rs crates/static/src/luby.rs crates/static/src/recompute.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdmm_static-515d4681890651f4.rmeta: crates/static/src/lib.rs crates/static/src/greedy.rs crates/static/src/luby.rs crates/static/src/recompute.rs Cargo.toml
+
+crates/static/src/lib.rs:
+crates/static/src/greedy.rs:
+crates/static/src/luby.rs:
+crates/static/src/recompute.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pdmm_static-79ba4d4b32220f03.d: crates/static/src/lib.rs crates/static/src/greedy.rs crates/static/src/luby.rs crates/static/src/recompute.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdmm_static-79ba4d4b32220f03.rmeta: crates/static/src/lib.rs crates/static/src/greedy.rs crates/static/src/luby.rs crates/static/src/recompute.rs Cargo.toml
+
+crates/static/src/lib.rs:
+crates/static/src/greedy.rs:
+crates/static/src/luby.rs:
+crates/static/src/recompute.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pdmm_static-8cc1b2396163db52.d: crates/static/src/lib.rs crates/static/src/greedy.rs crates/static/src/luby.rs crates/static/src/recompute.rs
+
+/root/repo/target/debug/deps/pdmm_static-8cc1b2396163db52: crates/static/src/lib.rs crates/static/src/greedy.rs crates/static/src/luby.rs crates/static/src/recompute.rs
+
+crates/static/src/lib.rs:
+crates/static/src/greedy.rs:
+crates/static/src/luby.rs:
+crates/static/src/recompute.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pdmm_static-f627d5f17c3dcc14.d: crates/static/src/lib.rs crates/static/src/greedy.rs crates/static/src/luby.rs crates/static/src/recompute.rs
+
+/root/repo/target/debug/deps/libpdmm_static-f627d5f17c3dcc14.rmeta: crates/static/src/lib.rs crates/static/src/greedy.rs crates/static/src/luby.rs crates/static/src/recompute.rs
+
+crates/static/src/lib.rs:
+crates/static/src/greedy.rs:
+crates/static/src/luby.rs:
+crates/static/src/recompute.rs:

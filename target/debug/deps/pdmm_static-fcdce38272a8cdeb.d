@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pdmm_static-fcdce38272a8cdeb.d: crates/static/src/lib.rs crates/static/src/greedy.rs crates/static/src/luby.rs crates/static/src/recompute.rs
+
+/root/repo/target/debug/deps/libpdmm_static-fcdce38272a8cdeb.rlib: crates/static/src/lib.rs crates/static/src/greedy.rs crates/static/src/luby.rs crates/static/src/recompute.rs
+
+/root/repo/target/debug/deps/libpdmm_static-fcdce38272a8cdeb.rmeta: crates/static/src/lib.rs crates/static/src/greedy.rs crates/static/src/luby.rs crates/static/src/recompute.rs
+
+crates/static/src/lib.rs:
+crates/static/src/greedy.rs:
+crates/static/src/luby.rs:
+crates/static/src/recompute.rs:

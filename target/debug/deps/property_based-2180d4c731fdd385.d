@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_based-2180d4c731fdd385.d: tests/property_based.rs
+
+/root/repo/target/debug/deps/property_based-2180d4c731fdd385: tests/property_based.rs
+
+tests/property_based.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_based-3c98a989a1bf96a4.d: tests/property_based.rs
+
+/root/repo/target/debug/deps/property_based-3c98a989a1bf96a4: tests/property_based.rs
+
+tests/property_based.rs:

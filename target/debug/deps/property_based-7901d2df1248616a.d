@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_based-7901d2df1248616a.d: tests/property_based.rs
+
+/root/repo/target/debug/deps/libproperty_based-7901d2df1248616a.rmeta: tests/property_based.rs
+
+tests/property_based.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_based-f94c039ab5c5e966.d: tests/property_based.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_based-f94c039ab5c5e966.rmeta: tests/property_based.rs Cargo.toml
+
+tests/property_based.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-36e643f68242c0ba.d: crates/shims/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-36e643f68242c0ba.rmeta: crates/shims/proptest/src/lib.rs Cargo.toml
+
+crates/shims/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

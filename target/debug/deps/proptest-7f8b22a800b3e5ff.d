@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-7f8b22a800b3e5ff.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-7f8b22a800b3e5ff.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

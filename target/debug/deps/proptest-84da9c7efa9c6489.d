@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-84da9c7efa9c6489.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-84da9c7efa9c6489.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-b49bd53bd5d998e9.d: crates/shims/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-b49bd53bd5d998e9.rmeta: crates/shims/proptest/src/lib.rs Cargo.toml
+
+crates/shims/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-cc83c842a43cc699.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-cc83c842a43cc699: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-a256a787527cf5b0.d: crates/shims/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-a256a787527cf5b0.rmeta: crates/shims/rand_chacha/src/lib.rs
+
+crates/shims/rand_chacha/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-ae3719b6233a207a.d: crates/shims/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-ae3719b6233a207a.rmeta: crates/shims/rand_chacha/src/lib.rs
+
+crates/shims/rand_chacha/src/lib.rs:

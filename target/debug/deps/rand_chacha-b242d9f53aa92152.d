@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand_chacha-b242d9f53aa92152.d: crates/shims/rand_chacha/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand_chacha-b242d9f53aa92152.rmeta: crates/shims/rand_chacha/src/lib.rs Cargo.toml
+
+crates/shims/rand_chacha/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand_chacha-ceb17daff29b5b46.d: crates/shims/rand_chacha/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand_chacha-ceb17daff29b5b46.rmeta: crates/shims/rand_chacha/src/lib.rs Cargo.toml
+
+crates/shims/rand_chacha/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

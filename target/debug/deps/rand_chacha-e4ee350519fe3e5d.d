@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-e4ee350519fe3e5d.d: crates/shims/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/rand_chacha-e4ee350519fe3e5d: crates/shims/rand_chacha/src/lib.rs
+
+crates/shims/rand_chacha/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rank_scaling-453fc38cb4bf3ffd.d: crates/bench/benches/rank_scaling.rs
+
+/root/repo/target/debug/deps/rank_scaling-453fc38cb4bf3ffd: crates/bench/benches/rank_scaling.rs
+
+crates/bench/benches/rank_scaling.rs:

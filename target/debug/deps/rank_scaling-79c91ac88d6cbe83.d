@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rank_scaling-79c91ac88d6cbe83.d: crates/bench/benches/rank_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/librank_scaling-79c91ac88d6cbe83.rmeta: crates/bench/benches/rank_scaling.rs Cargo.toml
+
+crates/bench/benches/rank_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

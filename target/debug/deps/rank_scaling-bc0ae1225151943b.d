@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rank_scaling-bc0ae1225151943b.d: crates/bench/benches/rank_scaling.rs
+
+/root/repo/target/debug/deps/rank_scaling-bc0ae1225151943b: crates/bench/benches/rank_scaling.rs
+
+crates/bench/benches/rank_scaling.rs:

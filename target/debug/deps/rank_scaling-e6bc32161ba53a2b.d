@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rank_scaling-e6bc32161ba53a2b.d: crates/bench/benches/rank_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/librank_scaling-e6bc32161ba53a2b.rmeta: crates/bench/benches/rank_scaling.rs Cargo.toml
+
+crates/bench/benches/rank_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

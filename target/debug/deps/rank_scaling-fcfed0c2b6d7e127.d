@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rank_scaling-fcfed0c2b6d7e127.d: crates/bench/benches/rank_scaling.rs
+
+/root/repo/target/debug/deps/librank_scaling-fcfed0c2b6d7e127.rmeta: crates/bench/benches/rank_scaling.rs
+
+crates/bench/benches/rank_scaling.rs:

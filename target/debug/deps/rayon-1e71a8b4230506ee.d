@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-1e71a8b4230506ee.d: crates/shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-1e71a8b4230506ee.rlib: crates/shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-1e71a8b4230506ee.rmeta: crates/shims/rayon/src/lib.rs
+
+crates/shims/rayon/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rayon-2b9def889052a733.d: crates/shims/rayon/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librayon-2b9def889052a733.rmeta: crates/shims/rayon/src/lib.rs Cargo.toml
+
+crates/shims/rayon/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-343d01b82242d1e3.d: crates/shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/rayon-343d01b82242d1e3: crates/shims/rayon/src/lib.rs
+
+crates/shims/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-4459787fd980db40.d: crates/shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-4459787fd980db40.rmeta: crates/shims/rayon/src/lib.rs
+
+crates/shims/rayon/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rayon-6f52ece855813743.d: crates/shims/rayon/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librayon-6f52ece855813743.rmeta: crates/shims/rayon/src/lib.rs Cargo.toml
+
+crates/shims/rayon/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-d5c2579621156c48.d: crates/shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-d5c2579621156c48.rmeta: crates/shims/rayon/src/lib.rs
+
+crates/shims/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rustc_hash-1ab171f7267f9f08.d: crates/shims/rustc-hash/src/lib.rs
+
+/root/repo/target/debug/deps/librustc_hash-1ab171f7267f9f08.rmeta: crates/shims/rustc-hash/src/lib.rs
+
+crates/shims/rustc-hash/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rustc_hash-bc976a0d5fcc827a.d: crates/shims/rustc-hash/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librustc_hash-bc976a0d5fcc827a.rmeta: crates/shims/rustc-hash/src/lib.rs Cargo.toml
+
+crates/shims/rustc-hash/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rustc_hash-cbe0e95071104032.d: crates/shims/rustc-hash/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librustc_hash-cbe0e95071104032.rmeta: crates/shims/rustc-hash/src/lib.rs Cargo.toml
+
+crates/shims/rustc-hash/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rustc_hash-eea93bb2eb59b80e.d: crates/shims/rustc-hash/src/lib.rs
+
+/root/repo/target/debug/deps/librustc_hash-eea93bb2eb59b80e.rlib: crates/shims/rustc-hash/src/lib.rs
+
+/root/repo/target/debug/deps/librustc_hash-eea93bb2eb59b80e.rmeta: crates/shims/rustc-hash/src/lib.rs
+
+crates/shims/rustc-hash/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rustc_hash-f5400d0912736678.d: crates/shims/rustc-hash/src/lib.rs
+
+/root/repo/target/debug/deps/rustc_hash-f5400d0912736678: crates/shims/rustc-hash/src/lib.rs
+
+crates/shims/rustc-hash/src/lib.rs:

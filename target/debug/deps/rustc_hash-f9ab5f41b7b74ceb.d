@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rustc_hash-f9ab5f41b7b74ceb.d: crates/shims/rustc-hash/src/lib.rs
+
+/root/repo/target/debug/deps/librustc_hash-f9ab5f41b7b74ceb.rmeta: crates/shims/rustc-hash/src/lib.rs
+
+crates/shims/rustc-hash/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/static_mm-4b1e842e7f06085a.d: crates/bench/benches/static_mm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstatic_mm-4b1e842e7f06085a.rmeta: crates/bench/benches/static_mm.rs Cargo.toml
+
+crates/bench/benches/static_mm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

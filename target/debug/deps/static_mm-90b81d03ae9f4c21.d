@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/static_mm-90b81d03ae9f4c21.d: crates/bench/benches/static_mm.rs
+
+/root/repo/target/debug/deps/libstatic_mm-90b81d03ae9f4c21.rmeta: crates/bench/benches/static_mm.rs
+
+crates/bench/benches/static_mm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/static_mm-958cf7950f2e69d0.d: crates/bench/benches/static_mm.rs
+
+/root/repo/target/debug/deps/static_mm-958cf7950f2e69d0: crates/bench/benches/static_mm.rs
+
+crates/bench/benches/static_mm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/static_mm-c6f766b5d86eadcc.d: crates/bench/benches/static_mm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstatic_mm-c6f766b5d86eadcc.rmeta: crates/bench/benches/static_mm.rs Cargo.toml
+
+crates/bench/benches/static_mm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/static_mm-f1e9415bdfaba8e7.d: crates/bench/benches/static_mm.rs
+
+/root/repo/target/debug/deps/static_mm-f1e9415bdfaba8e7: crates/bench/benches/static_mm.rs
+
+crates/bench/benches/static_mm.rs:

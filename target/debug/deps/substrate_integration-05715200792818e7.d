@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrate_integration-05715200792818e7.d: tests/substrate_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrate_integration-05715200792818e7.rmeta: tests/substrate_integration.rs Cargo.toml
+
+tests/substrate_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_integration-1f0d73f9fccd4eea.d: tests/substrate_integration.rs
+
+/root/repo/target/debug/deps/substrate_integration-1f0d73f9fccd4eea: tests/substrate_integration.rs
+
+tests/substrate_integration.rs:

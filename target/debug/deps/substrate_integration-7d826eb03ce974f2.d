@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_integration-7d826eb03ce974f2.d: tests/substrate_integration.rs
+
+/root/repo/target/debug/deps/libsubstrate_integration-7d826eb03ce974f2.rmeta: tests/substrate_integration.rs
+
+tests/substrate_integration.rs:

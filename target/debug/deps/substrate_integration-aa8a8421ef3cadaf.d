@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrate_integration-aa8a8421ef3cadaf.d: tests/substrate_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrate_integration-aa8a8421ef3cadaf.rmeta: tests/substrate_integration.rs Cargo.toml
+
+tests/substrate_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_integration-eecb01585708fb37.d: tests/substrate_integration.rs
+
+/root/repo/target/debug/deps/substrate_integration-eecb01585708fb37: tests/substrate_integration.rs
+
+tests/substrate_integration.rs:

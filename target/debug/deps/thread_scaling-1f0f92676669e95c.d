@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thread_scaling-1f0f92676669e95c.d: crates/bench/benches/thread_scaling.rs
+
+/root/repo/target/debug/deps/thread_scaling-1f0f92676669e95c: crates/bench/benches/thread_scaling.rs
+
+crates/bench/benches/thread_scaling.rs:

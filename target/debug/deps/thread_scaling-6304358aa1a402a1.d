@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/thread_scaling-6304358aa1a402a1.d: crates/bench/benches/thread_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthread_scaling-6304358aa1a402a1.rmeta: crates/bench/benches/thread_scaling.rs Cargo.toml
+
+crates/bench/benches/thread_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

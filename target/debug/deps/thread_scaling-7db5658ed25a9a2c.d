@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thread_scaling-7db5658ed25a9a2c.d: crates/bench/benches/thread_scaling.rs
+
+/root/repo/target/debug/deps/libthread_scaling-7db5658ed25a9a2c.rmeta: crates/bench/benches/thread_scaling.rs
+
+crates/bench/benches/thread_scaling.rs:

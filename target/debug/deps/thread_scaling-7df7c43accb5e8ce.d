@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thread_scaling-7df7c43accb5e8ce.d: crates/bench/benches/thread_scaling.rs
+
+/root/repo/target/debug/deps/thread_scaling-7df7c43accb5e8ce: crates/bench/benches/thread_scaling.rs
+
+crates/bench/benches/thread_scaling.rs:

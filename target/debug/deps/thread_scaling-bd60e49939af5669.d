@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/thread_scaling-bd60e49939af5669.d: crates/bench/benches/thread_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthread_scaling-bd60e49939af5669.rmeta: crates/bench/benches/thread_scaling.rs Cargo.toml
+
+crates/bench/benches/thread_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vs_sequential-3ea90f5f9073ea10.d: crates/bench/benches/vs_sequential.rs
+
+/root/repo/target/debug/deps/vs_sequential-3ea90f5f9073ea10: crates/bench/benches/vs_sequential.rs
+
+crates/bench/benches/vs_sequential.rs:

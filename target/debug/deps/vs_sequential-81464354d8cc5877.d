@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vs_sequential-81464354d8cc5877.d: crates/bench/benches/vs_sequential.rs
+
+/root/repo/target/debug/deps/libvs_sequential-81464354d8cc5877.rmeta: crates/bench/benches/vs_sequential.rs
+
+crates/bench/benches/vs_sequential.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vs_sequential-9b5b111a3e8fb3f8.d: crates/bench/benches/vs_sequential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvs_sequential-9b5b111a3e8fb3f8.rmeta: crates/bench/benches/vs_sequential.rs Cargo.toml
+
+crates/bench/benches/vs_sequential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

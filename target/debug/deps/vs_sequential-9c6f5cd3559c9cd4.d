@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vs_sequential-9c6f5cd3559c9cd4.d: crates/bench/benches/vs_sequential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvs_sequential-9c6f5cd3559c9cd4.rmeta: crates/bench/benches/vs_sequential.rs Cargo.toml
+
+crates/bench/benches/vs_sequential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

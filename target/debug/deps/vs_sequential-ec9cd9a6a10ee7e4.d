@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vs_sequential-ec9cd9a6a10ee7e4.d: crates/bench/benches/vs_sequential.rs
+
+/root/repo/target/debug/deps/vs_sequential-ec9cd9a6a10ee7e4: crates/bench/benches/vs_sequential.rs
+
+crates/bench/benches/vs_sequential.rs:

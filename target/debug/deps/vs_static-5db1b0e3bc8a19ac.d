@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vs_static-5db1b0e3bc8a19ac.d: crates/bench/benches/vs_static.rs
+
+/root/repo/target/debug/deps/vs_static-5db1b0e3bc8a19ac: crates/bench/benches/vs_static.rs
+
+crates/bench/benches/vs_static.rs:

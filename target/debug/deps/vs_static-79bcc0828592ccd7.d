@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vs_static-79bcc0828592ccd7.d: crates/bench/benches/vs_static.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvs_static-79bcc0828592ccd7.rmeta: crates/bench/benches/vs_static.rs Cargo.toml
+
+crates/bench/benches/vs_static.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

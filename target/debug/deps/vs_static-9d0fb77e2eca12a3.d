@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vs_static-9d0fb77e2eca12a3.d: crates/bench/benches/vs_static.rs
+
+/root/repo/target/debug/deps/vs_static-9d0fb77e2eca12a3: crates/bench/benches/vs_static.rs
+
+crates/bench/benches/vs_static.rs:

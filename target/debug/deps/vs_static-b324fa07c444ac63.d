@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vs_static-b324fa07c444ac63.d: crates/bench/benches/vs_static.rs
+
+/root/repo/target/debug/deps/libvs_static-b324fa07c444ac63.rmeta: crates/bench/benches/vs_static.rs
+
+crates/bench/benches/vs_static.rs:

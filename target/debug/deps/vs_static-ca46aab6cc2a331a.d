@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vs_static-ca46aab6cc2a331a.d: crates/bench/benches/vs_static.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvs_static-ca46aab6cc2a331a.rmeta: crates/bench/benches/vs_static.rs Cargo.toml
+
+crates/bench/benches/vs_static.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

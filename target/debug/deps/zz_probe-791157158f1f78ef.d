@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zz_probe-791157158f1f78ef.d: tests/zz_probe.rs
+
+/root/repo/target/debug/deps/zz_probe-791157158f1f78ef: tests/zz_probe.rs
+
+tests/zz_probe.rs:

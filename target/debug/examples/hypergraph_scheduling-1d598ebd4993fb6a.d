@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hypergraph_scheduling-1d598ebd4993fb6a.d: examples/hypergraph_scheduling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhypergraph_scheduling-1d598ebd4993fb6a.rmeta: examples/hypergraph_scheduling.rs Cargo.toml
+
+examples/hypergraph_scheduling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

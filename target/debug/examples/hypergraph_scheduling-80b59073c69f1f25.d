@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hypergraph_scheduling-80b59073c69f1f25.d: examples/hypergraph_scheduling.rs
+
+/root/repo/target/debug/examples/hypergraph_scheduling-80b59073c69f1f25: examples/hypergraph_scheduling.rs
+
+examples/hypergraph_scheduling.rs:

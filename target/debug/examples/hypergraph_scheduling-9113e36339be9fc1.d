@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hypergraph_scheduling-9113e36339be9fc1.d: examples/hypergraph_scheduling.rs
+
+/root/repo/target/debug/examples/hypergraph_scheduling-9113e36339be9fc1: examples/hypergraph_scheduling.rs
+
+examples/hypergraph_scheduling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hypergraph_scheduling-e15f3d8c487ea6e5.d: examples/hypergraph_scheduling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhypergraph_scheduling-e15f3d8c487ea6e5.rmeta: examples/hypergraph_scheduling.rs Cargo.toml
+
+examples/hypergraph_scheduling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

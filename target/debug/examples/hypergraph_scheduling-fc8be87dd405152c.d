@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hypergraph_scheduling-fc8be87dd405152c.d: examples/hypergraph_scheduling.rs
+
+/root/repo/target/debug/examples/libhypergraph_scheduling-fc8be87dd405152c.rmeta: examples/hypergraph_scheduling.rs
+
+examples/hypergraph_scheduling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-1f8e9ab906070d63.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-1f8e9ab906070d63.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-384416d311305eac.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-384416d311305eac: examples/quickstart.rs
+
+examples/quickstart.rs:

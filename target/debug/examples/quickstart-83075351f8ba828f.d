@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-83075351f8ba828f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-83075351f8ba828f: examples/quickstart.rs
+
+examples/quickstart.rs:

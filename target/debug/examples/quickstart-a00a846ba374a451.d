@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a00a846ba374a451.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-a00a846ba374a451.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/social_stream-090db25ff7ec77e5.d: examples/social_stream.rs
+
+/root/repo/target/debug/examples/social_stream-090db25ff7ec77e5: examples/social_stream.rs
+
+examples/social_stream.rs:

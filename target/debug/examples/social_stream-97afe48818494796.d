@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/social_stream-97afe48818494796.d: examples/social_stream.rs
+
+/root/repo/target/debug/examples/libsocial_stream-97afe48818494796.rmeta: examples/social_stream.rs
+
+examples/social_stream.rs:

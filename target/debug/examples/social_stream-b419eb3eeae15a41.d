@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/social_stream-b419eb3eeae15a41.d: examples/social_stream.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsocial_stream-b419eb3eeae15a41.rmeta: examples/social_stream.rs Cargo.toml
+
+examples/social_stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/social_stream-ec305564f2134894.d: examples/social_stream.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsocial_stream-ec305564f2134894.rmeta: examples/social_stream.rs Cargo.toml
+
+examples/social_stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/social_stream-ff59fc27c1e7b538.d: examples/social_stream.rs
+
+/root/repo/target/debug/examples/social_stream-ff59fc27c1e7b538: examples/social_stream.rs
+
+examples/social_stream.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/stream_replay-1420ef561abfc0b2.d: examples/stream_replay.rs
+
+/root/repo/target/debug/examples/stream_replay-1420ef561abfc0b2: examples/stream_replay.rs
+
+examples/stream_replay.rs:

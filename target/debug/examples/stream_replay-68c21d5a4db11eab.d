@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/stream_replay-68c21d5a4db11eab.d: examples/stream_replay.rs
+
+/root/repo/target/debug/examples/libstream_replay-68c21d5a4db11eab.rmeta: examples/stream_replay.rs
+
+examples/stream_replay.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/stream_replay-a9773ab0644b38fd.d: examples/stream_replay.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstream_replay-a9773ab0644b38fd.rmeta: examples/stream_replay.rs Cargo.toml
+
+examples/stream_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/stream_replay-d62d23d76af2b015.d: examples/stream_replay.rs
+
+/root/repo/target/debug/examples/stream_replay-d62d23d76af2b015: examples/stream_replay.rs
+
+examples/stream_replay.rs:

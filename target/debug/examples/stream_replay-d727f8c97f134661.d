@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/stream_replay-d727f8c97f134661.d: examples/stream_replay.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstream_replay-d727f8c97f134661.rmeta: examples/stream_replay.rs Cargo.toml
+
+examples/stream_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

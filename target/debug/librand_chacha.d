@@ -1,0 +1,1 @@
+/root/repo/target/debug/librand_chacha.rlib: /root/repo/crates/shims/rand/src/lib.rs /root/repo/crates/shims/rand_chacha/src/lib.rs

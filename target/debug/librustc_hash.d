@@ -1,0 +1,1 @@
+/root/repo/target/debug/librustc_hash.rlib: /root/repo/crates/shims/rustc-hash/src/lib.rs

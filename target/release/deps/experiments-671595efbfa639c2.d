@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-671595efbfa639c2.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-671595efbfa639c2: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

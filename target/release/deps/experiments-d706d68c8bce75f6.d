@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-d706d68c8bce75f6.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-d706d68c8bce75f6: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/pdmm-29aea745e1e54578.d: src/lib.rs src/engine.rs
+
+/root/repo/target/release/deps/libpdmm-29aea745e1e54578.rlib: src/lib.rs src/engine.rs
+
+/root/repo/target/release/deps/libpdmm-29aea745e1e54578.rmeta: src/lib.rs src/engine.rs
+
+src/lib.rs:
+src/engine.rs:

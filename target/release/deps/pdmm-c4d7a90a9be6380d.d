@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/pdmm-c4d7a90a9be6380d.d: src/lib.rs src/engine.rs
+
+/root/repo/target/release/deps/libpdmm-c4d7a90a9be6380d.rlib: src/lib.rs src/engine.rs
+
+/root/repo/target/release/deps/libpdmm-c4d7a90a9be6380d.rmeta: src/lib.rs src/engine.rs
+
+src/lib.rs:
+src/engine.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pdmm_bench-2ee57c1985b54fdb.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libpdmm_bench-2ee57c1985b54fdb.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libpdmm_bench-2ee57c1985b54fdb.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pdmm_bench-766cec8b03a17f97.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libpdmm_bench-766cec8b03a17f97.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libpdmm_bench-766cec8b03a17f97.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pdmm_core-2b372c5f14b6f354.d: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/config.rs crates/core/src/invariants.rs crates/core/src/metrics.rs crates/core/src/settle.rs crates/core/src/state.rs
+
+/root/repo/target/release/deps/libpdmm_core-2b372c5f14b6f354.rlib: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/config.rs crates/core/src/invariants.rs crates/core/src/metrics.rs crates/core/src/settle.rs crates/core/src/state.rs
+
+/root/repo/target/release/deps/libpdmm_core-2b372c5f14b6f354.rmeta: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/config.rs crates/core/src/invariants.rs crates/core/src/metrics.rs crates/core/src/settle.rs crates/core/src/state.rs
+
+crates/core/src/lib.rs:
+crates/core/src/algorithm.rs:
+crates/core/src/config.rs:
+crates/core/src/invariants.rs:
+crates/core/src/metrics.rs:
+crates/core/src/settle.rs:
+crates/core/src/state.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/pdmm_hypergraph-b5e576f73c1a19e2.d: crates/hypergraph/src/lib.rs crates/hypergraph/src/engine.rs crates/hypergraph/src/generators.rs crates/hypergraph/src/graph.rs crates/hypergraph/src/io.rs crates/hypergraph/src/matching.rs crates/hypergraph/src/stats.rs crates/hypergraph/src/streams.rs crates/hypergraph/src/types.rs
+
+/root/repo/target/release/deps/libpdmm_hypergraph-b5e576f73c1a19e2.rlib: crates/hypergraph/src/lib.rs crates/hypergraph/src/engine.rs crates/hypergraph/src/generators.rs crates/hypergraph/src/graph.rs crates/hypergraph/src/io.rs crates/hypergraph/src/matching.rs crates/hypergraph/src/stats.rs crates/hypergraph/src/streams.rs crates/hypergraph/src/types.rs
+
+/root/repo/target/release/deps/libpdmm_hypergraph-b5e576f73c1a19e2.rmeta: crates/hypergraph/src/lib.rs crates/hypergraph/src/engine.rs crates/hypergraph/src/generators.rs crates/hypergraph/src/graph.rs crates/hypergraph/src/io.rs crates/hypergraph/src/matching.rs crates/hypergraph/src/stats.rs crates/hypergraph/src/streams.rs crates/hypergraph/src/types.rs
+
+crates/hypergraph/src/lib.rs:
+crates/hypergraph/src/engine.rs:
+crates/hypergraph/src/generators.rs:
+crates/hypergraph/src/graph.rs:
+crates/hypergraph/src/io.rs:
+crates/hypergraph/src/matching.rs:
+crates/hypergraph/src/stats.rs:
+crates/hypergraph/src/streams.rs:
+crates/hypergraph/src/types.rs:

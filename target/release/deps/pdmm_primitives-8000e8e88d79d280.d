@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/pdmm_primitives-8000e8e88d79d280.d: crates/primitives/src/lib.rs crates/primitives/src/atomic_bitset.rs crates/primitives/src/compaction.rs crates/primitives/src/cost_model.rs crates/primitives/src/dictionary.rs crates/primitives/src/par_util.rs crates/primitives/src/prefix_sum.rs crates/primitives/src/random.rs crates/primitives/src/shared_slice.rs
+
+/root/repo/target/release/deps/libpdmm_primitives-8000e8e88d79d280.rlib: crates/primitives/src/lib.rs crates/primitives/src/atomic_bitset.rs crates/primitives/src/compaction.rs crates/primitives/src/cost_model.rs crates/primitives/src/dictionary.rs crates/primitives/src/par_util.rs crates/primitives/src/prefix_sum.rs crates/primitives/src/random.rs crates/primitives/src/shared_slice.rs
+
+/root/repo/target/release/deps/libpdmm_primitives-8000e8e88d79d280.rmeta: crates/primitives/src/lib.rs crates/primitives/src/atomic_bitset.rs crates/primitives/src/compaction.rs crates/primitives/src/cost_model.rs crates/primitives/src/dictionary.rs crates/primitives/src/par_util.rs crates/primitives/src/prefix_sum.rs crates/primitives/src/random.rs crates/primitives/src/shared_slice.rs
+
+crates/primitives/src/lib.rs:
+crates/primitives/src/atomic_bitset.rs:
+crates/primitives/src/compaction.rs:
+crates/primitives/src/cost_model.rs:
+crates/primitives/src/dictionary.rs:
+crates/primitives/src/par_util.rs:
+crates/primitives/src/prefix_sum.rs:
+crates/primitives/src/random.rs:
+crates/primitives/src/shared_slice.rs:

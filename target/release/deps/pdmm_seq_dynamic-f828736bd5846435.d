@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pdmm_seq_dynamic-f828736bd5846435.d: crates/seq-dynamic/src/lib.rs crates/seq-dynamic/src/naive.rs crates/seq-dynamic/src/random_replace.rs crates/seq-dynamic/src/recompute.rs
+
+/root/repo/target/release/deps/libpdmm_seq_dynamic-f828736bd5846435.rlib: crates/seq-dynamic/src/lib.rs crates/seq-dynamic/src/naive.rs crates/seq-dynamic/src/random_replace.rs crates/seq-dynamic/src/recompute.rs
+
+/root/repo/target/release/deps/libpdmm_seq_dynamic-f828736bd5846435.rmeta: crates/seq-dynamic/src/lib.rs crates/seq-dynamic/src/naive.rs crates/seq-dynamic/src/random_replace.rs crates/seq-dynamic/src/recompute.rs
+
+crates/seq-dynamic/src/lib.rs:
+crates/seq-dynamic/src/naive.rs:
+crates/seq-dynamic/src/random_replace.rs:
+crates/seq-dynamic/src/recompute.rs:

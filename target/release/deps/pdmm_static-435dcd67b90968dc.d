@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pdmm_static-435dcd67b90968dc.d: crates/static/src/lib.rs crates/static/src/greedy.rs crates/static/src/luby.rs crates/static/src/recompute.rs
+
+/root/repo/target/release/deps/libpdmm_static-435dcd67b90968dc.rlib: crates/static/src/lib.rs crates/static/src/greedy.rs crates/static/src/luby.rs crates/static/src/recompute.rs
+
+/root/repo/target/release/deps/libpdmm_static-435dcd67b90968dc.rmeta: crates/static/src/lib.rs crates/static/src/greedy.rs crates/static/src/luby.rs crates/static/src/recompute.rs
+
+crates/static/src/lib.rs:
+crates/static/src/greedy.rs:
+crates/static/src/luby.rs:
+crates/static/src/recompute.rs:

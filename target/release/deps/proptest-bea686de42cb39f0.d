@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-bea686de42cb39f0.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-bea686de42cb39f0.rlib: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-bea686de42cb39f0.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

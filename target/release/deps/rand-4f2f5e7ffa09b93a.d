@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-4f2f5e7ffa09b93a.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-4f2f5e7ffa09b93a.rlib: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-4f2f5e7ffa09b93a.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-56a5791c3845e51c.d: crates/shims/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-56a5791c3845e51c.rlib: crates/shims/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-56a5791c3845e51c.rmeta: crates/shims/rand_chacha/src/lib.rs
+
+crates/shims/rand_chacha/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-57d784695ec3ce47.d: crates/shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-57d784695ec3ce47.rlib: crates/shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-57d784695ec3ce47.rmeta: crates/shims/rayon/src/lib.rs
+
+crates/shims/rayon/src/lib.rs:

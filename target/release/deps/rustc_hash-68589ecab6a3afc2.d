@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rustc_hash-68589ecab6a3afc2.d: crates/shims/rustc-hash/src/lib.rs
+
+/root/repo/target/release/deps/librustc_hash-68589ecab6a3afc2.rlib: crates/shims/rustc-hash/src/lib.rs
+
+/root/repo/target/release/deps/librustc_hash-68589ecab6a3afc2.rmeta: crates/shims/rustc-hash/src/lib.rs
+
+crates/shims/rustc-hash/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/hypergraph_scheduling-5022ebda68827b56.d: examples/hypergraph_scheduling.rs
+
+/root/repo/target/release/examples/hypergraph_scheduling-5022ebda68827b56: examples/hypergraph_scheduling.rs
+
+examples/hypergraph_scheduling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/hypergraph_scheduling-aa089532bd746a11.d: examples/hypergraph_scheduling.rs
+
+/root/repo/target/release/examples/hypergraph_scheduling-aa089532bd746a11: examples/hypergraph_scheduling.rs
+
+examples/hypergraph_scheduling.rs:

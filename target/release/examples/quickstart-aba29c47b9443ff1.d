@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-aba29c47b9443ff1.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-aba29c47b9443ff1: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/social_stream-56b273967e83b062.d: examples/social_stream.rs
+
+/root/repo/target/release/examples/social_stream-56b273967e83b062: examples/social_stream.rs
+
+examples/social_stream.rs:

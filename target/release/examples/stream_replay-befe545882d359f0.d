@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/stream_replay-befe545882d359f0.d: examples/stream_replay.rs
+
+/root/repo/target/release/examples/stream_replay-befe545882d359f0: examples/stream_replay.rs
+
+examples/stream_replay.rs:
