@@ -411,27 +411,23 @@ pub fn e8_epoch_stats(scale: Scale) -> String {
     out
 }
 
-/// E9 — throughput vs number of rayon worker threads (wall-clock only; the
+/// E9 — throughput vs the engine's worker-pool size (wall-clock only; the
 /// work/depth counters are thread-independent by construction).
+///
+/// `EngineBuilder::threads(t)` gives the engine an owned work-stealing pool,
+/// so the builder alone controls the parallelism of every batch.
 #[must_use]
 pub fn e9_thread_scaling(scale: Scale) -> String {
     let mut table = Table::new(
-        "E9  wall-clock throughput vs rayon threads",
+        "E9  wall-clock throughput vs engine pool threads",
         &["threads", "us/update", "updates/s"],
     );
     let n = scale.div(1 << 14, 1 << 11);
     let edges = generators::gnm_graph(n, 4 * n, 81, 0);
     let w = streams::insert_then_teardown(n, edges, n / 4, 7);
     for &threads in &[1usize, 2, 4, 8] {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .expect("thread pool");
         let builder = EngineBuilder::new(n).seed(13).threads(threads);
-        let stats = pool.install(|| {
-            let (_, stats) = run_kind(&w, EngineKind::Parallel, &builder);
-            stats
-        });
+        let (_, stats) = run_kind(&w, EngineKind::Parallel, &builder);
         table.row(vec![
             threads.to_string(),
             f(stats.micros_per_update(), 2),

@@ -2,7 +2,8 @@
 //!
 //! There is exactly one way to run a workload: [`run_workload`] drives *any*
 //! [`MatchingEngine`] through [`MatchingEngine::apply_batch`], accumulating the
-//! per-batch [`BatchReport`]s into [`RunStats`].  No engine-specific branching —
+//! per-batch [`pdmm::engine::BatchReport`]s into [`RunStats`].  No
+//! engine-specific branching —
 //! the paper's algorithm, every baseline, and the static adapter are measured
 //! through identical code.
 //!

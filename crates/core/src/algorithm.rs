@@ -22,8 +22,8 @@ use crate::metrics::Metrics;
 use crate::settle::{process_level, release_bucket_and_remove};
 use crate::state::MatcherState;
 use pdmm_hypergraph::engine::{
-    validate_batch, BatchError, BatchReport, EngineBuilder, EngineMetrics, MatchingEngine,
-    MatchingIter,
+    validate_batch, BatchError, BatchReport, EngineBuilder, EngineMetrics, EnginePool,
+    MatchingEngine, MatchingIter,
 };
 use pdmm_hypergraph::types::{EdgeId, HyperEdge, Update, VertexId};
 use pdmm_primitives::cost_model::{CostSnapshot, CostTracker};
@@ -52,6 +52,9 @@ use rustc_hash::FxHashSet;
 #[derive(Debug)]
 pub struct ParallelDynamicMatching {
     state: MatcherState,
+    /// The worker pool every batch runs on (`EngineBuilder::threads`); with no
+    /// thread budget, parallel phases use the process-global pool.
+    pool: EnginePool,
 }
 
 impl ParallelDynamicMatching {
@@ -60,14 +63,27 @@ impl ParallelDynamicMatching {
     pub fn new(num_vertices: usize, config: Config) -> Self {
         ParallelDynamicMatching {
             state: MatcherState::new(num_vertices, config),
+            pool: EnginePool::default(),
         }
     }
 
     /// Creates the algorithm from the engine-agnostic builder (the canonical
     /// constructor; `new` remains for algorithm-specific `Config` knobs).
+    ///
+    /// `builder.threads` bounds the worker pool all parallel phases of
+    /// `apply_batch` run on; unset, the process-global pool is used.
     #[must_use]
     pub fn from_builder(builder: &EngineBuilder) -> Self {
-        Self::new(builder.num_vertices, Config::from_builder(builder))
+        ParallelDynamicMatching {
+            state: MatcherState::new(builder.num_vertices, Config::from_builder(builder)),
+            pool: EnginePool::from_builder(builder),
+        }
+    }
+
+    /// The worker count this engine is bounded to (`None`: global pool).
+    #[must_use]
+    pub fn num_threads(&self) -> Option<usize> {
+        self.pool.num_threads()
     }
 
     /// Number of vertices.
@@ -168,6 +184,15 @@ impl ParallelDynamicMatching {
             self.state.config.max_rank,
             self.state.num_vertices(),
         )?;
+        // Run the whole pipeline on the engine's pool so every parallel
+        // primitive beneath it (Luby matching, prefix sums, compaction, the
+        // parallel dictionary) is bounded by `EngineBuilder::threads`.
+        let pool = self.pool.clone();
+        pool.install(|| self.apply_batch_on_pool(updates))
+    }
+
+    /// The batch pipeline proper; runs with the engine's pool ambient.
+    fn apply_batch_on_pool(&mut self, updates: &[Update]) -> Result<BatchReport, BatchError> {
         let start: CostSnapshot = self.state.cost.snapshot();
         let mut report = BatchReport {
             batch_size: updates.len(),

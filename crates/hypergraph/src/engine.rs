@@ -26,6 +26,7 @@
 use crate::types::{EdgeId, Update, UpdateBatch, VertexId};
 use rustc_hash::{FxHashMap, FxHashSet};
 use std::fmt;
+use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
 // Errors
@@ -37,6 +38,19 @@ use std::fmt;
 /// to name pre-batch live edges, and every hyperedge to respect the configured
 /// maximum rank and vertex range.  A batch violating any of these is refused as a
 /// whole with the first violation found.
+///
+/// ```
+/// use pdmm::engine::{self, BatchError, EngineBuilder, EngineKind};
+/// use pdmm::prelude::*;
+///
+/// let mut engine = engine::build(EngineKind::Parallel, &EngineBuilder::new(4));
+/// // Deleting an edge that was never inserted is a typed error, not a panic —
+/// // and the engine is untouched (rejection is atomic).
+/// let err = engine.apply_batch(&[Update::Delete(EdgeId(7))]).unwrap_err();
+/// assert_eq!(err, BatchError::UnknownDeletion { id: EdgeId(7) });
+/// assert_eq!(err.to_string(), "deletion of unknown edge e7");
+/// assert_eq!(engine.matching_size(), 0);
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BatchError {
     /// An insertion reuses the id of a live edge (or of an earlier insertion in
@@ -120,6 +134,19 @@ impl std::error::Error for BatchError {}
 ///
 /// Every engine produces one (the parallel algorithm fills all fields; baselines
 /// report their cost-model counters and never rebuild).
+///
+/// ```
+/// use pdmm::engine::{self, EngineBuilder, EngineKind};
+/// use pdmm::prelude::*;
+///
+/// let mut engine = engine::build(EngineKind::Parallel, &EngineBuilder::new(4));
+/// let report = engine
+///     .apply_batch(&[Update::Insert(HyperEdge::pair(EdgeId(0), VertexId(0), VertexId(1)))])
+///     .unwrap();
+/// assert_eq!(report.batch_size, 1);
+/// assert_eq!(report.matching_size, 1);
+/// assert!(!report.rebuilt);
+/// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BatchReport {
     /// Number of updates in the batch.
@@ -140,6 +167,13 @@ pub struct BatchReport {
 ///
 /// Engine-specific metrics (the epoch statistics of §4.2, say) stay on the
 /// concrete type; these are the fields the harness tables need from *any* engine.
+///
+/// ```
+/// use pdmm_hypergraph::engine::EngineMetrics;
+///
+/// let metrics = EngineMetrics { updates: 100, work: 450, ..EngineMetrics::default() };
+/// assert_eq!(metrics.work_per_update(), 4.5);
+/// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineMetrics {
     /// Batches applied.
@@ -171,6 +205,16 @@ impl EngineMetrics {
 /// Per-batch update counters shared by the baseline engines.
 ///
 /// (`pdmm-core` derives the same numbers from its richer §4.2 metrics.)
+///
+/// ```
+/// use pdmm_hypergraph::engine::UpdateCounters;
+///
+/// let counters = UpdateCounters { batches: 2, updates: 10, ..UpdateCounters::default() };
+/// let metrics = counters.into_metrics(40, 2);
+/// assert_eq!(metrics.updates, 10);
+/// assert_eq!(metrics.work, 40);
+/// assert_eq!(metrics.rebuilds, 0);
+/// ```
 #[derive(Debug, Clone, Copy, Default)]
 pub struct UpdateCounters {
     /// Batches applied.
@@ -212,6 +256,19 @@ impl UpdateCounters {
 /// never copied into a `Vec`.  The one cost per `matching()` call is the small
 /// `Box` holding the iterator — required because [`MatchingEngine`] must stay
 /// usable as a trait object.
+///
+/// ```
+/// use pdmm::engine::{self, EngineBuilder, EngineKind};
+/// use pdmm::prelude::*;
+///
+/// let mut engine = engine::build(EngineKind::Parallel, &EngineBuilder::new(4));
+/// engine
+///     .apply_batch(&[Update::Insert(HyperEdge::pair(EdgeId(3), VertexId(0), VertexId(1)))])
+///     .unwrap();
+/// // Iterate without materialising a Vec:
+/// assert_eq!(engine.matching().count(), 1);
+/// assert!(engine.matching().all(|id| id == EdgeId(3)));
+/// ```
 pub struct MatchingIter<'a> {
     inner: Box<dyn Iterator<Item = EdgeId> + 'a>,
 }
@@ -252,6 +309,25 @@ impl fmt::Debug for MatchingIter<'_> {
 /// Implemented by the paper's parallel algorithm, all sequential baselines, and
 /// the static-recompute adapter; the bench runner, the conformance suite, and the
 /// examples are written against this trait only.
+///
+/// ```
+/// use pdmm::engine::{self, EngineBuilder, EngineKind};
+/// use pdmm::prelude::*;
+///
+/// let builder = EngineBuilder::new(6).rank(2).seed(42);
+/// let mut engine = engine::build(EngineKind::Parallel, &builder);
+/// engine
+///     .apply_batch(&[
+///         Update::Insert(HyperEdge::pair(EdgeId(0), VertexId(0), VertexId(1))),
+///         Update::Insert(HyperEdge::pair(EdgeId(1), VertexId(2), VertexId(3))),
+///     ])
+///     .unwrap();
+/// engine.apply_batch(&[Update::Delete(EdgeId(0))]).unwrap();
+/// assert_eq!(engine.matching_size(), 1);
+/// assert!(engine.contains_edge(EdgeId(1)));
+/// assert_eq!(engine.metrics().updates, 3);
+/// engine.verify().unwrap();
+/// ```
 pub trait MatchingEngine {
     /// Short human-readable name used in experiment tables.
     fn name(&self) -> &'static str;
@@ -329,6 +405,22 @@ pub trait MatchingEngine {
 /// followed by `insert X` in one batch is legal (deletions are processed first,
 /// §3.3); `insert X` followed by `delete X` is not.
 ///
+/// ```
+/// use pdmm_hypergraph::engine::{validate_batch, BatchError};
+/// use pdmm_hypergraph::types::{EdgeId, HyperEdge, Update, VertexId};
+///
+/// let live = |id: EdgeId| id == EdgeId(0); // pretend edge 0 is live
+/// let reinsert = vec![
+///     Update::Delete(EdgeId(0)),
+///     Update::Insert(HyperEdge::pair(EdgeId(0), VertexId(1), VertexId(2))),
+/// ];
+/// assert_eq!(validate_batch(&reinsert, live, 2, 10), Ok(()));
+/// assert_eq!(
+///     validate_batch(&[Update::Delete(EdgeId(9))], live, 2, 10),
+///     Err(BatchError::UnknownDeletion { id: EdgeId(9) })
+/// );
+/// ```
+///
 /// # Errors
 ///
 /// Returns the first violation in batch order.
@@ -392,6 +484,21 @@ pub fn validate_batch(
 ///   invalid update is rejected with the same [`BatchError`] the engine itself
 ///   would return;
 /// * nothing touches the engine until [`BatchSession::commit`].
+///
+/// ```
+/// use pdmm::engine::{self, BatchSession, EngineBuilder, EngineKind};
+/// use pdmm::prelude::*;
+///
+/// let mut engine = engine::build(EngineKind::Parallel, &EngineBuilder::new(4));
+/// let mut session = BatchSession::new(&mut *engine);
+/// let e = HyperEdge::pair(EdgeId(0), VertexId(0), VertexId(1));
+/// assert!(session.stage(Update::Insert(e.clone())).unwrap());   // staged
+/// assert!(!session.stage(Update::Insert(e)).unwrap());          // exact dup: dropped
+/// assert_eq!(session.len(), 1);
+/// assert_eq!(session.deduplicated(), 1);
+/// let report = session.commit().unwrap();
+/// assert_eq!(report.batch_size, 1);
+/// ```
 #[derive(Debug)]
 pub struct BatchSession<'a, E: MatchingEngine + ?Sized> {
     engine: &'a mut E,
@@ -567,13 +674,11 @@ pub struct EngineBuilder {
     /// Seed for all engine randomness (oblivious-adversary model: streams must be
     /// generated independently of it).
     pub seed: u64,
-    /// Thread budget hint for parallel engines (`None`: use the global pool).
+    /// Thread budget for parallel engines (`None`: use the global pool).
     ///
-    /// Currently recorded but not consumed by any engine: the vendored rayon
-    /// stand-in is sequential, so callers that want a bounded pool wrap
-    /// execution in `rayon::ThreadPoolBuilder` themselves (as the E9 bench
-    /// does).  The field exists so the configuration surface is stable when
-    /// real thread pools land (see ROADMAP "Open items").
+    /// Engines with parallel phases turn this into an owned [`EnginePool`] at
+    /// construction and run every batch on it, so the worker count is bounded
+    /// end to end — this is what the E9 thread-scaling experiment varies.
     pub threads: Option<usize>,
     /// Expected total number of updates; sizes the `N` bound so early batches do
     /// not trigger rebuilds.
@@ -611,7 +716,7 @@ impl EngineBuilder {
         self
     }
 
-    /// Sets the thread budget hint.
+    /// Sets the thread budget (the worker count of the engine's [`EnginePool`]).
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
@@ -633,8 +738,84 @@ impl EngineBuilder {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Engine-owned thread pools
+// ---------------------------------------------------------------------------
+
+/// The worker pool an engine runs its parallel phases on.
+///
+/// Built from [`EngineBuilder::threads`]: `Some(t)` owns a dedicated
+/// work-stealing pool of `t` workers (shared by clones of this handle), `None`
+/// delegates to the process-global pool.  Engines wrap each `apply_batch` in
+/// [`EnginePool::install`], which makes the bounded pool ambient for every
+/// parallel primitive beneath it (prefix sums, compaction, the parallel
+/// dictionary, Luby matching, …).
+///
+/// ```
+/// use pdmm_hypergraph::engine::{EngineBuilder, EnginePool};
+///
+/// let pool = EnginePool::from_builder(&EngineBuilder::new(10).threads(2));
+/// assert_eq!(pool.num_threads(), Some(2));
+/// // Parallel work inside `install` runs on (at most) the 2 bounded workers.
+/// let sum = pool.install(|| (0..100u64).sum::<u64>());
+/// assert_eq!(sum, 4950);
+///
+/// // Without a thread budget the global pool is used.
+/// let ambient = EnginePool::from_builder(&EngineBuilder::new(10));
+/// assert_eq!(ambient.num_threads(), None);
+/// assert_eq!(ambient.install(|| 7), 7);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EnginePool {
+    pool: Option<Arc<rayon::ThreadPool>>,
+}
+
+impl EnginePool {
+    /// The pool an [`EngineBuilder`] describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the underlying thread pool cannot be constructed (the
+    /// in-tree pool never fails to build).
+    #[must_use]
+    pub fn from_builder(builder: &EngineBuilder) -> Self {
+        EnginePool {
+            pool: builder.threads.map(|threads| {
+                Arc::new(
+                    rayon::ThreadPoolBuilder::new()
+                        .num_threads(threads.max(1))
+                        .build()
+                        .expect("engine thread pool construction failed"),
+                )
+            }),
+        }
+    }
+
+    /// The bounded worker count, or `None` when delegating to the global pool.
+    #[must_use]
+    pub fn num_threads(&self) -> Option<usize> {
+        self.pool.as_ref().map(|p| p.current_num_threads())
+    }
+
+    /// Runs `op` with this pool ambient: on the bounded pool's workers if one
+    /// was configured, else in place (global pool for any parallel calls).
+    pub fn install<R: Send>(&self, op: impl FnOnce() -> R + Send) -> R {
+        match &self.pool {
+            Some(pool) => pool.install(op),
+            None => op(),
+        }
+    }
+}
+
 /// The engines the workspace ships; the facade's `pdmm::engine::build` turns a
 /// kind plus an [`EngineBuilder`] into a boxed [`MatchingEngine`].
+///
+/// ```
+/// use pdmm_hypergraph::engine::EngineKind;
+///
+/// assert_eq!(EngineKind::ALL.len(), 5);
+/// assert_eq!(EngineKind::Parallel.to_string(), "parallel-dynamic");
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EngineKind {
     /// The paper's parallel batch-dynamic algorithm (`pdmm-core`).

@@ -14,9 +14,10 @@
 //!   (greedy / exact) matching algorithms,
 //! * [`generators`] — synthetic graph and hypergraph families,
 //! * [`streams`] — batched oblivious-adversary update streams,
+//! * [`io`] — a line-based interchange format for edge lists and update streams,
 //! * [`stats`] — structural statistics for the experiment tables.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod engine;

@@ -1,7 +1,7 @@
 //! Parallel dictionary with batch operations.
 //!
 //! §2 of the paper relies on the parallel dictionary of Gil, Matias, and Vishkin
-//! [GMV91]: a hashing-based structure storing a set of items in linear space that
+//! \[GMV91\]: a hashing-based structure storing a set of items in linear space that
 //! supports *batch* insertions, *batch* deletions, and *batch* look-ups of `k`
 //! elements with `O(k)` work (`O(k log N)` for the high-probability variant used in
 //! the paper) and polylogarithmic depth, plus retrieval of all stored items with

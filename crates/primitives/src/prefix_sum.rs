@@ -1,7 +1,7 @@
 //! Parallel prefix sums (scans).
 //!
 //! Claim 3.3 of the paper updates the cumulative ownership counts `õ_{v,ℓ}` with the
-//! data-parallel prefix-sums algorithm of Hillis and Steele [HS86].  This module
+//! data-parallel prefix-sums algorithm of Hillis and Steele \[HS86\].  This module
 //! provides an exclusive and an inclusive scan with `O(n)` work and `O(log n)` depth
 //! (the classic two-pass Blelloch formulation, which is work-efficient, unlike the
 //! naive Hillis–Steele formulation whose work is `O(n log n)`), plus small-input

@@ -10,7 +10,7 @@
 //! * [`recompute`] — recompute a static maximal matching of the whole graph after
 //!   every batch (Theorem 2.2 used statically).
 //!
-//! The *leveled* sequential dynamic algorithm of [BGS11]/[AS21] is obtained by
+//! The *leveled* sequential dynamic algorithm of \[BGS11\]/\[AS21\] is obtained by
 //! driving the paper's algorithm (`pdmm-core`) with single-update batches; the
 //! experiment harness (`pdmm-bench`) does exactly that for experiment E5, so it is
 //! not duplicated here.

@@ -12,8 +12,8 @@
 //! [`pdmm_static::StaticRecompute`] adapter.)
 
 use pdmm_hypergraph::engine::{
-    validate_batch, BatchError, BatchReport, EngineBuilder, EngineMetrics, MatchingEngine,
-    MatchingIter, UpdateCounters,
+    validate_batch, BatchError, BatchReport, EngineBuilder, EngineMetrics, EnginePool,
+    MatchingEngine, MatchingIter, UpdateCounters,
 };
 use pdmm_hypergraph::graph::DynamicHypergraph;
 use pdmm_hypergraph::matching::verify_maximality;
@@ -32,6 +32,8 @@ pub struct RecomputeFromScratch {
     cost: CostTracker,
     counters: UpdateCounters,
     max_rank: usize,
+    /// Pool the per-batch Luby recomputation runs on (`EngineBuilder::threads`).
+    pool: EnginePool,
 }
 
 impl RecomputeFromScratch {
@@ -46,14 +48,17 @@ impl RecomputeFromScratch {
             cost: CostTracker::new(),
             counters: UpdateCounters::default(),
             max_rank: usize::MAX,
+            pool: EnginePool::default(),
         }
     }
 
-    /// Creates the baseline from the engine-agnostic builder.
+    /// Creates the baseline from the engine-agnostic builder
+    /// (`builder.threads` bounds the pool the Luby recomputation runs on).
     #[must_use]
     pub fn from_builder(builder: &EngineBuilder) -> Self {
         let mut alg = Self::new(builder.num_vertices, builder.seed);
         alg.max_rank = builder.max_rank;
+        alg.pool = EnginePool::from_builder(builder);
         alg
     }
 
@@ -120,7 +125,11 @@ impl MatchingEngine for RecomputeFromScratch {
         self.cost.work(updates.len() as u64);
         self.cost.round();
         let edges = self.graph.snapshot_edges();
-        let result = luby_maximal_matching(&edges, &mut self.rng, Some(&self.cost));
+        let rng = &mut self.rng;
+        let cost = &self.cost;
+        let result = self
+            .pool
+            .install(|| luby_maximal_matching(&edges, rng, Some(cost)));
         self.matching = result.edges;
         let cost = self.cost.snapshot().since(&start);
         Ok(BatchReport {

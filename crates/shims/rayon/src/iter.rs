@@ -1,0 +1,895 @@
+//! Parallel iterators over the work-stealing pool.
+//!
+//! The model is deliberately simpler than rayon's producer/consumer plumbing
+//! while keeping the same user-facing shape: a parallel iterator is a [`Par`]
+//! pipeline wrapping a [`Kernel`] — a splittable data source (slice, vector,
+//! range, chunked slice) composed with adapters (map, filter, zip, …) that
+//! apply per chunk.  A consumer (`collect`, `for_each`, `sum`, …) splits the
+//! kernel into a few chunks per worker thread, executes the chunks on the
+//! ambient pool via recursive [`crate::join`] (so nested parallelism and work
+//! stealing come for free), and combines the per-chunk results **in chunk
+//! order**.
+//!
+//! Order preservation is a hard guarantee here: `collect` yields exactly the
+//! sequential order, and reductions combine per-chunk results left to right.
+//! Together with the fact that every combining operation the workspace uses is
+//! associative, this makes every result **independent of the worker count** —
+//! the property the engine conformance suite pins down by requiring identical
+//! matchings at 1, 2, and 8 threads.
+
+use crate::pool;
+use std::ops::Range;
+
+/// How many chunks to aim for per worker thread: enough slack for stealing to
+/// balance uneven chunks, small enough to keep per-chunk overhead negligible.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Splits `len` items into at most `pieces` contiguous chunk lengths differing
+/// by at most one.  Depends only on `(len, pieces)`, so two equal-length
+/// kernels split identically — which is what keeps `zip` aligned.
+fn chunk_lengths(len: usize, pieces: usize) -> Vec<usize> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let pieces = pieces.clamp(1, len);
+    let base = len / pieces;
+    let rem = len % pieces;
+    (0..pieces).map(|i| base + usize::from(i < rem)).collect()
+}
+
+/// Executes every chunk through `f` on the ambient pool; results in chunk order.
+fn run_chunks<I, R, F>(chunks: Vec<I>, f: &F) -> Vec<R>
+where
+    I: Iterator + Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    fn go<I, R, F>(mut chunks: Vec<I>, f: &F) -> Vec<R>
+    where
+        I: Iterator + Send,
+        R: Send,
+        F: Fn(I) -> R + Sync,
+    {
+        match chunks.len() {
+            0 => Vec::new(),
+            1 => vec![f(chunks.pop().expect("one chunk"))],
+            n => {
+                let right = chunks.split_off(n / 2);
+                let (mut left, right) = pool::join(|| go(chunks, f), || go(right, f));
+                left.extend(right);
+                left
+            }
+        }
+    }
+    go(chunks, f)
+}
+
+// ---------------------------------------------------------------------------
+// Kernels: splittable sources and adapters
+// ---------------------------------------------------------------------------
+
+/// A splittable source of items: the internal engine of a [`Par`] pipeline.
+///
+/// `split` partitions the source into independent sequential chunk iterators;
+/// concatenating the chunks in order yields exactly the sequential iteration.
+pub trait Kernel: Sized + Send {
+    /// The element type.
+    type Item: Send;
+    /// One sequential chunk of the source.
+    type Chunk: Iterator<Item = Self::Item> + Send;
+    /// Exact number of items, when the source knows it (adapters like `filter`
+    /// lose it).
+    fn exact_len(&self) -> Option<usize>;
+    /// Splits into at most `pieces` chunks (in order).
+    fn split(self, pieces: usize) -> Vec<Self::Chunk>;
+}
+
+/// Kernel over `&[T]` (`par_iter`).
+pub struct SliceKernel<'a, T>(&'a [T]);
+
+impl<'a, T: Sync> Kernel for SliceKernel<'a, T> {
+    type Item = &'a T;
+    type Chunk = std::slice::Iter<'a, T>;
+
+    fn exact_len(&self) -> Option<usize> {
+        Some(self.0.len())
+    }
+
+    fn split(self, pieces: usize) -> Vec<Self::Chunk> {
+        let mut rest = self.0;
+        chunk_lengths(rest.len(), pieces)
+            .into_iter()
+            .map(|n| {
+                let (head, tail) = rest.split_at(n);
+                rest = tail;
+                head.iter()
+            })
+            .collect()
+    }
+}
+
+/// Kernel over `&mut [T]` (`par_iter_mut`).
+pub struct SliceMutKernel<'a, T>(&'a mut [T]);
+
+impl<'a, T: Send> Kernel for SliceMutKernel<'a, T> {
+    type Item = &'a mut T;
+    type Chunk = std::slice::IterMut<'a, T>;
+
+    fn exact_len(&self) -> Option<usize> {
+        Some(self.0.len())
+    }
+
+    fn split(self, pieces: usize) -> Vec<Self::Chunk> {
+        let lengths = chunk_lengths(self.0.len(), pieces);
+        let mut rest = self.0;
+        let mut out = Vec::with_capacity(lengths.len());
+        for n in lengths {
+            let (head, tail) = rest.split_at_mut(n);
+            rest = tail;
+            out.push(head.iter_mut());
+        }
+        out
+    }
+}
+
+/// Kernel over the sub-slices of `&[T]` (`par_chunks`): items are `&[T]`.
+pub struct ChunksKernel<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> Kernel for ChunksKernel<'a, T> {
+    type Item = &'a [T];
+    type Chunk = std::slice::Chunks<'a, T>;
+
+    fn exact_len(&self) -> Option<usize> {
+        Some(self.slice.len().div_ceil(self.size))
+    }
+
+    fn split(self, pieces: usize) -> Vec<Self::Chunk> {
+        let counts = chunk_lengths(self.slice.len().div_ceil(self.size), pieces);
+        let mut rest = self.slice;
+        let mut out = Vec::with_capacity(counts.len());
+        for count in counts {
+            let take = (count * self.size).min(rest.len());
+            let (head, tail) = rest.split_at(take);
+            rest = tail;
+            out.push(head.chunks(self.size));
+        }
+        out
+    }
+}
+
+/// Kernel over the sub-slices of `&mut [T]` (`par_chunks_mut`).
+pub struct ChunksMutKernel<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> Kernel for ChunksMutKernel<'a, T> {
+    type Item = &'a mut [T];
+    type Chunk = std::slice::ChunksMut<'a, T>;
+
+    fn exact_len(&self) -> Option<usize> {
+        Some(self.slice.len().div_ceil(self.size))
+    }
+
+    fn split(self, pieces: usize) -> Vec<Self::Chunk> {
+        let counts = chunk_lengths(self.slice.len().div_ceil(self.size), pieces);
+        let mut rest = self.slice;
+        let mut out = Vec::with_capacity(counts.len());
+        for count in counts {
+            let take = (count * self.size).min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            out.push(head.chunks_mut(self.size));
+        }
+        out
+    }
+}
+
+/// Kernel over an owned `Vec<T>` (`into_par_iter`).
+pub struct VecKernel<T>(Vec<T>);
+
+impl<T: Send> Kernel for VecKernel<T> {
+    type Item = T;
+    type Chunk = std::vec::IntoIter<T>;
+
+    fn exact_len(&self) -> Option<usize> {
+        Some(self.0.len())
+    }
+
+    fn split(mut self, pieces: usize) -> Vec<Self::Chunk> {
+        let lengths = chunk_lengths(self.0.len(), pieces);
+        let mut out = Vec::with_capacity(lengths.len());
+        let mut cut = self.0.len();
+        for &n in lengths.iter().rev() {
+            cut -= n;
+            out.push(self.0.split_off(cut).into_iter());
+        }
+        out.reverse();
+        out
+    }
+}
+
+/// Kernel over an integer range (`(a..b).into_par_iter()`).
+pub struct RangeKernel<T>(Range<T>);
+
+macro_rules! impl_range_kernel {
+    ($($t:ty),*) => {$(
+        impl Kernel for RangeKernel<$t> {
+            type Item = $t;
+            type Chunk = Range<$t>;
+
+            fn exact_len(&self) -> Option<usize> {
+                if self.0.end <= self.0.start {
+                    Some(0)
+                } else {
+                    Some((self.0.end - self.0.start) as usize)
+                }
+            }
+
+            fn split(self, pieces: usize) -> Vec<Self::Chunk> {
+                let len = self.exact_len().expect("ranges know their length");
+                let mut start = self.0.start;
+                chunk_lengths(len, pieces)
+                    .into_iter()
+                    .map(|n| {
+                        let end = start + n as $t;
+                        let chunk = start..end;
+                        start = end;
+                        chunk
+                    })
+                    .collect()
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Kernel = RangeKernel<$t>;
+
+            fn into_par_iter(self) -> Par<Self::Kernel> {
+                Par::new(RangeKernel(self))
+            }
+        }
+    )*};
+}
+
+impl_range_kernel!(usize, u32, u64, i32, i64);
+
+/// `map` adapter: applies a cloneable closure within each chunk.
+pub struct MapKernel<K, F> {
+    inner: K,
+    f: F,
+}
+
+impl<K, F, U> Kernel for MapKernel<K, F>
+where
+    K: Kernel,
+    F: Fn(K::Item) -> U + Clone + Send,
+    U: Send,
+{
+    type Item = U;
+    type Chunk = std::iter::Map<K::Chunk, F>;
+
+    fn exact_len(&self) -> Option<usize> {
+        self.inner.exact_len()
+    }
+
+    fn split(self, pieces: usize) -> Vec<Self::Chunk> {
+        let f = self.f;
+        self.inner
+            .split(pieces)
+            .into_iter()
+            .map(|chunk| chunk.map(f.clone()))
+            .collect()
+    }
+}
+
+/// `filter` adapter.
+pub struct FilterKernel<K, P> {
+    inner: K,
+    pred: P,
+}
+
+impl<K, P> Kernel for FilterKernel<K, P>
+where
+    K: Kernel,
+    P: Fn(&K::Item) -> bool + Clone + Send,
+{
+    type Item = K::Item;
+    type Chunk = std::iter::Filter<K::Chunk, P>;
+
+    fn exact_len(&self) -> Option<usize> {
+        None
+    }
+
+    fn split(self, pieces: usize) -> Vec<Self::Chunk> {
+        let pred = self.pred;
+        self.inner
+            .split(pieces)
+            .into_iter()
+            .map(|chunk| chunk.filter(pred.clone()))
+            .collect()
+    }
+}
+
+/// `filter_map` adapter.
+pub struct FilterMapKernel<K, F> {
+    inner: K,
+    f: F,
+}
+
+impl<K, F, U> Kernel for FilterMapKernel<K, F>
+where
+    K: Kernel,
+    F: Fn(K::Item) -> Option<U> + Clone + Send,
+    U: Send,
+{
+    type Item = U;
+    type Chunk = std::iter::FilterMap<K::Chunk, F>;
+
+    fn exact_len(&self) -> Option<usize> {
+        None
+    }
+
+    fn split(self, pieces: usize) -> Vec<Self::Chunk> {
+        let f = self.f;
+        self.inner
+            .split(pieces)
+            .into_iter()
+            .map(|chunk| chunk.filter_map(f.clone()))
+            .collect()
+    }
+}
+
+/// `flat_map`/`flat_map_iter` adapter: each item expands to a sequential
+/// iterator within its chunk.
+pub struct FlatMapKernel<K, F> {
+    inner: K,
+    f: F,
+}
+
+impl<K, F, U> Kernel for FlatMapKernel<K, F>
+where
+    K: Kernel,
+    F: Fn(K::Item) -> U + Clone + Send,
+    U: IntoIterator,
+    U::IntoIter: Send,
+    U::Item: Send,
+{
+    type Item = U::Item;
+    type Chunk = std::iter::FlatMap<K::Chunk, U, F>;
+
+    fn exact_len(&self) -> Option<usize> {
+        None
+    }
+
+    fn split(self, pieces: usize) -> Vec<Self::Chunk> {
+        let f = self.f;
+        self.inner
+            .split(pieces)
+            .into_iter()
+            .map(|chunk| chunk.flat_map(f.clone()))
+            .collect()
+    }
+}
+
+/// `cloned` adapter over kernels of `&T`.
+pub struct ClonedKernel<K>(K);
+
+impl<'a, T, K> Kernel for ClonedKernel<K>
+where
+    K: Kernel<Item = &'a T>,
+    T: Clone + Send + Sync + 'a,
+{
+    type Item = T;
+    type Chunk = std::iter::Cloned<K::Chunk>;
+
+    fn exact_len(&self) -> Option<usize> {
+        self.0.exact_len()
+    }
+
+    fn split(self, pieces: usize) -> Vec<Self::Chunk> {
+        self.0
+            .split(pieces)
+            .into_iter()
+            .map(Iterator::cloned)
+            .collect()
+    }
+}
+
+/// `copied` adapter over kernels of `&T`.
+pub struct CopiedKernel<K>(K);
+
+impl<'a, T, K> Kernel for CopiedKernel<K>
+where
+    K: Kernel<Item = &'a T>,
+    T: Copy + Send + Sync + 'a,
+{
+    type Item = T;
+    type Chunk = std::iter::Copied<K::Chunk>;
+
+    fn exact_len(&self) -> Option<usize> {
+        self.0.exact_len()
+    }
+
+    fn split(self, pieces: usize) -> Vec<Self::Chunk> {
+        self.0
+            .split(pieces)
+            .into_iter()
+            .map(Iterator::copied)
+            .collect()
+    }
+}
+
+/// Chunk iterator of [`EnumerateKernel`]: a sequential enumeration starting at
+/// the chunk's global offset.
+pub struct OffsetEnumerate<I> {
+    inner: I,
+    next_index: usize,
+}
+
+impl<I: Iterator> Iterator for OffsetEnumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next().map(|item| {
+            let index = self.next_index;
+            self.next_index += 1;
+            (index, item)
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+/// `enumerate` adapter; requires exact-size chunks to compute global offsets.
+pub struct EnumerateKernel<K>(K);
+
+impl<K> Kernel for EnumerateKernel<K>
+where
+    K: Kernel,
+    K::Chunk: ExactSizeIterator,
+{
+    type Item = (usize, K::Item);
+    type Chunk = OffsetEnumerate<K::Chunk>;
+
+    fn exact_len(&self) -> Option<usize> {
+        self.0.exact_len()
+    }
+
+    fn split(self, pieces: usize) -> Vec<Self::Chunk> {
+        let mut offset = 0usize;
+        self.0
+            .split(pieces)
+            .into_iter()
+            .map(|chunk| {
+                let start = offset;
+                offset += chunk.len();
+                OffsetEnumerate {
+                    inner: chunk,
+                    next_index: start,
+                }
+            })
+            .collect()
+    }
+}
+
+/// `zip` adapter.  Equal-length sides (the only shape the workspace uses) are
+/// chunked identically and zipped pairwise in parallel; unequal or
+/// unknown-length sides degrade to one sequential chunk with rayon's
+/// truncate-to-shorter semantics.
+pub struct ZipKernel<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Kernel, B: Kernel> Kernel for ZipKernel<A, B> {
+    type Item = (A::Item, B::Item);
+    type Chunk = std::iter::Zip<A::Chunk, B::Chunk>;
+
+    fn exact_len(&self) -> Option<usize> {
+        match (self.a.exact_len(), self.b.exact_len()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            _ => None,
+        }
+    }
+
+    fn split(self, pieces: usize) -> Vec<Self::Chunk> {
+        // Equal-length sides split into identical chunk lengths (the split is
+        // a pure function of the length), so pairing chunks up is aligned.
+        // Unequal lengths take rayon's truncate-to-shorter semantics; chunk
+        // alignment is impossible there, so fall back to one sequential chunk
+        // per side and let `std`'s zip truncate (no in-tree call site does
+        // this — all workspace zips are equal-length).
+        let aligned = match (self.a.exact_len(), self.b.exact_len()) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        };
+        let pieces = if aligned { pieces } else { 1 };
+        let chunks_a = self.a.split(pieces);
+        let chunks_b = self.b.split(pieces);
+        chunks_a
+            .into_iter()
+            .zip(chunks_b)
+            .map(|(a, b)| a.zip(b))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Par: the user-facing pipeline
+// ---------------------------------------------------------------------------
+
+/// A parallel iterator pipeline: a [`Kernel`] plus execution policy.
+///
+/// Adapters (`map`, `filter`, `zip`, …) wrap the kernel and return a new
+/// `Par`; consumers (`collect`, `for_each`, `sum`, …) split the kernel and run
+/// the chunks on the ambient work-stealing pool.  All consumers preserve
+/// sequential order/associativity, so results do not depend on the thread
+/// count.
+#[must_use = "parallel iterators are lazy: call a consumer such as collect/for_each"]
+pub struct Par<K: Kernel> {
+    kernel: K,
+    min_len: usize,
+}
+
+impl<K: Kernel> Par<K> {
+    fn new(kernel: K) -> Self {
+        Par { kernel, min_len: 1 }
+    }
+
+    /// Target chunk count: a few chunks per worker, capped so chunks respect
+    /// `with_min_len` and never outnumber the items.
+    fn pieces(&self) -> usize {
+        let mut pieces = pool::current_num_threads().max(1) * CHUNKS_PER_THREAD;
+        if let Some(len) = self.kernel.exact_len() {
+            if self.min_len > 1 {
+                pieces = pieces.min((len / self.min_len).max(1));
+            }
+            pieces = pieces.min(len.max(1));
+        }
+        pieces
+    }
+
+    // -- adapters ----------------------------------------------------------
+
+    /// Applies `f` to every item.
+    pub fn map<U, F>(self, f: F) -> Par<MapKernel<K, F>>
+    where
+        F: Fn(K::Item) -> U + Clone + Send,
+        U: Send,
+    {
+        let kernel = MapKernel {
+            inner: self.kernel,
+            f,
+        };
+        Par {
+            kernel,
+            min_len: self.min_len,
+        }
+    }
+
+    /// Keeps the items satisfying `pred`.
+    pub fn filter<P>(self, pred: P) -> Par<FilterKernel<K, P>>
+    where
+        P: Fn(&K::Item) -> bool + Clone + Send,
+    {
+        let kernel = FilterKernel {
+            inner: self.kernel,
+            pred,
+        };
+        Par {
+            kernel,
+            min_len: self.min_len,
+        }
+    }
+
+    /// Applies `f` and keeps the `Some` results.
+    pub fn filter_map<U, F>(self, f: F) -> Par<FilterMapKernel<K, F>>
+    where
+        F: Fn(K::Item) -> Option<U> + Clone + Send,
+        U: Send,
+    {
+        let kernel = FilterMapKernel {
+            inner: self.kernel,
+            f,
+        };
+        Par {
+            kernel,
+            min_len: self.min_len,
+        }
+    }
+
+    /// Maps every item to an iterable and flattens (the iterable is consumed
+    /// sequentially within the item's chunk; `Par` itself is iterable, so the
+    /// closure may also return a parallel iterator).
+    pub fn flat_map<U, F>(self, f: F) -> Par<FlatMapKernel<K, F>>
+    where
+        F: Fn(K::Item) -> U + Clone + Send,
+        U: IntoIterator,
+        U::IntoIter: Send,
+        U::Item: Send,
+    {
+        let kernel = FlatMapKernel {
+            inner: self.kernel,
+            f,
+        };
+        Par {
+            kernel,
+            min_len: self.min_len,
+        }
+    }
+
+    /// Rayon-compatible alias of [`Par::flat_map`] for sequential iterables.
+    pub fn flat_map_iter<U, F>(self, f: F) -> Par<FlatMapKernel<K, F>>
+    where
+        F: Fn(K::Item) -> U + Clone + Send,
+        U: IntoIterator,
+        U::IntoIter: Send,
+        U::Item: Send,
+    {
+        self.flat_map(f)
+    }
+
+    /// Pairs every item with its index.
+    pub fn enumerate(self) -> Par<EnumerateKernel<K>>
+    where
+        K::Chunk: ExactSizeIterator,
+    {
+        let kernel = EnumerateKernel(self.kernel);
+        Par {
+            kernel,
+            min_len: self.min_len,
+        }
+    }
+
+    /// Zips with another equal-length parallel iterator.
+    pub fn zip<J>(self, other: J) -> Par<ZipKernel<K, J::Kernel>>
+    where
+        J: IntoParallelIterator,
+    {
+        let kernel = ZipKernel {
+            a: self.kernel,
+            b: other.into_par_iter().kernel,
+        };
+        Par {
+            kernel,
+            min_len: self.min_len,
+        }
+    }
+
+    /// Hints that chunks should hold at least `min` items each.
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = self.min_len.max(min);
+        self
+    }
+
+    // -- consumers ---------------------------------------------------------
+
+    /// Runs `f` on every item.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(K::Item) + Sync,
+    {
+        let pieces = self.pieces();
+        run_chunks(self.kernel.split(pieces), &|chunk| {
+            for item in chunk {
+                f(item);
+            }
+        });
+    }
+
+    /// Collects into any `FromIterator` collection, preserving order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<K::Item>,
+    {
+        let pieces = self.pieces();
+        let parts = run_chunks(self.kernel.split(pieces), &|chunk| {
+            chunk.collect::<Vec<_>>()
+        });
+        parts.into_iter().flatten().collect()
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn count(self) -> usize {
+        let pieces = self.pieces();
+        run_chunks(self.kernel.split(pieces), &Iterator::count)
+            .into_iter()
+            .sum()
+    }
+
+    /// Sums the items.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<K::Item> + std::iter::Sum<S> + Send,
+    {
+        let pieces = self.pieces();
+        run_chunks(self.kernel.split(pieces), &Iterator::sum::<S>)
+            .into_iter()
+            .sum()
+    }
+
+    /// The maximum item, or `None` if empty.
+    #[must_use]
+    pub fn max(self) -> Option<K::Item>
+    where
+        K::Item: Ord,
+    {
+        let pieces = self.pieces();
+        run_chunks(self.kernel.split(pieces), &Iterator::max)
+            .into_iter()
+            .flatten()
+            .max()
+    }
+
+    /// The minimum item, or `None` if empty.
+    #[must_use]
+    pub fn min(self) -> Option<K::Item>
+    where
+        K::Item: Ord,
+    {
+        let pieces = self.pieces();
+        run_chunks(self.kernel.split(pieces), &Iterator::min)
+            .into_iter()
+            .flatten()
+            .min()
+    }
+
+    /// Reduces the items with `f`, combining per-chunk results left to right;
+    /// `None` if empty.  With an associative `f` the result is independent of
+    /// the chunking (and hence of the thread count).
+    pub fn reduce_with<F>(self, f: F) -> Option<K::Item>
+    where
+        F: Fn(K::Item, K::Item) -> K::Item + Sync,
+    {
+        let pieces = self.pieces();
+        run_chunks(self.kernel.split(pieces), &|chunk| chunk.reduce(&f))
+            .into_iter()
+            .flatten()
+            .reduce(f)
+    }
+}
+
+/// A `Par` pipeline is itself iterable (sequentially, chunk by chunk), which
+/// is what lets `flat_map` closures return parallel iterators.
+impl<K: Kernel> IntoIterator for Par<K> {
+    type Item = K::Item;
+    type IntoIter = std::iter::Flatten<std::vec::IntoIter<K::Chunk>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.kernel.split(1).into_iter().flatten()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Source traits (the rayon prelude surface)
+// ---------------------------------------------------------------------------
+
+/// `par_iter`/`par_chunks` on slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T` items.
+    fn par_iter(&self) -> Par<SliceKernel<'_, T>>;
+    /// Parallel iterator over contiguous `&[T]` sub-slices of `chunk_size`.
+    fn par_chunks(&self, chunk_size: usize) -> Par<ChunksKernel<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> Par<SliceKernel<'_, T>> {
+        Par::new(SliceKernel(self))
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> Par<ChunksKernel<'_, T>> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        Par::new(ChunksKernel {
+            slice: self,
+            size: chunk_size,
+        })
+    }
+}
+
+/// `par_iter_mut`/`par_chunks_mut` on slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over `&mut T` items.
+    fn par_iter_mut(&mut self) -> Par<SliceMutKernel<'_, T>>;
+    /// Parallel iterator over contiguous `&mut [T]` sub-slices of `chunk_size`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<ChunksMutKernel<'_, T>>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> Par<SliceMutKernel<'_, T>> {
+        Par::new(SliceMutKernel(self))
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<ChunksMutKernel<'_, T>> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        Par::new(ChunksMutKernel {
+            slice: self,
+            size: chunk_size,
+        })
+    }
+}
+
+/// Conversion into a parallel iterator (vectors, slices, ranges, and `Par`
+/// itself).
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The kernel driving the resulting pipeline.
+    type Kernel: Kernel<Item = Self::Item>;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> Par<Self::Kernel>;
+}
+
+impl<K: Kernel> IntoParallelIterator for Par<K> {
+    type Item = K::Item;
+    type Kernel = K;
+
+    fn into_par_iter(self) -> Par<K> {
+        self
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Kernel = VecKernel<T>;
+
+    fn into_par_iter(self) -> Par<VecKernel<T>> {
+        Par::new(VecKernel(self))
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Kernel = SliceKernel<'a, T>;
+
+    fn into_par_iter(self) -> Par<SliceKernel<'a, T>> {
+        Par::new(SliceKernel(self))
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Kernel = SliceKernel<'a, T>;
+
+    fn into_par_iter(self) -> Par<SliceKernel<'a, T>> {
+        Par::new(SliceKernel(self))
+    }
+}
+
+// `cloned`/`copied` need the reference structure of the item type, so they are
+// provided where the kernel yields `&T`.
+impl<'a, T, K> Par<K>
+where
+    T: 'a,
+    K: Kernel<Item = &'a T>,
+{
+    /// Clones every referenced item.
+    pub fn cloned(self) -> Par<ClonedKernel<K>>
+    where
+        T: Clone + Send + Sync,
+    {
+        let min_len = self.min_len;
+        Par {
+            kernel: ClonedKernel(self.kernel),
+            min_len,
+        }
+    }
+
+    /// Copies every referenced item.
+    pub fn copied(self) -> Par<CopiedKernel<K>>
+    where
+        T: Copy + Send + Sync,
+    {
+        let min_len = self.min_len;
+        Par {
+            kernel: CopiedKernel(self.kernel),
+            min_len,
+        }
+    }
+}

@@ -1,171 +1,51 @@
-//! In-tree stand-in for the `rayon` crate.
+//! In-tree stand-in for the `rayon` crate, with a **real work-stealing pool**.
 //!
 //! The build environment has no access to a crate registry, so the workspace
-//! vendors the small slice of rayon's API it uses — `par_iter`, `par_iter_mut`,
-//! `into_par_iter`, `par_chunks_mut`, `flat_map_iter`, `reduce_with`, and
-//! `ThreadPoolBuilder` — with **sequential** execution: every parallel iterator is
-//! an ordinary `std` iterator, so all adapter chains (`map`, `filter`, `zip`,
-//! `collect`, `sum`, …) behave identically, minus the parallelism.
+//! vendors the slice of rayon's API it uses.  Unlike the original sequential
+//! facade, this implementation executes genuinely in parallel:
 //!
-//! The algorithm's *reported* work/depth counters are simulated by the cost model
-//! and are unaffected; only wall-clock parallel speedup is lost.  Swapping the
-//! real rayon back in is a pure manifest change (see ROADMAP "Open items").
+//! * [`join`], [`scope`]/[`Scope::spawn`], and [`spawn`] run on a
+//!   work-stealing pool of `std::thread` workers — per-worker deques (owner
+//!   LIFO at the back, thieves FIFO at the front), a global injector for
+//!   outside callers, and condvar-based sleeping (see the `pool` module
+//!   source for the design);
+//! * the parallel iterators (`par_iter`, `par_iter_mut`, `par_chunks[_mut]`,
+//!   `into_par_iter` and the adapter/consumer surface the workspace uses) split
+//!   their source into chunks and execute them via recursive `join`, so they
+//!   inherit stealing and nesting for free (see the `iter` module source);
+//! * [`ThreadPoolBuilder::num_threads`] bounds a pool, and
+//!   [`ThreadPool::install`] makes that pool ambient for every parallel call
+//!   in its closure — which is how `EngineBuilder::threads` bounds an engine's
+//!   parallelism end to end.
+//!
+//! Every consumer preserves sequential order (`collect`) or combines per-chunk
+//! results in chunk order (`sum`, `reduce_with`, …), so with the associative
+//! combiners the workspace uses, **results are independent of the thread
+//! count** — the engine conformance suite relies on this.
+//!
+//! Swapping the upstream rayon back in remains a pure manifest change.
 
-/// Sequential re-exports of the rayon prelude traits.
+mod iter;
+mod pool;
+
+pub use iter::{IntoParallelIterator, Kernel, Par, ParallelSlice, ParallelSliceMut};
+pub use pool::{
+    current_num_threads, join, scope, spawn, Scope, ThreadPool, ThreadPoolBuildError,
+    ThreadPoolBuilder,
+};
+
+/// The traits that put `par_iter` & friends in scope, as in rayon's prelude.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, ParallelIteratorExt, ParallelSlice, ParallelSliceMut};
-}
-
-/// `par_iter`/`par_chunks` on slices, as plain sequential iterators.
-pub trait ParallelSlice<T> {
-    /// Sequential stand-in for `rayon`'s `par_iter`.
-    fn par_iter(&self) -> std::slice::Iter<'_, T>;
-    /// Sequential stand-in for `rayon`'s `par_chunks`.
-    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
-}
-
-impl<T> ParallelSlice<T> for [T] {
-    fn par_iter(&self) -> std::slice::Iter<'_, T> {
-        self.iter()
-    }
-
-    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-        self.chunks(chunk_size)
-    }
-}
-
-/// `par_iter_mut`/`par_chunks_mut` on slices, as plain sequential iterators.
-pub trait ParallelSliceMut<T> {
-    /// Sequential stand-in for `rayon`'s `par_iter_mut`.
-    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
-    /// Sequential stand-in for `rayon`'s `par_chunks_mut`.
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
-}
-
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-        self.iter_mut()
-    }
-
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-        self.chunks_mut(chunk_size)
-    }
-}
-
-/// `into_par_iter` on anything iterable (vectors, ranges, …).
-pub trait IntoParallelIterator {
-    /// Element type.
-    type Item;
-    /// The (sequential) iterator type.
-    type Iter: Iterator<Item = Self::Item>;
-    /// Sequential stand-in for `rayon`'s `into_par_iter`.
-    fn into_par_iter(self) -> Self::Iter;
-}
-
-impl<I: IntoIterator> IntoParallelIterator for I {
-    type Item = I::Item;
-    type Iter = I::IntoIter;
-
-    fn into_par_iter(self) -> Self::Iter {
-        self.into_iter()
-    }
-}
-
-/// Rayon-only adapter names, mapped onto their `std` equivalents.
-pub trait ParallelIteratorExt: Iterator + Sized {
-    /// Sequential stand-in for `rayon`'s `flat_map_iter`.
-    fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
-    where
-        U: IntoIterator,
-        F: FnMut(Self::Item) -> U,
-    {
-        self.flat_map(f)
-    }
-
-    /// Sequential stand-in for `rayon`'s `reduce_with`.
-    fn reduce_with<F>(self, f: F) -> Option<Self::Item>
-    where
-        F: FnMut(Self::Item, Self::Item) -> Self::Item,
-    {
-        self.reduce(f)
-    }
-
-    /// Sequential no-op stand-in for `rayon`'s `with_min_len`.
-    fn with_min_len(self, _min: usize) -> Self {
-        self
-    }
-}
-
-impl<I: Iterator> ParallelIteratorExt for I {}
-
-/// Error from [`ThreadPoolBuilder::build`]; never produced by this stand-in.
-#[derive(Debug)]
-pub struct ThreadPoolBuildError;
-
-impl std::fmt::Display for ThreadPoolBuildError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "thread pool construction failed")
-    }
-}
-
-impl std::error::Error for ThreadPoolBuildError {}
-
-/// Builder-compatible stand-in for rayon's `ThreadPoolBuilder`.
-#[derive(Debug, Default)]
-pub struct ThreadPoolBuilder {
-    num_threads: usize,
-}
-
-impl ThreadPoolBuilder {
-    /// Creates a builder.
-    #[must_use]
-    pub fn new() -> Self {
-        ThreadPoolBuilder::default()
-    }
-
-    /// Records the requested thread count (informational in this stand-in).
-    #[must_use]
-    pub fn num_threads(mut self, num_threads: usize) -> Self {
-        self.num_threads = num_threads;
-        self
-    }
-
-    /// Builds the pool.  Never fails.
-    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool {
-            num_threads: self.num_threads.max(1),
-        })
-    }
-}
-
-/// A "pool" that runs closures on the calling thread.
-#[derive(Debug)]
-pub struct ThreadPool {
-    num_threads: usize,
-}
-
-impl ThreadPool {
-    /// Runs `op` (on the calling thread in this stand-in) and returns its result.
-    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
-        op()
-    }
-
-    /// The configured thread count.
-    #[must_use]
-    pub fn current_num_threads(&self) -> usize {
-        self.num_threads
-    }
-}
-
-/// The number of threads the default pool would use (1: sequential stand-in).
-#[must_use]
-pub fn current_num_threads() -> usize {
-    1
+    pub use crate::iter::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    // -- iterator semantics (must match std exactly) -----------------------
 
     #[test]
     fn adapters_match_std() {
@@ -195,12 +75,224 @@ mod tests {
     }
 
     #[test]
-    fn pool_installs() {
+    fn collect_preserves_order_on_large_inputs() {
+        let n = 100_000u64;
+        let v: Vec<u64> = (0..n).into_par_iter().map(|x| x * 3).collect();
+        assert_eq!(v.len(), n as usize);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i as u64 * 3);
+        }
+    }
+
+    #[test]
+    fn filter_filter_map_count_enumerate_zip_min() {
+        let v: Vec<u32> = (0..50_000).collect();
+        let evens: Vec<u32> = v.par_iter().filter(|x| **x % 2 == 0).cloned().collect();
+        assert_eq!(evens.len(), 25_000);
+        assert!(evens.windows(2).all(|w| w[0] < w[1]));
+        let halves: Vec<u32> = v
+            .par_iter()
+            .filter_map(|x| if x % 2 == 0 { Some(x / 2) } else { None })
+            .collect();
+        assert_eq!(halves[100], 100);
+        assert_eq!(v.par_iter().filter(|x| **x % 7 == 0).count(), 7143);
+        let found = v
+            .par_iter()
+            .enumerate()
+            .reduce_with(|a, b| if b.1 > a.1 { b } else { a });
+        assert_eq!(found.map(|(i, _)| i), Some(49_999));
+        let mut out = vec![0u32; v.len()];
+        out.par_iter_mut()
+            .zip(v.par_iter())
+            .for_each(|(o, x)| *o = x + 1);
+        assert_eq!(out[17], 18);
+        assert_eq!(v.par_iter().min(), Some(&0));
+    }
+
+    #[test]
+    fn zip_truncates_to_the_shorter_side_like_rayon() {
+        let long: Vec<u32> = (0..10_000).collect();
+        let short: Vec<u32> = (0..100).collect();
+        let pairs: Vec<(u32, u32)> = long
+            .par_iter()
+            .copied()
+            .zip(short.par_iter().copied())
+            .collect();
+        assert_eq!(pairs.len(), 100);
+        assert_eq!(pairs[99], (99, 99));
+        let none: Vec<(u32, u32)> = long
+            .par_iter()
+            .copied()
+            .zip(Vec::<u32>::new().into_par_iter())
+            .collect();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn empty_sources_are_fine() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.par_iter().cloned().collect();
+        assert!(out.is_empty());
+        assert_eq!(v.par_iter().copied().reduce_with(u32::max), None);
+        #[allow(clippy::reversed_empty_ranges)]
+        let sum: u64 = (10u64..0).into_par_iter().sum();
+        assert_eq!(sum, 0);
+    }
+
+    #[test]
+    fn with_min_len_is_a_hint_not_a_semantic_change() {
+        let v: Vec<u32> = (0..10_000).collect();
+        let a: Vec<u32> = v.par_iter().with_min_len(4096).map(|x| x + 1).collect();
+        let b: Vec<u32> = v.par_iter().map(|x| x + 1).collect();
+        assert_eq!(a, b);
+    }
+
+    // -- pool behaviour ----------------------------------------------------
+
+    #[test]
+    fn pool_installs_and_bounds_thread_count() {
         let pool = super::ThreadPoolBuilder::new()
             .num_threads(4)
             .build()
             .unwrap();
-        assert_eq!(pool.install(|| 7), 7);
         assert_eq!(pool.current_num_threads(), 4);
+        assert_eq!(pool.install(|| 7), 7);
+        assert_eq!(pool.install(super::current_num_threads), 4);
+    }
+
+    #[test]
+    fn work_actually_runs_on_multiple_pool_threads() {
+        // With 4 workers and many small spawned tasks, more than one distinct
+        // worker thread must participate (true even on a 1-core host: the OS
+        // preempts between the condvar wakeups).
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let ids = Mutex::new(std::collections::HashSet::new());
+        pool.install(|| {
+            super::scope(|s| {
+                for _ in 0..64 {
+                    s.spawn(|_| {
+                        ids.lock().unwrap().insert(std::thread::current().id());
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    });
+                }
+            });
+        });
+        assert!(
+            ids.lock().unwrap().len() > 1,
+            "expected work on more than one worker thread"
+        );
+    }
+
+    #[test]
+    fn join_returns_both_results_and_nests() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let (a, (b, c)) = pool.install(|| super::join(|| 1, || super::join(|| 2, || 3)));
+        assert_eq!((a, b, c), (1, 2, 3));
+        // Deep recursive join: fibonacci via fork-join.
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = super::join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        assert_eq!(pool.install(|| fib(16)), 987);
+    }
+
+    #[test]
+    fn join_works_from_outside_any_pool() {
+        let (a, b) = super::join(|| 40, || 2);
+        assert_eq!(a + b, 42);
+    }
+
+    #[test]
+    fn scope_waits_for_all_spawned_tasks() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..100 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn scope_tasks_can_spawn_more_tasks() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|s| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    s.spawn(|_| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn join_propagates_panics() {
+        let result = std::panic::catch_unwind(|| {
+            super::join(|| 1, || panic!("boom"));
+        });
+        assert!(result.is_err());
+        // The pool is still usable afterwards.
+        let (a, b) = super::join(|| 1, || 2);
+        assert_eq!(a + b, 3);
+    }
+
+    #[test]
+    fn parallel_iterators_inside_install_use_that_pool() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        let total: u64 = pool.install(|| (0..100_000u64).into_par_iter().sum());
+        assert_eq!(total, 100_000 * 99_999 / 2);
+    }
+
+    #[test]
+    fn dropping_a_pool_shuts_it_down_cleanly() {
+        for _ in 0..4 {
+            let pool = super::ThreadPoolBuilder::new()
+                .num_threads(2)
+                .build()
+                .unwrap();
+            let v: Vec<u32> = pool.install(|| (0..10_000u32).into_par_iter().collect());
+            assert_eq!(v.len(), 10_000);
+            drop(pool);
+        }
+    }
+
+    #[test]
+    fn results_are_identical_across_thread_counts() {
+        let input: Vec<u64> = (0..50_000).map(|i| (i * 31) % 4096).collect();
+        let mut outputs = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let pool = super::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let (evens, sum, max): (Vec<u64>, u64, Option<u64>) = pool.install(|| {
+                (
+                    input.par_iter().filter(|x| **x % 2 == 0).cloned().collect(),
+                    input.par_iter().copied().sum(),
+                    input.par_iter().copied().reduce_with(u64::max),
+                )
+            });
+            outputs.push((evens, sum, max));
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[1], outputs[2]);
     }
 }

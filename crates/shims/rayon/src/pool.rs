@@ -1,0 +1,790 @@
+//! The work-stealing thread pool.
+//!
+//! Structure (a deliberately simple, `std`-only cousin of rayon's registry):
+//!
+//! * every worker thread owns a **deque** of pending jobs: the owner pushes and
+//!   pops at the back (LIFO, for cache locality and bounded memory in recursive
+//!   splits), thieves **steal from the front** (FIFO, taking the biggest
+//!   remaining subproblems first) — the classic work-stealing discipline of
+//!   Chase–Lev deques, realised here with `Mutex<VecDeque>` per worker so the
+//!   implementation stays free of lock-free `unsafe` (the `unsafe` that remains
+//!   is confined to lifetime erasure of stack-held jobs, exactly as in rayon);
+//! * a shared **injector** queue receives jobs from threads outside the pool;
+//! * idle workers sleep on a condvar and are woken when work is pushed.
+//!
+//! [`join`] is the fork-join primitive everything else builds on: it pushes the
+//! right-hand closure as a stealable job, runs the left-hand closure itself,
+//! then either pops the right job back (nobody stole it — the fast path that
+//! makes recursion cheap) or helps execute other jobs until the thief finishes.
+//! [`scope`]/[`Scope::spawn`] provide structured fire-and-forget spawning on
+//! top of the same machinery, and [`ThreadPool`]/[`ThreadPoolBuilder`] create
+//! bounded pools whose worker count [`ThreadPool::install`] makes ambient for
+//! every parallel iterator call in its closure, which is how
+//! `EngineBuilder::threads` bounds an engine's parallelism end to end.
+
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+
+// ---------------------------------------------------------------------------
+// Jobs and latches
+// ---------------------------------------------------------------------------
+
+/// Type-erased pointer to a job (stack- or heap-allocated).
+///
+/// The pointee must stay alive until the job has executed; stack jobs guarantee
+/// this by blocking the owning frame until their latch is set.
+#[derive(Clone, Copy)]
+struct JobRef {
+    pointer: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+// SAFETY: a JobRef is only created for pointees that are Sync-accessible from
+// the executing worker (StackJob/HeapJob below), and ownership of "the right to
+// execute" moves with the ref.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    unsafe fn execute(self) {
+        (self.execute_fn)(self.pointer);
+    }
+}
+
+/// One-shot completion flag probed by a worker that keeps stealing (or blocks
+/// on the registry) while it waits — the stolen-`join` path.
+///
+/// Lifetime discipline: the latch lives on the *waiter's* stack, which is
+/// freed as soon as the waiter observes `set == true`.  The setter's SeqCst
+/// store of `set` is therefore its **last access to latch memory**; the
+/// follow-up wakeup goes through the registry (which outlives every latch),
+/// never through latch-owned state.
+struct SpinLatch {
+    set: AtomicBool,
+    /// The registry whose blocked waiters to wake after setting; raw because
+    /// the latch must stay `Sync` — see the `Sync` impl below.
+    registry: *const Registry,
+}
+
+// SAFETY: the raw registry pointer is only dereferenced in `set_done`, by a
+// worker of that registry, which keeps the registry alive via its own Arc.
+unsafe impl Sync for SpinLatch {}
+
+impl SpinLatch {
+    fn new(registry: &Registry) -> Self {
+        SpinLatch {
+            set: AtomicBool::new(false),
+            registry: std::ptr::from_ref(registry),
+        }
+    }
+
+    fn probe(&self) -> bool {
+        self.set.load(Ordering::SeqCst)
+    }
+}
+
+/// One-shot completion flag a thread outside the pool blocks on.
+struct LockLatch {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl LockLatch {
+    fn new() -> Self {
+        LockLatch {
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().unwrap();
+        while !*done {
+            done = self.cv.wait(done).unwrap();
+        }
+    }
+}
+
+/// Somewhere to signal completion: probed or blocked on.
+trait Latch {
+    fn set_done(&self);
+}
+
+impl Latch for SpinLatch {
+    fn set_done(&self) {
+        // Read the registry pointer *before* the store: after the store the
+        // waiter may free this latch, so the store is the final latch access.
+        let registry = self.registry;
+        self.set.store(true, Ordering::SeqCst);
+        // SAFETY: see the `Sync` impl — the executing worker's Arc keeps the
+        // registry alive.
+        unsafe { (*registry).wake_blocked_waiters() };
+    }
+}
+
+impl Latch for LockLatch {
+    fn set_done(&self) {
+        let mut done = self.done.lock().unwrap();
+        *done = true;
+        self.cv.notify_all();
+    }
+}
+
+/// A job whose closure and result live on the stack of the frame that created
+/// it.  The frame must not return before the latch is set (or before it has
+/// popped the job back unexecuted).
+struct StackJob<F, R, L> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<thread::Result<R>>>,
+    latch: L,
+}
+
+// SAFETY: accessed from one executing thread at a time; the owner only reads
+// the result after the latch is set (Acquire) or after reclaiming the job
+// unexecuted while holding the deque lock.
+unsafe impl<F: Send, R: Send, L: Sync> Sync for StackJob<F, R, L> {}
+
+impl<F, R, L> StackJob<F, R, L>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+    L: Latch + Sync,
+{
+    fn new(func: F, latch: L) -> Self {
+        StackJob {
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(None),
+            latch,
+        }
+    }
+
+    unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            pointer: (self as *const Self).cast(),
+            execute_fn: Self::execute,
+        }
+    }
+
+    unsafe fn execute(ptr: *const ()) {
+        let job = &*ptr.cast::<Self>();
+        let func = (*job.func.get()).take().expect("job executed twice");
+        let result = panic::catch_unwind(AssertUnwindSafe(func));
+        *job.result.get() = Some(result);
+        job.latch.set_done();
+    }
+
+    /// Takes the result after execution; panics if the job never ran.
+    fn into_result(self) -> thread::Result<R> {
+        self.result.into_inner().expect("job result missing")
+    }
+}
+
+/// A heap-allocated fire-and-forget job (used by `scope`/`spawn`).
+struct HeapJob {
+    func: Box<dyn FnOnce() + Send>,
+}
+
+impl HeapJob {
+    fn into_job_ref(func: Box<dyn FnOnce() + Send>) -> JobRef {
+        let boxed = Box::new(HeapJob { func });
+        JobRef {
+            pointer: Box::into_raw(boxed) as *const (),
+            execute_fn: Self::execute,
+        }
+    }
+
+    unsafe fn execute(ptr: *const ()) {
+        let job = Box::from_raw(ptr.cast_mut().cast::<HeapJob>());
+        (job.func)();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry (the pool proper)
+// ---------------------------------------------------------------------------
+
+/// Shared state of one pool: worker deques, injector, and the sleep protocol.
+struct Registry {
+    /// Per-worker job deques: owner pushes/pops the back, thieves pop the front.
+    deques: Vec<Mutex<VecDeque<JobRef>>>,
+    /// Jobs injected by threads outside the pool.
+    injector: Mutex<VecDeque<JobRef>>,
+    /// Sleep protocol: workers that found no work block on this condvar.
+    sleep_lock: Mutex<()>,
+    sleep_cv: Condvar,
+    /// Number of workers currently (about to be) blocked on `sleep_cv`.
+    sleepers: AtomicUsize,
+    /// Number of workers blocked on `sleep_cv` *inside a join/scope wait*
+    /// (they need a `notify_all` when a completion event fires).
+    blocked_waiters: AtomicUsize,
+    terminating: AtomicBool,
+    num_threads: usize,
+}
+
+thread_local! {
+    /// `(registry ptr, worker index)` when the current thread is a pool worker.
+    static CURRENT_WORKER: Cell<Option<(*const Registry, usize)>> = const { Cell::new(None) };
+}
+
+/// The current thread's worker identity, if it is a pool worker.
+fn current_worker() -> Option<(*const Registry, usize)> {
+    CURRENT_WORKER.with(Cell::get)
+}
+
+impl Registry {
+    /// Spawns `num_threads` workers; returns the registry and their handles.
+    fn start(num_threads: usize) -> (Arc<Registry>, Vec<thread::JoinHandle<()>>) {
+        let registry = Arc::new(Registry {
+            deques: (0..num_threads)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            injector: Mutex::new(VecDeque::new()),
+            sleep_lock: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            blocked_waiters: AtomicUsize::new(0),
+            terminating: AtomicBool::new(false),
+            num_threads,
+        });
+        let handles = (0..num_threads)
+            .map(|index| {
+                let registry = Arc::clone(&registry);
+                thread::Builder::new()
+                    .name(format!("pdmm-rayon-worker-{index}"))
+                    .spawn(move || worker_main(&registry, index))
+                    .expect("failed to spawn pool worker thread")
+            })
+            .collect();
+        (registry, handles)
+    }
+
+    /// Pushes onto a worker's own deque (back) and wakes a sleeper if any.
+    fn push_local(&self, index: usize, job: JobRef) {
+        self.deques[index].lock().unwrap().push_back(job);
+        self.wake();
+    }
+
+    /// Pushes onto the injector (from outside the pool) and wakes a sleeper.
+    fn inject(&self, job: JobRef) {
+        self.injector.lock().unwrap().push_back(job);
+        self.wake();
+    }
+
+    /// Wakes one sleeping worker (a push adds exactly one job, so waking the
+    /// whole herd would only produce deque-lock contention; every push issues
+    /// its own notify, so notifies never lag behind jobs).
+    fn wake(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0
+            || self.blocked_waiters.load(Ordering::SeqCst) > 0
+        {
+            let _guard = self.sleep_lock.lock().unwrap();
+            self.sleep_cv.notify_one();
+        }
+    }
+
+    /// Wakes every blocked join/scope waiter after a completion event (their
+    /// `done` conditions are distinct, so targeting one is impossible).  Called
+    /// *after* the completion store; touches only registry-owned state.
+    fn wake_blocked_waiters(&self) {
+        if self.blocked_waiters.load(Ordering::SeqCst) > 0 {
+            let _guard = self.sleep_lock.lock().unwrap();
+            self.sleep_cv.notify_all();
+        }
+    }
+
+    /// Blocks the current (worker) thread until `done()`, a new job arrives,
+    /// or a spurious wakeup.  The SeqCst increment of `blocked_waiters` before
+    /// the under-lock re-check pairs with completion paths' SeqCst
+    /// store-then-load (and `wake`'s load after pushing): a wakeup cannot be
+    /// lost.  The caller re-checks `done` and the queues in its own loop.
+    fn block_waiter(&self, done: &dyn Fn() -> bool) {
+        self.blocked_waiters.fetch_add(1, Ordering::SeqCst);
+        let guard = self.sleep_lock.lock().unwrap();
+        if !done() && !self.has_work() {
+            drop(self.sleep_cv.wait(guard).unwrap());
+        }
+        self.blocked_waiters.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Executes jobs (helping the pool) until `done()`; blocks via
+    /// [`Registry::block_waiter`] when there is nothing to steal.  The shared
+    /// wait loop of stolen `join`s and `scope` bodies.
+    fn steal_until(&self, index: usize, done: &dyn Fn() -> bool) {
+        let mut idle_spins = 0u32;
+        while !done() {
+            if let Some(job) = self.find_work(index) {
+                // SAFETY: the job's owner keeps it alive until its latch (or
+                // counter) signals completion, as in `worker_main`.
+                unsafe { job.execute() };
+                idle_spins = 0;
+            } else {
+                idle_spins += 1;
+                if idle_spins < 64 {
+                    std::hint::spin_loop();
+                } else if idle_spins < 128 {
+                    thread::yield_now();
+                } else {
+                    // Nothing to steal and the awaited work runs elsewhere:
+                    // block instead of burning a core (spinning would slow
+                    // the very workers we are waiting on when the host is
+                    // oversubscribed).
+                    self.block_waiter(done);
+                }
+            }
+        }
+    }
+
+    /// Pops the back of worker `index`'s own deque *iff* it is exactly `job`
+    /// (the un-stolen fast path of `join`).
+    fn pop_local_if(&self, index: usize, job: *const ()) -> bool {
+        let mut deque = self.deques[index].lock().unwrap();
+        if deque.back().is_some_and(|j| std::ptr::eq(j.pointer, job)) {
+            deque.pop_back();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Finds a job: own deque (back), then the injector, then steals from the
+    /// other workers (front), scanning from `index + 1` for fairness.
+    fn find_work(&self, index: usize) -> Option<JobRef> {
+        if let Some(job) = self.deques[index].lock().unwrap().pop_back() {
+            return Some(job);
+        }
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        for offset in 1..self.num_threads {
+            let victim = (index + offset) % self.num_threads;
+            if let Some(job) = self.deques[victim].lock().unwrap().pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Whether any queue is non-empty (used to re-check before sleeping).
+    fn has_work(&self) -> bool {
+        if !self.injector.lock().unwrap().is_empty() {
+            return true;
+        }
+        self.deques.iter().any(|d| !d.lock().unwrap().is_empty())
+    }
+
+    fn terminate(&self) {
+        self.terminating.store(true, Ordering::SeqCst);
+        let _guard = self.sleep_lock.lock().unwrap();
+        self.sleep_cv.notify_all();
+    }
+
+    /// Runs `op` on a worker of *this* pool and returns its result, blocking
+    /// the calling thread until done.  Runs in place when the calling thread
+    /// already is a worker of this pool.
+    fn run_in<R: Send>(self: &Arc<Self>, op: impl FnOnce() -> R + Send) -> R {
+        if let Some((registry, _)) = current_worker() {
+            if std::ptr::eq(registry, Arc::as_ptr(self)) {
+                return op();
+            }
+        }
+        let job = StackJob::new(op, LockLatch::new());
+        // SAFETY: this frame blocks on the latch below, so the job outlives
+        // its execution.
+        self.inject(unsafe { job.as_job_ref() });
+        job.latch.wait();
+        match job.into_result() {
+            Ok(result) => result,
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+}
+
+/// Main loop of one worker thread.
+fn worker_main(registry: &Arc<Registry>, index: usize) {
+    CURRENT_WORKER.with(|c| c.set(Some((Arc::as_ptr(registry), index))));
+    loop {
+        if let Some(job) = registry.find_work(index) {
+            // SAFETY: the job's owner keeps it alive until its latch is set.
+            unsafe { job.execute() };
+            continue;
+        }
+        if registry.terminating.load(Ordering::SeqCst) {
+            break;
+        }
+        // Sleep protocol: register as a sleeper *before* re-checking the
+        // queues, so a producer that pushes after our re-check is guaranteed
+        // to see sleepers > 0 and take the lock to notify.
+        registry.sleepers.fetch_add(1, Ordering::SeqCst);
+        let guard = registry.sleep_lock.lock().unwrap();
+        if registry.has_work() || registry.terminating.load(Ordering::SeqCst) {
+            drop(guard);
+            registry.sleepers.fetch_sub(1, Ordering::SeqCst);
+            continue;
+        }
+        let guard = registry.sleep_cv.wait(guard).unwrap();
+        drop(guard);
+        registry.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The global pool, created lazily on first use.  Thread count comes from
+/// `RAYON_NUM_THREADS` if set, else the machine's available parallelism.
+fn global_registry() -> &'static Arc<Registry> {
+    static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let threads = std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(default_num_threads);
+        // Global workers are detached: they live for the whole process.
+        Registry::start(threads).0
+    })
+}
+
+fn default_num_threads() -> usize {
+    thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// The number of worker threads of the current pool: the pool whose worker is
+/// running the current thread, else the global pool.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    match current_worker() {
+        // SAFETY: a worker's registry outlives the worker thread.
+        Some((registry, _)) => unsafe { (*registry).num_threads },
+        None => global_registry().num_threads,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------------
+
+/// Runs `a` and `b`, potentially in parallel, and returns both results.
+///
+/// Called on a pool worker, `b` is pushed onto the worker's deque where idle
+/// workers can steal it while the current thread runs `a`; if nobody stole it,
+/// the current thread pops it back and runs it inline (so an idle pool costs
+/// two deque operations, not a context switch).  Called from outside any pool,
+/// the whole join is moved onto the global pool first.
+///
+/// Panics in `a` or `b` propagate to the caller (after both have finished).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    match current_worker() {
+        Some((registry, index)) => {
+            // SAFETY: the registry outlives its workers, and we are one.
+            let registry = unsafe { &*registry };
+            join_on_worker(registry, index, a, b)
+        }
+        None => {
+            let registry = global_registry();
+            registry.run_in(move || join(a, b))
+        }
+    }
+}
+
+fn join_on_worker<A, B, RA, RB>(registry: &Registry, index: usize, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let b_job = StackJob::new(b, SpinLatch::new(registry));
+    // SAFETY: this frame does not return before the job is reclaimed
+    // unexecuted or its latch is set.
+    let b_ref = unsafe { b_job.as_job_ref() };
+    registry.push_local(index, b_ref);
+
+    let result_a = panic::catch_unwind(AssertUnwindSafe(a));
+
+    if registry.pop_local_if(index, b_ref.pointer) {
+        // Fast path: b was not stolen.  Run it inline unless a panicked (in
+        // which case it is simply dropped unexecuted).
+        match result_a {
+            Ok(ra) => {
+                // SAFETY: job reclaimed by this thread; nobody else has it.
+                unsafe { b_ref.execute() };
+                match b_job.into_result() {
+                    Ok(rb) => (ra, rb),
+                    Err(payload) => panic::resume_unwind(payload),
+                }
+            }
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    } else {
+        // b was stolen: help execute other jobs until the thief is done.
+        registry.steal_until(index, &|| b_job.latch.probe());
+        let result_b = b_job.into_result();
+        match (result_a, result_b) {
+            (Ok(ra), Ok(rb)) => (ra, rb),
+            (Err(payload), _) | (_, Err(payload)) => panic::resume_unwind(payload),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// scope / spawn
+// ---------------------------------------------------------------------------
+
+/// A scope for structured task spawning: every task spawned on it completes
+/// before [`scope`] returns, which is what lets tasks borrow from the caller's
+/// stack (lifetime `'scope`).
+pub struct Scope<'scope> {
+    registry: Arc<Registry>,
+    pending: AtomicUsize,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Invariant over `'scope`, as in rayon.
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+/// Send-able wrapper for the scope pointer captured by spawned tasks (valid
+/// until `scope` returns, which all tasks precede).
+struct ScopePtr<'scope>(*const Scope<'scope>);
+// SAFETY: Scope is Sync (all fields are), so sharing the pointer is fine.
+unsafe impl Send for ScopePtr<'_> {}
+
+impl<'scope> ScopePtr<'scope> {
+    /// Accessor (rather than field access) so closures capture the `Send`
+    /// wrapper, not the raw pointer inside it.
+    fn get(&self) -> *const Scope<'scope> {
+        self.0
+    }
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns `task` onto the pool; it may run on any worker, borrowing
+    /// anything that outlives the scope.
+    pub fn spawn<F>(&self, task: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let scope_ptr = ScopePtr(self as *const Scope<'scope>);
+        let func: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            // SAFETY: `scope` does not return before `pending` drops to zero,
+            // so the Scope is alive for the duration of this task.
+            let scope = unsafe { &*scope_ptr.get() };
+            let result = panic::catch_unwind(AssertUnwindSafe(|| task(scope)));
+            if let Err(payload) = result {
+                scope.panic.lock().unwrap().get_or_insert(payload);
+            }
+            // The owner may observe `pending == 0` and free the Scope the
+            // instant this decrement lands, so it must be the LAST access to
+            // scope memory: read the registry pointer first and wake the
+            // (possibly blocked) owner through registry-owned state only.
+            let registry: *const Registry = Arc::as_ptr(&scope.registry);
+            if scope.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // SAFETY: this task runs on a worker of that registry, whose
+                // own Arc keeps the registry alive.
+                unsafe { (*registry).wake_blocked_waiters() };
+            }
+        });
+        // SAFETY: the closure only lives until `scope` returns ('scope), and
+        // `scope` blocks on `pending == 0`; erasing to 'static is therefore
+        // sound, exactly as in rayon.
+        let func: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(func) };
+        let job = HeapJob::into_job_ref(func);
+        match current_worker() {
+            Some((registry, index)) if std::ptr::eq(registry, Arc::as_ptr(&self.registry)) => {
+                self.registry.push_local(index, job);
+            }
+            _ => self.registry.inject(job),
+        }
+    }
+}
+
+/// Creates a [`Scope`] on the current pool (the global pool if the calling
+/// thread is not a pool worker), runs `op` in it, waits for every spawned task,
+/// and returns `op`'s result.  The first panic from `op` or any task resumes
+/// on the caller.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let registry = match current_worker() {
+        // SAFETY: worker registries outlive their workers, so reconstructing
+        // an owning Arc from the raw pointer (with its count bumped) is valid.
+        Some((registry, _)) => unsafe {
+            Arc::increment_strong_count(registry);
+            Arc::from_raw(registry)
+        },
+        None => Arc::clone(global_registry()),
+    };
+    let scope_registry = Arc::clone(&registry);
+    registry.run_in(move || {
+        let registry = scope_registry;
+        let (_, index) = current_worker().expect("scope body runs on a worker");
+        let s = Scope {
+            registry,
+            pending: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            _marker: PhantomData,
+        };
+        let result = panic::catch_unwind(AssertUnwindSafe(|| op(&s)));
+        // Help run jobs until every spawned task has completed; when there is
+        // nothing left to steal (the stragglers run on other workers), the
+        // shared wait loop blocks instead of burning a core.
+        s.registry
+            .steal_until(index, &|| s.pending.load(Ordering::SeqCst) == 0);
+        match result {
+            Err(payload) => panic::resume_unwind(payload),
+            Ok(r) => {
+                if let Some(payload) = s.panic.lock().unwrap().take() {
+                    panic::resume_unwind(payload);
+                }
+                r
+            }
+        }
+    })
+}
+
+/// Spawns a fire-and-forget task onto the current pool — the pool whose worker
+/// is running the calling thread, else the global pool.  A panic in the task
+/// is caught and reported to stderr (it cannot unwind into the worker loop).
+pub fn spawn<F>(func: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    let job = HeapJob::into_job_ref(Box::new(move || {
+        if panic::catch_unwind(AssertUnwindSafe(func)).is_err() {
+            eprintln!("rayon shim: spawned task panicked (ignored)");
+        }
+    }));
+    match current_worker() {
+        Some((registry, index)) => {
+            // SAFETY: worker registries outlive their workers.
+            unsafe { (*registry).push_local(index, job) };
+        }
+        None => global_registry().inject(job),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool / ThreadPoolBuilder
+// ---------------------------------------------------------------------------
+
+/// Error from [`ThreadPoolBuilder::build`].
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool construction failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builds a [`ThreadPool`] with a bounded worker count.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder (thread count defaults to the machine parallelism).
+    #[must_use]
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the number of worker threads (`0` means the default).
+    #[must_use]
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool, spawning its worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in this implementation; the `Result` mirrors rayon's API.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            default_num_threads()
+        } else {
+            self.num_threads
+        };
+        let (registry, handles) = Registry::start(threads);
+        Ok(ThreadPool {
+            registry,
+            handles: Mutex::new(handles),
+        })
+    }
+}
+
+/// A bounded work-stealing thread pool.
+///
+/// Dropping the pool shuts its workers down (after they drain any remaining
+/// jobs).  [`ThreadPool::install`] runs a closure *on* the pool: every
+/// [`join`]/[`scope`]/parallel-iterator call made inside uses this pool's
+/// workers, which is how a pool bounds the parallelism of everything beneath
+/// an engine's `apply_batch`.
+pub struct ThreadPool {
+    registry: Arc<Registry>,
+    handles: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl ThreadPool {
+    /// Runs `op` on this pool and returns its result.
+    pub fn install<R: Send>(&self, op: impl FnOnce() -> R + Send) -> R {
+        self.registry.run_in(op)
+    }
+
+    /// The pool's worker count.
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        self.registry.num_threads
+    }
+
+    /// [`join`], executed on this pool.
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        self.install(|| join(a, b))
+    }
+
+    /// [`scope`], executed on this pool.
+    pub fn scope<'scope, OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce(&Scope<'scope>) -> R + Send,
+        R: Send,
+    {
+        self.install(|| scope(op))
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.registry.num_threads)
+            .finish()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.terminate();
+        for handle in self.handles.lock().unwrap().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}

@@ -3,7 +3,7 @@
 //! Finding a maximal matching in a hypergraph `H = (V, E)` reduces to finding a
 //! maximal independent set (MIS) in the *conflict graph* whose vertices are the
 //! hyperedges of `H`, two being adjacent when they share an endpoint.  The paper
-//! runs Luby's algorithm [Lub85] on this conflict graph: in each iteration every
+//! runs Luby's algorithm \[Lub85\] on this conflict graph: in each iteration every
 //! surviving hyperedge draws a uniform priority, local maxima join the matching,
 //! and everything incident to a newly matched hyperedge is removed.  With high
 //! probability the process terminates after `O(log M)` iterations, giving depth

@@ -21,10 +21,23 @@
 
 pub use pdmm_hypergraph::engine::{
     validate_batch, BatchError, BatchReport, BatchSession, EngineBuilder, EngineKind,
-    EngineMetrics, MatchingEngine, MatchingIter, UpdateCounters,
+    EngineMetrics, EnginePool, MatchingEngine, MatchingIter, UpdateCounters,
 };
 
 /// Constructs the engine of the given kind from a shared builder configuration.
+///
+/// Engines with parallel phases ([`EngineKind::Parallel`] and
+/// [`EngineKind::RecomputeSequential`]) honor [`EngineBuilder::threads`] by
+/// constructing an owned work-stealing pool and running every batch on it.
+///
+/// ```
+/// use pdmm::engine::{self, EngineBuilder, EngineKind};
+///
+/// let builder = EngineBuilder::new(100).rank(2).seed(7).threads(2);
+/// let engine = engine::build(EngineKind::Parallel, &builder);
+/// assert_eq!(engine.name(), "parallel-dynamic");
+/// assert_eq!(engine.num_vertices(), 100);
+/// ```
 #[must_use]
 pub fn build(kind: EngineKind, builder: &EngineBuilder) -> Box<dyn MatchingEngine> {
     match kind {
@@ -45,6 +58,13 @@ pub fn build(kind: EngineKind, builder: &EngineBuilder) -> Box<dyn MatchingEngin
 }
 
 /// Constructs one engine of every kind from a shared builder configuration.
+///
+/// ```
+/// use pdmm::engine::{self, EngineBuilder, EngineKind};
+///
+/// let engines = engine::build_all(&EngineBuilder::new(10));
+/// assert_eq!(engines.len(), EngineKind::ALL.len());
+/// ```
 #[must_use]
 pub fn build_all(builder: &EngineBuilder) -> Vec<Box<dyn MatchingEngine>> {
     EngineKind::ALL.iter().map(|&k| build(k, builder)).collect()

@@ -71,7 +71,7 @@
 //! assert_eq!(report.batch_size, 1);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod engine;

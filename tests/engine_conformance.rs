@@ -241,6 +241,110 @@ fn every_engine_rejects_the_same_invalid_batches_with_the_same_errors() {
     }
 }
 
+/// The engines that consume `EngineBuilder::threads` (the others are strictly
+/// sequential and ignore it).
+const POOLED_KINDS: [EngineKind; 2] = [EngineKind::Parallel, EngineKind::RecomputeSequential];
+
+#[test]
+fn matchings_are_identical_at_1_2_and_8_threads() {
+    // The thread pool must never change *what* is computed, only how fast:
+    // all randomness is seed-derived and every parallel combiner is
+    // order-preserving or associative, so for a fixed seed the per-batch
+    // matchings must be bit-identical at any worker count.
+    //
+    // The standard conformance workloads sit below the sequential-fallback
+    // thresholds of the parallel primitives (2^10–2^12 elements), so they
+    // alone would pass vacuously; the large workload pushes batches of 4096
+    // updates through the engines so Luby (>2048 edges), the parallel
+    // dictionary (>2^10), and the compaction/prefix-sum paths (>2^11/2^12)
+    // genuinely execute on the pool at every thread count.
+    let mut workloads = conformance_workloads();
+    workloads.push(streams::insert_then_teardown(
+        4096,
+        generators::gnm_graph(4096, 16384, 19, 0),
+        4096,
+        21,
+    ));
+    for workload in workloads {
+        for kind in POOLED_KINDS {
+            let mut reference: Option<Vec<Vec<EdgeId>>> = None;
+            for threads in [1usize, 2, 8] {
+                let builder = EngineBuilder::new(workload.num_vertices)
+                    .rank(workload.rank.max(2))
+                    .seed(7)
+                    .threads(threads);
+                let mut engine = engine::build(kind, &builder);
+                let mut matchings: Vec<Vec<EdgeId>> = Vec::new();
+                for batch in &workload.batches {
+                    engine.apply_batch(batch).unwrap_or_else(|e| {
+                        panic!(
+                            "{kind} rejected a batch of {} at {threads} threads: {e}",
+                            workload.name
+                        )
+                    });
+                    let mut ids = engine.matching_ids();
+                    ids.sort_unstable();
+                    matchings.push(ids);
+                }
+                match &reference {
+                    None => reference = Some(matchings),
+                    Some(expected) => assert_eq!(
+                        expected, &matchings,
+                        "{kind} diverged at {threads} threads on {}",
+                        workload.name
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn typed_errors_are_identical_at_1_2_and_8_threads() {
+    for kind in POOLED_KINDS {
+        for threads in [1usize, 2, 8] {
+            let builder = EngineBuilder::new(6).rank(2).seed(5).threads(threads);
+            let mut engine = engine::build(kind, &builder);
+            engine
+                .apply_batch(&[Update::Insert(HyperEdge::pair(
+                    EdgeId(0),
+                    VertexId(0),
+                    VertexId(1),
+                ))])
+                .unwrap();
+            assert_eq!(
+                engine.apply_batch(&[Update::Delete(EdgeId(42))]),
+                Err(BatchError::UnknownDeletion { id: EdgeId(42) }),
+                "{kind} at {threads} threads"
+            );
+            assert_eq!(
+                engine.apply_batch(&[Update::Insert(HyperEdge::pair(
+                    EdgeId(0),
+                    VertexId(2),
+                    VertexId(3)
+                ))]),
+                Err(BatchError::DuplicateEdgeId { id: EdgeId(0) }),
+                "{kind} at {threads} threads"
+            );
+            assert_eq!(
+                engine.apply_batch(&[Update::Insert(HyperEdge::new(
+                    EdgeId(9),
+                    vec![VertexId(0), VertexId(1), VertexId(2)],
+                ))]),
+                Err(BatchError::RankExceeded {
+                    id: EdgeId(9),
+                    rank: 3,
+                    max_rank: 2
+                }),
+                "{kind} at {threads} threads"
+            );
+            // Rejection stays atomic under a bounded pool.
+            assert_eq!(engine.matching_size(), 1, "{kind} at {threads} threads");
+            engine.verify().unwrap();
+        }
+    }
+}
+
 #[test]
 fn zero_copy_iterator_collected_ids_and_size_agree() {
     let w = streams::random_churn(100, 2, 200, 8, 30, 0.5, 21);
