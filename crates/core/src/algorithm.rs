@@ -22,11 +22,11 @@ use crate::metrics::Metrics;
 use crate::settle::{process_level, release_bucket_and_remove};
 use crate::state::MatcherState;
 use pdmm_hypergraph::engine::{
-    validate_batch, BatchError, BatchReport, EngineBuilder, EngineMetrics, EnginePool,
-    MatchingEngine, MatchingIter,
+    run_batch, BatchError, BatchKernel, BatchReport, EngineBuilder, EngineMetrics, EnginePool,
+    KernelOutcome, MatchingEngine, MatchingIter, UpdateCounters,
 };
 use pdmm_hypergraph::types::{EdgeId, HyperEdge, Update, VertexId};
-use pdmm_primitives::cost_model::{CostSnapshot, CostTracker};
+use pdmm_primitives::cost_model::CostTracker;
 use pdmm_static::luby::luby_maximal_matching;
 use rustc_hash::FxHashSet;
 
@@ -178,29 +178,19 @@ impl ParallelDynamicMatching {
     /// reuses a live id, or an inserted edge exceeds the configured maximum rank
     /// or the vertex range.
     pub fn apply_batch(&mut self, updates: &[Update]) -> Result<BatchReport, BatchError> {
-        validate_batch(
-            updates,
-            |id| self.state.edges.contains_key(&id),
-            self.state.config.max_rank,
-            self.state.num_vertices(),
-        )?;
-        // Run the whole pipeline on the engine's pool so every parallel
-        // primitive beneath it (Luby matching, prefix sums, compaction, the
-        // parallel dictionary) is bounded by `EngineBuilder::threads`.
+        // Run the shared scaffold (validation → kernel → counters → report) on
+        // the engine's pool so every parallel primitive beneath it (Luby
+        // matching, prefix sums, compaction, the parallel dictionary) is
+        // bounded by `EngineBuilder::threads`.
         let pool = self.pool.clone();
-        pool.install(|| self.apply_batch_on_pool(updates))
+        pool.install(|| run_batch(self, updates))
     }
+}
 
-    /// The batch pipeline proper; runs with the engine's pool ambient.
-    fn apply_batch_on_pool(&mut self, updates: &[Update]) -> Result<BatchReport, BatchError> {
-        let start: CostSnapshot = self.state.cost.snapshot();
-        let mut report = BatchReport {
-            batch_size: updates.len(),
-            ..BatchReport::default()
-        };
-
-        self.state.metrics.batches += 1;
-        self.state.metrics.updates += updates.len() as u64;
+impl BatchKernel for ParallelDynamicMatching {
+    /// The §3.3 batch pipeline proper; runs with the engine's pool ambient.
+    fn run_kernel(&mut self, updates: &[Update]) -> KernelOutcome {
+        let mut rebuilt = false;
         self.state.updates_since_rebuild += updates.len() as u64;
 
         // §3.2.1: once N more updates have arrived, double N and rebuild.
@@ -208,7 +198,7 @@ impl ParallelDynamicMatching {
             > self.state.params.n_bound
         {
             self.rebuild();
-            report.rebuilt = true;
+            rebuilt = true;
         }
 
         // Categorize the batch (§3.3): unmatched deletions, matched deletions,
@@ -222,11 +212,9 @@ impl ParallelDynamicMatching {
         for update in updates {
             match update {
                 Update::Insert(edge) => {
-                    self.state.metrics.insertions += 1;
                     insertions.push(edge.clone());
                 }
                 Update::Delete(id) => {
-                    self.state.metrics.deletions += 1;
                     let e = self
                         .state
                         .edges
@@ -242,8 +230,7 @@ impl ParallelDynamicMatching {
                 }
             }
         }
-        report.matched_deletions = matched_deletions.len();
-        self.state.metrics.matched_deletions += matched_deletions.len() as u64;
+        let num_matched_deletions = matched_deletions.len();
         self.state.metrics.temp_deleted_deletions += temp_deleted_deletions.len() as u64;
 
         let mut pending_reinsertions: Vec<HyperEdge> = Vec::new();
@@ -311,13 +298,24 @@ impl ParallelDynamicMatching {
             }
         }
 
-        let cost = self.state.cost.snapshot().since(&start);
-        report.depth = cost.depth;
-        report.work = cost.work;
-        report.matching_size = self.state.matching_size();
-        Ok(report)
+        KernelOutcome {
+            matched_deletions: num_matched_deletions,
+            rebuilt,
+        }
     }
 
+    fn record_batch(&mut self, delta: &UpdateCounters) {
+        let metrics = &mut self.state.metrics;
+        metrics.batches += delta.batches;
+        metrics.updates += delta.updates;
+        metrics.insertions += delta.insertions;
+        metrics.deletions += delta.deletions;
+        metrics.matched_deletions += delta.matched_deletions;
+        metrics.rebuilds += delta.rebuilds;
+    }
+}
+
+impl ParallelDynamicMatching {
     /// §3.3.3: run the static parallel matcher over the inserted hyperedges whose
     /// endpoints are all free, place the newly matched ones (and their nodes) at
     /// level 0, and register every inserted hyperedge with its owner.
@@ -358,9 +356,10 @@ impl ParallelDynamicMatching {
     }
 
     /// §3.2.1: doubles `N`, rebuilds every data structure from scratch, and
-    /// recomputes the matching with the static parallel algorithm.
+    /// recomputes the matching with the static parallel algorithm.  (The
+    /// `rebuilds` metric is counted by the shared scaffold via
+    /// [`BatchKernel::record_batch`].)
     fn rebuild(&mut self) {
-        self.state.metrics.rebuilds += 1;
         let needed = self.state.num_vertices() as u64 + self.state.updates_since_rebuild;
         let new_params = self.state.params.doubled(needed);
         let all_edges: Vec<HyperEdge> = self

@@ -132,8 +132,8 @@ impl std::error::Error for BatchError {}
 
 /// Summary of one successfully applied batch.
 ///
-/// Every engine produces one (the parallel algorithm fills all fields; baselines
-/// report their cost-model counters and never rebuild).
+/// Every engine produces one through the shared [`run_batch`] scaffold, so the
+/// fields mean the same thing regardless of which engine filled them in.
 ///
 /// ```
 /// use pdmm::engine::{self, EngineBuilder, EngineKind};
@@ -146,6 +146,9 @@ impl std::error::Error for BatchError {}
 /// assert_eq!(report.batch_size, 1);
 /// assert_eq!(report.matching_size, 1);
 /// assert!(!report.rebuilt);
+/// // The per-batch metrics delta is reported uniformly by every engine:
+/// assert_eq!(report.metrics.batches, 1);
+/// assert_eq!(report.metrics.insertions, 1);
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BatchReport {
@@ -159,8 +162,16 @@ pub struct BatchReport {
     pub matched_deletions: usize,
     /// Size of the matching after the batch.
     pub matching_size: usize,
-    /// Whether this batch triggered an `N`-doubling rebuild.
+    /// Whether this batch rebuilt the matching from scratch: an `N`-doubling
+    /// rebuild for the parallel algorithm, every batch for the recompute
+    /// engines, never for the incremental-repair baselines.
     pub rebuilt: bool,
+    /// The exact [`EngineMetrics`] delta of this batch (lifetime metrics after
+    /// the batch minus before).  `metrics.work`/`metrics.depth` equal the
+    /// flat [`BatchReport::work`]/[`BatchReport::depth`] fields; the delta
+    /// additionally carries the per-batch update/insertion/deletion/rebuild
+    /// counts so all engines report uniformly.
+    pub metrics: EngineMetrics,
 }
 
 /// Lifetime counters every engine can report uniformly.
@@ -190,7 +201,9 @@ pub struct EngineMetrics {
     pub work: u64,
     /// Total depth in parallel rounds (cost model).
     pub depth: u64,
-    /// `N`-doubling rebuilds (always zero for the baselines).
+    /// Full matching rebuilds: `N`-doubling rebuilds for the parallel
+    /// algorithm, one per batch for the recompute engines, always zero for
+    /// the incremental-repair baselines.
     pub rebuilds: u64,
 }
 
@@ -200,9 +213,62 @@ impl EngineMetrics {
     pub fn work_per_update(&self) -> f64 {
         self.work as f64 / self.updates.max(1) as f64
     }
+
+    /// Field-wise difference between two metric snapshots (`self` taken after
+    /// `earlier`).  The shared [`run_batch`] scaffold uses this to derive the
+    /// per-batch delta reported in [`BatchReport::metrics`].
+    ///
+    /// ```
+    /// use pdmm_hypergraph::engine::EngineMetrics;
+    ///
+    /// let before = EngineMetrics { batches: 2, work: 10, ..EngineMetrics::default() };
+    /// let after = EngineMetrics { batches: 3, work: 45, ..EngineMetrics::default() };
+    /// let delta = after.since(&before);
+    /// assert_eq!(delta.batches, 1);
+    /// assert_eq!(delta.work, 35);
+    /// ```
+    #[must_use]
+    pub fn since(&self, earlier: &EngineMetrics) -> EngineMetrics {
+        EngineMetrics {
+            batches: self.batches.saturating_sub(earlier.batches),
+            updates: self.updates.saturating_sub(earlier.updates),
+            insertions: self.insertions.saturating_sub(earlier.insertions),
+            deletions: self.deletions.saturating_sub(earlier.deletions),
+            matched_deletions: self
+                .matched_deletions
+                .saturating_sub(earlier.matched_deletions),
+            work: self.work.saturating_sub(earlier.work),
+            depth: self.depth.saturating_sub(earlier.depth),
+            rebuilds: self.rebuilds.saturating_sub(earlier.rebuilds),
+        }
+    }
+
+    /// Field-wise sum — the inverse of [`EngineMetrics::since`], for
+    /// accumulating per-batch deltas back into totals.
+    ///
+    /// ```
+    /// use pdmm_hypergraph::engine::EngineMetrics;
+    ///
+    /// let mut total = EngineMetrics { batches: 2, work: 10, ..EngineMetrics::default() };
+    /// total.merge(&EngineMetrics { batches: 1, work: 35, ..EngineMetrics::default() });
+    /// assert_eq!(total.batches, 3);
+    /// assert_eq!(total.work, 45);
+    /// ```
+    pub fn merge(&mut self, delta: &EngineMetrics) {
+        self.batches += delta.batches;
+        self.updates += delta.updates;
+        self.insertions += delta.insertions;
+        self.deletions += delta.deletions;
+        self.matched_deletions += delta.matched_deletions;
+        self.work += delta.work;
+        self.depth += delta.depth;
+        self.rebuilds += delta.rebuilds;
+    }
 }
 
-/// Per-batch update counters shared by the baseline engines.
+/// Per-batch update counters shared by the baseline engines, and the shape of
+/// the per-batch delta the [`run_batch`] scaffold hands to
+/// [`BatchKernel::record_batch`].
 ///
 /// (`pdmm-core` derives the same numbers from its richer §4.2 metrics.)
 ///
@@ -227,6 +293,9 @@ pub struct UpdateCounters {
     pub deletions: u64,
     /// Deletions that hit a matched edge.
     pub matched_deletions: u64,
+    /// Full matching rebuilds (every batch for the recompute engines, zero for
+    /// the incremental-repair baselines).
+    pub rebuilds: u64,
 }
 
 impl UpdateCounters {
@@ -241,8 +310,66 @@ impl UpdateCounters {
             matched_deletions: self.matched_deletions,
             work,
             depth,
-            rebuilds: 0,
+            rebuilds: self.rebuilds,
         }
+    }
+
+    /// Adds a per-batch delta (produced by the [`run_batch`] scaffold) into
+    /// these lifetime counters.
+    ///
+    /// ```
+    /// use pdmm_hypergraph::engine::UpdateCounters;
+    ///
+    /// let mut lifetime = UpdateCounters { batches: 1, updates: 4, ..UpdateCounters::default() };
+    /// lifetime.merge(&UpdateCounters { batches: 1, updates: 3, rebuilds: 1, ..UpdateCounters::default() });
+    /// assert_eq!(lifetime.batches, 2);
+    /// assert_eq!(lifetime.updates, 7);
+    /// assert_eq!(lifetime.rebuilds, 1);
+    /// ```
+    pub fn merge(&mut self, delta: &UpdateCounters) {
+        self.batches += delta.batches;
+        self.updates += delta.updates;
+        self.insertions += delta.insertions;
+        self.deletions += delta.deletions;
+        self.matched_deletions += delta.matched_deletions;
+        self.rebuilds += delta.rebuilds;
+    }
+}
+
+/// One update refused by a skip-and-report (lossy) ingest session, together
+/// with the typed reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RejectedUpdate {
+    /// Position of the update in the submission order (counting every update
+    /// offered to the session, including deduplicated and rejected ones).
+    pub index: usize,
+    /// The refused update.
+    pub update: Update,
+    /// Why it was refused.
+    pub error: BatchError,
+}
+
+/// Report of one skip-and-report (lossy) ingest: what was committed, what was
+/// silently deduplicated, and what was rejected with which error.
+///
+/// Produced by [`BatchSession::commit_lossy`] and
+/// [`MatchingEngine::apply_batch_lossy`] — the ingest-pipeline recovery path
+/// where a dirty stream must not poison the whole batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Report of the committed batch (the surviving subset of the updates).
+    pub batch: BatchReport,
+    /// Exact duplicates silently dropped during staging (not errors).
+    pub deduplicated: usize,
+    /// Per-update rejections, in submission order.
+    pub rejected: Vec<RejectedUpdate>,
+}
+
+impl IngestReport {
+    /// Total updates offered: committed plus deduplicated plus rejected.
+    #[must_use]
+    pub fn offered(&self) -> usize {
+        self.batch.batch_size + self.deduplicated + self.rejected.len()
     }
 }
 
@@ -396,12 +523,297 @@ pub trait MatchingEngine {
     {
         BatchSession::new(self)
     }
+
+    /// Opens a skip-and-report session: invalid updates are collected with
+    /// their errors instead of refused, and [`BatchSession::commit_lossy`]
+    /// commits the surviving subset.
+    fn begin_batch_lossy(&mut self) -> BatchSession<'_, Self>
+    where
+        Self: Sized,
+    {
+        BatchSession::lossy(self)
+    }
+
+    /// Applies the valid subset of `updates` as one batch, skipping (and
+    /// reporting) invalid or duplicate updates instead of rejecting the whole
+    /// batch — the ingest-pipeline recovery path.
+    ///
+    /// Exactly the updates a strict [`BatchSession`] would stage are
+    /// committed; everything else lands in [`IngestReport::rejected`] (with
+    /// its typed error) or is counted in [`IngestReport::deduplicated`].
+    /// An input with no surviving updates commits the empty batch, which is a
+    /// counter-neutral no-op.
+    ///
+    /// ```
+    /// use pdmm::engine::{self, BatchError, EngineBuilder, EngineKind};
+    /// use pdmm::prelude::*;
+    ///
+    /// let mut engine = engine::build(EngineKind::Parallel, &EngineBuilder::new(4));
+    /// let report = engine
+    ///     .apply_batch_lossy(&[
+    ///         Update::Insert(HyperEdge::pair(EdgeId(0), VertexId(0), VertexId(1))),
+    ///         Update::Delete(EdgeId(7)), // unknown: skipped, not fatal
+    ///     ])
+    ///     .unwrap();
+    /// assert_eq!(report.batch.batch_size, 1);
+    /// assert_eq!(report.rejected.len(), 1);
+    /// assert_eq!(report.rejected[0].error, BatchError::UnknownDeletion { id: EdgeId(7) });
+    /// assert_eq!(engine.matching_size(), 1);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine's own batch validation of the surviving subset,
+    /// which cannot fire for engines routed through [`run_batch`].
+    fn apply_batch_lossy(&mut self, updates: &[Update]) -> Result<IngestReport, BatchError> {
+        let mut session = BatchSession::lossy(self);
+        for update in updates {
+            // Lossy staging records rejections instead of returning them.
+            let _ = session.stage(update.clone());
+        }
+        session.commit_lossy()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The shared batch pipeline
+// ---------------------------------------------------------------------------
+
+/// What an engine's recompute/repair kernel reports back to [`run_batch`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelOutcome {
+    /// Deletions in this batch that removed a matched edge.
+    pub matched_deletions: usize,
+    /// Whether the kernel rebuilt the matching from scratch (every batch for
+    /// the recompute engines, `N`-doubling batches for the parallel
+    /// algorithm, never for the incremental-repair baselines).
+    pub rebuilt: bool,
+}
+
+/// The per-engine kernel driven by the shared [`run_batch`] batch pipeline.
+///
+/// [`run_batch`] owns everything the engines' `apply_batch` implementations
+/// used to copy-paste: whole-batch validation, empty-batch short-circuiting,
+/// lifetime-counter bookkeeping, matched-deletion accounting, per-batch
+/// [`EngineMetrics`] deltas, and [`BatchReport`] assembly.  An engine supplies
+/// only its recompute/repair kernel plus a one-line counter fold, and wires
+/// [`MatchingEngine::apply_batch`] to `run_batch(self, updates)`.
+pub trait BatchKernel: MatchingEngine {
+    /// Applies one validated, non-empty batch of updates and restores
+    /// maximality.  The scaffold has already verified the batch, so kernels
+    /// may assume deletions name live edges and insertions carry fresh ids.
+    fn run_kernel(&mut self, updates: &[Update]) -> KernelOutcome;
+
+    /// Folds the scaffold's per-batch counter delta into the engine's
+    /// lifetime counters (baselines: [`UpdateCounters::merge`]; the parallel
+    /// algorithm updates its richer §4.2 metrics).
+    fn record_batch(&mut self, delta: &UpdateCounters);
+}
+
+/// The shared batch pipeline: validate → run the engine's kernel → count →
+/// snapshot costs → assemble the [`BatchReport`].
+///
+/// Semantics every engine inherits by routing `apply_batch` through here:
+///
+/// * invalid batches are refused **atomically** with the first [`BatchError`]
+///   in batch order — the kernel only ever sees valid batches;
+/// * the empty batch is a true no-op: an `Ok` report with `batch_size == 0`,
+///   the current matching size, and a zeroed metrics delta, and **no**
+///   lifetime counter is mutated;
+/// * [`BatchReport::metrics`] is the exact [`EngineMetrics`] delta of this
+///   batch, so every engine reports its per-batch costs uniformly.
+///
+/// # Errors
+///
+/// Returns the first violation found in batch order; the engine is untouched.
+pub fn run_batch<E: BatchKernel + ?Sized>(
+    engine: &mut E,
+    updates: &[Update],
+) -> Result<BatchReport, BatchError> {
+    validate_batch(
+        updates,
+        |id| engine.contains_edge(id),
+        engine.max_rank(),
+        engine.num_vertices(),
+    )?;
+    if updates.is_empty() {
+        return Ok(BatchReport {
+            matching_size: engine.matching_size(),
+            ..BatchReport::default()
+        });
+    }
+    let before = engine.metrics();
+    let outcome = engine.run_kernel(updates);
+    let insertions = updates.iter().filter(|u| u.is_insert()).count() as u64;
+    engine.record_batch(&UpdateCounters {
+        batches: 1,
+        updates: updates.len() as u64,
+        insertions,
+        deletions: updates.len() as u64 - insertions,
+        matched_deletions: outcome.matched_deletions as u64,
+        rebuilds: u64::from(outcome.rebuilt),
+    });
+    let metrics = engine.metrics().since(&before);
+    Ok(BatchReport {
+        batch_size: updates.len(),
+        depth: metrics.depth,
+        work: metrics.work,
+        matched_deletions: outcome.matched_deletions,
+        matching_size: engine.matching_size(),
+        rebuilt: outcome.rebuilt,
+        metrics,
+    })
+}
+
+/// Verdict of [`BatchLedger::check`] for an update that passed the shared
+/// legality checks but repeats content the batch already contains.
+///
+/// Strict whole-batch validation ([`validate_batch`]) treats both variants as
+/// errors; a staged [`BatchSession`] deduplicates exact copies instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateCheck {
+    /// Fresh and legal: record it and include it in the batch.
+    Fresh,
+    /// An insertion whose id was already inserted in this batch.  Strict
+    /// validation turns this into [`BatchError::DuplicateEdgeId`]; a session
+    /// compares the two edges structurally and deduplicates exact copies.
+    RepeatedInsert {
+        /// The position passed to [`BatchLedger::record`] for the earlier
+        /// insertion of this id.
+        at: usize,
+    },
+    /// A deletion of an id this batch already deletes.  Strict validation
+    /// turns this into [`BatchError::DuplicateDeletion`]; a session
+    /// deduplicates.
+    RepeatedDelete,
+}
+
+/// The id-tracking state of one in-flight batch plus the per-update legality
+/// rules of the §2 update model — the **single** validation machine behind
+/// both [`validate_batch`] and [`BatchSession`], so the two paths cannot
+/// drift (a differential property test pins them together).
+///
+/// The rules, per update kind:
+///
+/// * an insertion must respect the rank and vertex-range limits, and its id
+///   must be fresh: not live before the batch (unless deleted earlier in the
+///   batch) and not already inserted by the batch;
+/// * a deletion must name a pre-batch live edge that the batch has not
+///   already deleted; ids inserted by the batch itself cannot be deleted
+///   (deletions are processed before insertions, §3.3), and a second
+///   deletion of a delete-then-reinserted id is refused because one batch
+///   cannot express delete/insert/delete.
+///
+/// ```
+/// use pdmm_hypergraph::engine::{BatchLedger, UpdateCheck};
+/// use pdmm_hypergraph::types::{EdgeId, HyperEdge, Update, VertexId};
+///
+/// let live = |id: EdgeId| id == EdgeId(0);
+/// let mut ledger = BatchLedger::new();
+/// let delete = Update::Delete(EdgeId(0));
+/// assert_eq!(ledger.check(&delete, live, 2, 10), Ok(UpdateCheck::Fresh));
+/// ledger.record(&delete, 0);
+/// // Deleting the same pre-batch edge again repeats batch content …
+/// assert_eq!(ledger.check(&delete, live, 2, 10), Ok(UpdateCheck::RepeatedDelete));
+/// // … while re-inserting its id after the deletion is fresh and legal (§3.3).
+/// let reinsert = Update::Insert(HyperEdge::pair(EdgeId(0), VertexId(1), VertexId(2)));
+/// assert_eq!(ledger.check(&reinsert, live, 2, 10), Ok(UpdateCheck::Fresh));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BatchLedger {
+    /// Ids inserted so far, mapped to the position the caller recorded.
+    inserted: FxHashMap<EdgeId, usize>,
+    /// Ids deleted so far.
+    deleted: FxHashSet<EdgeId>,
+}
+
+impl BatchLedger {
+    /// An empty ledger: no updates recorded yet.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks one update against the engine-level live predicate and
+    /// everything recorded so far, without recording it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`BatchError`] this update would trigger in a batch made of
+    /// the recorded updates.
+    pub fn check(
+        &self,
+        update: &Update,
+        is_live: impl Fn(EdgeId) -> bool,
+        max_rank: usize,
+        num_vertices: usize,
+    ) -> Result<UpdateCheck, BatchError> {
+        match update {
+            Update::Insert(edge) => {
+                if edge.rank() > max_rank {
+                    return Err(BatchError::RankExceeded {
+                        id: edge.id,
+                        rank: edge.rank(),
+                        max_rank,
+                    });
+                }
+                if let Some(&v) = edge.vertices().iter().find(|v| v.index() >= num_vertices) {
+                    return Err(BatchError::VertexOutOfRange {
+                        id: edge.id,
+                        vertex: v,
+                        num_vertices,
+                    });
+                }
+                if let Some(&at) = self.inserted.get(&edge.id) {
+                    return Ok(UpdateCheck::RepeatedInsert { at });
+                }
+                if is_live(edge.id) && !self.deleted.contains(&edge.id) {
+                    return Err(BatchError::DuplicateEdgeId { id: edge.id });
+                }
+                Ok(UpdateCheck::Fresh)
+            }
+            Update::Delete(id) => {
+                if self.deleted.contains(id) {
+                    // A second deletion of the same pre-batch edge.  If the id
+                    // was re-inserted after the recorded deletion, this targets
+                    // the *new* edge, which a single batch cannot express
+                    // (deletions run first, §3.3) — a hard error either way
+                    // for strict validation, and an error even for sessions.
+                    return if self.inserted.contains_key(id) {
+                        Err(BatchError::DuplicateDeletion { id: *id })
+                    } else {
+                        Ok(UpdateCheck::RepeatedDelete)
+                    };
+                }
+                if self.inserted.contains_key(id) || !is_live(*id) {
+                    return Err(BatchError::UnknownDeletion { id: *id });
+                }
+                Ok(UpdateCheck::Fresh)
+            }
+        }
+    }
+
+    /// Records a [`UpdateCheck::Fresh`] update at position `at` (sessions pass
+    /// the staging index, whole-batch validation the batch index; the value is
+    /// only echoed back through [`UpdateCheck::RepeatedInsert`]).
+    pub fn record(&mut self, update: &Update, at: usize) {
+        match update {
+            Update::Insert(edge) => {
+                self.inserted.insert(edge.id, at);
+            }
+            Update::Delete(id) => {
+                self.deleted.insert(*id);
+            }
+        }
+    }
 }
 
 /// Validates a batch against the live-edge predicate of an engine.
 ///
-/// Shared by every [`MatchingEngine::apply_batch`] implementation so all engines
-/// reject exactly the same batches with exactly the same errors.  `delete X`
+/// Shared by every [`MatchingEngine::apply_batch`] implementation (via the
+/// [`run_batch`] scaffold) so all engines reject exactly the same batches with
+/// exactly the same errors, and built on the same [`BatchLedger`] machine as
+/// [`BatchSession`] so the two validation paths cannot drift.  `delete X`
 /// followed by `insert X` in one batch is legal (deletions are processed first,
 /// §3.3); `insert X` followed by `delete X` is not.
 ///
@@ -430,38 +842,20 @@ pub fn validate_batch(
     max_rank: usize,
     num_vertices: usize,
 ) -> Result<(), BatchError> {
-    let mut inserted: FxHashSet<EdgeId> = FxHashSet::default();
-    let mut deleted: FxHashSet<EdgeId> = FxHashSet::default();
-    for update in updates {
-        match update {
-            Update::Insert(edge) => {
-                if edge.rank() > max_rank {
-                    return Err(BatchError::RankExceeded {
-                        id: edge.id,
-                        rank: edge.rank(),
-                        max_rank,
-                    });
-                }
-                if let Some(&v) = edge.vertices().iter().find(|v| v.index() >= num_vertices) {
-                    return Err(BatchError::VertexOutOfRange {
-                        id: edge.id,
-                        vertex: v,
-                        num_vertices,
-                    });
-                }
-                let live_and_staying = is_live(edge.id) && !deleted.contains(&edge.id);
-                if live_and_staying || !inserted.insert(edge.id) {
-                    return Err(BatchError::DuplicateEdgeId { id: edge.id });
-                }
+    let mut ledger = BatchLedger::new();
+    for (at, update) in updates.iter().enumerate() {
+        match ledger.check(update, &is_live, max_rank, num_vertices)? {
+            UpdateCheck::Fresh => ledger.record(update, at),
+            // A raw batch slice has no dedup pass: repeats are hard errors.
+            UpdateCheck::RepeatedInsert { .. } => {
+                return Err(BatchError::DuplicateEdgeId {
+                    id: update.edge_id(),
+                })
             }
-            Update::Delete(id) => {
-                if deleted.contains(id) {
-                    return Err(BatchError::DuplicateDeletion { id: *id });
-                }
-                if inserted.contains(id) || !is_live(*id) {
-                    return Err(BatchError::UnknownDeletion { id: *id });
-                }
-                deleted.insert(*id);
+            UpdateCheck::RepeatedDelete => {
+                return Err(BatchError::DuplicateDeletion {
+                    id: update.edge_id(),
+                })
             }
         }
     }
@@ -475,15 +869,19 @@ pub fn validate_batch(
 /// A staged batch: updates are validated and deduplicated as they are staged,
 /// then committed to the engine as one batch.
 ///
-/// Staging rules:
+/// Staging rules (enforced by the same [`BatchLedger`] machine as
+/// [`validate_batch`], so sessions and whole-batch validation cannot drift):
 ///
 /// * an exact duplicate (same deletion id, or an insertion structurally equal to
 ///   an already-staged one) is silently dropped — [`BatchSession::stage`] returns
 ///   `Ok(false)`;
 /// * a *conflicting* duplicate (two different edges with one id) or an otherwise
 ///   invalid update is rejected with the same [`BatchError`] the engine itself
-///   would return;
-/// * nothing touches the engine until [`BatchSession::commit`].
+///   would return — as an error in strict mode ([`BatchSession::new`]), or
+///   collected into [`BatchSession::rejected`] in skip-and-report mode
+///   ([`BatchSession::lossy`]);
+/// * nothing touches the engine until [`BatchSession::commit`] /
+///   [`BatchSession::commit_lossy`].
 ///
 /// ```
 /// use pdmm::engine::{self, BatchSession, EngineBuilder, EngineKind};
@@ -503,90 +901,108 @@ pub fn validate_batch(
 pub struct BatchSession<'a, E: MatchingEngine + ?Sized> {
     engine: &'a mut E,
     staged: Vec<Update>,
-    /// Staged insertions by id, pointing at their index in `staged`.
-    inserts: FxHashMap<EdgeId, usize>,
-    /// Staged deletion ids.
-    deletes: FxHashSet<EdgeId>,
+    /// The shared validation machine (same rules as [`validate_batch`]).
+    ledger: BatchLedger,
     /// Exact duplicates dropped so far.
     deduplicated: usize,
+    /// Skip-and-report mode: invalid updates are collected, not errors.
+    skip_and_report: bool,
+    /// Updates refused in skip-and-report mode, in submission order.
+    rejected: Vec<RejectedUpdate>,
 }
 
 impl<'a, E: MatchingEngine + ?Sized> BatchSession<'a, E> {
-    /// Opens a session on `engine`.
+    /// Opens a strict session on `engine`: staging an invalid update returns
+    /// its [`BatchError`].
     pub fn new(engine: &'a mut E) -> Self {
         BatchSession {
             engine,
             staged: Vec::new(),
-            inserts: FxHashMap::default(),
-            deletes: FxHashSet::default(),
+            ledger: BatchLedger::new(),
             deduplicated: 0,
+            skip_and_report: false,
+            rejected: Vec::new(),
         }
     }
 
-    /// Stages one update.  Returns `Ok(true)` if it was staged, `Ok(false)` if it
-    /// was an exact duplicate of an already-staged update (dropped).
+    /// Opens a skip-and-report session on `engine`: staging an invalid update
+    /// records a [`RejectedUpdate`] and returns `Ok(false)` instead of
+    /// erroring, so a dirty stream cannot poison the batch.
+    pub fn lossy(engine: &'a mut E) -> Self {
+        BatchSession {
+            skip_and_report: true,
+            ..BatchSession::new(engine)
+        }
+    }
+
+    /// Stages one update.  Returns `Ok(true)` if it was staged, `Ok(false)` if
+    /// it was dropped (an exact duplicate of an already-staged update, or — in
+    /// skip-and-report mode — an invalid update recorded in
+    /// [`BatchSession::rejected`]).
     ///
     /// # Errors
     ///
-    /// Returns the [`BatchError`] this update would trigger on commit; the
-    /// session itself stays usable (the offending update is simply not staged).
+    /// In strict mode, returns the [`BatchError`] this update would trigger on
+    /// commit; the session itself stays usable (the offending update is simply
+    /// not staged).  In skip-and-report mode, never errors.
     pub fn stage(&mut self, update: Update) -> Result<bool, BatchError> {
-        match update {
-            Update::Insert(edge) => {
-                if edge.rank() > self.engine.max_rank() {
-                    return Err(BatchError::RankExceeded {
-                        id: edge.id,
-                        rank: edge.rank(),
-                        max_rank: self.engine.max_rank(),
-                    });
-                }
-                if let Some(&v) = edge
-                    .vertices()
-                    .iter()
-                    .find(|v| v.index() >= self.engine.num_vertices())
-                {
-                    return Err(BatchError::VertexOutOfRange {
-                        id: edge.id,
-                        vertex: v,
-                        num_vertices: self.engine.num_vertices(),
-                    });
-                }
-                if let Some(&at) = self.inserts.get(&edge.id) {
-                    // Structurally identical re-stage is a no-op; a different
-                    // edge under the same id is a conflict.
-                    return if matches!(&self.staged[at], Update::Insert(prev) if *prev == edge) {
-                        self.deduplicated += 1;
-                        Ok(false)
-                    } else {
-                        Err(BatchError::DuplicateEdgeId { id: edge.id })
-                    };
-                }
-                if self.engine.contains_edge(edge.id) && !self.deletes.contains(&edge.id) {
-                    return Err(BatchError::DuplicateEdgeId { id: edge.id });
-                }
-                self.inserts.insert(edge.id, self.staged.len());
-                self.staged.push(Update::Insert(edge));
+        // In skip-and-report mode every offered update lands in exactly one of
+        // staged / deduplicated / rejected, so the submission index of this
+        // update is the number of updates already bucketed.
+        let index = self.staged.len() + self.deduplicated + self.rejected.len();
+        let check = {
+            let engine = &*self.engine;
+            self.ledger.check(
+                &update,
+                |id| engine.contains_edge(id),
+                engine.max_rank(),
+                engine.num_vertices(),
+            )
+        };
+        match check {
+            Ok(UpdateCheck::Fresh) => {
+                self.ledger.record(&update, self.staged.len());
+                self.staged.push(update);
                 Ok(true)
             }
-            Update::Delete(id) => {
-                if self.deletes.contains(&id) {
-                    // A re-staged deletion of the same pre-batch edge dedups —
-                    // unless the id was re-inserted after the staged deletion,
-                    // in which case this targets the *new* edge, which a single
-                    // batch cannot express (deletions run first, §3.3).
-                    if self.inserts.contains_key(&id) {
-                        return Err(BatchError::DuplicateDeletion { id });
-                    }
+            Ok(UpdateCheck::RepeatedInsert { at }) => {
+                let Update::Insert(edge) = &update else {
+                    unreachable!("RepeatedInsert verdicts only arise for insertions")
+                };
+                // Structurally identical re-stage is a no-op; a different
+                // edge under the same id is a conflict.
+                if matches!(&self.staged[at], Update::Insert(prev) if prev == edge) {
                     self.deduplicated += 1;
-                    return Ok(false);
+                    Ok(false)
+                } else {
+                    let error = BatchError::DuplicateEdgeId { id: edge.id };
+                    self.refuse(index, update, error)
                 }
-                if self.inserts.contains_key(&id) || !self.engine.contains_edge(id) {
-                    return Err(BatchError::UnknownDeletion { id });
-                }
-                self.deletes.insert(id);
-                self.staged.push(Update::Delete(id));
-                Ok(true)
             }
+            Ok(UpdateCheck::RepeatedDelete) => {
+                self.deduplicated += 1;
+                Ok(false)
+            }
+            Err(error) => self.refuse(index, update, error),
+        }
+    }
+
+    /// Handles an invalid update: error in strict mode, recorded in lossy mode.
+    fn refuse(
+        &mut self,
+        index: usize,
+        update: Update,
+        error: BatchError,
+    ) -> Result<bool, BatchError> {
+        if self.skip_and_report {
+            self.rejected.push(RejectedUpdate {
+                index,
+                update,
+                error,
+            });
+            Ok(false)
+        } else {
+            Err(error)
         }
     }
 
@@ -633,6 +1049,13 @@ impl<'a, E: MatchingEngine + ?Sized> BatchSession<'a, E> {
         self.deduplicated
     }
 
+    /// The updates refused so far in skip-and-report mode, in submission
+    /// order (always empty for strict sessions).
+    #[must_use]
+    pub fn rejected(&self) -> &[RejectedUpdate] {
+        &self.rejected
+    }
+
     /// Applies the staged updates as one batch.
     ///
     /// # Errors
@@ -641,6 +1064,24 @@ impl<'a, E: MatchingEngine + ?Sized> BatchSession<'a, E> {
     /// staged through this session).
     pub fn commit(self) -> Result<BatchReport, BatchError> {
         self.engine.apply_batch(&self.staged)
+    }
+
+    /// Applies the staged (valid) updates as one batch and returns the full
+    /// [`IngestReport`]: the committed batch's report plus everything the
+    /// session deduplicated or rejected.  With nothing staged, the empty
+    /// batch commits as a counter-neutral no-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine's batch validation (which cannot fire for updates
+    /// staged through this session).
+    pub fn commit_lossy(self) -> Result<IngestReport, BatchError> {
+        let batch = self.engine.apply_batch(&self.staged)?;
+        Ok(IngestReport {
+            batch,
+            deduplicated: self.deduplicated,
+            rejected: self.rejected,
+        })
     }
 
     /// Discards the staged updates without touching the engine.
@@ -904,21 +1345,7 @@ mod tests {
         }
 
         fn apply_batch(&mut self, updates: &[Update]) -> Result<BatchReport, BatchError> {
-            validate_batch(
-                updates,
-                |id| self.graph.contains_edge(id),
-                self.max_rank(),
-                self.num_vertices(),
-            )?;
-            self.graph.apply_batch(&updates.to_vec());
-            self.matching = greedy_maximal_matching(&self.graph);
-            self.counters.batches += 1;
-            self.counters.updates += updates.len() as u64;
-            Ok(BatchReport {
-                batch_size: updates.len(),
-                matching_size: self.matching.len(),
-                ..BatchReport::default()
-            })
+            run_batch(self, updates)
         }
 
         fn matching(&self) -> MatchingIter<'_> {
@@ -931,6 +1358,26 @@ mod tests {
 
         fn metrics(&self) -> EngineMetrics {
             self.counters.into_metrics(0, 0)
+        }
+    }
+
+    impl BatchKernel for ToyEngine {
+        fn run_kernel(&mut self, updates: &[Update]) -> KernelOutcome {
+            let matched: FxHashSet<EdgeId> = self.matching.iter().copied().collect();
+            let matched_deletions = updates
+                .iter()
+                .filter(|u| matches!(u, Update::Delete(id) if matched.contains(id)))
+                .count();
+            self.graph.apply_batch(&updates.to_vec());
+            self.matching = greedy_maximal_matching(&self.graph);
+            KernelOutcome {
+                matched_deletions,
+                rebuilt: true,
+            }
+        }
+
+        fn record_batch(&mut self, delta: &UpdateCounters) {
+            self.counters.merge(delta);
         }
     }
 
@@ -1162,6 +1609,196 @@ mod tests {
             ]
         );
         assert_eq!(EngineKind::Parallel.to_string(), "parallel-dynamic");
+    }
+
+    #[test]
+    fn empty_batch_is_a_counter_neutral_noop() {
+        let mut engine = ToyEngine::new(4);
+        let report = engine.apply_batch(&[]).unwrap();
+        assert_eq!(report, BatchReport::default());
+        assert_eq!(engine.metrics(), EngineMetrics::default());
+
+        engine
+            .apply_batch(&[Update::Insert(pair(0, 0, 1))])
+            .unwrap();
+        let before = engine.metrics();
+        let report = engine.apply_batch(&[]).unwrap();
+        assert_eq!(report.batch_size, 0);
+        assert_eq!(report.matching_size, 1, "reports the current matching");
+        assert_eq!(report.metrics, EngineMetrics::default());
+        assert_eq!(engine.metrics(), before, "empty batch mutated counters");
+    }
+
+    #[test]
+    fn scaffold_reports_per_batch_metric_deltas() {
+        let mut engine = ToyEngine::new(6);
+        let r1 = engine
+            .apply_batch(&[Update::Insert(pair(0, 0, 1)), Update::Insert(pair(1, 2, 3))])
+            .unwrap();
+        assert_eq!(r1.metrics.batches, 1);
+        assert_eq!(r1.metrics.updates, 2);
+        assert_eq!(r1.metrics.insertions, 2);
+        assert_eq!(r1.metrics.deletions, 0);
+        assert_eq!(r1.metrics.rebuilds, 1, "the toy engine rebuilds per batch");
+        assert!(r1.rebuilt);
+        let r2 = engine.apply_batch(&[Update::Delete(EdgeId(0))]).unwrap();
+        assert_eq!(r2.metrics.deletions, 1);
+        assert_eq!(r2.metrics.matched_deletions, 1);
+        assert_eq!(r2.matched_deletions, 1);
+        // Deltas sum to the lifetime metrics.
+        let m = engine.metrics();
+        assert_eq!(m.batches, 2);
+        assert_eq!(m.updates, 3);
+        assert_eq!(m.matched_deletions, 1);
+        assert_eq!(m.rebuilds, 2);
+    }
+
+    #[test]
+    fn lossy_session_skips_and_reports_instead_of_failing() {
+        let mut engine = ToyEngine::new(6);
+        engine
+            .apply_batch(&[Update::Insert(pair(0, 0, 1))])
+            .unwrap();
+
+        let report = engine
+            .apply_batch_lossy(&[
+                Update::Insert(pair(1, 2, 3)),  // 0: staged
+                Update::Insert(pair(1, 2, 3)),  // 1: exact dup, dropped
+                Update::Insert(pair(1, 4, 5)),  // 2: conflicting id, rejected
+                Update::Insert(pair(0, 4, 5)),  // 3: live id, rejected
+                Update::Delete(EdgeId(42)),     // 4: unknown, rejected
+                Update::Delete(EdgeId(0)),      // 5: staged
+                Update::Insert(pair(9, 0, 77)), // 6: out of range, rejected
+                Update::Insert(HyperEdge::new(EdgeId(9), (0..4).map(VertexId).collect())), // 7: rank > 3, rejected
+            ])
+            .unwrap();
+
+        assert_eq!(report.batch.batch_size, 2);
+        assert_eq!(report.deduplicated, 1);
+        assert_eq!(report.offered(), 8);
+        let expected: Vec<(usize, BatchError)> = vec![
+            (2, BatchError::DuplicateEdgeId { id: EdgeId(1) }),
+            (3, BatchError::DuplicateEdgeId { id: EdgeId(0) }),
+            (4, BatchError::UnknownDeletion { id: EdgeId(42) }),
+            (
+                6,
+                BatchError::VertexOutOfRange {
+                    id: EdgeId(9),
+                    vertex: VertexId(77),
+                    num_vertices: 6,
+                },
+            ),
+            (
+                7,
+                BatchError::RankExceeded {
+                    id: EdgeId(9),
+                    rank: 4,
+                    max_rank: 3,
+                },
+            ),
+        ];
+        let got: Vec<(usize, BatchError)> = report
+            .rejected
+            .iter()
+            .map(|r| (r.index, r.error.clone()))
+            .collect();
+        assert_eq!(got, expected);
+        // The surviving subset was committed: edge 0 replaced by edge 1.
+        assert!(!engine.contains_edge(EdgeId(0)));
+        assert!(engine.contains_edge(EdgeId(1)));
+        engine.verify().unwrap();
+    }
+
+    #[test]
+    fn lossy_commit_of_nothing_is_a_noop() {
+        let mut engine = ToyEngine::new(4);
+        let report = engine
+            .apply_batch_lossy(&[Update::Delete(EdgeId(3))])
+            .unwrap();
+        assert_eq!(report.batch.batch_size, 0);
+        assert_eq!(report.rejected.len(), 1);
+        assert_eq!(engine.metrics(), EngineMetrics::default());
+    }
+
+    #[test]
+    fn strict_and_lossy_sessions_stage_the_same_subset() {
+        let dirty = vec![
+            Update::Insert(pair(0, 0, 1)),
+            Update::Insert(pair(0, 2, 3)), // conflict
+            Update::Delete(EdgeId(5)),     // unknown
+            Update::Insert(pair(1, 2, 3)),
+            Update::Insert(pair(1, 2, 3)), // exact dup
+            Update::Delete(EdgeId(0)),     // §3.3: cannot delete an id staged by this batch
+        ];
+        let mut a = ToyEngine::new(6);
+        let mut strict = BatchSession::new(&mut a);
+        let mut errors = Vec::new();
+        for update in &dirty {
+            if let Err(e) = strict.stage(update.clone()) {
+                errors.push(e);
+            }
+        }
+        let strict_staged = strict.staged().to_vec();
+        let mut b = ToyEngine::new(6);
+        let mut lossy = BatchSession::lossy(&mut b);
+        for update in &dirty {
+            lossy
+                .stage(update.clone())
+                .expect("lossy staging never errors");
+        }
+        assert_eq!(lossy.staged(), strict_staged.as_slice());
+        let lossy_errors: Vec<BatchError> =
+            lossy.rejected().iter().map(|r| r.error.clone()).collect();
+        assert_eq!(lossy_errors, errors);
+        assert_eq!(lossy.deduplicated(), 1);
+    }
+
+    #[test]
+    fn ledger_and_validate_batch_agree_on_every_error_kind() {
+        // Every BatchError kind, checked through both entry points.
+        let live = |id: EdgeId| id == EdgeId(7);
+        let cases: Vec<(Update, BatchError)> = vec![
+            (
+                Update::Delete(EdgeId(9)),
+                BatchError::UnknownDeletion { id: EdgeId(9) },
+            ),
+            (
+                Update::Insert(pair(7, 0, 1)),
+                BatchError::DuplicateEdgeId { id: EdgeId(7) },
+            ),
+            (
+                Update::Insert(HyperEdge::new(
+                    EdgeId(1),
+                    vec![VertexId(0), VertexId(1), VertexId(2)],
+                )),
+                BatchError::RankExceeded {
+                    id: EdgeId(1),
+                    rank: 3,
+                    max_rank: 2,
+                },
+            ),
+            (
+                Update::Insert(pair(1, 0, 99)),
+                BatchError::VertexOutOfRange {
+                    id: EdgeId(1),
+                    vertex: VertexId(99),
+                    num_vertices: 10,
+                },
+            ),
+        ];
+        for (update, expected) in cases {
+            let ledger = BatchLedger::new();
+            assert_eq!(
+                ledger.check(&update, live, 2, 10),
+                Err(expected.clone()),
+                "{update:?}"
+            );
+            assert_eq!(
+                validate_batch(std::slice::from_ref(&update), live, 2, 10),
+                Err(expected),
+                "{update:?}"
+            );
+        }
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! same [`pdmm_hypergraph::engine::EngineBuilder`] as the parallel algorithm, so
 //! the harness and the conformance tests drive all of them identically.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod naive;

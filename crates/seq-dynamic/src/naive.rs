@@ -9,8 +9,8 @@
 //! `k` updates is `Θ(k)` because updates are handled strictly sequentially.
 
 use pdmm_hypergraph::engine::{
-    validate_batch, BatchError, BatchReport, EngineBuilder, EngineMetrics, MatchingEngine,
-    MatchingIter, UpdateCounters,
+    run_batch, BatchError, BatchKernel, BatchReport, EngineBuilder, EngineMetrics, KernelOutcome,
+    MatchingEngine, MatchingIter, UpdateCounters,
 };
 use pdmm_hypergraph::graph::DynamicHypergraph;
 use pdmm_hypergraph::matching::{verify_maximality, Matching};
@@ -89,13 +89,13 @@ impl NaiveDynamicMatching {
         }
     }
 
-    fn handle_delete(&mut self, id: EdgeId) {
+    /// Returns `true` iff the deletion hit a matched edge (the expensive case).
+    fn handle_delete(&mut self, id: EdgeId) -> bool {
         let edge = self.graph.delete_edge(id);
         self.cost.work(edge.rank() as u64);
         if !self.matching.contains_edge(id) {
-            return;
+            return false;
         }
-        self.counters.matched_deletions += 1;
         self.matching.remove(&edge);
         // Restore maximality: only edges incident to the exposed endpoints can have
         // become addable.  Scan their incidence lists greedily.
@@ -118,6 +118,7 @@ impl NaiveDynamicMatching {
                 }
             }
         }
+        true
     }
 }
 
@@ -139,40 +140,7 @@ impl MatchingEngine for NaiveDynamicMatching {
     }
 
     fn apply_batch(&mut self, updates: &[Update]) -> Result<BatchReport, BatchError> {
-        validate_batch(
-            updates,
-            |id| self.graph.contains_edge(id),
-            self.max_rank,
-            self.graph.num_vertices(),
-        )?;
-        let start = self.cost.snapshot();
-        let matched_deletions_before = self.counters.matched_deletions;
-        self.counters.batches += 1;
-        for update in updates {
-            // Each update is one sequential step: depth grows linearly in the batch.
-            self.cost.round();
-            self.counters.updates += 1;
-            match update {
-                Update::Insert(edge) => {
-                    self.counters.insertions += 1;
-                    self.handle_insert(edge.clone());
-                }
-                Update::Delete(id) => {
-                    self.counters.deletions += 1;
-                    self.handle_delete(*id);
-                }
-            }
-        }
-        let cost = self.cost.snapshot().since(&start);
-        Ok(BatchReport {
-            batch_size: updates.len(),
-            depth: cost.depth,
-            work: cost.work,
-            matched_deletions: (self.counters.matched_deletions - matched_deletions_before)
-                as usize,
-            matching_size: self.matching.len(),
-            rebuilt: false,
-        })
+        run_batch(self, updates)
     }
 
     fn matching(&self) -> MatchingIter<'_> {
@@ -190,6 +158,27 @@ impl MatchingEngine for NaiveDynamicMatching {
     fn metrics(&self) -> EngineMetrics {
         let cost = self.cost.snapshot();
         self.counters.into_metrics(cost.work, cost.depth)
+    }
+}
+
+impl BatchKernel for NaiveDynamicMatching {
+    fn run_kernel(&mut self, updates: &[Update]) -> KernelOutcome {
+        let mut outcome = KernelOutcome::default();
+        for update in updates {
+            // Each update is one sequential step: depth grows linearly in the batch.
+            self.cost.round();
+            match update {
+                Update::Insert(edge) => self.handle_insert(edge.clone()),
+                Update::Delete(id) => {
+                    outcome.matched_deletions += usize::from(self.handle_delete(*id));
+                }
+            }
+        }
+        outcome
+    }
+
+    fn record_batch(&mut self, delta: &UpdateCounters) {
+        self.counters.merge(delta);
     }
 }
 

@@ -12,8 +12,8 @@
 //! [`pdmm_static::StaticRecompute`] adapter.)
 
 use pdmm_hypergraph::engine::{
-    validate_batch, BatchError, BatchReport, EngineBuilder, EngineMetrics, EnginePool,
-    MatchingEngine, MatchingIter, UpdateCounters,
+    run_batch, BatchError, BatchKernel, BatchReport, EngineBuilder, EngineMetrics, EnginePool,
+    KernelOutcome, MatchingEngine, MatchingIter, UpdateCounters,
 };
 use pdmm_hypergraph::graph::DynamicHypergraph;
 use pdmm_hypergraph::matching::verify_maximality;
@@ -93,53 +93,7 @@ impl MatchingEngine for RecomputeFromScratch {
     }
 
     fn apply_batch(&mut self, updates: &[Update]) -> Result<BatchReport, BatchError> {
-        validate_batch(
-            updates,
-            |id| self.graph.contains_edge(id),
-            self.max_rank,
-            self.graph.num_vertices(),
-        )?;
-        let start = self.cost.snapshot();
-        self.counters.batches += 1;
-        self.counters.updates += updates.len() as u64;
-        // Hash the previous matching once so per-deletion lookups are O(1)
-        // instead of a linear scan per update.
-        let matched: FxHashSet<EdgeId> = self.matching.iter().copied().collect();
-        let mut matched_deletions = 0usize;
-        for update in updates {
-            match update {
-                Update::Insert(edge) => {
-                    self.counters.insertions += 1;
-                    self.graph.insert_edge(edge.clone());
-                }
-                Update::Delete(id) => {
-                    self.counters.deletions += 1;
-                    if matched.contains(id) {
-                        matched_deletions += 1;
-                    }
-                    self.graph.delete_edge(*id);
-                }
-            }
-        }
-        self.counters.matched_deletions += matched_deletions as u64;
-        self.cost.work(updates.len() as u64);
-        self.cost.round();
-        let edges = self.graph.snapshot_edges();
-        let rng = &mut self.rng;
-        let cost = &self.cost;
-        let result = self
-            .pool
-            .install(|| luby_maximal_matching(&edges, rng, Some(cost)));
-        self.matching = result.edges;
-        let cost = self.cost.snapshot().since(&start);
-        Ok(BatchReport {
-            batch_size: updates.len(),
-            depth: cost.depth,
-            work: cost.work,
-            matched_deletions,
-            matching_size: self.matching.len(),
-            rebuilt: false,
-        })
+        run_batch(self, updates)
     }
 
     fn matching(&self) -> MatchingIter<'_> {
@@ -157,6 +111,46 @@ impl MatchingEngine for RecomputeFromScratch {
     fn metrics(&self) -> EngineMetrics {
         let cost = self.cost.snapshot();
         self.counters.into_metrics(cost.work, cost.depth)
+    }
+}
+
+impl BatchKernel for RecomputeFromScratch {
+    fn run_kernel(&mut self, updates: &[Update]) -> KernelOutcome {
+        // Hash the previous matching once so per-deletion lookups are O(1)
+        // instead of a linear scan per update.
+        let matched: FxHashSet<EdgeId> = self.matching.iter().copied().collect();
+        let mut matched_deletions = 0usize;
+        for update in updates {
+            match update {
+                Update::Insert(edge) => {
+                    self.graph.insert_edge(edge.clone());
+                }
+                Update::Delete(id) => {
+                    if matched.contains(id) {
+                        matched_deletions += 1;
+                    }
+                    self.graph.delete_edge(*id);
+                }
+            }
+        }
+        self.cost.work(updates.len() as u64);
+        self.cost.round();
+        let edges = self.graph.snapshot_edges();
+        let rng = &mut self.rng;
+        let cost = &self.cost;
+        let result = self
+            .pool
+            .install(|| luby_maximal_matching(&edges, rng, Some(cost)));
+        self.matching = result.edges;
+        KernelOutcome {
+            matched_deletions,
+            // The matching is thrown away and recomputed on every batch.
+            rebuilt: true,
+        }
+    }
+
+    fn record_batch(&mut self, delta: &UpdateCounters) {
+        self.counters.merge(delta);
     }
 }
 

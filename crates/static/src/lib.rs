@@ -10,7 +10,7 @@
 //! * [`recompute`] — the [`StaticRecompute`] adapter exposing the greedy scan
 //!   through the workspace-wide `MatchingEngine` API.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod greedy;

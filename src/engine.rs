@@ -20,8 +20,9 @@
 //! ```
 
 pub use pdmm_hypergraph::engine::{
-    validate_batch, BatchError, BatchReport, BatchSession, EngineBuilder, EngineKind,
-    EngineMetrics, EnginePool, MatchingEngine, MatchingIter, UpdateCounters,
+    run_batch, validate_batch, BatchError, BatchKernel, BatchLedger, BatchReport, BatchSession,
+    EngineBuilder, EngineKind, EngineMetrics, EnginePool, IngestReport, KernelOutcome,
+    MatchingEngine, MatchingIter, RejectedUpdate, UpdateCheck, UpdateCounters,
 };
 
 /// Constructs the engine of the given kind from a shared builder configuration.

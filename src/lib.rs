@@ -86,7 +86,7 @@ pub use pdmm_static as static_matching;
 pub mod prelude {
     pub use crate::engine::{
         BatchError, BatchReport, BatchSession, EngineBuilder, EngineKind, EngineMetrics,
-        MatchingEngine,
+        IngestReport, MatchingEngine, RejectedUpdate,
     };
     pub use pdmm_core::{Config, ParallelDynamicMatching};
     pub use pdmm_hypergraph::graph::DynamicHypergraph;

@@ -388,6 +388,182 @@ fn metrics_count_updates_uniformly_across_engines() {
 }
 
 #[test]
+fn rebuilt_flag_is_pinned_per_engine() {
+    // The recompute engines throw the matching away and rebuild it on every
+    // batch, so they must say so; the incremental-repair baselines never
+    // rebuild; the parallel algorithm rebuilds only on `N`-doubling batches
+    // (suppressed here by a generous capacity hint).
+    let w = streams::random_churn(60, 2, 120, 10, 25, 0.5, 19);
+    for kind in EngineKind::ALL {
+        let rebuilds_every_batch = matches!(
+            kind,
+            EngineKind::RecomputeSequential | EngineKind::StaticRecompute
+        );
+        let builder = EngineBuilder::new(w.num_vertices)
+            .rank(2)
+            .seed(3)
+            .capacity_hint(10 * w.total_updates());
+        let mut engine = engine::build(kind, &builder);
+        for batch in &w.batches {
+            let report = engine.apply_batch(batch).unwrap();
+            assert_eq!(
+                report.rebuilt,
+                rebuilds_every_batch,
+                "{} misreports the rebuilt flag",
+                engine.name()
+            );
+            assert_eq!(
+                report.metrics.rebuilds,
+                u64::from(rebuilds_every_batch),
+                "{} misreports the per-batch rebuild count",
+                engine.name()
+            );
+        }
+        let expected_rebuilds = if rebuilds_every_batch {
+            w.batches.len() as u64
+        } else {
+            0
+        };
+        assert_eq!(
+            engine.metrics().rebuilds,
+            expected_rebuilds,
+            "{} miscounts lifetime rebuilds",
+            engine.name()
+        );
+    }
+}
+
+#[test]
+fn empty_batches_are_counter_neutral_noops_on_every_engine() {
+    let builder = EngineBuilder::new(6).rank(2).seed(5);
+    for kind in EngineKind::ALL {
+        let mut engine = engine::build(kind, &builder);
+        let name = engine.name();
+        let report = engine.apply_batch(&[]).unwrap();
+        assert_eq!(report, BatchReport::default(), "{name}");
+        assert_eq!(engine.metrics(), EngineMetrics::default(), "{name}");
+
+        engine
+            .apply_batch(&[Update::Insert(HyperEdge::pair(
+                EdgeId(0),
+                VertexId(0),
+                VertexId(1),
+            ))])
+            .unwrap();
+        let before = engine.metrics();
+        let report = engine.apply_batch(&[]).unwrap();
+        assert_eq!(report.batch_size, 0, "{name}");
+        assert_eq!(report.matching_size, 1, "{name}");
+        assert_eq!(report.metrics, EngineMetrics::default(), "{name}");
+        assert_eq!(
+            engine.metrics(),
+            before,
+            "{name}: an empty batch mutated counters"
+        );
+        engine.verify().unwrap();
+    }
+}
+
+#[test]
+fn per_batch_metric_deltas_sum_to_lifetime_metrics() {
+    let w = streams::random_churn(70, 2, 140, 10, 25, 0.5, 27);
+    for mut engine in engines_for(&w, 13) {
+        let mut sum = EngineMetrics::default();
+        for batch in &w.batches {
+            let report = engine.apply_batch(batch).unwrap();
+            assert_eq!(report.metrics.batches, 1, "{}", engine.name());
+            assert_eq!(
+                report.metrics.updates,
+                batch.len() as u64,
+                "{}",
+                engine.name()
+            );
+            assert_eq!(report.metrics.work, report.work, "{}", engine.name());
+            assert_eq!(report.metrics.depth, report.depth, "{}", engine.name());
+            sum.merge(&report.metrics);
+        }
+        assert_eq!(
+            sum,
+            engine.metrics(),
+            "{}: per-batch deltas drift from lifetime metrics",
+            engine.name()
+        );
+    }
+}
+
+#[test]
+fn lossy_ingest_commits_the_same_surviving_subset_with_identical_rejections() {
+    // A dirty ingest stream: valid updates interleaved with every error kind.
+    // Every engine must commit exactly the same surviving subset and report
+    // exactly the same per-update rejections, in the same order.
+    let dirty: Vec<Update> = vec![
+        Update::Insert(HyperEdge::pair(EdgeId(2), VertexId(4), VertexId(5))), // 0: ok
+        Update::Insert(HyperEdge::pair(EdgeId(0), VertexId(2), VertexId(3))), // 1: live id
+        Update::Delete(EdgeId(42)),                                           // 2: unknown
+        Update::Delete(EdgeId(0)),                                            // 3: ok
+        Update::Delete(EdgeId(0)),                                            // 4: exact dup
+        Update::Insert(HyperEdge::pair(EdgeId(2), VertexId(4), VertexId(5))), // 5: exact dup
+        Update::Insert(HyperEdge::pair(EdgeId(2), VertexId(0), VertexId(5))), // 6: conflict
+        Update::Insert(HyperEdge::new(
+            EdgeId(9),
+            vec![VertexId(0), VertexId(1), VertexId(2)],
+        )), // 7: rank
+        Update::Insert(HyperEdge::pair(EdgeId(9), VertexId(0), VertexId(77))), // 8: range
+        Update::Insert(HyperEdge::pair(EdgeId(0), VertexId(2), VertexId(3))), // 9: reinsert, ok
+        Update::Delete(EdgeId(1)),                                            // 10: ok
+    ];
+    let expected_rejections: Vec<(usize, BatchError)> = vec![
+        (1, BatchError::DuplicateEdgeId { id: EdgeId(0) }),
+        (2, BatchError::UnknownDeletion { id: EdgeId(42) }),
+        (6, BatchError::DuplicateEdgeId { id: EdgeId(2) }),
+        (
+            7,
+            BatchError::RankExceeded {
+                id: EdgeId(9),
+                rank: 3,
+                max_rank: 2,
+            },
+        ),
+        (
+            8,
+            BatchError::VertexOutOfRange {
+                id: EdgeId(9),
+                vertex: VertexId(77),
+                num_vertices: 8,
+            },
+        ),
+    ];
+    let builder = EngineBuilder::new(8).rank(2).seed(11);
+    for kind in EngineKind::ALL {
+        let mut engine = engine::build(kind, &builder);
+        let name = engine.name();
+        // Prime the engines with two live edges so live-id and deletion cases fire.
+        engine
+            .apply_batch(&[
+                Update::Insert(HyperEdge::pair(EdgeId(0), VertexId(0), VertexId(1))),
+                Update::Insert(HyperEdge::pair(EdgeId(1), VertexId(2), VertexId(3))),
+            ])
+            .unwrap();
+        let report = engine.apply_batch_lossy(&dirty).unwrap();
+        assert_eq!(report.batch.batch_size, 4, "{name}");
+        assert_eq!(report.deduplicated, 2, "{name}");
+        assert_eq!(report.offered(), dirty.len(), "{name}");
+        let got: Vec<(usize, BatchError)> = report
+            .rejected
+            .iter()
+            .map(|r| (r.index, r.error.clone()))
+            .collect();
+        assert_eq!(got, expected_rejections, "{name}");
+        // The surviving subset is committed: 0 reinserted, 1 gone, 2 live.
+        assert!(engine.contains_edge(EdgeId(0)), "{name}");
+        assert!(!engine.contains_edge(EdgeId(1)), "{name}");
+        assert!(engine.contains_edge(EdgeId(2)), "{name}");
+        assert!(!engine.contains_edge(EdgeId(9)), "{name}");
+        engine.verify().unwrap();
+    }
+}
+
+#[test]
 fn staged_sessions_deduplicate_identically_for_every_engine() {
     let builder = EngineBuilder::new(8).rank(2).seed(11);
     for kind in EngineKind::ALL {

@@ -1,0 +1,164 @@
+//! Differential test pinning the two batch-validation paths together.
+//!
+//! The engine layer validates updates in two places: [`validate_batch`]
+//! (whole-batch, used by the shared `run_batch` scaffold inside every
+//! `apply_batch`) and [`BatchSession::stage`] (incremental, used by the staged
+//! ingest path).  Both are built on the same `BatchLedger` machine; this test
+//! drives random dirty update sequences — duplicates, reinserts, rank and
+//! vertex violations, delete-then-insert and insert-then-delete chains —
+//! through both paths and asserts they agree exactly:
+//!
+//! * every update a strict session rejects would make the staged batch fail
+//!   `validate_batch` with the *same* error;
+//! * every update a session deduplicates is a `Duplicate*` under
+//!   `validate_batch`, naming the same edge;
+//! * after every accepted update, the staged prefix passes `validate_batch`;
+//! * strict and lossy sessions stage the same subset, lossy collecting exactly
+//!   the errors the strict session returned;
+//! * the final staged batch passes engine validation and commits cleanly.
+
+use pdmm::engine::{self, validate_batch, BatchError, BatchSession, MatchingEngine};
+use pdmm::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+const NUM_VERTICES: usize = 6;
+const MAX_RANK: usize = 2;
+/// Ids of the edges every engine is primed with before staging begins.
+const LIVE_IDS: [u64; 3] = [0, 1, 2];
+
+fn primed_engine(kind: EngineKind) -> Box<dyn MatchingEngine> {
+    let builder = EngineBuilder::new(NUM_VERTICES).rank(MAX_RANK).seed(7);
+    let mut engine = engine::build(kind, &builder);
+    engine
+        .apply_batch(&[
+            Update::Insert(HyperEdge::pair(EdgeId(0), VertexId(0), VertexId(1))),
+            Update::Insert(HyperEdge::pair(EdgeId(1), VertexId(2), VertexId(3))),
+            Update::Insert(HyperEdge::pair(EdgeId(2), VertexId(4), VertexId(5))),
+        ])
+        .unwrap();
+    engine
+}
+
+/// Decodes one generated tuple into an update.  Small id and vertex spaces
+/// make duplicates, reinserts, unknown deletions, out-of-range endpoints
+/// (vertices 6..8) and rank violations (op 3) all likely.
+fn decode(op: u8, id: u64, a: u32, b: u32, c: u32) -> Update {
+    match op {
+        0 | 1 => Update::Insert(HyperEdge::pair(EdgeId(id), VertexId(a), VertexId(b))),
+        2 => Update::Delete(EdgeId(id)),
+        _ => Update::Insert(HyperEdge::new(
+            EdgeId(id),
+            vec![VertexId(a), VertexId(b), VertexId(c)],
+        )),
+    }
+}
+
+fn is_live(id: EdgeId) -> bool {
+    LIVE_IDS.contains(&id.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn session_and_validate_batch_agree_on_random_dirty_streams(
+        raw in proptest::collection::vec(
+            (0u8..4, 0u64..8, 0u32..8, 0u32..8, 0u32..8),
+            1..40,
+        ),
+    ) {
+        let updates: Vec<Update> = raw
+            .into_iter()
+            .map(|(op, id, a, b, c)| decode(op, id, a, b, c))
+            .collect();
+
+        // Strict session against the static-recompute engine (deterministic).
+        let mut strict_engine = primed_engine(EngineKind::StaticRecompute);
+        let mut strict = BatchSession::new(&mut *strict_engine);
+        let mut accepted: Vec<Update> = Vec::new();
+        let mut strict_errors: Vec<BatchError> = Vec::new();
+        for update in &updates {
+            match strict.stage(update.clone()) {
+                Ok(true) => {
+                    accepted.push(update.clone());
+                    // Invariant: every session-accepted prefix passes the
+                    // engine-side whole-batch validation.
+                    prop_assert_eq!(
+                        validate_batch(&accepted, is_live, MAX_RANK, NUM_VERTICES),
+                        Ok(())
+                    );
+                }
+                Ok(false) => {
+                    // Deduplicated: as a raw batch element it would be a
+                    // Duplicate* error naming the same edge.
+                    let mut with = accepted.clone();
+                    with.push(update.clone());
+                    let err = validate_batch(&with, is_live, MAX_RANK, NUM_VERTICES)
+                        .expect_err("a deduplicated update must be a strict duplicate");
+                    let id = update.edge_id();
+                    prop_assert!(
+                        err == BatchError::DuplicateEdgeId { id }
+                            || err == BatchError::DuplicateDeletion { id },
+                        "dedup of {:?} maps to non-duplicate error {:?}",
+                        update,
+                        err
+                    );
+                }
+                Err(error) => {
+                    // Rejected: appending it to the accepted prefix must fail
+                    // whole-batch validation with the identical error.
+                    let mut with = accepted.clone();
+                    with.push(update.clone());
+                    prop_assert_eq!(
+                        validate_batch(&with, is_live, MAX_RANK, NUM_VERTICES),
+                        Err(error.clone())
+                    );
+                    strict_errors.push(error);
+                }
+            }
+        }
+
+        // The lossy session stages exactly the same subset and collects
+        // exactly the errors the strict session returned.
+        let mut lossy_engine = primed_engine(EngineKind::StaticRecompute);
+        let mut lossy = BatchSession::lossy(&mut *lossy_engine);
+        for update in &updates {
+            let staged = lossy.stage(update.clone());
+            prop_assert!(staged.is_ok(), "lossy staging returned {:?}", staged);
+        }
+        prop_assert_eq!(lossy.staged(), accepted.as_slice());
+        let lossy_errors: Vec<BatchError> =
+            lossy.rejected().iter().map(|r| r.error.clone()).collect();
+        prop_assert_eq!(lossy_errors, strict_errors);
+
+        // Both commits succeed, and being the same deterministic engine fed
+        // the same surviving batch, they agree on the resulting matching.
+        let strict_report = strict.commit().expect("strict staged batch must commit");
+        let lossy_report = lossy.commit_lossy().expect("lossy staged batch must commit");
+        prop_assert_eq!(strict_report.batch_size, accepted.len());
+        prop_assert_eq!(strict_report, lossy_report.batch);
+        let mut a = strict_engine.matching_ids();
+        let mut b = lossy_engine.matching_ids();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+
+        // Cross-check the live view: ids inserted (and not re-deleted) by the
+        // committed batch are live, batch-deleted ids are not.
+        let mut live: HashSet<EdgeId> = LIVE_IDS.iter().map(|&id| EdgeId(id)).collect();
+        for update in &accepted {
+            match update {
+                Update::Insert(edge) => {
+                    live.insert(edge.id);
+                }
+                Update::Delete(id) => {
+                    live.remove(id);
+                }
+            }
+        }
+        for id in (0..8).map(EdgeId) {
+            prop_assert_eq!(strict_engine.contains_edge(id), live.contains(&id));
+        }
+    }
+}
