@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use pdmm::engine::{EngineBuilder, EngineKind};
 use pdmm_bench::run_kind;
 use pdmm_hypergraph::streams;
+use pdmm_hypergraph::types::UpdateBatch;
 use std::hint::black_box;
 
 fn bench_amortized_work(c: &mut Criterion) {
@@ -15,7 +16,7 @@ fn bench_amortized_work(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     for &n in &[1usize << 11, 1 << 13, 1 << 15] {
         let w = streams::random_churn(n, 2, 2 * n, 10, n / 4, 0.5, 17);
-        let updates = w.batches.iter().map(Vec::len).sum::<usize>() as u64;
+        let updates = w.batches.iter().map(UpdateBatch::len).sum::<usize>() as u64;
         group.throughput(Throughput::Elements(updates));
         let builder = EngineBuilder::new(n).seed(23);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {

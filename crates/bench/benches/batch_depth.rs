@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pdmm::engine::{EngineBuilder, EngineKind};
 use pdmm_bench::run_kind;
+use pdmm_hypergraph::types::UpdateBatch;
 use pdmm_hypergraph::{generators, streams};
 use std::hint::black_box;
 
@@ -19,7 +20,7 @@ fn bench_batch_sizes(c: &mut Criterion) {
     for &batch in &[64usize, 1_024, 16_384] {
         let w = streams::insert_then_teardown(n, edges.clone(), batch, 3);
         group.throughput(Throughput::Elements(
-            w.batches.iter().map(Vec::len).sum::<usize>() as u64,
+            w.batches.iter().map(UpdateBatch::len).sum::<usize>() as u64,
         ));
         group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
             b.iter(|| {

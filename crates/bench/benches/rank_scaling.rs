@@ -5,6 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use pdmm::engine::{EngineBuilder, EngineKind};
 use pdmm_bench::run_kind;
 use pdmm_hypergraph::streams;
+use pdmm_hypergraph::types::UpdateBatch;
 use std::hint::black_box;
 
 fn bench_rank_scaling(c: &mut Criterion) {
@@ -15,7 +16,7 @@ fn bench_rank_scaling(c: &mut Criterion) {
     let n = 1 << 12;
     for &r in &[2usize, 4, 8] {
         let w = streams::random_churn(n, r, n, 10, n / 8, 0.5, 53);
-        let updates = w.batches.iter().map(Vec::len).sum::<usize>() as u64;
+        let updates = w.batches.iter().map(UpdateBatch::len).sum::<usize>() as u64;
         group.throughput(Throughput::Elements(updates));
         let builder = EngineBuilder::new(n).rank(r).seed(7);
         group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, _| {

@@ -1,4 +1,4 @@
-//! The experiment suite (E1–E10 of `DESIGN.md`).
+//! The experiment suite (E1–E10 of `DESIGN.md`, plus the serve-path E11).
 //!
 //! The paper is a theory paper — it has no empirical tables of its own — so each
 //! experiment here turns one of its stated claims into a measured series (see the
@@ -479,7 +479,87 @@ pub fn e10_ablation(scale: Scale) -> String {
     finish(table)
 }
 
-/// Runs one experiment by id (`"e1"`, …, `"e10"`).  Returns `None` for unknown ids.
+/// E11 — the serve path: snapshot-read latency under commit load.  A reader
+/// thread hammers `EngineService::snapshot` while this thread drains a churn
+/// workload through the service; the table reports commit throughput alongside
+/// the observed read latencies.  The point of the snapshot design is that the
+/// read path only ever clones an `Arc` under a short lock, so read latency
+/// should stay flat (and tiny) regardless of engine, thread count, or how
+/// expensive the concurrent commits are.
+#[must_use]
+pub fn e11_serve_loop(scale: Scale) -> String {
+    use pdmm::service::EngineService;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let mut table = Table::new(
+        "E11  snapshot-read latency under commit load (the serve path)",
+        &[
+            "engine",
+            "threads",
+            "commit us/update",
+            "reads",
+            "read mean ns",
+            "read p99 ns",
+            "read max ns",
+        ],
+    );
+    let n = scale.div(1 << 13, 1 << 10);
+    let w = streams::random_churn(n, 2, 4 * n, 24, n / 4, 0.5, 67);
+    for kind in [EngineKind::Parallel, EngineKind::StaticRecompute] {
+        for &threads in &[1usize, 4] {
+            let builder = EngineBuilder::new(n).seed(5).threads(threads);
+            let service = EngineService::new(pdmm::engine::build(kind, &builder));
+            let done = AtomicBool::new(false);
+            let (latencies, commit_wall) = std::thread::scope(|scope| {
+                let reader = scope.spawn(|| {
+                    let mut samples: Vec<u64> = Vec::with_capacity(1 << 20);
+                    while !done.load(Ordering::Acquire) {
+                        let t0 = Instant::now();
+                        let snapshot = service.snapshot();
+                        let dt = t0.elapsed().as_nanos() as u64;
+                        std::hint::black_box(snapshot.size());
+                        samples.push(dt);
+                    }
+                    samples
+                });
+                let t0 = Instant::now();
+                for batch in &w.batches {
+                    service.submit(batch.clone());
+                    service.drain().expect("generated workloads are valid");
+                }
+                let commit_wall = t0.elapsed();
+                done.store(true, Ordering::Release);
+                (reader.join().expect("reader thread panicked"), commit_wall)
+            });
+            let mut sorted = latencies;
+            sorted.sort_unstable();
+            // The reader may never get scheduled before the drain finishes on
+            // a loaded single-core box; report zeros rather than indexing an
+            // empty sample set.
+            let mean = sorted.iter().sum::<u64>() as f64 / sorted.len().max(1) as f64;
+            let p99 = if sorted.is_empty() {
+                0
+            } else {
+                sorted[(sorted.len() * 99 / 100).min(sorted.len() - 1)]
+            };
+            table.row(vec![
+                kind.to_string(),
+                threads.to_string(),
+                f(
+                    commit_wall.as_secs_f64() * 1e6 / w.total_updates() as f64,
+                    2,
+                ),
+                sorted.len().to_string(),
+                f(mean, 0),
+                p99.to_string(),
+                sorted.last().copied().unwrap_or(0).to_string(),
+            ]);
+        }
+    }
+    finish(table)
+}
+
+/// Runs one experiment by id (`"e1"`, …, `"e11"`).  Returns `None` for unknown ids.
 #[must_use]
 pub fn run_by_id(id: &str, scale: Scale) -> Option<String> {
     let out = match id {
@@ -493,14 +573,16 @@ pub fn run_by_id(id: &str, scale: Scale) -> Option<String> {
         "e8" => e8_epoch_stats(scale),
         "e9" => e9_thread_scaling(scale),
         "e10" => e10_ablation(scale),
+        "e11" => e11_serve_loop(scale),
         _ => return None,
     };
     Some(out)
 }
 
 /// All experiment ids, in order.
-pub const ALL_EXPERIMENTS: [&str; 10] =
-    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+pub const ALL_EXPERIMENTS: [&str; 11] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+];
 
 fn finish(table: Table) -> String {
     let rendered = table.render();
@@ -542,6 +624,6 @@ mod tests {
     fn run_by_id_dispatches() {
         assert!(run_by_id("e7", Scale::Quick).is_some());
         assert!(run_by_id("nope", Scale::Quick).is_none());
-        assert_eq!(ALL_EXPERIMENTS.len(), 10);
+        assert_eq!(ALL_EXPERIMENTS.len(), 11);
     }
 }

@@ -96,7 +96,7 @@ pub fn run_kind(
     workload: &Workload,
     kind: EngineKind,
     builder: &EngineBuilder,
-) -> (Box<dyn MatchingEngine>, RunStats) {
+) -> (Box<dyn MatchingEngine + Send>, RunStats) {
     let mut engine = engine::build(kind, builder);
     let stats = run_workload(workload, engine.as_mut())
         .unwrap_or_else(|e| panic!("workload {} rejected by {}: {e}", workload.name, kind));

@@ -532,14 +532,15 @@ mod tests {
     fn delete_matched_edge_restores_maximality() {
         let config = Config::for_graphs(3).with_invariant_checks();
         let batches = vec![
-            vec![
+            UpdateBatch::new(vec![
                 Update::Insert(pair(0, 0, 1)),
                 Update::Insert(pair(1, 1, 2)),
                 Update::Insert(pair(2, 2, 3)),
                 Update::Insert(pair(3, 3, 4)),
-            ],
-            vec![Update::Delete(EdgeId(0))],
-            vec![Update::Delete(EdgeId(2))],
+            ])
+            .unwrap(),
+            UpdateBatch::new(vec![Update::Delete(EdgeId(0))]).unwrap(),
+            UpdateBatch::new(vec![Update::Delete(EdgeId(2))]).unwrap(),
         ];
         run_checked(5, &batches, config);
     }
@@ -607,7 +608,8 @@ mod tests {
         let edges = gnm_graph(8, 20, 11, 0);
         let mut rebuilt = false;
         for chunk in edges.chunks(4) {
-            let batch: UpdateBatch = chunk.iter().cloned().map(Update::Insert).collect();
+            let batch =
+                UpdateBatch::new(chunk.iter().cloned().map(Update::Insert).collect()).unwrap();
             truth.apply_batch(&batch);
             let report = alg.apply_batch(&batch).unwrap();
             rebuilt |= report.rebuilt;
@@ -624,10 +626,12 @@ mod tests {
     fn batch_report_counts_are_consistent_with_metrics() {
         let mut alg = ParallelDynamicMatching::new(10, Config::for_graphs(8));
         let edges = gnm_graph(10, 15, 3, 0);
-        let insert_batch: UpdateBatch = edges.iter().cloned().map(Update::Insert).collect();
+        let insert_batch =
+            UpdateBatch::new(edges.iter().cloned().map(Update::Insert).collect()).unwrap();
         alg.apply_batch(&insert_batch).unwrap();
         let matched = alg.matching_ids();
-        let delete_batch: UpdateBatch = matched.iter().map(|id| Update::Delete(*id)).collect();
+        let delete_batch =
+            UpdateBatch::new(matched.iter().map(|id| Update::Delete(*id)).collect()).unwrap();
         let report = alg.apply_batch(&delete_batch).unwrap();
         assert_eq!(report.matched_deletions, matched.len());
         assert_eq!(alg.metrics().matched_deletions, matched.len() as u64);

@@ -905,6 +905,9 @@ pub struct BatchSession<'a, E: MatchingEngine + ?Sized> {
     ledger: BatchLedger,
     /// Exact duplicates dropped so far.
     deduplicated: usize,
+    /// Updates already committed by [`BatchSession::commit_staged`] (keeps the
+    /// submission-order index of later [`RejectedUpdate`]s correct).
+    committed: usize,
     /// Skip-and-report mode: invalid updates are collected, not errors.
     skip_and_report: bool,
     /// Updates refused in skip-and-report mode, in submission order.
@@ -920,6 +923,7 @@ impl<'a, E: MatchingEngine + ?Sized> BatchSession<'a, E> {
             staged: Vec::new(),
             ledger: BatchLedger::new(),
             deduplicated: 0,
+            committed: 0,
             skip_and_report: false,
             rejected: Vec::new(),
         }
@@ -947,9 +951,9 @@ impl<'a, E: MatchingEngine + ?Sized> BatchSession<'a, E> {
     /// not staged).  In skip-and-report mode, never errors.
     pub fn stage(&mut self, update: Update) -> Result<bool, BatchError> {
         // In skip-and-report mode every offered update lands in exactly one of
-        // staged / deduplicated / rejected, so the submission index of this
-        // update is the number of updates already bucketed.
-        let index = self.staged.len() + self.deduplicated + self.rejected.len();
+        // committed / staged / deduplicated / rejected, so the submission index
+        // of this update is the number of updates already bucketed.
+        let index = self.committed + self.staged.len() + self.deduplicated + self.rejected.len();
         let check = {
             let engine = &*self.engine;
             self.ledger.check(
@@ -1056,6 +1060,13 @@ impl<'a, E: MatchingEngine + ?Sized> BatchSession<'a, E> {
         &self.rejected
     }
 
+    /// Read-only view of the engine the session is staged on (the staged
+    /// updates are *not* applied to it until a commit).
+    #[must_use]
+    pub fn engine(&self) -> &E {
+        self.engine
+    }
+
     /// Applies the staged updates as one batch.
     ///
     /// # Errors
@@ -1064,6 +1075,61 @@ impl<'a, E: MatchingEngine + ?Sized> BatchSession<'a, E> {
     /// staged through this session).
     pub fn commit(self) -> Result<BatchReport, BatchError> {
         self.engine.apply_batch(&self.staged)
+    }
+
+    /// Commits what is staged as one batch and **keeps the session open** — the
+    /// incremental/streaming commit a long-lived ingest path needs: commit under
+    /// backpressure, keep accepting.
+    ///
+    /// After the commit the session validates against the engine's *new* state,
+    /// so an update staged later may delete an edge committed earlier through
+    /// the same session.  A sequence of `commit_staged` calls is exactly
+    /// equivalent to applying each committed chunk through
+    /// [`MatchingEngine::apply_batch`] (conformance-pinned across all engines);
+    /// committing with nothing staged is the empty-batch no-op.  The session's
+    /// [`BatchSession::deduplicated`] and [`BatchSession::rejected`] tallies are
+    /// cumulative over the whole session, not reset per commit.
+    ///
+    /// ```
+    /// use pdmm::engine::{self, EngineBuilder, EngineKind};
+    /// use pdmm::prelude::*;
+    ///
+    /// let mut engine = engine::build(EngineKind::Parallel, &EngineBuilder::new(4));
+    /// let mut session = BatchSession::new(&mut *engine);
+    /// session
+    ///     .stage(Update::Insert(HyperEdge::pair(EdgeId(0), VertexId(0), VertexId(1))))
+    ///     .unwrap();
+    /// let first = session.commit_staged().unwrap();
+    /// assert_eq!(first.batch_size, 1);
+    /// // The session is still open, and now validates against the new state:
+    /// session.stage(Update::Delete(EdgeId(0))).unwrap();
+    /// let second = session.commit_staged().unwrap();
+    /// assert_eq!(second.batch_size, 1);
+    /// assert_eq!(session.engine().matching_size(), 0);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine's batch validation (which cannot fire for updates
+    /// staged through this session); on error the staged updates are retained.
+    pub fn commit_staged(&mut self) -> Result<BatchReport, BatchError> {
+        let staged = std::mem::take(&mut self.staged);
+        match self.engine.apply_batch(&staged) {
+            Ok(report) => {
+                // Committed updates are now engine state: validate what comes
+                // next against the engine, not against this batch's ledger.
+                // They still count toward the session's submission order.
+                self.committed += staged.len();
+                self.ledger = BatchLedger::new();
+                Ok(report)
+            }
+            Err(error) => {
+                // Rejection is atomic; keep the staged updates and the ledger
+                // so the caller can inspect or abort.
+                self.staged = staged;
+                Err(error)
+            }
+        }
     }
 
     /// Applies the staged (valid) updates as one batch and returns the full
@@ -1368,7 +1434,7 @@ mod tests {
                 .iter()
                 .filter(|u| matches!(u, Update::Delete(id) if matched.contains(id)))
                 .count();
-            self.graph.apply_batch(&updates.to_vec());
+            self.graph.apply_batch(updates);
             self.matching = greedy_maximal_matching(&self.graph);
             KernelOutcome {
                 matched_deletions,
@@ -1389,9 +1455,13 @@ mod tests {
     fn apply_all_and_matching_defaults_work() {
         let mut engine = ToyEngine::new(6);
         let batches: Vec<UpdateBatch> = vec![
-            vec![Update::Insert(pair(0, 0, 1)), Update::Insert(pair(1, 2, 3))],
-            vec![Update::Delete(EdgeId(0))],
-            vec![Update::Insert(pair(2, 1, 4))],
+            UpdateBatch::new(vec![
+                Update::Insert(pair(0, 0, 1)),
+                Update::Insert(pair(1, 2, 3)),
+            ])
+            .unwrap(),
+            UpdateBatch::new(vec![Update::Delete(EdgeId(0))]).unwrap(),
+            UpdateBatch::new(vec![Update::Insert(pair(2, 1, 4))]).unwrap(),
         ];
         let reports = engine.apply_all(&batches).unwrap();
         assert_eq!(reports.len(), 3);
@@ -1544,6 +1614,101 @@ mod tests {
         assert_eq!(session.len(), 2);
         session.commit().unwrap();
         assert!(engine.contains_edge(EdgeId(0)));
+    }
+
+    #[test]
+    fn commit_staged_keeps_the_session_open() {
+        let mut engine = ToyEngine::new(6);
+        let mut session = engine.begin_batch();
+        session.stage(Update::Insert(pair(0, 0, 1))).unwrap();
+        // Deleting an id staged (not yet committed) by this session: refused.
+        assert_eq!(
+            session.stage(Update::Delete(EdgeId(0))),
+            Err(BatchError::UnknownDeletion { id: EdgeId(0) })
+        );
+        let first = session.commit_staged().unwrap();
+        assert_eq!(first.batch_size, 1);
+        assert!(session.is_empty(), "staged updates were committed");
+
+        // After the commit the edge is live, so the same deletion now stages.
+        session.stage(Update::Delete(EdgeId(0))).unwrap();
+        session.stage(Update::Insert(pair(1, 2, 3))).unwrap();
+        let second = session.commit_staged().unwrap();
+        assert_eq!(second.batch_size, 2);
+
+        // Committing with nothing staged is the empty-batch no-op.
+        let metrics_before = session.engine().metrics();
+        let empty = session.commit_staged().unwrap();
+        assert_eq!(empty.batch_size, 0);
+        assert_eq!(empty.matching_size, 1);
+        assert_eq!(session.engine().metrics(), metrics_before);
+
+        // The session can still finish with a normal consuming commit.
+        session.stage(Update::Insert(pair(2, 4, 5))).unwrap();
+        let last = session.commit().unwrap();
+        assert_eq!(last.batch_size, 1);
+        assert_eq!(engine.metrics().batches, 3, "empty commit was a no-op");
+        assert_eq!(engine.matching_size(), 2);
+        engine.verify().unwrap();
+    }
+
+    #[test]
+    fn lossy_rejection_indexes_survive_commit_staged() {
+        let mut engine = ToyEngine::new(6);
+        let mut session = engine.begin_batch_lossy();
+        // Offers 0 and 1 are committed mid-session.  After the commit, the
+        // session validates against the engine's new state: re-offering a
+        // committed id is a rejection (not a dedup), an exact dup of a *newly
+        // staged* update still dedups, and the reported indexes must count
+        // every offer since the session opened.
+        session.stage(Update::Insert(pair(0, 0, 1))).unwrap();
+        session.stage(Update::Insert(pair(1, 2, 3))).unwrap();
+        session.commit_staged().unwrap();
+        assert!(!session.stage(Update::Insert(pair(1, 2, 3))).unwrap()); // 2: live id now
+        assert!(session.stage(Update::Insert(pair(2, 4, 5))).unwrap()); //  3: staged
+        assert!(!session.stage(Update::Insert(pair(2, 4, 5))).unwrap()); // 4: exact dup
+        assert!(!session.stage(Update::Delete(EdgeId(9))).unwrap()); //     5: unknown
+        let report = session.commit_lossy().unwrap();
+        let got: Vec<(usize, BatchError)> = report
+            .rejected
+            .iter()
+            .map(|r| (r.index, r.error.clone()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (2, BatchError::DuplicateEdgeId { id: EdgeId(1) }),
+                (5, BatchError::UnknownDeletion { id: EdgeId(9) }),
+            ]
+        );
+        assert_eq!(report.deduplicated, 1);
+        assert_eq!(report.batch.batch_size, 1, "only edge 2 in the last chunk");
+    }
+
+    #[test]
+    fn commit_staged_matches_separate_apply_batch_calls() {
+        let chunks: Vec<Vec<Update>> = vec![
+            vec![Update::Insert(pair(0, 0, 1)), Update::Insert(pair(1, 2, 3))],
+            vec![Update::Delete(EdgeId(0)), Update::Insert(pair(2, 1, 4))],
+            vec![Update::Delete(EdgeId(2))],
+        ];
+        let mut via_session = ToyEngine::new(6);
+        let mut session = via_session.begin_batch();
+        let mut session_reports = Vec::new();
+        for chunk in &chunks {
+            session.stage_all(chunk.iter().cloned()).unwrap();
+            session_reports.push(session.commit_staged().unwrap());
+        }
+        session.abort();
+
+        let mut via_apply = ToyEngine::new(6);
+        let mut apply_reports = Vec::new();
+        for chunk in &chunks {
+            apply_reports.push(via_apply.apply_batch(chunk).unwrap());
+        }
+        assert_eq!(session_reports, apply_reports);
+        assert_eq!(via_session.matching_ids(), via_apply.matching_ids());
+        assert_eq!(via_session.metrics(), via_apply.metrics());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! workload generators produce, what baselines traverse, and what verification
 //! (validity, maximality, Invariant checks) runs against.
 
-use crate::types::{EdgeId, HyperEdge, Update, UpdateBatch, VertexId};
+use crate::types::{EdgeId, HyperEdge, Update, VertexId};
 use rustc_hash::{FxHashMap, FxHashSet};
 
 /// A mutable hypergraph over a fixed vertex set `0..n`, supporting edge insertion
@@ -128,7 +128,7 @@ impl DynamicHypergraph {
     }
 
     /// Applies a whole batch of updates (insertions and deletions, in order).
-    pub fn apply_batch(&mut self, batch: &UpdateBatch) {
+    pub fn apply_batch(&mut self, batch: &[Update]) {
         for update in batch {
             match update {
                 Update::Insert(edge) => self.insert_edge(edge.clone()),

@@ -11,6 +11,7 @@
 //! an error rather than being skipped, so corrupted workload files are caught
 //! early.
 
+use crate::engine::{BatchLedger, UpdateCheck};
 use crate::types::{EdgeId, HyperEdge, Update, UpdateBatch, VertexId};
 use std::fmt::Write as _;
 
@@ -70,13 +71,24 @@ pub fn edges_from_string(text: &str) -> Result<Vec<HyperEdge>, ParseError> {
 }
 
 /// Serializes a sequence of update batches.
+///
+/// The format has no representation for an *empty* batch (a batch is a maximal
+/// run of non-blank update lines), so empty batches — no-ops for every engine —
+/// are skipped; [`batches_from_string`] consequently never produces one, and the
+/// round trip `parse ∘ serialize` is the identity on streams of non-empty
+/// batches (property-tested in `tests/io_roundtrip.rs`).
 #[must_use]
 pub fn batches_to_string(batches: &[UpdateBatch]) -> String {
     let mut out = String::new();
-    for (i, batch) in batches.iter().enumerate() {
-        if i > 0 {
+    let mut written = 0usize;
+    for batch in batches {
+        if batch.is_empty() {
+            continue;
+        }
+        if written > 0 {
             out.push('\n');
         }
+        written += 1;
         for update in batch {
             match update {
                 Update::Insert(e) => {
@@ -96,23 +108,35 @@ pub fn batches_to_string(batches: &[UpdateBatch]) -> String {
 }
 
 /// Parses an update stream produced by [`batches_to_string`].
+///
+/// Every block is validated as it is parsed with the same [`BatchLedger`]
+/// machine behind [`UpdateBatch::new`] and `validate_batch`, so a stream file
+/// can no longer smuggle an invalid batch (repeated ids, double deletions,
+/// insert-then-delete of one id) past the engines: the parser reports the
+/// offending *line* instead of handing the batch on.
 pub fn batches_from_string(text: &str) -> Result<Vec<UpdateBatch>, ParseError> {
     let mut batches: Vec<UpdateBatch> = Vec::new();
-    let mut current: UpdateBatch = Vec::new();
+    let mut current: Vec<Update> = Vec::new();
+    let mut ledger = BatchLedger::new();
+    let mut flush = |current: &mut Vec<Update>, ledger: &mut BatchLedger| {
+        if !current.is_empty() {
+            // Line-by-line ledger checks above make this infallible.
+            batches.push(UpdateBatch::trusted(std::mem::take(current)));
+            *ledger = BatchLedger::new();
+        }
+    };
     for (i, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.starts_with('#') {
             continue;
         }
         if line.is_empty() {
-            if !current.is_empty() {
-                batches.push(std::mem::take(&mut current));
-            }
+            flush(&mut current, &mut ledger);
             continue;
         }
         let mut parts = line.split_whitespace();
         let op = parts.next().expect("non-empty line has a first token");
-        match op {
+        let update = match op {
             "+" => {
                 let id = parse_u64(parts.next(), i + 1, "edge id")?;
                 let vertices: Vec<VertexId> = parts
@@ -124,7 +148,7 @@ pub fn batches_from_string(text: &str) -> Result<Vec<UpdateBatch>, ParseError> {
                         message: "insertion with no endpoints".into(),
                     });
                 }
-                current.push(Update::Insert(HyperEdge::new(EdgeId(id), vertices)));
+                Update::Insert(HyperEdge::new(EdgeId(id), vertices))
             }
             "-" => {
                 let id = parse_u64(parts.next(), i + 1, "edge id")?;
@@ -134,7 +158,7 @@ pub fn batches_from_string(text: &str) -> Result<Vec<UpdateBatch>, ParseError> {
                         message: "deletion takes exactly one id".into(),
                     });
                 }
-                current.push(Update::Delete(EdgeId(id)));
+                Update::Delete(EdgeId(id))
             }
             other => {
                 return Err(ParseError {
@@ -142,11 +166,30 @@ pub fn batches_from_string(text: &str) -> Result<Vec<UpdateBatch>, ParseError> {
                     message: format!("unknown operation `{other}` (expected `+` or `-`)"),
                 });
             }
+        };
+        match UpdateBatch::check_context_free(&ledger, &update) {
+            Ok(UpdateCheck::Fresh) => {
+                ledger.record(&update, current.len());
+                current.push(update);
+            }
+            Ok(UpdateCheck::RepeatedInsert { .. } | UpdateCheck::RepeatedDelete) => {
+                return Err(ParseError {
+                    line: i + 1,
+                    message: format!(
+                        "invalid batch: repeated update for edge {}",
+                        update.edge_id()
+                    ),
+                });
+            }
+            Err(error) => {
+                return Err(ParseError {
+                    line: i + 1,
+                    message: format!("invalid batch: {error}"),
+                });
+            }
         }
     }
-    if !current.is_empty() {
-        batches.push(current);
-    }
+    flush(&mut current, &mut ledger);
     Ok(batches)
 }
 
@@ -216,11 +259,48 @@ mod tests {
     fn batch_roundtrip_for_graph_workload() {
         let edges = gnm_graph(20, 40, 3, 0);
         let batches: Vec<UpdateBatch> = vec![
-            edges.iter().take(20).cloned().map(Update::Insert).collect(),
-            edges.iter().take(5).map(|e| Update::Delete(e.id)).collect(),
+            UpdateBatch::new(edges.iter().take(20).cloned().map(Update::Insert).collect()).unwrap(),
+            UpdateBatch::new(edges.iter().take(5).map(|e| Update::Delete(e.id)).collect()).unwrap(),
         ];
         let parsed = batches_from_string(&batches_to_string(&batches)).unwrap();
         assert_eq!(parsed, batches);
+    }
+
+    #[test]
+    fn batch_parser_rejects_invalid_batches_with_the_offending_line() {
+        // Insert-then-delete of one id inside one block (§3.3 ordering).
+        let err = batches_from_string("+ 1 0 1\n- 1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("invalid batch"), "{err}");
+        // The same two updates split across blocks are fine.
+        assert_eq!(batches_from_string("+ 1 0 1\n\n- 1\n").unwrap().len(), 2);
+
+        // Repeated insertion id inside one block.
+        let err = batches_from_string("+ 2 0 1\n+ 2 0 1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("repeated update"), "{err}");
+
+        // Double deletion inside one block.
+        let err = batches_from_string("- 3\n# interleaved comment\n- 3\n").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn empty_batches_are_skipped_by_the_serializer() {
+        let batch = UpdateBatch::new(vec![Update::Delete(EdgeId(1))]).unwrap();
+        let batches = vec![
+            UpdateBatch::empty(),
+            batch.clone(),
+            UpdateBatch::empty(),
+            batch.clone(),
+            UpdateBatch::empty(),
+        ];
+        let text = batches_to_string(&batches);
+        assert_eq!(text, "- 1\n\n- 1\n");
+        assert_eq!(
+            batches_from_string(&text).unwrap(),
+            vec![batch.clone(), batch]
+        );
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * [`generators`] — synthetic graph and hypergraph families,
 //! * [`streams`] — batched oblivious-adversary update streams,
 //! * [`io`] — a line-based interchange format for edge lists and update streams,
+//! * [`service`] — the serve path: a long-lived [`service::EngineService`] over
+//!   any engine with concurrent snapshot reads, a bounded submission queue, and
+//!   a replayable journal,
 //! * [`stats`] — structural statistics for the experiment tables.
 
 #![deny(missing_docs)]
@@ -25,6 +28,7 @@ pub mod generators;
 pub mod graph;
 pub mod io;
 pub mod matching;
+pub mod service;
 pub mod stats;
 pub mod streams;
 pub mod types;
@@ -35,5 +39,6 @@ pub use engine::{
 };
 pub use graph::DynamicHypergraph;
 pub use matching::{verify_maximality, verify_validity, Matching, MatchingError};
+pub use service::{EngineService, MatchingSnapshot};
 pub use streams::Workload;
 pub use types::{EdgeId, HyperEdge, Update, UpdateBatch, VertexId};

@@ -386,7 +386,7 @@ mod tests {
         let ids = greedy_maximal_matching(&g);
         assert_eq!(verify_maximality(&g, &ids), Ok(()));
         // Delete a matched edge from the graph: validity now fails.
-        g.apply_batch(&vec![Update::Delete(ids[0])]);
+        g.apply_batch(&[Update::Delete(ids[0])]);
         assert_eq!(
             verify_validity(&g, &ids),
             Err(MatchingError::MissingEdge(ids[0]))

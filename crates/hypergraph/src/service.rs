@@ -1,0 +1,760 @@
+//! The serve path: a long-lived, concurrency-safe service over any engine.
+//!
+//! The bench drivers exercise the algorithm one-shot: build an engine, feed it a
+//! pre-generated workload, read the final matching.  A production matcher is a
+//! *service*: updates arrive over time from many producers, queries must not
+//! stall behind a committing batch, and the whole update history must be
+//! recoverable after a restart.  [`EngineService`] owns a [`MatchingEngine`]
+//! behind the staged-session API and adds exactly those three capabilities:
+//!
+//! * **snapshot reads** — [`EngineService::snapshot`] hands out an
+//!   `Arc<`[`MatchingSnapshot`]`>`: an immutable view of the matching (size,
+//!   sorted matched-edge set, per-vertex lookup) taken at a committed batch
+//!   boundary.  Readers clone the `Arc` under a lock held for nanoseconds, then
+//!   query lock-free for as long as they like — a snapshot stays consistent
+//!   while the next batch commits;
+//! * **a submission queue with backpressure** — producers
+//!   [`EngineService::submit`] validated [`UpdateBatch`]es; when the bounded
+//!   queue is full, `submit` blocks (and [`EngineService::try_submit`] hands
+//!   the batch back) until a drain makes room.  [`EngineService::drain`] runs
+//!   the queue through one long-lived [`BatchSession`] using the incremental
+//!   [`BatchSession::commit_staged`] commit: commit what is staged, keep
+//!   accepting;
+//! * **persistence and replay** — every committed batch is journaled in the
+//!   [`crate::io`] update-stream format ([`EngineService::journal`]), and
+//!   [`EngineService::replay`] rebuilds a service from a journal on a fresh
+//!   engine.  With the same engine kind and seed, replay reproduces the exact
+//!   matching, bit for bit, because the journal preserves committed batch
+//!   boundaries and every engine is deterministic given (seed, batch sequence).
+//!
+//! ```
+//! use pdmm::engine::{self, EngineBuilder, EngineKind};
+//! use pdmm::prelude::*;
+//! use pdmm::service::EngineService;
+//!
+//! let builder = EngineBuilder::new(8).seed(7);
+//! let service = EngineService::new(engine::build(EngineKind::Parallel, &builder));
+//!
+//! // Producers submit validated batches; a drain commits them.
+//! let batch = UpdateBatch::new(vec![
+//!     Update::Insert(HyperEdge::pair(EdgeId(0), VertexId(0), VertexId(1))),
+//!     Update::Insert(HyperEdge::pair(EdgeId(1), VertexId(2), VertexId(3))),
+//! ])
+//! .unwrap();
+//! service.submit(batch);
+//! service.drain().unwrap();
+//!
+//! // Snapshot reads are cheap and stay consistent while later batches commit.
+//! let snap = service.snapshot();
+//! assert_eq!(snap.size(), 2);
+//! assert_eq!(snap.matched_edge_of(VertexId(2)), Some(EdgeId(1)));
+//!
+//! // The journal replays to a bit-identical matching on a fresh engine.
+//! let replayed =
+//!     EngineService::replay(engine::build(EngineKind::Parallel, &builder), &service.journal())
+//!         .unwrap();
+//! assert_eq!(replayed.snapshot().edge_ids(), snap.edge_ids());
+//! ```
+
+use crate::engine::{BatchError, BatchReport, BatchSession, EngineMetrics, MatchingEngine};
+use crate::graph::DynamicHypergraph;
+use crate::io::{self, ParseError};
+use crate::types::{EdgeId, UpdateBatch, VertexId};
+use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Default bound of the submission queue (batches, not updates).
+pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+/// An immutable view of the matching at a committed batch boundary.
+///
+/// Produced by [`EngineService::snapshot`].  All queries are lock-free reads of
+/// data frozen at commit time, so a snapshot held across a later commit keeps
+/// answering from the state it was taken at.
+#[derive(Debug, Clone)]
+pub struct MatchingSnapshot {
+    /// How many batches had committed when this snapshot was taken.
+    committed_batches: u64,
+    /// The matched edge ids, sorted.
+    matching: Box<[EdgeId]>,
+    /// Matched edge covering each matched vertex.
+    by_vertex: FxHashMap<VertexId, EdgeId>,
+    /// The engine's lifetime metrics at commit time.
+    metrics: EngineMetrics,
+    /// The engine's display name.
+    engine: &'static str,
+}
+
+impl MatchingSnapshot {
+    /// Builds the snapshot of `engine`'s current matching, resolving endpoint
+    /// sets through `mirror` (the service's ground-truth graph).
+    fn capture(
+        engine: &(impl MatchingEngine + ?Sized),
+        mirror: &DynamicHypergraph,
+        committed_batches: u64,
+    ) -> Self {
+        let mut matching: Vec<EdgeId> = engine.matching().collect();
+        matching.sort_unstable();
+        let mut by_vertex =
+            FxHashMap::with_capacity_and_hasher(matching.len() * 2, Default::default());
+        for &id in &matching {
+            let edge = mirror
+                .edge(id)
+                .expect("matched edges are live in the mirror graph");
+            for &v in edge.vertices() {
+                by_vertex.insert(v, id);
+            }
+        }
+        MatchingSnapshot {
+            committed_batches,
+            matching: matching.into_boxed_slice(),
+            by_vertex,
+            metrics: engine.metrics(),
+            engine: engine.name(),
+        }
+    }
+
+    /// Number of matched edges.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.matching.len()
+    }
+
+    /// Whether the matching is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.matching.is_empty()
+    }
+
+    /// Whether `id` is matched in this snapshot.
+    #[must_use]
+    pub fn contains_edge(&self, id: EdgeId) -> bool {
+        self.matching.binary_search(&id).is_ok()
+    }
+
+    /// The matched edge covering `v`, if any.
+    #[must_use]
+    pub fn matched_edge_of(&self, v: VertexId) -> Option<EdgeId> {
+        self.by_vertex.get(&v).copied()
+    }
+
+    /// Whether `v` is an endpoint of a matched edge.
+    #[must_use]
+    pub fn is_matched(&self, v: VertexId) -> bool {
+        self.by_vertex.contains_key(&v)
+    }
+
+    /// The matched edge ids, sorted ascending.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.matching.iter().copied()
+    }
+
+    /// The matched edge ids as a sorted vector.
+    #[must_use]
+    pub fn edge_ids(&self) -> Vec<EdgeId> {
+        self.matching.to_vec()
+    }
+
+    /// How many batches had committed when this snapshot was taken (0 for the
+    /// initial snapshot of a fresh service).
+    #[must_use]
+    pub fn committed_batches(&self) -> u64 {
+        self.committed_batches
+    }
+
+    /// The engine's lifetime [`EngineMetrics`] at commit time.
+    #[must_use]
+    pub fn metrics(&self) -> EngineMetrics {
+        self.metrics
+    }
+
+    /// Display name of the engine that produced this snapshot.
+    #[must_use]
+    pub fn engine(&self) -> &'static str {
+        self.engine
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// A drain stopped at an invalid batch.
+///
+/// Everything committed before the offending batch stands (and is journaled);
+/// the offending batch is dropped; batches queued after it stay queued.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceError {
+    /// Batches this drain committed before hitting the invalid one.
+    pub committed: usize,
+    /// Why the batch was refused.
+    pub error: BatchError,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "drain stopped after {} committed batches: {}",
+            self.committed, self.error
+        )
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// Why [`EngineService::replay`] could not rebuild a service from a journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The journal text is not a well-formed update stream.
+    Parse(ParseError),
+    /// A parsed batch was refused by the engine (wrong engine configuration,
+    /// truncated or reordered journal).
+    Batch {
+        /// 0-based index of the refused batch in the journal.
+        index: usize,
+        /// The engine's refusal.
+        error: BatchError,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::Parse(e) => write!(f, "journal does not parse: {e}"),
+            ReplayError::Batch { index, error } => {
+                write!(f, "journal batch {index} refused by the engine: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+// ---------------------------------------------------------------------------
+// The service
+// ---------------------------------------------------------------------------
+
+/// State guarded by the commit lock: the engine, its ground-truth mirror (for
+/// endpoint lookups in snapshots), and the journal of committed batches.
+struct ServiceInner {
+    engine: Box<dyn MatchingEngine + Send>,
+    /// Mirrors every committed batch; resolves matched-edge endpoints when a
+    /// snapshot is captured (the engine API only exposes matched *ids*).
+    mirror: DynamicHypergraph,
+    /// Committed batches in the [`crate::io`] update-stream format.
+    journal: String,
+    /// Committed batch count (equals the journal's block count, minus any
+    /// committed empty batches, which the format cannot represent).
+    committed: u64,
+}
+
+/// A long-lived engine service: concurrent snapshot reads, a bounded
+/// submission queue, incremental draining, and a replayable journal.
+///
+/// See the [module docs](self) for the full story and an end-to-end example.
+/// The service is `Sync`: share it across threads with `Arc` or scoped
+/// borrows.  Locking is split so the read path never touches the commit path —
+/// [`EngineService::snapshot`] holds a lock only long enough to clone an `Arc`,
+/// even while a drain is mid-commit.
+pub struct EngineService {
+    /// The engine, mirror and journal, locked for the duration of a drain.
+    inner: Mutex<ServiceInner>,
+    /// The most recent snapshot, swapped in after every committed batch.
+    published: Mutex<Arc<MatchingSnapshot>>,
+    /// Submitted-but-uncommitted batches, FIFO.
+    queue: Mutex<VecDeque<UpdateBatch>>,
+    /// Signalled when a drain pops the queue (backpressure release).
+    space: Condvar,
+    /// Bound on `queue` (batches).
+    capacity: usize,
+}
+
+impl fmt::Debug for EngineService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EngineService")
+            .field("capacity", &self.capacity)
+            .field("queued", &self.queue_len())
+            .field("committed", &self.snapshot().committed_batches())
+            .finish_non_exhaustive()
+    }
+}
+
+impl EngineService {
+    /// Wraps a **fresh** engine (no batches applied yet) with the default
+    /// queue capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has already applied batches: the service's mirror
+    /// and journal must observe the engine's whole history for snapshots and
+    /// replay to be faithful.
+    #[must_use]
+    pub fn new(engine: Box<dyn MatchingEngine + Send>) -> Self {
+        Self::with_queue_capacity(engine, DEFAULT_QUEUE_CAPACITY)
+    }
+
+    /// Wraps a fresh engine with a custom submission-queue bound (in batches,
+    /// minimum 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0 or the engine has already applied batches.
+    #[must_use]
+    pub fn with_queue_capacity(engine: Box<dyn MatchingEngine + Send>, capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be at least 1");
+        assert_eq!(
+            engine.metrics().batches,
+            0,
+            "EngineService needs a fresh engine: it must observe the whole update history"
+        );
+        let mirror = DynamicHypergraph::new(engine.num_vertices());
+        let initial = Arc::new(MatchingSnapshot::capture(engine.as_ref(), &mirror, 0));
+        EngineService {
+            inner: Mutex::new(ServiceInner {
+                engine,
+                mirror,
+                journal: String::new(),
+                committed: 0,
+            }),
+            published: Mutex::new(initial),
+            queue: Mutex::new(VecDeque::new()),
+            space: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The submission-queue bound, in batches.
+    #[must_use]
+    pub fn queue_capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Batches currently queued (submitted, not yet committed).
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.lock_queue().len()
+    }
+
+    /// The current published snapshot — the state after the most recently
+    /// committed batch.  O(1): one short lock, one `Arc` clone.
+    #[must_use]
+    pub fn snapshot(&self) -> Arc<MatchingSnapshot> {
+        Arc::clone(&self.published.lock().expect("snapshot lock poisoned"))
+    }
+
+    /// Enqueues a batch, **blocking** while the queue is at capacity until a
+    /// concurrent [`EngineService::drain`] makes room.  Do not call from the
+    /// only thread that drains — with a full queue it would wait forever; use
+    /// [`EngineService::try_submit`] or drain first.
+    pub fn submit(&self, batch: UpdateBatch) {
+        let mut queue = self.lock_queue();
+        while queue.len() >= self.capacity {
+            queue = self
+                .space
+                .wait(queue)
+                .expect("submission queue lock poisoned");
+        }
+        queue.push_back(batch);
+    }
+
+    /// Enqueues a batch if the queue has room; hands the batch back otherwise
+    /// (backpressure, non-blocking).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(batch)` when the queue is at capacity.
+    pub fn try_submit(&self, batch: UpdateBatch) -> Result<(), UpdateBatch> {
+        let mut queue = self.lock_queue();
+        if queue.len() >= self.capacity {
+            return Err(batch);
+        }
+        queue.push_back(batch);
+        Ok(())
+    }
+
+    /// Commits every queued batch (including batches submitted *while* the
+    /// drain runs) through one long-lived [`BatchSession`], using the
+    /// incremental [`BatchSession::commit_staged`] commit per batch.  After
+    /// each committed batch the journal is appended and a fresh snapshot is
+    /// published, so concurrent readers advance batch by batch.
+    ///
+    /// Returns one [`BatchReport`] per committed batch, in commit order.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first batch the engine refuses: the offending batch is
+    /// dropped, everything committed before it stands, and later batches stay
+    /// queued for the next drain.
+    pub fn drain(&self) -> Result<Vec<BatchReport>, ServiceError> {
+        let mut guard = self.inner.lock().expect("service commit lock poisoned");
+        let inner = &mut *guard;
+        let mut session = BatchSession::new(inner.engine.as_mut());
+        let mut reports = Vec::new();
+        loop {
+            let batch = {
+                let mut queue = self.lock_queue();
+                let popped = queue.pop_front();
+                if popped.is_some() {
+                    self.space.notify_all();
+                }
+                popped
+            };
+            let Some(batch) = batch else {
+                return Ok(reports);
+            };
+            let staged_and_committed = session
+                .stage_all(batch.iter().cloned())
+                .and_then(|_| session.commit_staged());
+            let report = match staged_and_committed {
+                Ok(report) => report,
+                Err(error) => {
+                    // The offending batch is dropped whole: nothing of it was
+                    // committed (commit_staged is atomic), and aborting the
+                    // session discards any partial staging.
+                    session.abort();
+                    return Err(ServiceError {
+                        committed: reports.len(),
+                        error,
+                    });
+                }
+            };
+            inner.mirror.apply_batch(&batch);
+            inner.committed += 1;
+            append_journal(&mut inner.journal, &batch);
+            let snapshot = Arc::new(MatchingSnapshot::capture(
+                session.engine(),
+                &inner.mirror,
+                inner.committed,
+            ));
+            *self.published.lock().expect("snapshot lock poisoned") = snapshot;
+            reports.push(report);
+        }
+    }
+
+    /// The journal so far: every committed batch, in commit order, in the
+    /// [`crate::io`] update-stream format.  Write it to disk and feed it to
+    /// [`EngineService::replay`] to rebuild the exact state on a fresh engine.
+    #[must_use]
+    pub fn journal(&self) -> String {
+        self.inner
+            .lock()
+            .expect("service commit lock poisoned")
+            .journal
+            .clone()
+    }
+
+    /// Rebuilds a service by committing every batch of `journal` (produced by
+    /// [`EngineService::journal`], or any well-formed update stream) on a
+    /// fresh engine.  Replay preserves batch boundaries, so an engine of the
+    /// same kind, configuration and seed reproduces a bit-identical matching —
+    /// and the rebuilt service's journal equals the canonical serialization of
+    /// the input.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplayError::Parse`] if the text is not a well-formed update stream,
+    /// [`ReplayError::Batch`] if the engine refuses a batch (wrong engine
+    /// configuration, truncated or tampered journal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `engine` is not fresh (see [`EngineService::new`]).
+    pub fn replay(
+        engine: Box<dyn MatchingEngine + Send>,
+        journal: &str,
+    ) -> Result<Self, ReplayError> {
+        let batches = io::batches_from_string(journal).map_err(ReplayError::Parse)?;
+        // Replay drains after every submit, so the queue never holds more
+        // than one batch; the rebuilt service keeps the default capacity for
+        // its life *after* replay (capacity is not part of the journal).
+        let service = EngineService::new(engine);
+        for (index, batch) in batches.into_iter().enumerate() {
+            service.submit(batch);
+            service.drain().map_err(|e| ReplayError::Batch {
+                index,
+                error: e.error,
+            })?;
+        }
+        Ok(service)
+    }
+
+    fn lock_queue(&self) -> MutexGuard<'_, VecDeque<UpdateBatch>> {
+        self.queue.lock().expect("submission queue lock poisoned")
+    }
+}
+
+/// Appends one committed batch to a journal as an update-stream block, through
+/// the one serializer ([`io::batches_to_string`]) so the journal format cannot
+/// drift from the `io` module's.
+fn append_journal(journal: &mut String, batch: &UpdateBatch) {
+    if batch.is_empty() {
+        // The stream format cannot represent an empty batch; it is a no-op on
+        // every engine, so skipping it keeps replay faithful.
+        return;
+    }
+    if !journal.is_empty() {
+        journal.push('\n');
+    }
+    journal.push_str(&io::batches_to_string(std::slice::from_ref(batch)));
+}
+
+// The whole point of the service: it is shareable across threads.
+const _: () = {
+    const fn assert_sync_send<T: Sync + Send>() {}
+    assert_sync_send::<EngineService>();
+    assert_sync_send::<MatchingSnapshot>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{
+        run_batch, BatchKernel, EngineMetrics, KernelOutcome, MatchingIter, UpdateCounters,
+    };
+    use crate::matching::{greedy_maximal_matching, verify_maximality};
+    use crate::types::{HyperEdge, Update};
+
+    /// Same toy recompute engine as the `engine` module tests: enough to
+    /// exercise the service without the downstream engine crates.
+    struct ToyEngine {
+        graph: DynamicHypergraph,
+        matching: Vec<EdgeId>,
+        counters: UpdateCounters,
+    }
+
+    impl ToyEngine {
+        fn boxed(num_vertices: usize) -> Box<dyn MatchingEngine + Send> {
+            Box::new(ToyEngine {
+                graph: DynamicHypergraph::new(num_vertices),
+                matching: Vec::new(),
+                counters: UpdateCounters::default(),
+            })
+        }
+    }
+
+    impl MatchingEngine for ToyEngine {
+        fn name(&self) -> &'static str {
+            "toy-recompute"
+        }
+
+        fn num_vertices(&self) -> usize {
+            self.graph.num_vertices()
+        }
+
+        fn max_rank(&self) -> usize {
+            3
+        }
+
+        fn contains_edge(&self, id: EdgeId) -> bool {
+            self.graph.contains_edge(id)
+        }
+
+        fn apply_batch(&mut self, updates: &[Update]) -> Result<BatchReport, BatchError> {
+            run_batch(self, updates)
+        }
+
+        fn matching(&self) -> MatchingIter<'_> {
+            MatchingIter::new(self.matching.iter().copied())
+        }
+
+        fn verify(&mut self) -> Result<(), String> {
+            verify_maximality(&self.graph, &self.matching).map_err(|e| format!("{e:?}"))
+        }
+
+        fn metrics(&self) -> EngineMetrics {
+            self.counters.into_metrics(0, 0)
+        }
+    }
+
+    impl BatchKernel for ToyEngine {
+        fn run_kernel(&mut self, updates: &[Update]) -> KernelOutcome {
+            let matched_deletions = updates
+                .iter()
+                .filter(|u| matches!(u, Update::Delete(id) if self.matching.contains(id)))
+                .count();
+            self.graph.apply_batch(updates);
+            self.matching = greedy_maximal_matching(&self.graph);
+            KernelOutcome {
+                matched_deletions,
+                rebuilt: true,
+            }
+        }
+
+        fn record_batch(&mut self, delta: &UpdateCounters) {
+            self.counters.merge(delta);
+        }
+    }
+
+    fn pair(id: u64, a: u32, b: u32) -> Update {
+        Update::Insert(HyperEdge::pair(EdgeId(id), VertexId(a), VertexId(b)))
+    }
+
+    fn batch(updates: Vec<Update>) -> UpdateBatch {
+        UpdateBatch::new(updates).unwrap()
+    }
+
+    #[test]
+    fn submit_drain_snapshot_roundtrip() {
+        let service = EngineService::new(ToyEngine::boxed(6));
+        let initial = service.snapshot();
+        assert_eq!(initial.size(), 0);
+        assert_eq!(initial.committed_batches(), 0);
+        assert!(!initial.is_matched(VertexId(0)));
+
+        service.submit(batch(vec![pair(0, 0, 1), pair(1, 2, 3)]));
+        service.submit(batch(vec![Update::Delete(EdgeId(0)), pair(2, 1, 4)]));
+        assert_eq!(service.queue_len(), 2);
+        let reports = service.drain().unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(service.queue_len(), 0);
+
+        // The pre-drain snapshot still answers from its own commit point.
+        assert_eq!(initial.size(), 0);
+
+        let snap = service.snapshot();
+        assert_eq!(snap.committed_batches(), 2);
+        assert_eq!(snap.size(), 2);
+        assert_eq!(snap.edge_ids(), vec![EdgeId(1), EdgeId(2)]);
+        assert!(snap.contains_edge(EdgeId(1)));
+        assert!(!snap.contains_edge(EdgeId(0)));
+        assert_eq!(snap.matched_edge_of(VertexId(2)), Some(EdgeId(1)));
+        assert_eq!(snap.matched_edge_of(VertexId(0)), None);
+        assert!(snap.is_matched(VertexId(4)));
+        assert_eq!(snap.edges().count(), 2);
+        assert_eq!(snap.metrics().batches, 2);
+        assert_eq!(snap.engine(), "toy-recompute");
+    }
+
+    #[test]
+    fn drain_matches_direct_apply_batch() {
+        let batches = vec![
+            batch(vec![pair(0, 0, 1), pair(1, 2, 3)]),
+            batch(vec![Update::Delete(EdgeId(1))]),
+            batch(vec![pair(2, 3, 4), pair(3, 1, 2)]),
+        ];
+        let service = EngineService::new(ToyEngine::boxed(6));
+        for b in &batches {
+            service.submit(b.clone());
+        }
+        let service_reports = service.drain().unwrap();
+
+        let mut direct = ToyEngine::boxed(6);
+        let direct_reports = direct.apply_all(&batches).unwrap();
+        assert_eq!(service_reports, direct_reports);
+        let mut ids = direct.matching_ids();
+        ids.sort_unstable();
+        assert_eq!(service.snapshot().edge_ids(), ids);
+        assert_eq!(service.snapshot().metrics(), direct.metrics());
+    }
+
+    #[test]
+    fn invalid_batch_is_dropped_and_the_rest_stays_queued() {
+        let service = EngineService::new(ToyEngine::boxed(6));
+        service.submit(batch(vec![pair(0, 0, 1)]));
+        // Context-free-valid, but deletes an edge that is not live.
+        service.submit(batch(vec![Update::Delete(EdgeId(9))]));
+        service.submit(batch(vec![pair(1, 2, 3)]));
+
+        let err = service.drain().unwrap_err();
+        assert_eq!(err.committed, 1);
+        assert_eq!(err.error, BatchError::UnknownDeletion { id: EdgeId(9) });
+        assert!(err.to_string().contains("after 1 committed"), "{err}");
+        // The good tail batch is still queued; the poison batch is gone.
+        assert_eq!(service.queue_len(), 1);
+        let reports = service.drain().unwrap();
+        assert_eq!(reports.len(), 1);
+        let snap = service.snapshot();
+        assert_eq!(snap.committed_batches(), 2);
+        assert_eq!(snap.edge_ids(), vec![EdgeId(0), EdgeId(1)]);
+    }
+
+    #[test]
+    fn try_submit_applies_backpressure() {
+        let service = EngineService::with_queue_capacity(ToyEngine::boxed(4), 2);
+        assert_eq!(service.queue_capacity(), 2);
+        assert!(service.try_submit(batch(vec![pair(0, 0, 1)])).is_ok());
+        assert!(service.try_submit(batch(vec![pair(1, 2, 3)])).is_ok());
+        let bounced = service
+            .try_submit(batch(vec![pair(2, 1, 2)]))
+            .expect_err("queue is full");
+        assert_eq!(bounced.len(), 1, "the batch is handed back intact");
+        service.drain().unwrap();
+        assert!(service.try_submit(bounced).is_ok());
+        service.drain().unwrap();
+        assert_eq!(service.snapshot().committed_batches(), 3);
+    }
+
+    #[test]
+    fn journal_and_replay_rebuild_identical_state() {
+        let service = EngineService::new(ToyEngine::boxed(8));
+        service.submit(batch(vec![pair(0, 0, 1), pair(1, 2, 3), pair(2, 4, 5)]));
+        service.submit(batch(vec![Update::Delete(EdgeId(1))]));
+        service.submit(batch(vec![pair(3, 2, 6), pair(4, 3, 7)]));
+        service.drain().unwrap();
+
+        let journal = service.journal();
+        let replayed = EngineService::replay(ToyEngine::boxed(8), &journal).unwrap();
+        let a = service.snapshot();
+        let b = replayed.snapshot();
+        assert_eq!(a.edge_ids(), b.edge_ids());
+        assert_eq!(a.committed_batches(), b.committed_batches());
+        assert_eq!(a.metrics(), b.metrics());
+        // Replaying a journal reproduces the journal itself.
+        assert_eq!(replayed.journal(), journal);
+    }
+
+    #[test]
+    fn empty_batches_commit_but_are_not_journaled() {
+        let service = EngineService::new(ToyEngine::boxed(4));
+        service.submit(batch(vec![pair(0, 0, 1)]));
+        service.submit(UpdateBatch::empty());
+        let reports = service.drain().unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[1].batch_size, 0);
+        assert_eq!(service.snapshot().committed_batches(), 2);
+        // The journal holds one block; replay lands on the same matching (the
+        // empty batch was a no-op, so only the committed count differs).
+        let replayed = EngineService::replay(ToyEngine::boxed(4), &service.journal()).unwrap();
+        assert_eq!(replayed.snapshot().committed_batches(), 1);
+        assert_eq!(
+            replayed.snapshot().edge_ids(),
+            service.snapshot().edge_ids()
+        );
+    }
+
+    #[test]
+    fn replay_rejects_garbage_and_mismatched_journals() {
+        assert!(matches!(
+            EngineService::replay(ToyEngine::boxed(4), "* nonsense"),
+            Err(ReplayError::Parse(_))
+        ));
+        let err = EngineService::replay(ToyEngine::boxed(4), "- 7\n").unwrap_err();
+        assert_eq!(
+            err,
+            ReplayError::Batch {
+                index: 0,
+                error: BatchError::UnknownDeletion { id: EdgeId(7) }
+            }
+        );
+        assert!(err.to_string().contains("batch 0"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "fresh engine")]
+    fn service_refuses_a_used_engine() {
+        let mut engine = ToyEngine::boxed(4);
+        engine.apply_batch(&[pair(0, 0, 1)]).unwrap();
+        let _ = EngineService::new(engine);
+    }
+}

@@ -44,7 +44,7 @@ impl Workload {
     /// Total number of updates across all batches.
     #[must_use]
     pub fn total_updates(&self) -> usize {
-        self.batches.iter().map(Vec::len).sum()
+        self.batches.iter().map(UpdateBatch::len).sum()
     }
 
     /// Number of insertions across all batches.
@@ -90,6 +90,14 @@ impl Workload {
     }
 }
 
+/// Seals a generator-built batch through the validating [`UpdateBatch`]
+/// constructor.  Generators are deterministic and never produce invalid
+/// batches, but since PR 4 they cannot *bypass* validation either — a generator
+/// bug now fails fast here instead of surfacing as a confusing engine error.
+fn seal(updates: Vec<Update>) -> UpdateBatch {
+    UpdateBatch::new(updates).expect("stream generator produced an invalid batch")
+}
+
 /// Splits a list of edges into insert-only batches of (at most) `batch_size`.
 #[must_use]
 pub fn insert_only(num_vertices: usize, edges: Vec<HyperEdge>, batch_size: usize) -> Workload {
@@ -97,7 +105,7 @@ pub fn insert_only(num_vertices: usize, edges: Vec<HyperEdge>, batch_size: usize
     let rank = edges.iter().map(HyperEdge::rank).max().unwrap_or(2);
     let batches = edges
         .chunks(batch_size)
-        .map(|chunk| chunk.iter().cloned().map(Update::Insert).collect())
+        .map(|chunk| seal(chunk.iter().cloned().map(Update::Insert).collect()))
         .collect();
     Workload {
         num_vertices,
@@ -125,7 +133,7 @@ pub fn sliding_window(
     let mut batches: Vec<UpdateBatch> = Vec::new();
     let num_arrivals = chunks.len();
     for step in 0..num_arrivals + window {
-        let mut batch: UpdateBatch = Vec::new();
+        let mut batch: Vec<Update> = Vec::new();
         if step < num_arrivals {
             batch.extend(chunks[step].iter().cloned().map(Update::Insert));
         }
@@ -133,7 +141,7 @@ pub fn sliding_window(
             batch.extend(chunks[step - window].iter().map(|e| Update::Delete(e.id)));
         }
         if !batch.is_empty() {
-            batches.push(batch);
+            batches.push(seal(batch));
         }
     }
     Workload {
@@ -170,11 +178,13 @@ pub fn random_churn(
     next_id += initial as u64;
     if !initial_edges.is_empty() {
         live.extend(initial_edges.iter().map(|e| e.id));
-        batches.push(initial_edges.into_iter().map(Update::Insert).collect());
+        batches.push(seal(
+            initial_edges.into_iter().map(Update::Insert).collect(),
+        ));
     }
 
     for _ in 0..num_batches {
-        let mut batch: UpdateBatch = Vec::with_capacity(batch_size);
+        let mut batch: Vec<Update> = Vec::with_capacity(batch_size);
         // Deletions in a batch may only target edges that were live *before* the
         // batch (the algorithm processes a batch's deletions before its
         // insertions, §3.3), so edges inserted in this batch are not candidates.
@@ -211,7 +221,7 @@ pub fn random_churn(
             .map(Update::edge_id)
             .collect();
         live.retain(|id| !deleted.contains(id));
-        batches.push(batch);
+        batches.push(seal(batch));
     }
     Workload {
         num_vertices,
@@ -238,17 +248,14 @@ pub fn insert_then_teardown(
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut batches: Vec<UpdateBatch> = edges
         .chunks(batch_size)
-        .map(|chunk| chunk.iter().cloned().map(Update::Insert).collect())
+        .map(|chunk| seal(chunk.iter().cloned().map(Update::Insert).collect()))
         .collect();
     let mut ids: Vec<EdgeId> = edges.iter().map(|e| e.id).collect();
     ids.shuffle(&mut rng);
-    batches.extend(ids.chunks(batch_size).map(|chunk| {
-        chunk
-            .iter()
-            .copied()
-            .map(Update::Delete)
-            .collect::<Vec<_>>()
-    }));
+    batches.extend(
+        ids.chunks(batch_size)
+            .map(|chunk| seal(chunk.iter().copied().map(Update::Delete).collect())),
+    );
     Workload {
         num_vertices,
         rank,
@@ -274,7 +281,7 @@ pub fn hub_churn(
     let mut live: Vec<EdgeId> = Vec::new();
     let mut batches: Vec<UpdateBatch> = Vec::new();
     for _ in 0..num_batches {
-        let mut batch: UpdateBatch = Vec::with_capacity(batch_size);
+        let mut batch: Vec<Update> = Vec::with_capacity(batch_size);
         // Deletions target only edges live before this batch started.
         let pre_batch_live = live.len();
         let inserts = batch_size * 2 / 3 + 1;
@@ -299,7 +306,7 @@ pub fn hub_churn(
             .map(Update::edge_id)
             .collect();
         live.retain(|id| !deleted.contains(id));
-        batches.push(batch);
+        batches.push(seal(batch));
     }
     Workload {
         num_vertices,
@@ -422,13 +429,15 @@ mod tests {
     #[test]
     fn validate_rejects_bad_streams() {
         let mut w = insert_only(10, gnm_graph(10, 5, 1, 0), 5);
-        w.batches.push(vec![Update::Delete(EdgeId(999))]);
+        w.batches
+            .push(UpdateBatch::new(vec![Update::Delete(EdgeId(999))]).unwrap());
         assert!(!validate_workload(&w));
 
         let mut w2 = insert_only(10, gnm_graph(10, 5, 1, 0), 5);
-        // duplicate insertion of the same id
+        // duplicate insertion of the same id (fresh within its own batch, so the
+        // batch constructor accepts it — only the stream-level check can see it)
         let dup = Update::Insert(HyperEdge::pair(EdgeId(0), VertexId(0), VertexId(1)));
-        w2.batches.push(vec![dup]);
+        w2.batches.push(UpdateBatch::new(vec![dup]).unwrap());
         assert!(!validate_workload(&w2));
     }
 }

@@ -7,7 +7,9 @@
 //! deletion can name exactly which copy of an edge disappears (parallel edges with
 //! identical endpoint sets are allowed and occasionally produced by the generators).
 
+use crate::engine::{BatchError, BatchLedger, RejectedUpdate, UpdateCheck};
 use std::fmt;
+use std::ops::Deref;
 
 /// Identifier of a vertex; vertices are numbered `0..n`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -162,7 +164,228 @@ impl Update {
 }
 
 /// A batch of simultaneous updates, processed by one invocation of the algorithm.
-pub type UpdateBatch = Vec<Update>;
+///
+/// `UpdateBatch` is a *validated* container: its only public constructors run the
+/// shared [`BatchLedger`] validation machine, so workload producers (the stream
+/// generators, [`crate::io::batches_from_string`], hand-built test fixtures)
+/// cannot hand an engine a batch that repeats ids, deletes an id the same batch
+/// inserts, or deletes one id twice.  This closes the PR 1 hole where
+/// `UpdateBatch` was a bare `Vec<Update>` alias and anything could pose as a
+/// batch without ever passing validation.
+///
+/// The constructor checks are *context-free*: they enforce everything §2 requires
+/// of a batch in isolation (id freshness within the batch, the delete-before-
+/// insert ordering of §3.3), while liveness against a concrete engine plus the
+/// engine's rank/vertex-range limits are re-checked by [`validate_batch`] when
+/// the batch is applied.  A deletion of an id the batch does not touch is assumed
+/// to name a live edge; an insertion is assumed to use a fresh id.
+///
+/// ```
+/// use pdmm_hypergraph::engine::BatchError;
+/// use pdmm_hypergraph::types::{EdgeId, HyperEdge, Update, UpdateBatch, VertexId};
+///
+/// let pair = |id, a, b| HyperEdge::pair(EdgeId(id), VertexId(a), VertexId(b));
+/// // delete X then insert X is legal (§3.3: deletions are processed first) …
+/// let batch = UpdateBatch::new(vec![
+///     Update::Delete(EdgeId(0)),
+///     Update::Insert(pair(0, 1, 2)),
+/// ])
+/// .unwrap();
+/// assert_eq!(batch.len(), 2);
+/// // … but insert X then delete X cannot be expressed in one batch.
+/// let err = UpdateBatch::new(vec![
+///     Update::Insert(pair(1, 0, 1)),
+///     Update::Delete(EdgeId(1)),
+/// ])
+/// .unwrap_err();
+/// assert_eq!(err, BatchError::UnknownDeletion { id: EdgeId(1) });
+/// ```
+///
+/// [`BatchLedger`]: crate::engine::BatchLedger
+/// [`validate_batch`]: crate::engine::validate_batch
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateBatch {
+    updates: Vec<Update>,
+}
+
+impl UpdateBatch {
+    /// Validates `updates` as one batch and seals them.
+    ///
+    /// Strict, mirroring [`validate_batch`]: any repeated id — even an exact
+    /// duplicate of an earlier update — is an error.  Use
+    /// [`UpdateBatch::new_lossy`] for dirty streams.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first context-free [`BatchError`] in batch order.
+    ///
+    /// [`validate_batch`]: crate::engine::validate_batch
+    pub fn new(updates: Vec<Update>) -> Result<Self, BatchError> {
+        let mut ledger = BatchLedger::new();
+        for (at, update) in updates.iter().enumerate() {
+            match Self::check_context_free(&ledger, update)? {
+                UpdateCheck::Fresh => ledger.record(update, at),
+                UpdateCheck::RepeatedInsert { .. } => {
+                    return Err(BatchError::DuplicateEdgeId {
+                        id: update.edge_id(),
+                    })
+                }
+                UpdateCheck::RepeatedDelete => {
+                    return Err(BatchError::DuplicateDeletion {
+                        id: update.edge_id(),
+                    })
+                }
+            }
+        }
+        Ok(UpdateBatch { updates })
+    }
+
+    /// Validates `updates` leniently, mirroring a lossy
+    /// [`BatchSession`](crate::engine::BatchSession): exact duplicates (the same
+    /// deletion id, or an insertion structurally equal to an earlier one) are
+    /// silently dropped, while conflicting or otherwise invalid updates land in
+    /// the returned rejection list with their typed error and submission index.
+    ///
+    /// ```
+    /// use pdmm_hypergraph::engine::BatchError;
+    /// use pdmm_hypergraph::types::{EdgeId, Update, UpdateBatch};
+    ///
+    /// let (batch, rejected) = UpdateBatch::new_lossy(vec![
+    ///     Update::Delete(EdgeId(3)),
+    ///     Update::Delete(EdgeId(3)), // exact duplicate: dropped, not an error
+    /// ]);
+    /// assert_eq!(batch.len(), 1);
+    /// assert!(rejected.is_empty());
+    /// ```
+    #[must_use]
+    pub fn new_lossy(updates: Vec<Update>) -> (Self, Vec<RejectedUpdate>) {
+        let mut ledger = BatchLedger::new();
+        let mut kept: Vec<Update> = Vec::with_capacity(updates.len());
+        let mut rejected = Vec::new();
+        for (index, update) in updates.into_iter().enumerate() {
+            match Self::check_context_free(&ledger, &update) {
+                Ok(UpdateCheck::Fresh) => {
+                    ledger.record(&update, kept.len());
+                    kept.push(update);
+                }
+                Ok(UpdateCheck::RepeatedInsert { at }) => {
+                    let Update::Insert(edge) = &update else {
+                        unreachable!("RepeatedInsert verdicts only arise for insertions")
+                    };
+                    if matches!(&kept[at], Update::Insert(prev) if prev == edge) {
+                        // Exact duplicate: dropped silently, like a session.
+                    } else {
+                        let error = BatchError::DuplicateEdgeId { id: edge.id };
+                        rejected.push(RejectedUpdate {
+                            index,
+                            update,
+                            error,
+                        });
+                    }
+                }
+                Ok(UpdateCheck::RepeatedDelete) => {
+                    // Exact duplicate deletion: dropped silently.
+                }
+                Err(error) => rejected.push(RejectedUpdate {
+                    index,
+                    update,
+                    error,
+                }),
+            }
+        }
+        (UpdateBatch { updates: kept }, rejected)
+    }
+
+    /// The empty batch (a counter-neutral no-op on every engine).
+    #[must_use]
+    pub fn empty() -> Self {
+        UpdateBatch::default()
+    }
+
+    /// Seals updates the caller has already validated line by line (the stream
+    /// parser, which needs per-line error positions).  Debug builds re-validate.
+    pub(crate) fn trusted(updates: Vec<Update>) -> Self {
+        debug_assert!(
+            UpdateBatch::new(updates.clone()).is_ok(),
+            "trusted() caller handed an invalid batch"
+        );
+        UpdateBatch { updates }
+    }
+
+    /// The context-free legality rule shared by the constructors and the stream
+    /// parser: a deletion of an id the batch does not touch is assumed live, an
+    /// insertion's id is assumed fresh, and rank/vertex limits are deferred to
+    /// the engine (checked again, with real limits, on apply).
+    pub(crate) fn check_context_free(
+        ledger: &BatchLedger,
+        update: &Update,
+    ) -> Result<UpdateCheck, BatchError> {
+        let assume_live = update.is_delete();
+        ledger.check(update, |_| assume_live, usize::MAX, usize::MAX)
+    }
+
+    /// The validated updates, in batch order.
+    #[must_use]
+    pub fn updates(&self) -> &[Update] {
+        &self.updates
+    }
+
+    /// Number of updates in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Whether the batch holds no updates.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// Consumes the batch, returning the validated updates.
+    #[must_use]
+    pub fn into_updates(self) -> Vec<Update> {
+        self.updates
+    }
+}
+
+impl Deref for UpdateBatch {
+    type Target = [Update];
+
+    fn deref(&self) -> &[Update] {
+        &self.updates
+    }
+}
+
+impl AsRef<[Update]> for UpdateBatch {
+    fn as_ref(&self) -> &[Update] {
+        &self.updates
+    }
+}
+
+impl From<UpdateBatch> for Vec<Update> {
+    fn from(batch: UpdateBatch) -> Vec<Update> {
+        batch.updates
+    }
+}
+
+impl<'a> IntoIterator for &'a UpdateBatch {
+    type Item = &'a Update;
+    type IntoIter = std::slice::Iter<'a, Update>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.updates.iter()
+    }
+}
+
+impl IntoIterator for UpdateBatch {
+    type Item = Update;
+    type IntoIter = std::vec::IntoIter<Update>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.updates.into_iter()
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -230,6 +453,93 @@ mod tests {
         assert!(del.is_delete() && !del.is_insert());
         assert_eq!(ins.edge_id(), EdgeId(4));
         assert_eq!(del.edge_id(), EdgeId(4));
+    }
+
+    #[test]
+    fn update_batch_new_accepts_valid_batches() {
+        let batch = UpdateBatch::new(vec![
+            Update::Delete(EdgeId(7)),
+            Update::Insert(HyperEdge::pair(EdgeId(7), v(0), v(1))),
+            Update::Insert(HyperEdge::pair(EdgeId(8), v(2), v(3))),
+            Update::Delete(EdgeId(9)),
+        ])
+        .unwrap();
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch.updates().len(), 4);
+        assert!(!batch.is_empty());
+        assert!(UpdateBatch::empty().is_empty());
+    }
+
+    #[test]
+    fn update_batch_new_rejects_every_context_free_violation() {
+        let pair = |id, a, b| Update::Insert(HyperEdge::pair(EdgeId(id), v(a), v(b)));
+        // Repeated insertion id (even an exact copy) is strict-mode error.
+        assert_eq!(
+            UpdateBatch::new(vec![pair(1, 0, 1), pair(1, 0, 1)]).unwrap_err(),
+            BatchError::DuplicateEdgeId { id: EdgeId(1) }
+        );
+        // Repeated deletion.
+        assert_eq!(
+            UpdateBatch::new(vec![Update::Delete(EdgeId(2)), Update::Delete(EdgeId(2))])
+                .unwrap_err(),
+            BatchError::DuplicateDeletion { id: EdgeId(2) }
+        );
+        // Insert-then-delete cannot be expressed in one batch (§3.3 ordering).
+        assert_eq!(
+            UpdateBatch::new(vec![pair(3, 0, 1), Update::Delete(EdgeId(3))]).unwrap_err(),
+            BatchError::UnknownDeletion { id: EdgeId(3) }
+        );
+        // Delete / insert / delete of one id is also inexpressible.
+        assert_eq!(
+            UpdateBatch::new(vec![
+                Update::Delete(EdgeId(4)),
+                pair(4, 0, 1),
+                Update::Delete(EdgeId(4)),
+            ])
+            .unwrap_err(),
+            BatchError::DuplicateDeletion { id: EdgeId(4) }
+        );
+    }
+
+    #[test]
+    fn update_batch_lossy_dedups_and_reports() {
+        let pair = |id, a, b| Update::Insert(HyperEdge::pair(EdgeId(id), v(a), v(b)));
+        let (batch, rejected) = UpdateBatch::new_lossy(vec![
+            pair(1, 0, 1),
+            pair(1, 0, 1),             // exact dup: dropped silently
+            pair(1, 2, 3),             // conflicting content under the same id: rejected
+            Update::Delete(EdgeId(5)), // fine (assumed live)
+            Update::Delete(EdgeId(5)), // exact dup: dropped silently
+            Update::Delete(EdgeId(1)), // deletes an id this batch inserts: rejected
+        ]);
+        assert_eq!(batch.updates(), &[pair(1, 0, 1), Update::Delete(EdgeId(5))]);
+        let got: Vec<(usize, BatchError)> = rejected
+            .iter()
+            .map(|r| (r.index, r.error.clone()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (2, BatchError::DuplicateEdgeId { id: EdgeId(1) }),
+                (5, BatchError::UnknownDeletion { id: EdgeId(1) }),
+            ]
+        );
+    }
+
+    #[test]
+    fn update_batch_conversions_and_iteration() {
+        let updates = vec![
+            Update::Insert(HyperEdge::pair(EdgeId(0), v(0), v(1))),
+            Update::Delete(EdgeId(9)),
+        ];
+        let batch = UpdateBatch::new(updates.clone()).unwrap();
+        // Deref / AsRef expose the slice; iteration borrows or consumes.
+        assert_eq!(&batch[..], updates.as_slice());
+        assert_eq!(batch.as_ref(), updates.as_slice());
+        assert_eq!((&batch).into_iter().count(), 2);
+        assert_eq!(Vec::from(batch.clone()), updates);
+        assert_eq!(batch.clone().into_updates(), updates);
+        assert_eq!(batch.into_iter().collect::<Vec<_>>(), updates);
     }
 
     #[test]

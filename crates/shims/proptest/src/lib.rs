@@ -9,11 +9,18 @@
 //!
 //! Differences from upstream, deliberately accepted:
 //!
-//! * **no shrinking** — a failing case reports its inputs but is not minimised;
+//! * **value-level shrinking** — on failure the runner greedily minimises the
+//!   inputs through [`strategy::Strategy::shrink`] (integers toward the range
+//!   start, vectors toward fewer/smaller elements, tuples componentwise) under
+//!   a fixed evaluation budget; upstream's lazy shrink *trees* are not
+//!   reproduced, but shrinking is fully deterministic;
+//! * **replayable failure seeds** — every generated case gets its own `u64`
+//!   seed, printed on failure (including panics inside the property body);
+//!   rerun just that case with `PDMM_PROPTEST_REPLAY=<seed> cargo test <name>`;
 //! * **fixed deterministic seeding** — each test's random stream is derived from
 //!   its fully qualified name, so failures reproduce across runs;
-//! * **default case count is 64** (upstream: 256) to keep `cargo test` fast; use
-//!   `ProptestConfig::with_cases` to override per block.
+//! * **default case count is 128** (upstream: 256) to keep `cargo test` fast;
+//!   use `ProptestConfig::with_cases` to override per block.
 
 /// Runner configuration accepted by `#![proptest_config(...)]`.
 #[derive(Debug, Clone)]
@@ -32,7 +39,7 @@ impl ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        ProptestConfig { cases: 128 }
     }
 }
 
@@ -63,7 +70,15 @@ pub mod test_runner {
                 h ^= u64::from(b);
                 h = h.wrapping_mul(0x1000_0000_01b3);
             }
-            let mut z = h;
+            TestRng::from_seed(h)
+        }
+
+        /// Derives a stream from an explicit seed — the runner gives every
+        /// generated case its own seed so a failure can be replayed alone via
+        /// `PDMM_PROPTEST_REPLAY=<seed>`.
+        #[must_use]
+        pub fn from_seed(seed: u64) -> Self {
+            let mut z = seed;
             let mut next = || {
                 z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
                 let mut x = z;
@@ -116,6 +131,13 @@ pub mod strategy {
         type Value;
         /// Draws one value.
         fn sample(&self, rng: &mut TestRng) -> Self::Value;
+        /// Candidate simplifications of `value`, "smallest" first.  The runner
+        /// greedily walks these on failure to minimise the reported inputs; an
+        /// empty list (the default) means the value is already minimal.
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let _ = value;
+            Vec::new()
+        }
     }
 
     /// Always produces a clone of the wrapped value.
@@ -138,6 +160,22 @@ pub mod strategy {
                     let span = (self.end as u64) - (self.start as u64);
                     self.start + rng.below(span) as $t
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    let (start, v) = (self.start, *value);
+                    if v <= start {
+                        return Vec::new();
+                    }
+                    // Toward the range start: jump there, halve, step by one.
+                    let mut out = vec![start];
+                    let mid = start + (v - start) / 2;
+                    if mid != start && mid != v {
+                        out.push(mid);
+                    }
+                    if v - 1 != start && v - 1 != mid {
+                        out.push(v - 1);
+                    }
+                    out
+                }
             }
         )*};
     }
@@ -150,22 +188,54 @@ pub mod strategy {
             assert!(self.start < self.end, "empty strategy range");
             self.start + rng.unit_f64() * (self.end - self.start)
         }
+        fn shrink(&self, value: &f64) -> Vec<f64> {
+            if *value <= self.start {
+                return Vec::new();
+            }
+            let mid = self.start + (*value - self.start) / 2.0;
+            if mid < *value {
+                vec![self.start, mid]
+            } else {
+                vec![self.start]
+            }
+        }
     }
 
     macro_rules! impl_tuple_strategy {
-        ($(($($name:ident),+)),+ $(,)?) => {$(
-            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        ($(($($name:ident => $idx:tt),+)),+ $(,)?) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+)
+            where
+                $($name::Value: Clone),+
+            {
                 type Value = ($($name::Value,)+);
                 #[allow(non_snake_case)]
                 fn sample(&self, rng: &mut TestRng) -> Self::Value {
                     let ($($name,)+) = self;
                     ($($name.sample(rng),)+)
                 }
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for candidate in self.$idx.shrink(&value.$idx) {
+                            let mut next = value.clone();
+                            next.$idx = candidate;
+                            out.push(next);
+                        }
+                    )+
+                    out
+                }
             }
         )+};
     }
 
-    impl_tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+    impl_tuple_strategy!(
+        (A => 0),
+        (A => 0, B => 1),
+        (A => 0, B => 1, C => 2),
+        (A => 0, B => 1, C => 2, D => 3),
+        (A => 0, B => 1, C => 2, D => 3, E => 4),
+        (A => 0, B => 1, C => 2, D => 3, E => 4, F => 5),
+    );
 
     /// A boxed, type-erased strategy (used by [`crate::prop_oneof!`]).
     pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
@@ -179,6 +249,9 @@ pub mod strategy {
         type Value = T;
         fn sample(&self, rng: &mut TestRng) -> T {
             (**self).sample(rng)
+        }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            (**self).shrink(value)
         }
     }
 
@@ -225,12 +298,40 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.size.end - self.size.start) as u64;
             let len = self.size.start + rng.below(span) as usize;
             (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let min = self.size.start;
+            if value.len() > min {
+                // Shorter first: cut to the minimum, halve, drop one element.
+                out.push(value[..min].to_vec());
+                let half = min + (value.len() - min) / 2;
+                if half != min && half != value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                if value.len() - 1 != min && value.len() - 1 != half {
+                    out.push(value[..value.len() - 1].to_vec());
+                }
+            }
+            // Then element-wise: each element replaced by its own first
+            // (smallest) shrink candidate, capped to keep the walk bounded.
+            for (i, element) in value.iter().enumerate().take(16) {
+                if let Some(candidate) = self.element.shrink(element).into_iter().next() {
+                    let mut next = value.clone();
+                    next[i] = candidate;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -252,6 +353,13 @@ pub mod bool {
         fn sample(&self, rng: &mut TestRng) -> std::primitive::bool {
             rng.next_u64() & 1 == 1
         }
+        fn shrink(&self, value: &std::primitive::bool) -> Vec<std::primitive::bool> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
+        }
     }
 }
 
@@ -263,6 +371,154 @@ pub mod prelude {
     pub use crate::{
         prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
     };
+}
+
+/// The property runner behind [`proptest!`]: samples cases, folds panics into
+/// failures, shrinks failing inputs deterministically, and prints a replay
+/// seed.  Public so the macro expansion can call it; not part of upstream's
+/// API surface.
+///
+/// Set `PDMM_PROPTEST_REPLAY=<seed>` to rerun exactly one previously failing
+/// case (the seed is printed in the failure message) instead of the whole run.
+pub fn run_property<S>(
+    name: &str,
+    config: &ProptestConfig,
+    strategy: &S,
+    mut check: impl FnMut(&S::Value) -> Result<(), test_runner::TestCaseError>,
+    format_inputs: impl Fn(&S::Value) -> String,
+) where
+    S: strategy::Strategy,
+    S::Value: Clone,
+{
+    use test_runner::TestRng;
+
+    if let Ok(seed_text) = std::env::var("PDMM_PROPTEST_REPLAY") {
+        let seed: u64 = seed_text
+            .trim()
+            .parse()
+            .expect("PDMM_PROPTEST_REPLAY must be a u64 case seed");
+        let value = strategy.sample(&mut TestRng::from_seed(seed));
+        match eval_case(&mut check, &value) {
+            CaseOutcome::Pass => {
+                eprintln!("{name}: replayed case {seed} passes");
+                return;
+            }
+            CaseOutcome::Reject => panic!("{name}: replayed case {seed} was rejected by prop_assume (seed belongs to another test?)"),
+            CaseOutcome::Fail(msg) => {
+                fail_with_shrink(name, strategy, &mut check, &format_inputs, value, msg, seed)
+            }
+        }
+    }
+
+    let mut rng = TestRng::deterministic(name);
+    let max_attempts: u64 = u64::from(config.cases).saturating_mul(10).max(100);
+    let mut accepted: u32 = 0;
+    let mut attempts: u64 = 0;
+    while accepted < config.cases && attempts < max_attempts {
+        attempts += 1;
+        // Every case gets its own seed so a failure replays in isolation.
+        let case_seed = rng.next_u64();
+        let value = strategy.sample(&mut TestRng::from_seed(case_seed));
+        match eval_case(&mut check, &value) {
+            CaseOutcome::Pass => accepted += 1,
+            CaseOutcome::Reject => {}
+            CaseOutcome::Fail(msg) => fail_with_shrink(
+                name,
+                strategy,
+                &mut check,
+                &format_inputs,
+                value,
+                msg,
+                case_seed,
+            ),
+        }
+    }
+    assert!(
+        accepted >= config.cases.min(1),
+        "too many rejected cases: {accepted} accepted after {attempts} attempts"
+    );
+}
+
+/// Outcome of one case evaluation, with panics folded into failures (so
+/// shrinking works on panicking properties too, and the replay seed is always
+/// reported).
+enum CaseOutcome {
+    Pass,
+    Reject,
+    Fail(String),
+}
+
+fn eval_case<V>(
+    check: &mut impl FnMut(&V) -> Result<(), test_runner::TestCaseError>,
+    value: &V,
+) -> CaseOutcome {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check(value)));
+    match result {
+        Ok(Ok(())) => CaseOutcome::Pass,
+        Ok(Err(test_runner::TestCaseError::Reject)) => CaseOutcome::Reject,
+        Ok(Err(test_runner::TestCaseError::Fail(msg))) => CaseOutcome::Fail(msg),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("property body panicked");
+            CaseOutcome::Fail(format!("panic: {msg}"))
+        }
+    }
+}
+
+/// Total candidate evaluations a shrink walk may spend.
+const SHRINK_BUDGET: usize = 512;
+
+fn fail_with_shrink<S>(
+    name: &str,
+    strategy: &S,
+    check: &mut impl FnMut(&S::Value) -> Result<(), test_runner::TestCaseError>,
+    format_inputs: &impl Fn(&S::Value) -> String,
+    original: S::Value,
+    original_msg: String,
+    case_seed: u64,
+) -> !
+where
+    S: strategy::Strategy,
+    S::Value: Clone,
+{
+    // Candidate evaluations during the walk may panic; those panics are
+    // caught by `eval_case` but still print through the process panic hook.
+    // That noise is accepted: the hook is global state shared with every
+    // concurrently running test, so swapping it here would race with (and
+    // could permanently silence) unrelated tests.
+    let mut current = original.clone();
+    let mut current_msg = original_msg.clone();
+    let mut evals = 0usize;
+    let mut shrunk_steps = 0usize;
+    'walk: loop {
+        for candidate in strategy.shrink(&current) {
+            if evals >= SHRINK_BUDGET {
+                break 'walk;
+            }
+            evals += 1;
+            if let CaseOutcome::Fail(msg) = eval_case(check, &candidate) {
+                // Still failing: adopt the simpler input and walk on.
+                current = candidate;
+                current_msg = msg;
+                shrunk_steps += 1;
+                continue 'walk;
+            }
+        }
+        break;
+    }
+    let minimal = format_inputs(&current);
+    if shrunk_steps == 0 {
+        panic!(
+            "property failed: {current_msg}\n  inputs: {minimal}\n  replay: PDMM_PROPTEST_REPLAY={case_seed} cargo test {name}"
+        );
+    }
+    let original_inputs = format_inputs(&original);
+    panic!(
+        "property failed: {current_msg}\n  minimal inputs (after {shrunk_steps} shrink steps): {minimal}\n  original failure: {original_msg}\n  original inputs: {original_inputs}\n  replay: PDMM_PROPTEST_REPLAY={case_seed} cargo test {name}"
+    );
 }
 
 /// Defines property tests: each `fn name(arg in strategy, ...) { body }` becomes a
@@ -288,35 +544,24 @@ macro_rules! __proptest_impl {
         #[allow(clippy::redundant_closure_call)]
         fn $name() {
             let __config: $crate::ProptestConfig = $cfg;
-            let mut __rng = $crate::test_runner::TestRng::deterministic(
+            $crate::run_property(
                 concat!(module_path!(), "::", stringify!($name)),
-            );
-            let __max_attempts: u64 = u64::from(__config.cases).saturating_mul(10).max(100);
-            let mut __accepted: u32 = 0;
-            let mut __attempts: u64 = 0;
-            while __accepted < __config.cases && __attempts < __max_attempts {
-                __attempts += 1;
-                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
-                let __inputs = format!(
-                    concat!($(stringify!($arg), " = {:?}; "),+),
-                    $(&$arg),+
-                );
-                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
-                    (move || {
-                        $body
-                        ::std::result::Result::Ok(())
-                    })();
-                match __result {
-                    ::std::result::Result::Ok(()) => __accepted += 1,
-                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
-                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
-                        panic!("property failed: {}\n  inputs: {}", __msg, __inputs);
-                    }
-                }
-            }
-            assert!(
-                __accepted >= __config.cases.min(1),
-                "too many rejected cases: {__accepted} accepted after {__attempts} attempts"
+                &__config,
+                &($(($strat),)+),
+                |__case| {
+                    #[allow(unused_parens)]
+                    let ($($arg,)+) = ::std::clone::Clone::clone(__case);
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+                |__case| {
+                    #[allow(unused_parens)]
+                    let ($($arg,)+) = __case;
+                    format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    )
+                },
             );
         }
     )*};
@@ -395,6 +640,101 @@ macro_rules! prop_oneof {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+
+    /// Serializes the tests that swap the process-global panic hook: without
+    /// it, two such tests interleaving their take/set pairs on the parallel
+    /// test harness could permanently install the silencing hook.
+    static HOOK_GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    /// Runs a failing property under `run_property` and returns the panic
+    /// message (suppressing the default panic report).
+    fn failure_message(
+        check: impl FnMut(&(u32, Vec<u32>)) -> Result<(), crate::test_runner::TestCaseError>,
+    ) -> String {
+        let _guard = HOOK_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            crate::run_property(
+                "shim::shrink_probe",
+                &ProptestConfig::with_cases(16),
+                &(0u32..1000, crate::collection::vec(0u32..100, 0..20)),
+                check,
+                |case| format!("{case:?}"),
+            );
+        }))
+        .expect_err("the property must fail");
+        std::panic::set_hook(hook);
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic carries a formatted message")
+    }
+
+    #[test]
+    fn failures_shrink_to_minimal_inputs() {
+        // Fails whenever x >= 10: the minimum failing x is exactly 10, and the
+        // vector is irrelevant, so shrinking must reach (10, []).
+        let msg = failure_message(|(x, _v)| {
+            if *x >= 10 {
+                Err(crate::test_runner::TestCaseError::Fail(format!(
+                    "x too big: {x}"
+                )))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(msg.contains("(10, [])"), "not minimal: {msg}");
+        assert!(
+            msg.contains("PDMM_PROPTEST_REPLAY="),
+            "no replay seed: {msg}"
+        );
+        assert!(msg.contains("shrink steps"), "no shrink report: {msg}");
+    }
+
+    #[test]
+    fn panics_are_shrunk_and_report_a_replay_seed() {
+        // A plain panic (not prop_assert!) must still shrink and print a seed.
+        let msg = failure_message(|(_x, v)| {
+            assert!(v.len() < 3, "vector too long: {}", v.len());
+            Ok(())
+        });
+        assert!(msg.contains("panic: vector too long: 3"), "{msg}");
+        assert!(msg.contains("PDMM_PROPTEST_REPLAY="), "{msg}");
+        // The minimal vector has exactly 3 elements, each shrunk to 0.
+        assert!(msg.contains("[0, 0, 0]"), "not minimal: {msg}");
+    }
+
+    #[test]
+    fn shrink_candidates_respect_strategy_bounds() {
+        use crate::strategy::Strategy;
+        let range = 5u32..50;
+        for candidate in range.shrink(&30) {
+            assert!((5..30).contains(&candidate), "{candidate}");
+        }
+        assert!(
+            range.shrink(&5).is_empty(),
+            "the minimum is already minimal"
+        );
+
+        let vecs = crate::collection::vec(0u32..10, 2..6);
+        for candidate in vecs.shrink(&vec![3, 4, 5, 6, 7]) {
+            assert!(candidate.len() >= 2, "below the size floor: {candidate:?}");
+        }
+
+        assert_eq!(crate::bool::ANY.shrink(&true), vec![false]);
+        assert!(crate::bool::ANY.shrink(&false).is_empty());
+    }
+
+    #[test]
+    fn replayed_case_seeds_regenerate_the_same_inputs() {
+        use crate::strategy::Strategy;
+        let strategy = (0u32..1000, crate::collection::vec(0u32..100, 0..20));
+        let seed = 0xDEAD_BEEF_u64;
+        let a = strategy.sample(&mut crate::test_runner::TestRng::from_seed(seed));
+        let b = strategy.sample(&mut crate::test_runner::TestRng::from_seed(seed));
+        assert_eq!(a, b, "a case seed must regenerate its exact inputs");
+    }
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(50))]

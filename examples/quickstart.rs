@@ -55,7 +55,7 @@ fn main() {
     }
     println!(
         "after deleting {} edges ({} hit matched edges): matching size = {}",
-        deletion_batches.iter().map(Vec::len).sum::<usize>(),
+        deletion_batches.iter().map(UpdateBatch::len).sum::<usize>(),
         forced_repairs,
         matcher.matching_size()
     );

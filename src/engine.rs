@@ -30,6 +30,8 @@ pub use pdmm_hypergraph::engine::{
 /// Engines with parallel phases ([`EngineKind::Parallel`] and
 /// [`EngineKind::RecomputeSequential`]) honor [`EngineBuilder::threads`] by
 /// constructing an owned work-stealing pool and running every batch on it.
+/// Every engine is `Send`, so the result can be moved into a long-lived
+/// [`pdmm_hypergraph::service::EngineService`] and shared across threads.
 ///
 /// ```
 /// use pdmm::engine::{self, EngineBuilder, EngineKind};
@@ -40,7 +42,7 @@ pub use pdmm_hypergraph::engine::{
 /// assert_eq!(engine.num_vertices(), 100);
 /// ```
 #[must_use]
-pub fn build(kind: EngineKind, builder: &EngineBuilder) -> Box<dyn MatchingEngine> {
+pub fn build(kind: EngineKind, builder: &EngineBuilder) -> Box<dyn MatchingEngine + Send> {
     match kind {
         EngineKind::Parallel => Box::new(pdmm_core::ParallelDynamicMatching::from_builder(builder)),
         EngineKind::NaiveSequential => Box::new(
@@ -67,7 +69,7 @@ pub fn build(kind: EngineKind, builder: &EngineBuilder) -> Box<dyn MatchingEngin
 /// assert_eq!(engines.len(), EngineKind::ALL.len());
 /// ```
 #[must_use]
-pub fn build_all(builder: &EngineBuilder) -> Vec<Box<dyn MatchingEngine>> {
+pub fn build_all(builder: &EngineBuilder) -> Vec<Box<dyn MatchingEngine + Send>> {
     EngineKind::ALL.iter().map(|&k| build(k, builder)).collect()
 }
 

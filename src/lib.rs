@@ -12,6 +12,10 @@
 //!   [`EngineBuilder`] configuration, typed [`engine::BatchError`]s, zero-copy
 //!   matching queries, staged [`engine::BatchSession`] ingestion, and
 //!   [`engine::build`] to construct any of the five engines,
+//! * [`service`] — the serve path: a long-lived [`service::EngineService`]
+//!   over any engine, with concurrent [`service::MatchingSnapshot`] reads, a
+//!   bounded submission queue with backpressure, and a journal that
+//!   [`service::EngineService::replay`] rebuilds bit-identical state from,
 //! * [`core`] ([`ParallelDynamicMatching`]) — the paper's algorithm,
 //! * [`hypergraph`] — the dynamic hypergraph substrate, workload generators,
 //!   update streams and matching verification,
@@ -70,11 +74,42 @@
 //! let report = session.commit().unwrap();
 //! assert_eq!(report.batch_size, 1);
 //! ```
+//!
+//! For a long-lived deployment, wrap any engine in an
+//! [`service::EngineService`]: validated [`UpdateBatch`]es go through a bounded
+//! submission queue, snapshots are read concurrently while batches commit, and
+//! the journal replays to bit-identical state (the same example, with the full
+//! story, lives in the [`service`] module docs):
+//!
+//! ```
+//! use pdmm::prelude::*;
+//!
+//! let builder = EngineBuilder::new(4).seed(1);
+//! let service = EngineService::new(pdmm::engine::build(EngineKind::Parallel, &builder));
+//! let batch = UpdateBatch::new(vec![Update::Insert(HyperEdge::pair(
+//!     EdgeId(0),
+//!     VertexId(0),
+//!     VertexId(1),
+//! ))])
+//! .unwrap();
+//! service.submit(batch);
+//! service.drain().unwrap();
+//! assert_eq!(service.snapshot().size(), 1);
+//!
+//! let replayed =
+//!     EngineService::replay(pdmm::engine::build(EngineKind::Parallel, &builder), &service.journal())
+//!         .unwrap();
+//! assert_eq!(replayed.snapshot().edge_ids(), service.snapshot().edge_ids());
+//! ```
+//!
+//! [`UpdateBatch`]: prelude::UpdateBatch
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod engine;
+
+pub use pdmm_hypergraph::service;
 
 pub use pdmm_core as core;
 pub use pdmm_hypergraph as hypergraph;
@@ -91,6 +126,7 @@ pub mod prelude {
     pub use pdmm_core::{Config, ParallelDynamicMatching};
     pub use pdmm_hypergraph::graph::DynamicHypergraph;
     pub use pdmm_hypergraph::matching::{verify_maximality, verify_validity};
+    pub use pdmm_hypergraph::service::{EngineService, MatchingSnapshot};
     pub use pdmm_hypergraph::streams::Workload;
     pub use pdmm_hypergraph::types::{EdgeId, HyperEdge, Update, UpdateBatch, VertexId};
 }

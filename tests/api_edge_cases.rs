@@ -118,7 +118,7 @@ fn matched_endpoints_form_a_vertex_cover() {
     let edges = pdmm::hypergraph::generators::gnm_graph(80, 400, 3, 0);
     let mut truth = DynamicHypergraph::new(80);
     let mut matcher = ParallelDynamicMatching::new(80, Config::for_graphs(7));
-    let batch: UpdateBatch = edges.into_iter().map(Update::Insert).collect();
+    let batch = UpdateBatch::new(edges.into_iter().map(Update::Insert).collect()).unwrap();
     truth.apply_batch(&batch);
     matcher.apply_batch(&batch).unwrap();
     assert_eq!(verify_maximality(&truth, &matcher.matching_ids()), Ok(()));
@@ -139,7 +139,7 @@ fn one_giant_batch_is_the_static_case() {
     // algorithm (§3.1): one batch, polylog depth, maximal result.
     let edges = pdmm::hypergraph::generators::gnm_graph(500, 3_000, 9, 0);
     let mut truth = DynamicHypergraph::new(500);
-    let batch: UpdateBatch = edges.into_iter().map(Update::Insert).collect();
+    let batch = UpdateBatch::new(edges.into_iter().map(Update::Insert).collect()).unwrap();
     truth.apply_batch(&batch);
     let mut matcher = ParallelDynamicMatching::new(500, Config::for_graphs(8));
     let report = matcher.apply_batch(&batch).unwrap();

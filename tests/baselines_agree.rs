@@ -12,7 +12,7 @@ use pdmm::hypergraph::{generators, matching};
 use pdmm::prelude::*;
 use pdmm::seq_dynamic::NaiveDynamicMatching;
 
-fn algorithms(num_vertices: usize) -> Vec<Box<dyn MatchingEngine>> {
+fn algorithms(num_vertices: usize) -> Vec<Box<dyn MatchingEngine + Send>> {
     engine::build_all(&EngineBuilder::new(num_vertices).seed(1))
 }
 

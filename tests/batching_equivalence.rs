@@ -24,13 +24,14 @@ fn rebatch(workload: &Workload, batch_size: usize) -> Workload {
 /// Re-batches an explicit update sequence under the same same-batch constraint.
 fn rebatch_updates(updates: &[Update], batch_size: usize, proto: &Workload) -> Workload {
     let mut batches: Vec<UpdateBatch> = Vec::new();
-    let mut current: UpdateBatch = Vec::new();
+    let mut current: Vec<Update> = Vec::new();
     let mut inserted_in_current: std::collections::HashSet<EdgeId> =
         std::collections::HashSet::new();
+    let seal = |updates: Vec<Update>| UpdateBatch::new(updates).expect("rebatching stays valid");
     for update in updates {
         let conflicts = matches!(update, Update::Delete(id) if inserted_in_current.contains(id));
         if current.len() >= batch_size || conflicts {
-            batches.push(std::mem::take(&mut current));
+            batches.push(seal(std::mem::take(&mut current)));
             inserted_in_current.clear();
         }
         if let Update::Insert(e) = update {
@@ -39,7 +40,7 @@ fn rebatch_updates(updates: &[Update], batch_size: usize, proto: &Workload) -> W
         current.push(update.clone());
     }
     if !current.is_empty() {
-        batches.push(current);
+        batches.push(seal(current));
     }
     Workload {
         num_vertices: proto.num_vertices,

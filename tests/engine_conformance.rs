@@ -35,7 +35,7 @@ fn conformance_workloads() -> Vec<Workload> {
     workloads
 }
 
-fn engines_for(workload: &Workload, seed: u64) -> Vec<Box<dyn MatchingEngine>> {
+fn engines_for(workload: &Workload, seed: u64) -> Vec<Box<dyn MatchingEngine + Send>> {
     engine::build_all(
         &EngineBuilder::new(workload.num_vertices)
             .rank(workload.rank.max(2))

@@ -137,15 +137,18 @@ fn temp_deleted_edges_are_restored_when_their_epoch_dies() {
     let mut batches: Vec<UpdateBatch> = Vec::new();
     let fan = 40u32;
     batches.push(
-        (0..fan)
-            .map(|i| {
-                Update::Insert(HyperEdge::pair(
-                    EdgeId(u64::from(i)),
-                    VertexId(0),
-                    VertexId(i + 1),
-                ))
-            })
-            .collect(),
+        UpdateBatch::new(
+            (0..fan)
+                .map(|i| {
+                    Update::Insert(HyperEdge::pair(
+                        EdgeId(u64::from(i)),
+                        VertexId(0),
+                        VertexId(i + 1),
+                    ))
+                })
+                .collect(),
+        )
+        .unwrap(),
     );
     let w = Workload {
         num_vertices: fan as usize + 1,

@@ -27,7 +27,7 @@ const MAX_RANK: usize = 2;
 /// Ids of the edges every engine is primed with before staging begins.
 const LIVE_IDS: [u64; 3] = [0, 1, 2];
 
-fn primed_engine(kind: EngineKind) -> Box<dyn MatchingEngine> {
+fn primed_engine(kind: EngineKind) -> Box<dyn MatchingEngine + Send> {
     let builder = EngineBuilder::new(NUM_VERTICES).rank(MAX_RANK).seed(7);
     let mut engine = engine::build(kind, &builder);
     engine
