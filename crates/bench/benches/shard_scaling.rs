@@ -1,0 +1,43 @@
+//! Criterion bench for experiment E12: wall-clock throughput of the same
+//! skewed-key churn stream served through a `ShardedService` at different
+//! shard counts.
+//!
+//! Each iteration builds fresh engines (one per shard), routes every batch
+//! through the sharded submit path, and drains all shards concurrently on the
+//! in-tree pool — the full serve loop, not just the kernels, so router and
+//! merge overhead are part of what is measured.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdmm::engine::{EngineBuilder, EngineKind};
+use pdmm::sharding::ShardedService;
+use pdmm_hypergraph::streams;
+use std::hint::black_box;
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_shard_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let n = 1 << 12;
+    let w = streams::skewed_churn(n, 2, 2 * n, 12, n / 4, 0.6, 2.0, 77);
+    for &shards in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &s| {
+            let builder = EngineBuilder::new(n).seed(13);
+            b.iter(|| {
+                let engines = (0..s)
+                    .map(|_| pdmm::engine::build(EngineKind::Parallel, &builder))
+                    .collect();
+                let service = ShardedService::new(engines);
+                for batch in &w.batches {
+                    service.submit(black_box(batch.clone()));
+                    service.drain().expect("generated workloads are valid");
+                }
+                black_box(service.snapshot().size())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_scaling);
+criterion_main!(benches);

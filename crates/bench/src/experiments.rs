@@ -1,4 +1,5 @@
-//! The experiment suite (E1–E10 of `DESIGN.md`, plus the serve-path E11).
+//! The experiment suite (E1–E10 of `DESIGN.md`, plus the serve-path E11 and
+//! the shard-scaling E12).
 //!
 //! The paper is a theory paper — it has no empirical tables of its own — so each
 //! experiment here turns one of its stated claims into a measured series (see the
@@ -559,7 +560,65 @@ pub fn e11_serve_loop(scale: Scale) -> String {
     finish(table)
 }
 
-/// Runs one experiment by id (`"e1"`, …, `"e11"`).  Returns `None` for unknown ids.
+/// E12 — the sharded serving layer: update throughput vs shard count.  Every
+/// engine kind serves the same skewed-key churn stream through a
+/// `ShardedService` at 1/2/4/8 shards (hash partitioning, concurrent shard
+/// drains on the in-tree pool).  On a single core the point is the overhead
+/// curve — routing + per-shard commit bookkeeping vs one big commit lock; on
+/// a multi-core host the per-shard commit locks are independent, so
+/// throughput should scale until cross-shard skew or the router serializes.
+/// The cross column counts cross-shard routed updates (owner-shard placement
+/// of edges whose endpoints span shards); conflicts is the size of the
+/// merged snapshot's conflicted-vertex set at the end.
+#[must_use]
+pub fn e12_shard_scaling(scale: Scale) -> String {
+    use pdmm::sharding::ShardedService;
+
+    let mut table = Table::new(
+        "E12  sharded serving layer: updates/sec vs shard count",
+        &[
+            "engine",
+            "shards",
+            "us/update",
+            "updates/s",
+            "cross",
+            "conflicts",
+            "matching",
+        ],
+    );
+    let n = scale.div(1 << 13, 1 << 10);
+    let w = streams::skewed_churn(n, 2, 2 * n, 16, n / 4, 0.6, 2.0, 77);
+    for kind in EngineKind::ALL {
+        for &shards in &[1usize, 2, 4, 8] {
+            let builder = EngineBuilder::new(n).seed(5);
+            let engines = (0..shards)
+                .map(|_| pdmm::engine::build(kind, &builder))
+                .collect();
+            let service = ShardedService::new(engines);
+            let mut cross = 0usize;
+            let t0 = Instant::now();
+            for batch in &w.batches {
+                cross += service.submit(batch.clone()).cross_shard;
+                service.drain().expect("generated workloads are valid");
+            }
+            let wall = t0.elapsed();
+            let snap = service.snapshot();
+            let us_per_update = wall.as_secs_f64() * 1e6 / w.total_updates() as f64;
+            table.row(vec![
+                kind.to_string(),
+                shards.to_string(),
+                f(us_per_update, 2),
+                f(1e6 / us_per_update.max(1e-9), 0),
+                cross.to_string(),
+                snap.conflicted_vertices().len().to_string(),
+                snap.size().to_string(),
+            ]);
+        }
+    }
+    finish(table)
+}
+
+/// Runs one experiment by id (`"e1"`, …, `"e12"`).  Returns `None` for unknown ids.
 #[must_use]
 pub fn run_by_id(id: &str, scale: Scale) -> Option<String> {
     let out = match id {
@@ -574,14 +633,15 @@ pub fn run_by_id(id: &str, scale: Scale) -> Option<String> {
         "e9" => e9_thread_scaling(scale),
         "e10" => e10_ablation(scale),
         "e11" => e11_serve_loop(scale),
+        "e12" => e12_shard_scaling(scale),
         _ => return None,
     };
     Some(out)
 }
 
 /// All experiment ids, in order.
-pub const ALL_EXPERIMENTS: [&str; 11] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+pub const ALL_EXPERIMENTS: [&str; 12] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
 ];
 
 fn finish(table: Table) -> String {
@@ -624,6 +684,6 @@ mod tests {
     fn run_by_id_dispatches() {
         assert!(run_by_id("e7", Scale::Quick).is_some());
         assert!(run_by_id("nope", Scale::Quick).is_none());
-        assert_eq!(ALL_EXPERIMENTS.len(), 11);
+        assert_eq!(ALL_EXPERIMENTS.len(), 12);
     }
 }

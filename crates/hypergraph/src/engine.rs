@@ -462,6 +462,16 @@ pub trait MatchingEngine {
     /// Number of vertices of the underlying hypergraph.
     fn num_vertices(&self) -> usize;
 
+    /// Whether `v` belongs to this engine's vertex space (`0..num_vertices`).
+    ///
+    /// O(1).  This is the ownership query a routing layer asks per endpoint
+    /// when deciding where an update belongs — e.g. the sharded serving
+    /// layer's merge side ([`crate::sharding`]) bounds-checks vertices against
+    /// a shard's engine through it without touching any engine table.
+    fn contains_vertex(&self, v: VertexId) -> bool {
+        v.index() < self.num_vertices()
+    }
+
     /// Maximum rank accepted by [`MatchingEngine::apply_batch`].
     fn max_rank(&self) -> usize;
 

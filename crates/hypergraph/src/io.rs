@@ -5,14 +5,18 @@
 //!
 //! * **edge list** — one hyperedge per line: `<id> <v1> <v2> ... <vk>`;
 //! * **update stream** — one batch per blank-line-separated block, one update per
-//!   line: `+ <id> <v1> ... <vk>` for an insertion, `- <id>` for a deletion.
+//!   line: `+ <id> <v1> ... <vk>` for an insertion, `- <id>` for a deletion;
+//! * **shard-tagged update stream** — the update-stream format with one
+//!   `@ <shard>` header line per block, used by the sharded serving layer's
+//!   journal ([`sharded_batches_to_string`]) so every batch replays onto the
+//!   shard that committed it.
 //!
 //! Lines starting with `#` are comments.  Parsing is strict: malformed lines return
 //! an error rather than being skipped, so corrupted workload files are caught
 //! early.
 
 use crate::engine::{BatchLedger, UpdateCheck};
-use crate::types::{EdgeId, HyperEdge, Update, UpdateBatch, VertexId};
+use crate::types::{EdgeId, HyperEdge, ShardId, Update, UpdateBatch, VertexId};
 use std::fmt::Write as _;
 
 /// Error produced by the parsers in this module.
@@ -90,21 +94,90 @@ pub fn batches_to_string(batches: &[UpdateBatch]) -> String {
         }
         written += 1;
         for update in batch {
-            match update {
-                Update::Insert(e) => {
-                    let _ = write!(out, "+ {}", e.id.0);
-                    for v in e.vertices() {
-                        let _ = write!(out, " {}", v.0);
-                    }
-                    out.push('\n');
-                }
-                Update::Delete(id) => {
-                    let _ = writeln!(out, "- {}", id.0);
-                }
-            }
+            write_update(&mut out, update);
         }
     }
     out
+}
+
+/// Serializes one update as its stream line (the single place the line format
+/// is written, shared by the plain and shard-tagged serializers).
+fn write_update(out: &mut String, update: &Update) {
+    match update {
+        Update::Insert(e) => {
+            let _ = write!(out, "+ {}", e.id.0);
+            for v in e.vertices() {
+                let _ = write!(out, " {}", v.0);
+            }
+            out.push('\n');
+        }
+        Update::Delete(id) => {
+            let _ = writeln!(out, "- {}", id.0);
+        }
+    }
+}
+
+/// Parses one non-empty, non-comment update line (`+ <id> <v>…` / `- <id>`).
+fn parse_update(line: &str, lineno: usize) -> Result<Update, ParseError> {
+    let mut parts = line.split_whitespace();
+    let op = parts.next().expect("non-empty line has a first token");
+    match op {
+        "+" => {
+            let id = parse_u64(parts.next(), lineno, "edge id")?;
+            let vertices: Vec<VertexId> = parts
+                .map(|p| parse_u32(Some(p), lineno, "vertex id").map(VertexId))
+                .collect::<Result<_, _>>()?;
+            if vertices.is_empty() {
+                return Err(ParseError {
+                    line: lineno,
+                    message: "insertion with no endpoints".into(),
+                });
+            }
+            Ok(Update::Insert(HyperEdge::new(EdgeId(id), vertices)))
+        }
+        "-" => {
+            let id = parse_u64(parts.next(), lineno, "edge id")?;
+            if parts.next().is_some() {
+                return Err(ParseError {
+                    line: lineno,
+                    message: "deletion takes exactly one id".into(),
+                });
+            }
+            Ok(Update::Delete(EdgeId(id)))
+        }
+        other => Err(ParseError {
+            line: lineno,
+            message: format!("unknown operation `{other}` (expected `+` or `-`)"),
+        }),
+    }
+}
+
+/// Runs the shared per-line batch validation and pushes a fresh update into
+/// the current block.
+fn check_and_push(
+    ledger: &mut BatchLedger,
+    current: &mut Vec<Update>,
+    update: Update,
+    lineno: usize,
+) -> Result<(), ParseError> {
+    match UpdateBatch::check_context_free(ledger, &update) {
+        Ok(UpdateCheck::Fresh) => {
+            ledger.record(&update, current.len());
+            current.push(update);
+            Ok(())
+        }
+        Ok(UpdateCheck::RepeatedInsert { .. } | UpdateCheck::RepeatedDelete) => Err(ParseError {
+            line: lineno,
+            message: format!(
+                "invalid batch: repeated update for edge {}",
+                update.edge_id()
+            ),
+        }),
+        Err(error) => Err(ParseError {
+            line: lineno,
+            message: format!("invalid batch: {error}"),
+        }),
+    }
 }
 
 /// Parses an update stream produced by [`batches_to_string`].
@@ -134,63 +207,98 @@ pub fn batches_from_string(text: &str) -> Result<Vec<UpdateBatch>, ParseError> {
             flush(&mut current, &mut ledger);
             continue;
         }
-        let mut parts = line.split_whitespace();
-        let op = parts.next().expect("non-empty line has a first token");
-        let update = match op {
-            "+" => {
-                let id = parse_u64(parts.next(), i + 1, "edge id")?;
-                let vertices: Vec<VertexId> = parts
-                    .map(|p| parse_u32(Some(p), i + 1, "vertex id").map(VertexId))
-                    .collect::<Result<_, _>>()?;
-                if vertices.is_empty() {
-                    return Err(ParseError {
-                        line: i + 1,
-                        message: "insertion with no endpoints".into(),
-                    });
-                }
-                Update::Insert(HyperEdge::new(EdgeId(id), vertices))
-            }
-            "-" => {
-                let id = parse_u64(parts.next(), i + 1, "edge id")?;
-                if parts.next().is_some() {
-                    return Err(ParseError {
-                        line: i + 1,
-                        message: "deletion takes exactly one id".into(),
-                    });
-                }
-                Update::Delete(EdgeId(id))
-            }
-            other => {
-                return Err(ParseError {
-                    line: i + 1,
-                    message: format!("unknown operation `{other}` (expected `+` or `-`)"),
-                });
-            }
-        };
-        match UpdateBatch::check_context_free(&ledger, &update) {
-            Ok(UpdateCheck::Fresh) => {
-                ledger.record(&update, current.len());
-                current.push(update);
-            }
-            Ok(UpdateCheck::RepeatedInsert { .. } | UpdateCheck::RepeatedDelete) => {
-                return Err(ParseError {
-                    line: i + 1,
-                    message: format!(
-                        "invalid batch: repeated update for edge {}",
-                        update.edge_id()
-                    ),
-                });
-            }
-            Err(error) => {
-                return Err(ParseError {
-                    line: i + 1,
-                    message: format!("invalid batch: {error}"),
-                });
-            }
-        }
+        let update = parse_update(line, i + 1)?;
+        check_and_push(&mut ledger, &mut current, update, i + 1)?;
     }
     flush(&mut current, &mut ledger);
     Ok(batches)
+}
+
+/// Serializes shard-tagged batches — the journal framing of the sharded
+/// serving layer (`pdmm_hypergraph::sharding`).
+///
+/// The framing extends the update-stream format with one header line per
+/// block: `@ <shard>` names the shard that committed the following updates.
+/// Blocks are separated by blank lines exactly as in [`batches_to_string`],
+/// empty batches are skipped for the same reason, and a consecutive run of
+/// blocks from one shard repeats the tag per block (tags are *sticky* on
+/// parse, but the serializer is always explicit so concatenating two sharded
+/// journals is always safe).
+#[must_use]
+pub fn sharded_batches_to_string(entries: &[(ShardId, UpdateBatch)]) -> String {
+    let mut out = String::new();
+    let mut written = 0usize;
+    for (shard, batch) in entries {
+        if batch.is_empty() {
+            continue;
+        }
+        if written > 0 {
+            out.push('\n');
+        }
+        written += 1;
+        let _ = writeln!(out, "@ {}", shard.0);
+        for update in batch {
+            write_update(&mut out, update);
+        }
+    }
+    out
+}
+
+/// Parses a shard-tagged update stream produced by
+/// [`sharded_batches_to_string`].
+///
+/// `@ <shard>` starts a new block (flushing any updates accumulated for the
+/// previous tag, so a blank line between tagged blocks is optional); blank
+/// lines flush the current block while keeping the tag sticky for the next
+/// untagged block; update lines before any tag are an error.  Every block is
+/// validated with the same [`BatchLedger`] machine as [`batches_from_string`].
+pub fn sharded_batches_from_string(text: &str) -> Result<Vec<(ShardId, UpdateBatch)>, ParseError> {
+    let mut entries: Vec<(ShardId, UpdateBatch)> = Vec::new();
+    let mut shard: Option<ShardId> = None;
+    let mut current: Vec<Update> = Vec::new();
+    let mut ledger = BatchLedger::new();
+    let mut flush =
+        |shard: Option<ShardId>, current: &mut Vec<Update>, ledger: &mut BatchLedger| {
+            if !current.is_empty() {
+                let tag = shard.expect("updates are only accumulated under a tag");
+                // Line-by-line ledger checks make this infallible.
+                entries.push((tag, UpdateBatch::trusted(std::mem::take(current))));
+                *ledger = BatchLedger::new();
+            }
+        };
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('#') {
+            continue;
+        }
+        if line.is_empty() {
+            flush(shard, &mut current, &mut ledger);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('@') {
+            flush(shard, &mut current, &mut ledger);
+            let mut parts = rest.split_whitespace();
+            let id = parse_u32(parts.next(), i + 1, "shard id")?;
+            if parts.next().is_some() {
+                return Err(ParseError {
+                    line: i + 1,
+                    message: "shard tag takes exactly one id".into(),
+                });
+            }
+            shard = Some(ShardId(id));
+            continue;
+        }
+        if shard.is_none() {
+            return Err(ParseError {
+                line: i + 1,
+                message: "update line before any `@ <shard>` tag".into(),
+            });
+        }
+        let update = parse_update(line, i + 1)?;
+        check_and_push(&mut ledger, &mut current, update, i + 1)?;
+    }
+    flush(shard, &mut current, &mut ledger);
+    Ok(entries)
 }
 
 fn parse_u64(token: Option<&str>, line: usize, what: &str) -> Result<u64, ParseError> {
@@ -315,5 +423,65 @@ mod tests {
     fn empty_input_gives_no_batches() {
         assert_eq!(batches_from_string("").unwrap(), Vec::<UpdateBatch>::new());
         assert_eq!(batches_from_string("# only comments\n\n").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn sharded_roundtrip() {
+        let w = random_churn(40, 2, 30, 5, 20, 0.5, 9);
+        let entries: Vec<(ShardId, UpdateBatch)> = w
+            .batches
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (ShardId((i % 3) as u32), b.clone()))
+            .collect();
+        let text = sharded_batches_to_string(&entries);
+        assert!(text.starts_with("@ 0\n"), "{text}");
+        let parsed = sharded_batches_from_string(&text).unwrap();
+        assert_eq!(parsed, entries);
+    }
+
+    #[test]
+    fn sharded_tags_are_sticky_and_flush_blocks() {
+        // A tag both flushes the previous block and tags the next; blank lines
+        // keep the last tag sticky.
+        let text = "@ 1\n+ 0 1 2\n@ 2\n+ 1 3 4\n\n+ 2 5 6\n";
+        let parsed = sharded_batches_from_string(text).unwrap();
+        let shards: Vec<u32> = parsed.iter().map(|(s, _)| s.0).collect();
+        assert_eq!(shards, vec![1, 2, 2]);
+        assert_eq!(parsed[2].1.len(), 1);
+    }
+
+    #[test]
+    fn sharded_parser_rejects_malformed_streams() {
+        // Updates before any tag.
+        let err = sharded_batches_from_string("+ 1 0 1\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("before any"), "{err}");
+        // Garbage tags.
+        assert!(sharded_batches_from_string("@ x\n").is_err());
+        assert!(sharded_batches_from_string("@ 1 2\n").is_err());
+        assert!(sharded_batches_from_string("@\n").is_err());
+        // Invalid batches are caught with the offending line, like the plain
+        // parser.
+        let err = sharded_batches_from_string("@ 0\n+ 1 0 1\n- 1\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        // The plain parser refuses shard tags (the two formats stay distinct).
+        assert!(batches_from_string("@ 0\n+ 1 0 1\n").is_err());
+    }
+
+    #[test]
+    fn sharded_serializer_skips_empty_batches() {
+        let batch = UpdateBatch::new(vec![Update::Delete(EdgeId(1))]).unwrap();
+        let entries = vec![
+            (ShardId(0), UpdateBatch::empty()),
+            (ShardId(1), batch.clone()),
+            (ShardId(2), UpdateBatch::empty()),
+        ];
+        let text = sharded_batches_to_string(&entries);
+        assert_eq!(text, "@ 1\n- 1\n");
+        assert_eq!(
+            sharded_batches_from_string(&text).unwrap(),
+            vec![(ShardId(1), batch)]
+        );
     }
 }

@@ -16,8 +16,11 @@
 //! * [`streams`] — batched oblivious-adversary update streams,
 //! * [`io`] — a line-based interchange format for edge lists and update streams,
 //! * [`service`] — the serve path: a long-lived [`service::EngineService`] over
-//!   any engine with concurrent snapshot reads, a bounded submission queue, and
-//!   a replayable journal,
+//!   any engine with concurrent snapshot reads, a bounded submission queue,
+//!   pluggable [`service::JournalSink`]s, and a replayable journal,
+//! * [`sharding`] — the sharded serving layer: the vertex space partitioned
+//!   across parallel [`sharding::ShardedService`] shards behind a
+//!   deterministic router and a merge front-end,
 //! * [`stats`] — structural statistics for the experiment tables.
 
 #![deny(missing_docs)]
@@ -29,6 +32,7 @@ pub mod graph;
 pub mod io;
 pub mod matching;
 pub mod service;
+pub mod sharding;
 pub mod stats;
 pub mod streams;
 pub mod types;
@@ -40,5 +44,6 @@ pub use engine::{
 pub use graph::DynamicHypergraph;
 pub use matching::{verify_maximality, verify_validity, Matching, MatchingError};
 pub use service::{EngineService, MatchingSnapshot};
+pub use sharding::{Partitioner, ShardedService, ShardedSnapshot};
 pub use streams::Workload;
-pub use types::{EdgeId, HyperEdge, Update, UpdateBatch, VertexId};
+pub use types::{EdgeId, HyperEdge, ShardId, Update, UpdateBatch, VertexId};

@@ -21,11 +21,19 @@
 //!   [`BatchSession::commit_staged`] commit: commit what is staged, keep
 //!   accepting;
 //! * **persistence and replay** — every committed batch is journaled in the
-//!   [`crate::io`] update-stream format ([`EngineService::journal`]), and
-//!   [`EngineService::replay`] rebuilds a service from a journal on a fresh
-//!   engine.  With the same engine kind and seed, replay reproduces the exact
-//!   matching, bit for bit, because the journal preserves committed batch
-//!   boundaries and every engine is deterministic given (seed, batch sequence).
+//!   [`crate::io`] update-stream format ([`EngineService::journal`]) through a
+//!   pluggable [`JournalSink`] (in-memory by default, [`FileJournal`] for an
+//!   append-only rotated file), and [`EngineService::replay`] rebuilds a
+//!   service from a journal on a fresh engine.  With the same engine kind and
+//!   seed, replay reproduces the exact matching, bit for bit, because the
+//!   journal preserves committed batch boundaries and every engine is
+//!   deterministic given (seed, batch sequence).
+//!
+//! Two serve-path variations: [`EngineService::drain_lossy`] drains in
+//! skip-and-report mode (dirty streams cannot poison a drain), and
+//! [`EngineService::with_snapshot_every`] throttles snapshot publishing for
+//! huge matchings under tiny batches.  To scale commits past this one
+//! engine's lock, shard the vertex space with [`crate::sharding`].
 //!
 //! ```
 //! use pdmm::engine::{self, EngineBuilder, EngineKind};
@@ -56,17 +64,266 @@
 //! assert_eq!(replayed.snapshot().edge_ids(), snap.edge_ids());
 //! ```
 
-use crate::engine::{BatchError, BatchReport, BatchSession, EngineMetrics, MatchingEngine};
+use crate::engine::{
+    BatchError, BatchReport, BatchSession, EngineMetrics, IngestReport, MatchingEngine,
+};
 use crate::graph::DynamicHypergraph;
 use crate::io::{self, ParseError};
-use crate::types::{EdgeId, UpdateBatch, VertexId};
+use crate::types::{EdgeId, Update, UpdateBatch, VertexId};
 use rustc_hash::FxHashMap;
 use std::collections::VecDeque;
 use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// Default bound of the submission queue (batches, not updates).
 pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
+
+// ---------------------------------------------------------------------------
+// Journal sinks
+// ---------------------------------------------------------------------------
+
+/// Where a service's journal of committed batches is written.
+///
+/// The journal is the service's recovery story: every committed batch is
+/// appended as one block in the [`crate::io`] update-stream format, and
+/// [`EngineService::replay`] rebuilds bit-identical state from the
+/// concatenation of those blocks.  The default sink is [`MemoryJournal`] (the
+/// pre-sink behavior: the journal lives in a `String` until the caller writes
+/// it out); [`FileJournal`] appends to disk with a flush-on-commit policy and
+/// simple size-based rotation.  A sharded service gives each shard its own
+/// sink, so per-shard journals can land in per-shard files.
+///
+/// Sinks are infallible from the service's point of view: a sink that cannot
+/// persist the journal **panics** (see [`FileJournal`]) — losing the recovery
+/// log silently would be strictly worse than crashing the serve loop.
+pub trait JournalSink: Send {
+    /// Appends one serialized batch block (update lines with a trailing
+    /// newline, no blank-line separator — the sink owns separator placement).
+    fn append_block(&mut self, block: &str);
+
+    /// Commit barrier, called once per committed batch after any append.  A
+    /// durable sink pushes buffered bytes to storage here (the flush-on-commit
+    /// policy point); the in-memory sink does nothing.
+    fn commit(&mut self);
+
+    /// The full journal so far — every appended block in order, in the
+    /// [`crate::io`] update-stream format (rotated segments included).
+    fn contents(&self) -> String;
+}
+
+/// The default in-memory journal sink: blocks accumulate in one `String`.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryJournal {
+    text: String,
+}
+
+impl MemoryJournal {
+    /// An empty in-memory journal.
+    #[must_use]
+    pub fn new() -> Self {
+        MemoryJournal::default()
+    }
+}
+
+impl JournalSink for MemoryJournal {
+    fn append_block(&mut self, block: &str) {
+        if !self.text.is_empty() {
+            self.text.push('\n');
+        }
+        self.text.push_str(block);
+    }
+
+    fn commit(&mut self) {}
+
+    fn contents(&self) -> String {
+        self.text.clone()
+    }
+}
+
+/// A file-backed journal sink: append-only, flushed to storage on every commit
+/// by default, with optional size-based rotation.
+///
+/// Rotation: when the active file holds at least `rotate_at` bytes, it is
+/// renamed to `<path>.<seq>` (`seq` counting up from 1) and a fresh active
+/// file is started — blocks never span segments.  [`JournalSink::contents`]
+/// reads the rotated segments and the active file back in order, so replay
+/// works unchanged across rotations.
+///
+/// # Panics
+///
+/// Every I/O failure panics with the offending path: the journal is the
+/// recovery story, and a serve loop that keeps committing while its journal
+/// silently diverges from reality would be worse than one that crashes.
+#[derive(Debug)]
+pub struct FileJournal {
+    /// Path of the active segment; rotated segments are `<path>.<seq>`.
+    path: PathBuf,
+    /// The open active segment.
+    file: File,
+    /// Bytes written to the active segment so far.
+    active_bytes: u64,
+    /// Rotation threshold in bytes (`None`: never rotate).
+    rotate_at: Option<u64>,
+    /// Number of rotated segments (`<path>.1` … `<path>.<segments>`).
+    segments: usize,
+    /// Whether [`JournalSink::commit`] syncs to storage (default `true`).
+    flush_on_commit: bool,
+    /// Whether bytes were appended since the last sync.
+    dirty: bool,
+}
+
+impl FileJournal {
+    /// Creates (truncating) the journal file at `path`, removing any rotated
+    /// segments (`<path>.1`, `<path>.2`, …) a previous journal left behind —
+    /// the on-disk state must reflect only this journal's history, or a
+    /// restart reading the segment files back would replay stale batches.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of creating the file or clearing old segments.
+    pub fn create(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        for seq in 1.. {
+            let mut name = path.clone().into_os_string();
+            name.push(format!(".{seq}"));
+            match std::fs::remove_file(PathBuf::from(name)) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => break,
+                Err(e) => return Err(e),
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(FileJournal {
+            path,
+            file,
+            active_bytes: 0,
+            rotate_at: None,
+            segments: 0,
+            flush_on_commit: true,
+            dirty: false,
+        })
+    }
+
+    /// Rotates the active file into a numbered segment once it holds at least
+    /// `bytes` bytes (minimum 1).
+    #[must_use]
+    pub fn with_rotate_at(mut self, bytes: u64) -> Self {
+        assert!(bytes >= 1, "rotation threshold must be at least 1 byte");
+        self.rotate_at = Some(bytes);
+        self
+    }
+
+    /// Enables or disables the sync-to-storage barrier on every committed
+    /// batch (enabled by default; disabling trades durability for commit
+    /// throughput — the OS still sees every write immediately).
+    #[must_use]
+    pub fn with_flush_on_commit(mut self, enabled: bool) -> Self {
+        self.flush_on_commit = enabled;
+        self
+    }
+
+    /// How many rotated segments exist (`<path>.1` … `<path>.<n>`).
+    #[must_use]
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+
+    /// Path of rotated segment `seq` (1-based).
+    fn segment_path(&self, seq: usize) -> PathBuf {
+        let mut name = self.path.clone().into_os_string();
+        name.push(format!(".{seq}"));
+        PathBuf::from(name)
+    }
+
+    /// Moves the active file to the next numbered segment and starts a fresh
+    /// active file.
+    fn rotate(&mut self) {
+        self.sync();
+        self.segments += 1;
+        let segment = self.segment_path(self.segments);
+        std::fs::rename(&self.path, &segment).unwrap_or_else(|e| {
+            panic!(
+                "journal rotation {} -> {}: {e}",
+                self.path.display(),
+                segment.display()
+            )
+        });
+        self.file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&self.path)
+            .unwrap_or_else(|e| panic!("journal segment {}: {e}", self.path.display()));
+        self.active_bytes = 0;
+    }
+
+    fn sync(&mut self) {
+        if self.dirty {
+            self.file
+                .sync_data()
+                .unwrap_or_else(|e| panic!("journal sync {}: {e}", self.path.display()));
+            self.dirty = false;
+        }
+    }
+
+    fn read_segment(path: &Path) -> String {
+        let mut text = String::new();
+        File::open(path)
+            .and_then(|mut f| f.read_to_string(&mut text))
+            .unwrap_or_else(|e| panic!("journal read {}: {e}", path.display()));
+        text
+    }
+}
+
+impl JournalSink for FileJournal {
+    fn append_block(&mut self, block: &str) {
+        if let Some(limit) = self.rotate_at {
+            if self.active_bytes >= limit {
+                self.rotate();
+            }
+        }
+        let mut buf = String::with_capacity(block.len() + 1);
+        if self.active_bytes > 0 {
+            buf.push('\n');
+        }
+        buf.push_str(block);
+        self.file
+            .write_all(buf.as_bytes())
+            .unwrap_or_else(|e| panic!("journal append {}: {e}", self.path.display()));
+        self.active_bytes += buf.len() as u64;
+        self.dirty = true;
+    }
+
+    fn commit(&mut self) {
+        if self.flush_on_commit {
+            self.sync();
+        }
+    }
+
+    fn contents(&self) -> String {
+        let mut out = String::new();
+        for seq in 1..=self.segments {
+            let segment = Self::read_segment(&self.segment_path(seq));
+            if !out.is_empty() && !segment.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&segment);
+        }
+        let active = Self::read_segment(&self.path);
+        if !out.is_empty() && !active.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&active);
+        out
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Snapshots
@@ -81,6 +338,8 @@ pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
 pub struct MatchingSnapshot {
     /// How many batches had committed when this snapshot was taken.
     committed_batches: u64,
+    /// The engine's vertex-space size.
+    num_vertices: usize,
     /// The matched edge ids, sorted.
     matching: Box<[EdgeId]>,
     /// Matched edge covering each matched vertex.
@@ -113,6 +372,7 @@ impl MatchingSnapshot {
         }
         MatchingSnapshot {
             committed_batches,
+            num_vertices: engine.num_vertices(),
             matching: matching.into_boxed_slice(),
             by_vertex,
             metrics: engine.metrics(),
@@ -155,6 +415,13 @@ impl MatchingSnapshot {
         self.matching.iter().copied()
     }
 
+    /// Every vertex covered by a matched edge, in hash order (sort for
+    /// determinism).  The merge side of a sharded snapshot uses this to find
+    /// vertices matched in more than one shard.
+    pub fn matched_vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.by_vertex.keys().copied()
+    }
+
     /// The matched edge ids as a sorted vector.
     #[must_use]
     pub fn edge_ids(&self) -> Vec<EdgeId> {
@@ -166,6 +433,12 @@ impl MatchingSnapshot {
     #[must_use]
     pub fn committed_batches(&self) -> u64 {
         self.committed_batches
+    }
+
+    /// The engine's vertex-space size at commit time.
+    #[must_use]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
     }
 
     /// The engine's lifetime [`EngineMetrics`] at commit time.
@@ -193,6 +466,10 @@ impl MatchingSnapshot {
 pub struct ServiceError {
     /// Batches this drain committed before hitting the invalid one.
     pub committed: usize,
+    /// The [`BatchReport`]s of those committed batches, in commit order
+    /// (`reports.len() == committed`) — the error path does not lose what
+    /// the drain already did.
+    pub reports: Vec<BatchReport>,
     /// Why the batch was refused.
     pub error: BatchError,
 }
@@ -252,11 +529,16 @@ struct ServiceInner {
     /// Mirrors every committed batch; resolves matched-edge endpoints when a
     /// snapshot is captured (the engine API only exposes matched *ids*).
     mirror: DynamicHypergraph,
-    /// Committed batches in the [`crate::io`] update-stream format.
-    journal: String,
+    /// Sink holding the committed batches in the [`crate::io`] update-stream
+    /// format ([`MemoryJournal`] unless [`EngineService::with_journal`] swapped
+    /// in another sink).
+    journal: Box<dyn JournalSink>,
     /// Committed batch count (equals the journal's block count, minus any
     /// committed empty batches, which the format cannot represent).
     committed: u64,
+    /// `committed` value of the most recently published snapshot (snapshot
+    /// publishing may lag `committed` under [`EngineService::with_snapshot_every`]).
+    published_at: u64,
 }
 
 /// A long-lived engine service: concurrent snapshot reads, a bounded
@@ -278,6 +560,9 @@ pub struct EngineService {
     space: Condvar,
     /// Bound on `queue` (batches).
     capacity: usize,
+    /// Publish a snapshot every this many committed batches (plus always at
+    /// the end of a drain).  Default 1: publish per commit.
+    snapshot_every: u64,
 }
 
 impl fmt::Debug for EngineService {
@@ -324,14 +609,54 @@ impl EngineService {
             inner: Mutex::new(ServiceInner {
                 engine,
                 mirror,
-                journal: String::new(),
+                journal: Box::new(MemoryJournal::new()),
                 committed: 0,
+                published_at: 0,
             }),
             published: Mutex::new(initial),
             queue: Mutex::new(VecDeque::new()),
             space: Condvar::new(),
             capacity,
+            snapshot_every: 1,
         }
+    }
+
+    /// Replaces the journal sink (default: [`MemoryJournal`]) — e.g. with a
+    /// [`FileJournal`] for a durable, rotated on-disk journal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if batches have already been committed: the sink must observe
+    /// the service's whole history for replay to be faithful.
+    #[must_use]
+    pub fn with_journal(self, sink: Box<dyn JournalSink>) -> Self {
+        {
+            let mut inner = self.inner.lock().expect("service commit lock poisoned");
+            assert_eq!(
+                inner.committed, 0,
+                "the journal sink must be installed before the first commit"
+            );
+            inner.journal = sink;
+        }
+        self
+    }
+
+    /// Publishes a fresh snapshot only every `n` committed batches (and always
+    /// at the end of a drain), instead of after every commit.  With a
+    /// 100k-edge matching under tiny batches, rebuilding the full snapshot
+    /// view per commit dominates the commit path; throttling trades snapshot
+    /// freshness *during* a drain for commit throughput.  Readers still only
+    /// ever observe committed prefixes — snapshots are captured strictly after
+    /// a batch commits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0.
+    #[must_use]
+    pub fn with_snapshot_every(mut self, n: u64) -> Self {
+        assert!(n >= 1, "snapshot period must be at least 1");
+        self.snapshot_every = n;
+        self
     }
 
     /// The submission-queue bound, in batches.
@@ -411,6 +736,10 @@ impl EngineService {
                 popped
             };
             let Some(batch) = batch else {
+                if inner.published_at != inner.committed {
+                    self.publish(session.engine(), &inner.mirror, inner.committed);
+                    inner.published_at = inner.committed;
+                }
                 return Ok(reports);
             };
             let staged_and_committed = session
@@ -421,37 +750,110 @@ impl EngineService {
                 Err(error) => {
                     // The offending batch is dropped whole: nothing of it was
                     // committed (commit_staged is atomic), and aborting the
-                    // session discards any partial staging.
+                    // session discards any partial staging.  Publish whatever
+                    // the snapshot throttle still owes before reporting.
+                    if inner.published_at != inner.committed {
+                        self.publish(session.engine(), &inner.mirror, inner.committed);
+                        inner.published_at = inner.committed;
+                    }
                     session.abort();
                     return Err(ServiceError {
                         committed: reports.len(),
+                        reports,
                         error,
                     });
                 }
             };
             inner.mirror.apply_batch(&batch);
             inner.committed += 1;
-            append_journal(&mut inner.journal, &batch);
-            let snapshot = Arc::new(MatchingSnapshot::capture(
-                session.engine(),
-                &inner.mirror,
-                inner.committed,
-            ));
-            *self.published.lock().expect("snapshot lock poisoned") = snapshot;
+            append_journal(inner.journal.as_mut(), &batch);
+            inner.journal.commit();
+            if inner.committed.is_multiple_of(self.snapshot_every) {
+                self.publish(session.engine(), &inner.mirror, inner.committed);
+                inner.published_at = inner.committed;
+            }
             reports.push(report);
         }
     }
 
+    /// Commits every queued batch through per-batch **skip-and-report** lossy
+    /// sessions, so a dirty stream cannot poison a drain: invalid updates are
+    /// skipped (and reported with their typed error) while the surviving
+    /// subset of each batch commits — the serve-path twin of
+    /// [`MatchingEngine::apply_batch_lossy`].  The journal records exactly the
+    /// surviving subsets, so [`EngineService::replay`] of a lossy journal
+    /// still rebuilds bit-identical state.
+    ///
+    /// Returns one [`IngestReport`] per drained batch, in commit order.  A
+    /// batch whose updates are all rejected commits the empty batch (counted,
+    /// not journaled).  Unlike [`EngineService::drain`] this never stops
+    /// early, so the queue is always empty when it returns.
+    pub fn drain_lossy(&self) -> Vec<IngestReport> {
+        let mut guard = self.inner.lock().expect("service commit lock poisoned");
+        let inner = &mut *guard;
+        let mut reports = Vec::new();
+        loop {
+            let batch = {
+                let mut queue = self.lock_queue();
+                let popped = queue.pop_front();
+                if popped.is_some() {
+                    self.space.notify_all();
+                }
+                popped
+            };
+            let Some(batch) = batch else {
+                if inner.published_at != inner.committed {
+                    self.publish(inner.engine.as_ref(), &inner.mirror, inner.committed);
+                    inner.published_at = inner.committed;
+                }
+                return reports;
+            };
+            let mut session = BatchSession::lossy(inner.engine.as_mut());
+            for update in batch.iter().cloned() {
+                // Lossy staging records rejections instead of returning them.
+                let _ = session.stage(update);
+            }
+            let survived: Vec<Update> = session.staged().to_vec();
+            let report = session
+                .commit_lossy()
+                .expect("session-staged updates cannot fail engine validation");
+            // The journal and mirror record what actually committed — the
+            // surviving subset — so replay stays bit-faithful.
+            let survived = UpdateBatch::trusted(survived);
+            inner.mirror.apply_batch(&survived);
+            inner.committed += 1;
+            append_journal(inner.journal.as_mut(), &survived);
+            inner.journal.commit();
+            if inner.committed.is_multiple_of(self.snapshot_every) {
+                self.publish(inner.engine.as_ref(), &inner.mirror, inner.committed);
+                inner.published_at = inner.committed;
+            }
+            reports.push(report);
+        }
+    }
+
+    /// Swaps a freshly captured snapshot into the published slot.
+    fn publish(
+        &self,
+        engine: &(impl MatchingEngine + ?Sized),
+        mirror: &DynamicHypergraph,
+        committed: u64,
+    ) {
+        let snapshot = Arc::new(MatchingSnapshot::capture(engine, mirror, committed));
+        *self.published.lock().expect("snapshot lock poisoned") = snapshot;
+    }
+
     /// The journal so far: every committed batch, in commit order, in the
-    /// [`crate::io`] update-stream format.  Write it to disk and feed it to
-    /// [`EngineService::replay`] to rebuild the exact state on a fresh engine.
+    /// [`crate::io`] update-stream format (read back from the configured
+    /// [`JournalSink`]).  Feed it to [`EngineService::replay`] to rebuild the
+    /// exact state on a fresh engine.
     #[must_use]
     pub fn journal(&self) -> String {
         self.inner
             .lock()
             .expect("service commit lock poisoned")
             .journal
-            .clone()
+            .contents()
     }
 
     /// Rebuilds a service by committing every batch of `journal` (produced by
@@ -494,19 +896,16 @@ impl EngineService {
     }
 }
 
-/// Appends one committed batch to a journal as an update-stream block, through
-/// the one serializer ([`io::batches_to_string`]) so the journal format cannot
-/// drift from the `io` module's.
-fn append_journal(journal: &mut String, batch: &UpdateBatch) {
+/// Appends one committed batch to a journal sink as an update-stream block,
+/// through the one serializer ([`io::batches_to_string`]) so the journal
+/// format cannot drift from the `io` module's.
+fn append_journal(journal: &mut dyn JournalSink, batch: &UpdateBatch) {
     if batch.is_empty() {
         // The stream format cannot represent an empty batch; it is a no-op on
         // every engine, so skipping it keeps replay faithful.
         return;
     }
-    if !journal.is_empty() {
-        journal.push('\n');
-    }
-    journal.push_str(&io::batches_to_string(std::slice::from_ref(batch)));
+    journal.append_block(&io::batches_to_string(std::slice::from_ref(batch)));
 }
 
 // The whole point of the service: it is shareable across threads.

@@ -1,0 +1,935 @@
+//! The sharded serving layer: the vertex space partitioned across parallel
+//! [`EngineService`] shards behind one router/merge front-end.
+//!
+//! One [`EngineService`] scales reads (snapshots never touch the commit lock)
+//! but commits through a single engine under a single lock — the ceiling on
+//! update throughput is one core, no matter how many the box has.  The paper's
+//! parallel dynamic model already assumes update work decomposes across
+//! processors; [`ShardedService`] is the standard systems realization of that:
+//! partition the *vertex space* into `N` shards, give each shard its own
+//! engine, service, journal and commit lock, and put a deterministic router in
+//! front (cf. partitioned packet classification: classify to a partition,
+//! process locally, merge results).
+//!
+//! The moving parts:
+//!
+//! * **[`Partitioner`]** — maps a vertex to a shard.  The default
+//!   [`HashPartitioner`] mixes the vertex id through a fixed 64-bit permutation
+//!   (deterministic across runs and processes — the journal depends on it);
+//!   [`RangePartitioner`] keeps contiguous vertex ranges together.  The trait
+//!   is the extension point for affinity or locality-aware schemes.
+//! * **Routing** — every hyperedge is **owned** by the shard of its minimum
+//!   endpoint.  An update whose endpoints all map to one shard is
+//!   *shard-local*; anything else is *cross-shard* but still goes to exactly
+//!   the owner shard, so an edge is never double-inserted.  Deletions carry no
+//!   endpoints, so the router keeps an edge→owner map and routes each deletion
+//!   to the shard that actually holds the edge (unroutable deletions go to
+//!   shard 0, which reports the same typed `UnknownDeletion` a single service
+//!   would).  Routing is sequential and deterministic: per-shard sub-batch
+//!   sequences — and therefore per-shard journals — are a pure function of the
+//!   submitted stream and the partitioner.
+//! * **Fan-out/merge** — [`ShardedService::drain`] drains all shards
+//!   concurrently on the in-tree work-stealing pool and merges the per-shard
+//!   [`BatchReport`]s into one [`ShardedDrainReport`] (summed
+//!   [`EngineMetrics`], total matching size); [`ShardedService::drain_lossy`]
+//!   does the same for skip-and-report ingest with [`IngestReport`]s.
+//! * **[`ShardedSnapshot`]** — O(1)-per-shard reads (one `Arc` clone per
+//!   shard) plus a merged matched-edge view and explicit cross-shard
+//!   accounting: which matched edges span shards, and which vertices are
+//!   matched by more than one shard ([`ShardedSnapshot::conflicted_vertices`]).
+//!   Each shard's matching is valid and maximal **on that shard's edges**;
+//!   because every edge lives in exactly one shard, the merged matching is
+//!   globally valid and maximal whenever the conflict set is empty — and the
+//!   conflict set can only be non-empty through cross-shard edges, which the
+//!   snapshot names explicitly.
+//! * **Journal and replay** — the sharded journal is the shard-tagged framing
+//!   of [`crate::io`] (`@ <shard>` blocks): per-shard journals in shard order,
+//!   each block tagged with its owner.  [`ShardedService::replay`] routes each
+//!   block back to its recorded shard, so an engine set of the same kinds,
+//!   configuration and seeds rebuilds bit-identical per-shard state.  A
+//!   1-shard `ShardedService` is conformance-pinned bit-identical to a bare
+//!   [`EngineService`] (snapshots, reports, per-shard journal).
+//!
+//! What sharding deliberately does **not** give: cross-shard batch atomicity.
+//! A poison sub-batch is dropped on its shard while sibling sub-batches
+//! commit; per-shard atomicity and the typed error still hold (and the lossy
+//! drain never poisons anything).  Likewise, per-shard snapshots are each
+//! taken at their own committed-batch boundary — there is no global cut.
+//!
+//! ```
+//! use pdmm::engine::{self, EngineBuilder, EngineKind};
+//! use pdmm::prelude::*;
+//! use pdmm::sharding::ShardedService;
+//!
+//! let builder = EngineBuilder::new(8).seed(7);
+//! let engines = (0..2)
+//!     .map(|_| engine::build(EngineKind::Parallel, &builder))
+//!     .collect();
+//! let service = ShardedService::new(engines);
+//!
+//! // Batches are routed to owner shards, fanned out, drained concurrently.
+//! let batch = UpdateBatch::new(vec![
+//!     Update::Insert(HyperEdge::pair(EdgeId(0), VertexId(0), VertexId(1))),
+//!     Update::Insert(HyperEdge::pair(EdgeId(1), VertexId(2), VertexId(3))),
+//! ])
+//! .unwrap();
+//! let routed = service.submit(batch);
+//! assert_eq!(routed.per_shard.iter().sum::<usize>(), 2);
+//! let report = service.drain().unwrap();
+//! assert_eq!(report.committed, routed.sub_batches());
+//!
+//! // The merged snapshot reads each shard in O(1) and accounts for
+//! // cross-shard edges explicitly.
+//! let snap = service.snapshot();
+//! assert_eq!(snap.size(), 2);
+//! assert!(snap.conflicted_vertices().is_empty());
+//!
+//! // The shard-tagged journal replays onto fresh engines, bit-identically.
+//! let engines = (0..2)
+//!     .map(|_| engine::build(EngineKind::Parallel, &builder))
+//!     .collect();
+//! let replayed = ShardedService::replay(engines, &service.journal()).unwrap();
+//! assert_eq!(replayed.snapshot().edge_ids(), snap.edge_ids());
+//! ```
+
+use crate::engine::{BatchReport, EngineMetrics, IngestReport, MatchingEngine};
+use crate::io::{self, ParseError};
+use crate::service::{EngineService, MatchingSnapshot, ServiceError};
+use crate::types::{EdgeId, ShardId, Update, UpdateBatch, VertexId};
+use rayon::prelude::*;
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::fmt::{self, Write as _};
+use std::sync::{Arc, Mutex};
+
+// ---------------------------------------------------------------------------
+// Partitioners
+// ---------------------------------------------------------------------------
+
+/// Maps vertices to shards.  The sharding contract hangs off this one
+/// function: it must be **pure and deterministic** (same vertex, same shard
+/// count → same shard, on every run and every process), because per-shard
+/// journals — the recovery story — are a function of it.
+pub trait Partitioner: fmt::Debug + Send + Sync {
+    /// The shard (`0..num_shards`) owning vertex `v`.
+    fn shard_of(&self, v: VertexId, num_shards: usize) -> usize;
+}
+
+/// The default partitioner: a fixed 64-bit mix (splitmix64 finalizer) of the
+/// vertex id, reduced mod the shard count.  Spreads dense vertex ranges
+/// evenly and is stable across runs, processes and platforms.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HashPartitioner;
+
+impl Partitioner for HashPartitioner {
+    fn shard_of(&self, v: VertexId, num_shards: usize) -> usize {
+        (splitmix64(u64::from(v.0)) % num_shards as u64) as usize
+    }
+}
+
+/// The splitmix64 finalizer: a fixed, high-quality 64-bit permutation.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Contiguous-range partitioner: vertex `v` lands in shard
+/// `v * num_shards / num_vertices`.  Keeps neighborhoods of locally-numbered
+/// graphs together (fewer cross-shard edges than hashing when edge endpoints
+/// are nearby ids), at the price of hot-spotting on skewed key distributions.
+#[derive(Debug, Clone, Copy)]
+pub struct RangePartitioner {
+    num_vertices: usize,
+}
+
+impl RangePartitioner {
+    /// A range partitioner over a vertex space of `num_vertices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vertices` is 0.
+    #[must_use]
+    pub fn new(num_vertices: usize) -> Self {
+        assert!(num_vertices >= 1, "cannot partition an empty vertex space");
+        RangePartitioner { num_vertices }
+    }
+}
+
+impl Partitioner for RangePartitioner {
+    fn shard_of(&self, v: VertexId, num_shards: usize) -> usize {
+        // Clamp out-of-range vertices instead of indexing past the last
+        // shard; the engines reject them anyway (`VertexOutOfRange`).
+        let v = v.index().min(self.num_vertices - 1);
+        v * num_shards / self.num_vertices
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reports and errors
+// ---------------------------------------------------------------------------
+
+/// Where [`ShardedService::submit`] routed one batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteReport {
+    /// Updates routed to each shard (indexed by shard).
+    pub per_shard: Vec<usize>,
+    /// How many of the routed updates were cross-shard: an insertion whose
+    /// endpoints span shards, or a deletion of such an edge.  Each still went
+    /// to exactly its owner shard.
+    pub cross_shard: usize,
+}
+
+impl RouteReport {
+    /// Total updates routed.
+    #[must_use]
+    pub fn routed(&self) -> usize {
+        self.per_shard.iter().sum()
+    }
+
+    /// How many non-empty sub-batches the batch fanned out into (the number
+    /// of per-shard commits this batch will cost).
+    #[must_use]
+    pub fn sub_batches(&self) -> usize {
+        self.per_shard.iter().filter(|&&n| n > 0).count().max(1)
+    }
+}
+
+/// Merged result of one [`ShardedService::drain`]: every shard's reports plus
+/// the aggregate view.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardedDrainReport {
+    /// Per-shard [`BatchReport`]s, in commit order (indexed by shard).
+    pub per_shard: Vec<Vec<BatchReport>>,
+    /// Total sub-batches committed across shards by this drain.
+    pub committed: usize,
+    /// Field-wise sum of every committed batch's [`EngineMetrics`] delta.
+    pub metrics: EngineMetrics,
+    /// Sum of per-shard matching sizes after the drain.
+    pub matching_size: usize,
+}
+
+/// Merged result of one [`ShardedService::drain_lossy`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardedIngestReport {
+    /// Per-shard [`IngestReport`]s, in commit order (indexed by shard).
+    pub per_shard: Vec<Vec<IngestReport>>,
+    /// Total sub-batches committed across shards by this drain.
+    pub committed: usize,
+    /// Total exact duplicates silently dropped, across shards.
+    pub deduplicated: usize,
+    /// Total updates rejected (with typed errors in `per_shard`), across
+    /// shards.
+    pub rejected: usize,
+    /// Field-wise sum of every committed batch's [`EngineMetrics`] delta.
+    pub metrics: EngineMetrics,
+    /// Sum of per-shard matching sizes after the drain.
+    pub matching_size: usize,
+}
+
+/// A sharded drain hit an invalid sub-batch on some shard.
+///
+/// Sharding is **per-shard atomic, not cross-shard atomic**: the offending
+/// sub-batch was dropped whole on its shard (later sub-batches stay queued
+/// there), while every other shard drained normally — `partial` reports what
+/// did commit everywhere.  When several shards fail in one drain, the lowest
+/// shard index is reported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedServiceError {
+    /// The (lowest) shard whose drain stopped.
+    pub shard: usize,
+    /// That shard's error, with its per-shard committed count.
+    pub error: ServiceError,
+    /// Everything every shard did commit during this drain (boxed: the error
+    /// path should not widen every `Ok` return).
+    pub partial: Box<ShardedDrainReport>,
+}
+
+impl fmt::Display for ShardedServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard {}: {}", self.shard, self.error)
+    }
+}
+
+impl std::error::Error for ShardedServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// Why [`ShardedService::replay`] could not rebuild a service from a sharded
+/// journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardedReplayError {
+    /// The text is not a well-formed shard-tagged update stream.
+    Parse(ParseError),
+    /// A block names a shard the engine set does not have.
+    ShardOutOfRange {
+        /// The out-of-range shard tag.
+        shard: ShardId,
+        /// How many shards the replay was given.
+        num_shards: usize,
+    },
+    /// A shard refused one of its journaled batches (wrong engine
+    /// configuration, truncated or tampered journal).
+    Shard {
+        /// The refusing shard.
+        shard: usize,
+        /// Its drain error.
+        error: ServiceError,
+    },
+}
+
+impl fmt::Display for ShardedReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardedReplayError::Parse(e) => write!(f, "sharded journal does not parse: {e}"),
+            ShardedReplayError::ShardOutOfRange { shard, num_shards } => {
+                write!(
+                    f,
+                    "journal names shard {shard} but the replay has {num_shards} shard(s)"
+                )
+            }
+            ShardedReplayError::Shard { shard, error } => {
+                write!(f, "shard {shard} refused a journaled batch: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardedReplayError {}
+
+// ---------------------------------------------------------------------------
+// Merged snapshots
+// ---------------------------------------------------------------------------
+
+/// The merged read view over every shard's [`MatchingSnapshot`], with
+/// explicit cross-shard accounting.
+///
+/// Assembly is O(shards): one `Arc` clone per shard plus the (small)
+/// cross-shard sets.  Per-shard queries then delegate to the O(1)/O(log)
+/// queries of the underlying snapshots.  Each shard's snapshot is consistent
+/// at *its own* committed-batch boundary; there is no global cut across
+/// shards (cross-shard accounting is computed from those per-shard
+/// boundaries).
+#[derive(Debug, Clone)]
+pub struct ShardedSnapshot {
+    /// One snapshot per shard, indexed by shard.
+    shards: Vec<Arc<MatchingSnapshot>>,
+    /// Matched edges (across all shards) whose endpoints span shards, sorted.
+    cross_matched: Vec<EdgeId>,
+    /// Vertices matched by more than one shard, sorted.  Only cross-shard
+    /// edges can put a vertex here; empty ⇒ the merged matching is globally
+    /// valid (and, being maximal per shard over a partitioned edge set,
+    /// globally maximal).
+    conflicted: Vec<VertexId>,
+}
+
+impl ShardedSnapshot {
+    /// Number of shards.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard `k`'s own snapshot (O(1)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn shard(&self, k: usize) -> &Arc<MatchingSnapshot> {
+        &self.shards[k]
+    }
+
+    /// Total matched edges across shards.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.shards.iter().map(|s| s.size()).sum()
+    }
+
+    /// Whether no shard matched anything.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.is_empty())
+    }
+
+    /// Total committed sub-batches across shards.
+    #[must_use]
+    pub fn committed_batches(&self) -> u64 {
+        self.shards.iter().map(|s| s.committed_batches()).sum()
+    }
+
+    /// Field-wise sum of every shard's lifetime [`EngineMetrics`].
+    #[must_use]
+    pub fn metrics(&self) -> EngineMetrics {
+        let mut total = EngineMetrics::default();
+        for shard in &self.shards {
+            total.merge(&shard.metrics());
+        }
+        total
+    }
+
+    /// Whether `id` is matched in any shard.
+    #[must_use]
+    pub fn contains_edge(&self, id: EdgeId) -> bool {
+        self.shards.iter().any(|s| s.contains_edge(id))
+    }
+
+    /// The matched edge covering `v`, if any shard matched it (lowest shard
+    /// wins when `v` is conflicted — see
+    /// [`ShardedSnapshot::conflicted_vertices`]).
+    #[must_use]
+    pub fn matched_edge_of(&self, v: VertexId) -> Option<EdgeId> {
+        self.shards.iter().find_map(|s| s.matched_edge_of(v))
+    }
+
+    /// Whether any shard matched an edge covering `v`.
+    #[must_use]
+    pub fn is_matched(&self, v: VertexId) -> bool {
+        self.shards.iter().any(|s| s.is_matched(v))
+    }
+
+    /// The merged matched-edge view: every shard's matched edges, sorted
+    /// ascending (allocates; per-shard iteration via [`ShardedSnapshot::shard`]
+    /// is allocation-free).
+    #[must_use]
+    pub fn edge_ids(&self) -> Vec<EdgeId> {
+        let mut ids: Vec<EdgeId> = self.shards.iter().flat_map(|s| s.edges()).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Matched edges whose endpoints span more than one shard, sorted.  These
+    /// are exactly the edges that can invalidate the merged matching — each
+    /// is matched by its owner shard, which cannot see sibling shards'
+    /// matchings over the foreign endpoints.
+    #[must_use]
+    pub fn cross_shard_matched(&self) -> &[EdgeId] {
+        &self.cross_matched
+    }
+
+    /// Vertices matched by more than one shard, sorted — the cross-shard
+    /// maximality/validity account.  Empty means the merged matching is a
+    /// globally valid matching, and (each shard being maximal over its own
+    /// partition of the edges) globally maximal.
+    #[must_use]
+    pub fn conflicted_vertices(&self) -> &[VertexId] {
+        &self.conflicted
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The sharded service
+// ---------------------------------------------------------------------------
+
+/// Routing state: which shard owns each routed-live edge, and which of those
+/// edges are cross-shard.
+#[derive(Debug, Default)]
+struct Router {
+    /// Owner shard of every routed, not-yet-deleted edge.
+    owner: FxHashMap<EdgeId, u32>,
+    /// The routed-live edges whose endpoints span shards.
+    cross: FxHashSet<EdgeId>,
+}
+
+/// `N` parallel [`EngineService`] shards behind a deterministic router and a
+/// merge layer.  See the [module docs](self) for the full story and an
+/// end-to-end example.
+///
+/// `Sync` like the underlying services: share it across threads with `Arc` or
+/// scoped borrows; submissions route under a short router lock, drains
+/// fan out per shard, reads never touch any commit lock.
+pub struct ShardedService {
+    /// The shards, each a full service (engine, queue, journal, snapshots).
+    shards: Vec<EngineService>,
+    /// The vertex→shard map.
+    partitioner: Box<dyn Partitioner>,
+    /// Edge-ownership state, locked only while a batch is being routed.
+    router: Mutex<Router>,
+    /// The shared vertex-space size (all shard engines agree).
+    num_vertices: usize,
+}
+
+impl fmt::Debug for ShardedService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedService")
+            .field("num_shards", &self.shards.len())
+            .field("num_vertices", &self.num_vertices)
+            .field("partitioner", &self.partitioner)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedService {
+    /// Wraps one fresh engine per shard with the default
+    /// [`HashPartitioner`] and default per-shard service configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `engines` is empty, the engines disagree on the vertex
+    /// space, or any engine has already applied batches.
+    #[must_use]
+    pub fn new(engines: Vec<Box<dyn MatchingEngine + Send>>) -> Self {
+        Self::with_partitioner(engines, Box::new(HashPartitioner))
+    }
+
+    /// Wraps one fresh engine per shard with a custom [`Partitioner`].
+    ///
+    /// # Panics
+    ///
+    /// As [`ShardedService::new`].
+    #[must_use]
+    pub fn with_partitioner(
+        engines: Vec<Box<dyn MatchingEngine + Send>>,
+        partitioner: Box<dyn Partitioner>,
+    ) -> Self {
+        Self::from_services(
+            engines.into_iter().map(EngineService::new).collect(),
+            partitioner,
+        )
+    }
+
+    /// Builds the sharded layer over pre-configured per-shard services — the
+    /// hook for per-shard [`crate::service::JournalSink`]s, queue capacities
+    /// or snapshot throttles.  The services must be fresh (nothing committed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `services` is empty, a service has already committed
+    /// batches, or the shard engines disagree on the vertex space.
+    #[must_use]
+    pub fn from_services(services: Vec<EngineService>, partitioner: Box<dyn Partitioner>) -> Self {
+        assert!(!services.is_empty(), "a sharded service needs ≥ 1 shard");
+        let num_vertices = services[0].snapshot().num_vertices();
+        for (k, service) in services.iter().enumerate() {
+            let snapshot = service.snapshot();
+            assert_eq!(
+                snapshot.committed_batches(),
+                0,
+                "shard {k} is not fresh: the router must observe the whole history"
+            );
+            assert_eq!(
+                snapshot.num_vertices(),
+                num_vertices,
+                "shard {k} disagrees on the vertex-space size"
+            );
+        }
+        ShardedService {
+            shards: services,
+            partitioner,
+            router: Mutex::new(Router::default()),
+            num_vertices,
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Size of the (shared) vertex space.
+    #[must_use]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Whether `v` belongs to the served vertex space (mirrors
+    /// [`MatchingEngine::contains_vertex`] on every shard engine).
+    #[must_use]
+    pub fn contains_vertex(&self, v: VertexId) -> bool {
+        v.index() < self.num_vertices
+    }
+
+    /// The shard owning vertex `v` under this service's partitioner.
+    #[must_use]
+    pub fn shard_of_vertex(&self, v: VertexId) -> usize {
+        self.partitioner.shard_of(v, self.shards.len())
+    }
+
+    /// The shard owning routed-live edge `id`, if the router has seen it
+    /// inserted (and not yet deleted).
+    ///
+    /// Router accounting is decided at routing time, **before** the shard
+    /// engines validate: an insert a shard later rejects (out-of-range
+    /// endpoint, oversized rank, dropped poison sub-batch) keeps its owner
+    /// entry until the id is deleted.  That keeps the map consistent with
+    /// where the id *would* live — later same-id inserts and deletions route
+    /// to the recorded holder, so an id can never end up live on two shards —
+    /// at the price of entries for ids that never committed (bounded by the
+    /// distinct rejected ids, and cleaned by their eventual deletion).
+    #[must_use]
+    pub fn owner_of_edge(&self, id: EdgeId) -> Option<usize> {
+        self.lock_router().owner.get(&id).map(|&s| s as usize)
+    }
+
+    /// Whether routed-live edge `id` spans more than one shard.
+    ///
+    /// Like [`ShardedService::owner_of_edge`], this reflects routing time:
+    /// after an engine-rejected insert the flag can describe the rejected
+    /// edge's endpoints until the id is deleted, so the cross set — and
+    /// [`ShardedSnapshot::cross_shard_matched`] built from it — is a
+    /// **conservative over-approximation**: an edge it misses is certainly
+    /// shard-local, an edge it names may not really span shards.
+    #[must_use]
+    pub fn is_cross_shard(&self, id: EdgeId) -> bool {
+        self.lock_router().cross.contains(&id)
+    }
+
+    /// Total batches queued across shards (submitted, not yet committed).
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.shards.iter().map(EngineService::queue_len).sum()
+    }
+
+    /// Routes one batch to its owner shards and enqueues the non-empty
+    /// sub-batches (blocking per shard under backpressure, like
+    /// [`EngineService::submit`]).  Routing is deterministic; within each
+    /// shard, updates keep their submission order.  An empty batch is routed
+    /// to shard 0 (it commits as a no-op there, mirroring the single-service
+    /// behavior).
+    ///
+    /// Returns where everything went.
+    pub fn submit(&self, batch: UpdateBatch) -> RouteReport {
+        let num_shards = self.shards.len();
+        if batch.is_empty() {
+            self.shards[0].submit(batch);
+            return RouteReport {
+                per_shard: vec![0; num_shards],
+                cross_shard: 0,
+            };
+        }
+        let mut per_shard: Vec<Vec<Update>> = vec![Vec::new(); num_shards];
+        let mut cross_shard = 0usize;
+        {
+            let mut router = self.lock_router();
+            for update in batch {
+                let shard = match &update {
+                    Update::Insert(edge) => {
+                        if let Some(&holder) = router.owner.get(&edge.id) {
+                            // The id is already routed (live or queued) on a
+                            // shard.  A batch re-inserting it without deleting
+                            // it first (legal context-free — constructors
+                            // assume ids fresh) must go to the *holder*, whose
+                            // engine rejects it with the same DuplicateEdgeId
+                            // a bare service reports — never to a second
+                            // shard, which would double-insert the id.
+                            // Ownership cannot move without a deletion, so
+                            // the router state stays untouched.
+                            holder as usize
+                        } else {
+                            // Owner: the shard of the minimum endpoint
+                            // (endpoints are stored sorted).  Deterministic,
+                            // so an edge can never be double-inserted across
+                            // shards.
+                            let endpoints = edge.vertices();
+                            let owner = self.partitioner.shard_of(endpoints[0], num_shards);
+                            let cross = endpoints[1..]
+                                .iter()
+                                .any(|&v| self.partitioner.shard_of(v, num_shards) != owner);
+                            router.owner.insert(edge.id, owner as u32);
+                            if cross {
+                                router.cross.insert(edge.id);
+                                cross_shard += 1;
+                            }
+                            owner
+                        }
+                    }
+                    Update::Delete(id) => {
+                        if router.cross.remove(id) {
+                            cross_shard += 1;
+                        }
+                        // Deletions go to the shard holding the edge.  An id
+                        // the router never saw inserted has no owner anywhere;
+                        // shard 0 deterministically reports the same
+                        // `UnknownDeletion` a single service would.
+                        router.owner.remove(id).map_or(0, |s| s as usize)
+                    }
+                };
+                per_shard[shard].push(update);
+            }
+        }
+        let report = RouteReport {
+            per_shard: per_shard.iter().map(Vec::len).collect(),
+            cross_shard,
+        };
+        for (shard, updates) in per_shard.into_iter().enumerate() {
+            if !updates.is_empty() {
+                // A subsequence of a context-free-valid batch is itself
+                // context-free valid, so sealing cannot fail.
+                self.shards[shard].submit(UpdateBatch::trusted(updates));
+            }
+        }
+        report
+    }
+
+    /// Drains every shard **concurrently** on the in-tree work-stealing pool
+    /// (each shard through its own [`EngineService::drain`]) and merges the
+    /// per-shard reports.
+    ///
+    /// # Errors
+    ///
+    /// If any shard stops at an invalid sub-batch: per-shard atomicity holds
+    /// (the poison sub-batch is dropped whole on that shard, its later
+    /// sub-batches stay queued), other shards are unaffected, and the
+    /// returned [`ShardedServiceError::partial`] reports everything that did
+    /// commit.
+    pub fn drain(&self) -> Result<ShardedDrainReport, ShardedServiceError> {
+        let results: Vec<Result<Vec<BatchReport>, ServiceError>> =
+            self.shards.par_iter().map(EngineService::drain).collect();
+        let mut per_shard = Vec::with_capacity(results.len());
+        let mut first_error: Option<(usize, ServiceError)> = None;
+        for (shard, result) in results.into_iter().enumerate() {
+            match result {
+                Ok(reports) => per_shard.push(reports),
+                Err(error) => {
+                    // The sub-batches this shard committed before stopping
+                    // still count: `ServiceError::reports` carries them, so
+                    // the partial report stays accurate.
+                    per_shard.push(error.reports.clone());
+                    if first_error.is_none() {
+                        first_error = Some((shard, error));
+                    }
+                }
+            }
+        }
+        let report = self.merge_drain(per_shard);
+        match first_error {
+            None => Ok(report),
+            Some((shard, error)) => Err(ShardedServiceError {
+                shard,
+                error,
+                partial: Box::new(report),
+            }),
+        }
+    }
+
+    /// Drains every shard concurrently in **skip-and-report** mode
+    /// ([`EngineService::drain_lossy`]) and merges the per-shard
+    /// [`IngestReport`]s: invalid updates are skipped and reported with their
+    /// typed errors, so a dirty stream cannot poison any shard and the queues
+    /// are always empty afterwards.
+    #[must_use]
+    pub fn drain_lossy(&self) -> ShardedIngestReport {
+        let per_shard: Vec<Vec<IngestReport>> = self
+            .shards
+            .par_iter()
+            .map(EngineService::drain_lossy)
+            .collect();
+        let mut merged = ShardedIngestReport {
+            matching_size: self.shards.iter().map(|s| s.snapshot().size()).sum(),
+            ..ShardedIngestReport::default()
+        };
+        for reports in &per_shard {
+            merged.committed += reports.len();
+            for report in reports {
+                merged.deduplicated += report.deduplicated;
+                merged.rejected += report.rejected.len();
+                merged.metrics.merge(&report.batch.metrics);
+            }
+        }
+        merged.per_shard = per_shard;
+        merged
+    }
+
+    /// Merges per-shard drain reports into the aggregate view.
+    fn merge_drain(&self, per_shard: Vec<Vec<BatchReport>>) -> ShardedDrainReport {
+        let mut merged = ShardedDrainReport {
+            matching_size: self.shards.iter().map(|s| s.snapshot().size()).sum(),
+            ..ShardedDrainReport::default()
+        };
+        for reports in &per_shard {
+            merged.committed += reports.len();
+            for report in reports {
+                merged.metrics.merge(&report.metrics);
+            }
+        }
+        merged.per_shard = per_shard;
+        merged
+    }
+
+    /// The merged snapshot: every shard's current [`MatchingSnapshot`] (one
+    /// `Arc` clone each) plus cross-shard accounting.  Never touches a commit
+    /// lock.
+    #[must_use]
+    pub fn snapshot(&self) -> ShardedSnapshot {
+        let shards: Vec<Arc<MatchingSnapshot>> =
+            self.shards.iter().map(EngineService::snapshot).collect();
+        let cross: FxHashSet<EdgeId> = {
+            let router = self.lock_router();
+            router.cross.iter().copied().collect()
+        };
+        let mut cross_matched: Vec<EdgeId> = shards
+            .iter()
+            .flat_map(|s| s.edges())
+            .filter(|id| cross.contains(id))
+            .collect();
+        cross_matched.sort_unstable();
+        let mut matched_in: FxHashMap<VertexId, u32> = FxHashMap::default();
+        for shard in &shards {
+            for v in shard.matched_vertices() {
+                *matched_in.entry(v).or_insert(0) += 1;
+            }
+        }
+        let mut conflicted: Vec<VertexId> = matched_in
+            .into_iter()
+            .filter_map(|(v, count)| (count > 1).then_some(v))
+            .collect();
+        conflicted.sort_unstable();
+        ShardedSnapshot {
+            shards,
+            cross_matched,
+            conflicted,
+        }
+    }
+
+    /// Shard `k`'s current snapshot (O(1), exactly
+    /// [`EngineService::snapshot`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn shard_snapshot(&self, k: usize) -> Arc<MatchingSnapshot> {
+        self.shards[k].snapshot()
+    }
+
+    /// Shard `k`'s own journal — its committed sub-batches, untagged, in the
+    /// plain [`crate::io`] update-stream format (exactly
+    /// [`EngineService::journal`], and bit-identical to a bare service's
+    /// journal when `k` is the only shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn shard_journal(&self, k: usize) -> String {
+        self.shards[k].journal()
+    }
+
+    /// The sharded journal: every shard's committed sub-batches, tagged with
+    /// their shard (`@ <shard>` framing, see
+    /// [`io::sharded_batches_to_string`]), shard by shard in shard order.
+    /// Per-shard sub-sequences are what replay must preserve — there is no
+    /// meaningful global commit order across independently-drained shards —
+    /// so this grouping *is* the canonical serialization, and it is
+    /// deterministic for a deterministic submission sequence.
+    #[must_use]
+    pub fn journal(&self) -> String {
+        // Shard journals are canonical (written through the one `io`
+        // serializer): blocks of update lines separated by blank lines.
+        // Tagging therefore only needs the block structure — no re-parsing,
+        // no re-validating, O(journal bytes) straight through.
+        let mut out = String::new();
+        let mut written = 0usize;
+        for (k, shard) in self.shards.iter().enumerate() {
+            let text = shard.journal();
+            for block in text.split("\n\n") {
+                let block = block.trim_matches('\n');
+                if block.is_empty() {
+                    continue;
+                }
+                if written > 0 {
+                    out.push('\n');
+                }
+                written += 1;
+                let _ = writeln!(out, "@ {k}");
+                out.push_str(block);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a sharded service from a sharded journal with the default
+    /// [`HashPartitioner`] — see [`ShardedService::replay_with`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedService::replay_with`].
+    pub fn replay(
+        engines: Vec<Box<dyn MatchingEngine + Send>>,
+        journal: &str,
+    ) -> Result<Self, ShardedReplayError> {
+        Self::replay_with(engines, Box::new(HashPartitioner), journal)
+    }
+
+    /// Rebuilds a sharded service by committing every journaled block on the
+    /// exact shard its tag records (the partitioner is *not* consulted for
+    /// journaled updates — ownership was decided at first routing and the
+    /// tags are authoritative — but it must equal the original's for the
+    /// cross-shard accounting, and future routing, to be faithful).  With
+    /// engines of the same kinds, configurations and seeds, every shard
+    /// rebuilds a bit-identical matching, snapshot and journal.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardedReplayError::Parse`] for malformed text,
+    /// [`ShardedReplayError::ShardOutOfRange`] when a tag exceeds the engine
+    /// count, [`ShardedReplayError::Shard`] when a shard refuses a journaled
+    /// batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engines are unsuitable (see [`ShardedService::new`]).
+    pub fn replay_with(
+        engines: Vec<Box<dyn MatchingEngine + Send>>,
+        partitioner: Box<dyn Partitioner>,
+        journal: &str,
+    ) -> Result<Self, ShardedReplayError> {
+        let entries =
+            io::sharded_batches_from_string(journal).map_err(ShardedReplayError::Parse)?;
+        let service = Self::with_partitioner(engines, partitioner);
+        let num_shards = service.shards.len();
+        for (tag, batch) in entries {
+            let shard = tag.index();
+            if shard >= num_shards {
+                return Err(ShardedReplayError::ShardOutOfRange {
+                    shard: tag,
+                    num_shards,
+                });
+            }
+            {
+                // Rebuild the router's ownership state from the authoritative
+                // tags (cross-ness from the partitioner, as at first routing).
+                let mut router = service.lock_router();
+                for update in &batch {
+                    match update {
+                        Update::Insert(edge) => {
+                            router.owner.insert(edge.id, shard as u32);
+                            let endpoints = edge.vertices();
+                            let owner = service.partitioner.shard_of(endpoints[0], num_shards);
+                            if endpoints[1..]
+                                .iter()
+                                .any(|&v| service.partitioner.shard_of(v, num_shards) != owner)
+                            {
+                                router.cross.insert(edge.id);
+                            }
+                        }
+                        Update::Delete(id) => {
+                            router.owner.remove(id);
+                            router.cross.remove(id);
+                        }
+                    }
+                }
+            }
+            service.shards[shard].submit(batch);
+            service.shards[shard]
+                .drain()
+                .map_err(|e| ShardedReplayError::Shard { shard, error: e })?;
+        }
+        Ok(service)
+    }
+
+    fn lock_router(&self) -> std::sync::MutexGuard<'_, Router> {
+        self.router.lock().expect("shard router lock poisoned")
+    }
+}
+
+// Shareable across threads, like the underlying services.
+const _: () = {
+    const fn assert_sync_send<T: Sync + Send>() {}
+    assert_sync_send::<ShardedService>();
+    assert_sync_send::<ShardedSnapshot>();
+};

@@ -233,6 +233,104 @@ pub fn random_churn(
     }
 }
 
+/// Skewed-key churn: like [`random_churn`], but hyperedge endpoints are drawn
+/// from a power-law-shaped distribution concentrated on low-numbered vertices
+/// — `v = ⌊n · u^skew⌋` for uniform `u`, so `skew = 1.0` is uniform and larger
+/// values pile updates onto ever fewer hot keys.  This is the imbalance
+/// workload for the sharded serving layer: with hash partitioning the hot
+/// vertices land on a handful of shards, so shard queues, per-shard journals
+/// and the routed-update counts of `pdmm_hypergraph::sharding` all skew, which
+/// is exactly what the E12 shard-scaling experiment needs to exercise.
+///
+/// Starts from `initial` skewed edges (one priming batch), then `num_batches`
+/// batches of `batch_size` updates: an insertion of a fresh skewed rank-`rank`
+/// hyperedge with probability `insert_fraction`, else a deletion of a
+/// uniformly random live edge.  Deterministic per seed, independent of the
+/// algorithm's coins (the oblivious-adversary contract of §2).
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn skewed_churn(
+    num_vertices: usize,
+    rank: usize,
+    initial: usize,
+    num_batches: usize,
+    batch_size: usize,
+    insert_fraction: f64,
+    skew: f64,
+    seed: u64,
+) -> Workload {
+    assert!(num_vertices >= rank && rank >= 1);
+    assert!((0.0..=1.0).contains(&insert_fraction));
+    assert!(
+        skew >= 1.0,
+        "skew < 1 would concentrate on high keys instead"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let skewed_vertex = {
+        let n = num_vertices as f64;
+        move |rng: &mut ChaCha8Rng| {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            VertexId(((n * u.powf(skew)) as u32).min(num_vertices as u32 - 1))
+        }
+    };
+    let fresh_edge = |rng: &mut ChaCha8Rng, id: u64| {
+        let mut endpoints: FxHashSet<VertexId> = FxHashSet::default();
+        while endpoints.len() < rank {
+            endpoints.insert(skewed_vertex(rng));
+        }
+        HyperEdge::new(EdgeId(id), endpoints.into_iter().collect())
+    };
+
+    let mut next_id: u64 = 0;
+    let mut live: Vec<EdgeId> = Vec::new();
+    let mut batches: Vec<UpdateBatch> = Vec::new();
+    if initial > 0 {
+        let priming: Vec<Update> = (0..initial as u64)
+            .map(|id| {
+                let edge = fresh_edge(&mut rng, id);
+                live.push(edge.id);
+                Update::Insert(edge)
+            })
+            .collect();
+        next_id = initial as u64;
+        batches.push(seal(priming));
+    }
+    for _ in 0..num_batches {
+        let mut batch: Vec<Update> = Vec::with_capacity(batch_size);
+        // Deletions may only target edges live before the batch (§3.3).
+        let deletable_limit = live.len();
+        let mut num_deleted = 0usize;
+        for _ in 0..batch_size {
+            let do_insert = num_deleted >= deletable_limit || rng.gen_bool(insert_fraction);
+            if do_insert {
+                let edge = fresh_edge(&mut rng, next_id);
+                next_id += 1;
+                live.push(edge.id);
+                batch.push(Update::Insert(edge));
+            } else {
+                let idx = rng.gen_range(0..deletable_limit - num_deleted);
+                let id = live[idx];
+                live.swap(idx, deletable_limit - num_deleted - 1);
+                num_deleted += 1;
+                batch.push(Update::Delete(id));
+            }
+        }
+        let deleted: FxHashSet<EdgeId> = batch
+            .iter()
+            .filter(|u| u.is_delete())
+            .map(Update::edge_id)
+            .collect();
+        live.retain(|id| !deleted.contains(id));
+        batches.push(seal(batch));
+    }
+    Workload {
+        num_vertices,
+        rank,
+        batches,
+        name: format!("skewed-churn(n={num_vertices},r={rank},batch={batch_size},skew={skew})"),
+    }
+}
+
 /// Teardown stream: inserts all `edges` in batches, then deletes every edge in a
 /// uniformly random order, again in batches.  Because roughly half the matched
 /// edges are hit while still matched, this maximises the expensive deletion path.
@@ -402,6 +500,43 @@ mod tests {
         assert_eq!(a.batches, b.batches);
         let c = random_churn(50, 2, 50, 5, 20, 0.5, 5);
         assert_ne!(a.batches, c.batches);
+    }
+
+    #[test]
+    fn skewed_churn_is_well_formed_and_skewed() {
+        let w = skewed_churn(1 << 10, 2, 300, 10, 60, 0.5, 3.0, 11);
+        assert!(validate_workload(&w));
+        assert!(w.total_updates() >= 10 * 60);
+        assert_eq!(w.rank, 2);
+        // The endpoint distribution is heavily skewed: with skew 3.0 half the
+        // mass lands below n * 0.5^3 = n/8.
+        let (mut low, mut total) = (0usize, 0usize);
+        for batch in &w.batches {
+            for u in batch {
+                if let Update::Insert(e) = u {
+                    for v in e.vertices() {
+                        total += 1;
+                        if v.index() < (1 << 10) / 8 {
+                            low += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(
+            low * 10 > total * 3,
+            "expected ≥ 30% of endpoints in the bottom eighth, got {low}/{total}"
+        );
+        // Deterministic per seed, sensitive to the seed.
+        let a = skewed_churn(256, 2, 50, 5, 20, 0.5, 2.0, 4);
+        let b = skewed_churn(256, 2, 50, 5, 20, 0.5, 2.0, 4);
+        assert_eq!(a.batches, b.batches);
+        let c = skewed_churn(256, 2, 50, 5, 20, 0.5, 2.0, 5);
+        assert_ne!(a.batches, c.batches);
+        // skew = 1.0 is legal (uniform); rank-3 hyperedges work.
+        let u = skewed_churn(64, 3, 40, 4, 16, 0.4, 1.0, 7);
+        assert!(validate_workload(&u));
+        assert_eq!(u.rank, 3);
     }
 
     #[test]

@@ -59,6 +59,35 @@ impl From<u64> for EdgeId {
     }
 }
 
+/// Identifier of a shard in the sharded serving layer: shards are numbered
+/// `0..num_shards` by the partitioner (see `pdmm_hypergraph::sharding`).
+///
+/// Used by the shard-tagged journal framing of [`crate::io`], where every
+/// batch block records which shard committed it (`@ <shard>` header lines),
+/// so a sharded journal replays each batch onto the exact shard that owned it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ShardId(pub u32);
+
+impl ShardId {
+    /// The shard index as a `usize`, for indexing into per-shard tables.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl From<u32> for ShardId {
+    fn from(v: u32) -> Self {
+        ShardId(v)
+    }
+}
+
 /// A hyperedge: an identifier plus its (at most `r`) endpoints.
 ///
 /// Endpoints are stored deduplicated and sorted, so two structurally equal edges

@@ -14,8 +14,15 @@
 //!   [`engine::build`] to construct any of the five engines,
 //! * [`service`] — the serve path: a long-lived [`service::EngineService`]
 //!   over any engine, with concurrent [`service::MatchingSnapshot`] reads, a
-//!   bounded submission queue with backpressure, and a journal that
-//!   [`service::EngineService::replay`] rebuilds bit-identical state from,
+//!   bounded submission queue with backpressure, pluggable
+//!   [`service::JournalSink`]s (in-memory or rotated files), and a journal
+//!   that [`service::EngineService::replay`] rebuilds bit-identical state
+//!   from,
+//! * [`sharding`] — the sharded serving layer: `N` parallel
+//!   [`sharding::ShardedService`] shards partitioning the vertex space behind
+//!   a deterministic router, drained concurrently and merged into
+//!   [`sharding::ShardedSnapshot`] reads with explicit cross-shard
+//!   accounting,
 //! * [`core`] ([`ParallelDynamicMatching`]) — the paper's algorithm,
 //! * [`hypergraph`] — the dynamic hypergraph substrate, workload generators,
 //!   update streams and matching verification,
@@ -102,6 +109,35 @@
 //! assert_eq!(replayed.snapshot().edge_ids(), service.snapshot().edge_ids());
 //! ```
 //!
+//! To scale commits past one engine's lock, shard the vertex space: a
+//! [`sharding::ShardedService`] routes every update to a deterministic owner
+//! shard, drains all shards concurrently, and merges per-shard snapshots —
+//! with cross-shard edges accounted explicitly (the full story lives in the
+//! [`sharding`] module docs):
+//!
+//! ```
+//! use pdmm::prelude::*;
+//!
+//! let builder = EngineBuilder::new(64).seed(1);
+//! let engines = (0..4)
+//!     .map(|_| pdmm::engine::build(EngineKind::Parallel, &builder))
+//!     .collect();
+//! let service = ShardedService::new(engines);
+//! let workload = pdmm::hypergraph::streams::skewed_churn(64, 2, 40, 4, 16, 0.6, 2.0, 9);
+//! for batch in &workload.batches {
+//!     service.submit(batch.clone());
+//! }
+//! service.drain().unwrap();
+//! let snap = service.snapshot();
+//! assert!(snap.size() > 0);
+//! // Rebuild all four shards bit-identically from the shard-tagged journal.
+//! let engines = (0..4)
+//!     .map(|_| pdmm::engine::build(EngineKind::Parallel, &builder))
+//!     .collect();
+//! let replayed = ShardedService::replay(engines, &service.journal()).unwrap();
+//! assert_eq!(replayed.snapshot().edge_ids(), snap.edge_ids());
+//! ```
+//!
 //! [`UpdateBatch`]: prelude::UpdateBatch
 
 #![deny(missing_docs)]
@@ -110,6 +146,7 @@
 pub mod engine;
 
 pub use pdmm_hypergraph::service;
+pub use pdmm_hypergraph::sharding;
 
 pub use pdmm_core as core;
 pub use pdmm_hypergraph as hypergraph;
@@ -127,8 +164,9 @@ pub mod prelude {
     pub use pdmm_hypergraph::graph::DynamicHypergraph;
     pub use pdmm_hypergraph::matching::{verify_maximality, verify_validity};
     pub use pdmm_hypergraph::service::{EngineService, MatchingSnapshot};
+    pub use pdmm_hypergraph::sharding::{Partitioner, ShardedService, ShardedSnapshot};
     pub use pdmm_hypergraph::streams::Workload;
-    pub use pdmm_hypergraph::types::{EdgeId, HyperEdge, Update, UpdateBatch, VertexId};
+    pub use pdmm_hypergraph::types::{EdgeId, HyperEdge, ShardId, Update, UpdateBatch, VertexId};
 }
 
 pub use prelude::{Config, EngineBuilder, EngineKind, MatchingEngine, ParallelDynamicMatching};

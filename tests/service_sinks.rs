@@ -1,0 +1,336 @@
+//! Serve-path satellite suite: journal sinks, lossy drains and snapshot
+//! throttling on `pdmm::service::EngineService`.
+//!
+//! * **`drain_lossy`**: dirty streams (unknown deletions, conflicting ids
+//!   across batches) are skipped and reported instead of poisoning the drain;
+//!   the journal records exactly the surviving subsets, so replay is still
+//!   bit-identical;
+//! * **`FileJournal`**: the file-backed sink (flush-on-commit, size-based
+//!   rotation) produces byte-identical journal contents to the in-memory
+//!   sink, across rotation boundaries, and replays cleanly;
+//! * **`with_snapshot_every`**: a throttled service publishes snapshots only
+//!   at period boundaries (plus the end of each drain), and concurrent
+//!   readers still only ever observe committed prefixes, monotonically.
+
+use pdmm::engine;
+use pdmm::hypergraph::streams::{self, Workload};
+use pdmm::prelude::*;
+use pdmm::service::{FileJournal, MemoryJournal};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+fn serve_workload() -> Workload {
+    streams::random_churn(100, 2, 160, 12, 30, 0.5, 41)
+}
+
+fn parallel_service(workload: &Workload, seed: u64) -> EngineService {
+    let builder = EngineBuilder::new(workload.num_vertices)
+        .rank(workload.rank.max(2))
+        .seed(seed);
+    EngineService::new(engine::build(EngineKind::Parallel, &builder))
+}
+
+#[test]
+fn drain_lossy_skips_poison_and_keeps_the_journal_replayable() {
+    let workload = serve_workload();
+    for kind in EngineKind::ALL {
+        let builder = EngineBuilder::new(workload.num_vertices)
+            .rank(workload.rank.max(2))
+            .seed(9);
+        let service = EngineService::new(engine::build(kind, &builder));
+        let mut rejected = 0usize;
+        let mut committed = 0usize;
+        for batch in &workload.batches {
+            service.submit(batch.clone());
+            // Unknown deletions are context-free-valid (they pass
+            // `UpdateBatch::new`) but invalid against the engine: a strict
+            // drain would stop here, the lossy drain must not.
+            service.submit(UpdateBatch::new(vec![Update::Delete(EdgeId(9_999_999))]).unwrap());
+            let reports = service.drain_lossy();
+            committed += reports.len();
+            rejected += reports.iter().map(|r| r.rejected.len()).sum::<usize>();
+            for report in &reports {
+                for rejection in &report.rejected {
+                    assert_eq!(
+                        rejection.error,
+                        BatchError::UnknownDeletion {
+                            id: EdgeId(9_999_999)
+                        },
+                        "{kind}"
+                    );
+                }
+            }
+        }
+        assert_eq!(committed, 2 * workload.batches.len(), "{kind}");
+        assert_eq!(rejected, workload.batches.len(), "{kind}");
+
+        // The clean twin sees the identical stream minus the poison: same
+        // matching, same journal (survivor subsets only).
+        let twin = EngineService::new(engine::build(kind, &builder));
+        for batch in &workload.batches {
+            twin.submit(batch.clone());
+            twin.drain().unwrap();
+        }
+        assert_eq!(
+            service.snapshot().edge_ids(),
+            twin.snapshot().edge_ids(),
+            "{kind}"
+        );
+        assert_eq!(service.journal(), twin.journal(), "{kind}");
+
+        // And the lossy journal replays bit-identically on a fresh engine.
+        let replayed =
+            EngineService::replay(engine::build(kind, &builder), &service.journal()).unwrap();
+        assert_eq!(
+            replayed.snapshot().edge_ids(),
+            service.snapshot().edge_ids(),
+            "{kind}"
+        );
+    }
+}
+
+#[test]
+fn drain_lossy_reports_mixed_batches_update_by_update() {
+    let builder = EngineBuilder::new(8).seed(1);
+    let service = EngineService::new(engine::build(EngineKind::Parallel, &builder));
+    let pair = |id, a, b| Update::Insert(HyperEdge::pair(EdgeId(id), VertexId(a), VertexId(b)));
+    service.submit(UpdateBatch::new(vec![pair(0, 0, 1)]).unwrap());
+    service.drain().unwrap();
+    // A batch mixing a live-id conflict, a fine insertion and an unknown
+    // deletion: only the fine insertion survives.
+    service.submit(
+        UpdateBatch::new(vec![
+            pair(0, 2, 3),
+            pair(1, 4, 5),
+            Update::Delete(EdgeId(7)),
+        ])
+        .unwrap(),
+    );
+    let reports = service.drain_lossy();
+    assert_eq!(reports.len(), 1);
+    let report = &reports[0];
+    assert_eq!(report.batch.batch_size, 1);
+    assert_eq!(report.rejected.len(), 2);
+    assert_eq!(report.offered(), 3);
+    assert_eq!(
+        report.rejected[0].error,
+        BatchError::DuplicateEdgeId { id: EdgeId(0) }
+    );
+    assert_eq!(
+        report.rejected[1].error,
+        BatchError::UnknownDeletion { id: EdgeId(7) }
+    );
+    let snap = service.snapshot();
+    assert_eq!(snap.edge_ids(), vec![EdgeId(0), EdgeId(1)]);
+    // A batch rejected in its entirety still commits (empty, unjournaled).
+    service.submit(UpdateBatch::new(vec![Update::Delete(EdgeId(42))]).unwrap());
+    let reports = service.drain_lossy();
+    assert_eq!(reports[0].batch.batch_size, 0);
+    assert_eq!(service.snapshot().committed_batches(), 3);
+}
+
+#[test]
+fn file_journal_matches_memory_journal_and_rotates() {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"));
+    let path = dir.join("service_sinks_file_journal.log");
+    let workload = serve_workload();
+
+    let builder = EngineBuilder::new(workload.num_vertices)
+        .rank(workload.rank.max(2))
+        .seed(17);
+    // A tiny rotation threshold so the workload crosses many segments.
+    let file_backed = EngineService::new(engine::build(EngineKind::Parallel, &builder))
+        .with_journal(Box::new(
+            FileJournal::create(&path).unwrap().with_rotate_at(256),
+        ));
+    let in_memory = EngineService::new(engine::build(EngineKind::Parallel, &builder))
+        .with_journal(Box::new(MemoryJournal::new()));
+    for batch in &workload.batches {
+        file_backed.submit(batch.clone());
+        file_backed.drain().unwrap();
+        in_memory.submit(batch.clone());
+        in_memory.drain().unwrap();
+    }
+
+    // Byte-identical journals regardless of the sink, across rotations.
+    let journal = file_backed.journal();
+    assert_eq!(journal, in_memory.journal());
+    // Rotation actually happened and left numbered segments behind.
+    let mut first_segment = path.clone().into_os_string();
+    first_segment.push(".1");
+    assert!(
+        std::path::Path::new(&first_segment).exists(),
+        "expected at least one rotated segment"
+    );
+    // The concatenated segments replay to the same state.
+    let replayed =
+        EngineService::replay(engine::build(EngineKind::Parallel, &builder), &journal).unwrap();
+    assert_eq!(
+        replayed.snapshot().edge_ids(),
+        file_backed.snapshot().edge_ids()
+    );
+    assert_eq!(
+        replayed.snapshot().committed_batches(),
+        file_backed.snapshot().committed_batches()
+    );
+
+    // A no-rotation, no-flush file journal agrees too.
+    let relaxed_path = dir.join("service_sinks_file_journal_relaxed.log");
+    let relaxed =
+        EngineService::new(engine::build(EngineKind::Parallel, &builder)).with_journal(Box::new(
+            FileJournal::create(&relaxed_path)
+                .unwrap()
+                .with_flush_on_commit(false),
+        ));
+    for batch in &workload.batches {
+        relaxed.submit(batch.clone());
+        relaxed.drain().unwrap();
+    }
+    assert_eq!(relaxed.journal(), journal);
+}
+
+#[test]
+fn file_journal_create_clears_stale_segments_from_a_previous_run() {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"));
+    let path = dir.join("service_sinks_stale_segments.log");
+    let segment = |seq: usize| {
+        let mut name = path.clone().into_os_string();
+        name.push(format!(".{seq}"));
+        std::path::PathBuf::from(name)
+    };
+    let workload = serve_workload();
+    let builder = EngineBuilder::new(workload.num_vertices)
+        .rank(workload.rank.max(2))
+        .seed(21);
+
+    // Run 1 rotates aggressively and leaves numbered segments on disk.
+    let first = EngineService::new(engine::build(EngineKind::Parallel, &builder)).with_journal(
+        Box::new(FileJournal::create(&path).unwrap().with_rotate_at(128)),
+    );
+    for batch in &workload.batches {
+        first.submit(batch.clone());
+        first.drain().unwrap();
+    }
+    assert!(segment(1).exists() && segment(2).exists());
+
+    // Run 2 at the same path must clear them, or a restart reading the
+    // segment files back would replay the previous run's batches.
+    let second = EngineService::new(engine::build(EngineKind::Parallel, &builder))
+        .with_journal(Box::new(FileJournal::create(&path).unwrap()));
+    assert!(!segment(1).exists(), "stale segments must be removed");
+    second.submit(workload.batches[0].clone());
+    second.drain().unwrap();
+    let journal = second.journal();
+    assert_eq!(
+        io_batches(&journal),
+        vec![workload.batches[0].clone()],
+        "the new journal holds only the new run's history"
+    );
+}
+
+fn io_batches(text: &str) -> Vec<UpdateBatch> {
+    pdmm::hypergraph::io::batches_from_string(text).unwrap()
+}
+
+#[test]
+fn drain_error_carries_the_committed_reports() {
+    let service = parallel_service(&serve_workload(), 8);
+    let pair = |id, a, b| Update::Insert(HyperEdge::pair(EdgeId(id), VertexId(a), VertexId(b)));
+    service.submit(UpdateBatch::new(vec![pair(0, 0, 1)]).unwrap());
+    service.submit(UpdateBatch::new(vec![pair(1, 2, 3), pair(2, 4, 5)]).unwrap());
+    service.submit(UpdateBatch::new(vec![Update::Delete(EdgeId(9))]).unwrap());
+    let err = service.drain().unwrap_err();
+    assert_eq!(err.committed, 2);
+    assert_eq!(err.reports.len(), 2);
+    assert_eq!(err.reports[0].batch_size, 1);
+    assert_eq!(err.reports[1].batch_size, 2);
+    assert_eq!(err.reports[1].matching_size, 3);
+}
+
+#[test]
+fn snapshot_throttling_still_only_exposes_committed_prefixes() {
+    let workload = serve_workload();
+    const EVERY: u64 = 4;
+    let total = workload.batches.len() as u64;
+
+    // Ground truth: the expected matching after every committed prefix.
+    let expected: HashMap<u64, Vec<EdgeId>> = {
+        let twin = parallel_service(&workload, 29);
+        let mut by_prefix = HashMap::new();
+        by_prefix.insert(0u64, Vec::new());
+        for (i, batch) in workload.batches.iter().enumerate() {
+            twin.submit(batch.clone());
+            twin.drain().unwrap();
+            by_prefix.insert(i as u64 + 1, twin.snapshot().edge_ids());
+        }
+        by_prefix
+    };
+
+    let service = parallel_service(&workload, 29).with_snapshot_every(EVERY);
+    for batch in &workload.batches {
+        service.submit(batch.clone());
+    }
+    let done = AtomicBool::new(false);
+    let observations = std::thread::scope(|scope| {
+        let reader = scope.spawn(|| {
+            let mut seen: Vec<(u64, Vec<EdgeId>)> = Vec::new();
+            let mut last = 0u64;
+            while !done.load(Ordering::Acquire) {
+                let snap = service.snapshot();
+                assert!(
+                    snap.committed_batches() >= last,
+                    "snapshots must advance monotonically"
+                );
+                last = snap.committed_batches();
+                seen.push((last, snap.edge_ids()));
+            }
+            seen
+        });
+        service.drain().unwrap();
+        done.store(true, Ordering::Release);
+        reader.join().expect("reader thread panicked")
+    });
+
+    for (committed, edge_ids) in observations {
+        assert!(
+            committed % EVERY == 0 || committed == total,
+            "observed a snapshot at {committed} batches, not a throttle boundary"
+        );
+        assert_eq!(
+            &edge_ids, &expected[&committed],
+            "snapshot at {committed} batches is not that committed prefix"
+        );
+    }
+    // The end-of-drain publish always lands, even off-period.
+    let last = service.snapshot();
+    assert_eq!(last.committed_batches(), total);
+    assert_eq!(&last.edge_ids(), &expected[&total]);
+
+    // The throttle changes when snapshots publish, not what commits: journal
+    // and final state equal the unthrottled twin's.
+    let twin = parallel_service(&workload, 29);
+    for batch in &workload.batches {
+        twin.submit(batch.clone());
+    }
+    twin.drain().unwrap();
+    assert_eq!(service.journal(), twin.journal());
+    assert_eq!(service.snapshot().edge_ids(), twin.snapshot().edge_ids());
+}
+
+#[test]
+fn snapshot_throttling_publishes_before_a_poison_error_returns() {
+    let service = parallel_service(&serve_workload(), 3).with_snapshot_every(1000);
+    let pair = |id, a, b| Update::Insert(HyperEdge::pair(EdgeId(id), VertexId(a), VertexId(b)));
+    service.submit(UpdateBatch::new(vec![pair(0, 0, 1)]).unwrap());
+    service.submit(UpdateBatch::new(vec![Update::Delete(EdgeId(77))]).unwrap());
+    service.submit(UpdateBatch::new(vec![pair(1, 2, 3)]).unwrap());
+    let err = service.drain().unwrap_err();
+    assert_eq!(err.committed, 1);
+    // The batch committed before the poison is visible despite the throttle.
+    let snap = service.snapshot();
+    assert_eq!(snap.committed_batches(), 1);
+    assert_eq!(snap.edge_ids(), vec![EdgeId(0)]);
+    // The tail drains normally afterwards.
+    service.drain().unwrap();
+    assert_eq!(service.snapshot().committed_batches(), 2);
+}

@@ -1,0 +1,466 @@
+//! Sharded-serving-layer conformance suite: `pdmm::sharding::ShardedService`
+//! across every engine.
+//!
+//! * **1-shard conformance**: a 1-shard `ShardedService` is bit-identical to a
+//!   bare `EngineService` — same per-batch reports, same snapshot (matching,
+//!   metrics, committed count), same journal;
+//! * **N-shard validity**: at 2/4/8 shards every shard's matching is a valid,
+//!   maximal matching of exactly that shard's routed edges, and the merged
+//!   snapshot's cross-shard edge set and conflicted-vertex accounting are
+//!   consistent with the partitioner;
+//! * **determinism and replay**: the same stream routed at any shard count
+//!   yields identical per-shard journals across runs, and
+//!   `ShardedService::replay` of the shard-tagged journal rebuilds
+//!   bit-identical per-shard state (and is a fixed point of `journal()`);
+//! * **routing semantics**: cross-shard updates land on the owner shard
+//!   (minimum endpoint), deletions follow the edge, unroutable deletions
+//!   surface the same typed error a single service reports.
+
+use pdmm::engine;
+use pdmm::hypergraph::graph::DynamicHypergraph;
+use pdmm::hypergraph::io;
+use pdmm::hypergraph::sharding::RangePartitioner;
+use pdmm::hypergraph::streams::{self, Workload};
+use pdmm::hypergraph::verify_maximality;
+use pdmm::prelude::*;
+use pdmm::sharding::ShardedReplayError;
+use std::collections::HashMap;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn shard_workload() -> Workload {
+    streams::skewed_churn(96, 2, 140, 10, 36, 0.55, 2.0, 31)
+}
+
+fn builder_for(workload: &Workload, seed: u64) -> EngineBuilder {
+    EngineBuilder::new(workload.num_vertices)
+        .rank(workload.rank.max(2))
+        .seed(seed)
+}
+
+fn build_shards(
+    kind: EngineKind,
+    builder: &EngineBuilder,
+    shards: usize,
+) -> Vec<Box<dyn MatchingEngine + Send>> {
+    (0..shards).map(|_| engine::build(kind, builder)).collect()
+}
+
+/// Drives every batch of `workload` through `service`, draining after each
+/// submission, and returns the per-shard reports in commit order.
+fn drive(service: &ShardedService, workload: &Workload) -> Vec<Vec<BatchReport>> {
+    let mut per_shard = vec![Vec::new(); service.num_shards()];
+    for batch in &workload.batches {
+        service.submit(batch.clone());
+        let report = service
+            .drain()
+            .unwrap_or_else(|e| panic!("generated workload refused: {e}"));
+        for (shard, reports) in report.per_shard.into_iter().enumerate() {
+            per_shard[shard].extend(reports);
+        }
+    }
+    per_shard
+}
+
+#[test]
+fn one_shard_is_bit_identical_to_a_bare_engine_service() {
+    let workload = shard_workload();
+    for kind in EngineKind::ALL {
+        let builder = builder_for(&workload, 7);
+
+        let bare = EngineService::new(engine::build(kind, &builder));
+        let mut bare_reports = Vec::new();
+        for batch in &workload.batches {
+            bare.submit(batch.clone());
+            bare_reports.extend(bare.drain().unwrap());
+        }
+
+        let sharded = ShardedService::new(build_shards(kind, &builder, 1));
+        let sharded_reports = drive(&sharded, &workload);
+
+        // Reports, batch by batch.
+        assert_eq!(
+            sharded_reports[0], bare_reports,
+            "{kind}: per-batch reports"
+        );
+        // Snapshots: matching, metrics, committed count.
+        let a = bare.snapshot();
+        let b = sharded.shard_snapshot(0);
+        assert_eq!(b.edge_ids(), a.edge_ids(), "{kind}: matching");
+        assert_eq!(b.metrics(), a.metrics(), "{kind}: metrics");
+        assert_eq!(b.committed_batches(), a.committed_batches(), "{kind}");
+        let merged = sharded.snapshot();
+        assert_eq!(merged.edge_ids(), a.edge_ids(), "{kind}: merged view");
+        assert_eq!(merged.metrics(), a.metrics(), "{kind}");
+        assert!(merged.cross_shard_matched().is_empty(), "{kind}");
+        assert!(merged.conflicted_vertices().is_empty(), "{kind}");
+        // Journals: the per-shard journal is the bare journal, bit for bit.
+        assert_eq!(sharded.shard_journal(0), bare.journal(), "{kind}: journal");
+    }
+}
+
+#[test]
+fn n_shard_matchings_are_valid_and_maximal_per_shard() {
+    let workload = shard_workload();
+    for kind in EngineKind::ALL {
+        for &shards in &SHARD_COUNTS[1..] {
+            let builder = builder_for(&workload, 11);
+            let service = ShardedService::new(build_shards(kind, &builder, shards));
+            drive(&service, &workload);
+            let snapshot = service.snapshot();
+
+            // Rebuild each shard's ground-truth graph from its journal and
+            // verify its matching is valid and maximal on exactly its edges.
+            let mut total = 0usize;
+            let mut live_edges: HashMap<EdgeId, HyperEdge> = HashMap::new();
+            let mut matched_shards_of: HashMap<VertexId, usize> = HashMap::new();
+            for k in 0..shards {
+                let mut graph = DynamicHypergraph::new(workload.num_vertices);
+                for batch in io::batches_from_string(&service.shard_journal(k)).unwrap() {
+                    graph.apply_batch(&batch);
+                }
+                let shard_snapshot = snapshot.shard(k);
+                let matching = shard_snapshot.edge_ids();
+                verify_maximality(&graph, &matching).unwrap_or_else(|e| {
+                    panic!("{kind} shard {k}/{shards}: invalid shard matching: {e:?}")
+                });
+                total += matching.len();
+                for edge in graph.edges() {
+                    live_edges.insert(edge.id, edge.clone());
+                }
+                let mut vertices: Vec<VertexId> = shard_snapshot.matched_vertices().collect();
+                vertices.sort_unstable();
+                for v in vertices {
+                    *matched_shards_of.entry(v).or_insert(0) += 1;
+                }
+            }
+            assert_eq!(snapshot.size(), total, "{kind} at {shards} shards");
+
+            // Every routed edge lives in exactly one shard (ids never collide
+            // across shard graphs — checked implicitly by the insert above
+            // succeeding per shard — and the owner is the min endpoint).
+            for (id, edge) in &live_edges {
+                let owner = service
+                    .owner_of_edge(*id)
+                    .unwrap_or_else(|| panic!("{kind}: live edge {id} has no owner"));
+                assert_eq!(
+                    owner,
+                    service.shard_of_vertex(edge.vertices()[0]),
+                    "{kind}: owner is the shard of the min endpoint"
+                );
+            }
+
+            // Cross-shard accounting: reported cross edges really span
+            // shards, and conflicted vertices are exactly those matched by
+            // more than one shard.
+            for id in snapshot.cross_shard_matched() {
+                let edge = &live_edges[id];
+                let owner = service.shard_of_vertex(edge.vertices()[0]);
+                assert!(
+                    edge.vertices()
+                        .iter()
+                        .any(|&v| service.shard_of_vertex(v) != owner),
+                    "{kind}: edge {id} reported cross-shard but does not span shards"
+                );
+                assert!(snapshot.contains_edge(*id));
+            }
+            let expected_conflicts: Vec<VertexId> = {
+                let mut v: Vec<VertexId> = matched_shards_of
+                    .iter()
+                    .filter(|(_, &count)| count > 1)
+                    .map(|(&v, _)| v)
+                    .collect();
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(
+                snapshot.conflicted_vertices(),
+                expected_conflicts.as_slice(),
+                "{kind} at {shards} shards"
+            );
+            // A conflicted vertex can only arise through a cross-shard edge.
+            if snapshot.cross_shard_matched().is_empty() {
+                assert!(snapshot.conflicted_vertices().is_empty(), "{kind}");
+            }
+        }
+    }
+}
+
+#[test]
+fn same_stream_routes_identically_across_runs_and_replays_bit_identically() {
+    let workload = shard_workload();
+    for &shards in &SHARD_COUNTS {
+        let builder = builder_for(&workload, 5);
+        let first = ShardedService::new(build_shards(EngineKind::Parallel, &builder, shards));
+        drive(&first, &workload);
+        let second = ShardedService::new(build_shards(EngineKind::Parallel, &builder, shards));
+        drive(&second, &workload);
+
+        // Identical per-shard journals across runs — routing is deterministic.
+        for k in 0..shards {
+            assert_eq!(
+                first.shard_journal(k),
+                second.shard_journal(k),
+                "shard {k}/{shards}: journals diverged across identical runs"
+            );
+        }
+        let journal = first.journal();
+        assert_eq!(journal, second.journal(), "{shards} shards");
+
+        // Replay of the shard-tagged journal rebuilds bit-identical state.
+        let replayed = ShardedService::replay(
+            build_shards(EngineKind::Parallel, &builder, shards),
+            &journal,
+        )
+        .unwrap_or_else(|e| panic!("{shards} shards: replay failed: {e}"));
+        for k in 0..shards {
+            let live = first.shard_snapshot(k);
+            let rebuilt = replayed.shard_snapshot(k);
+            assert_eq!(rebuilt.edge_ids(), live.edge_ids(), "shard {k}/{shards}");
+            assert_eq!(rebuilt.metrics(), live.metrics(), "shard {k}/{shards}");
+            assert_eq!(
+                rebuilt.committed_batches(),
+                live.committed_batches(),
+                "shard {k}/{shards}"
+            );
+        }
+        let live = first.snapshot();
+        let rebuilt = replayed.snapshot();
+        assert_eq!(rebuilt.edge_ids(), live.edge_ids());
+        assert_eq!(rebuilt.cross_shard_matched(), live.cross_shard_matched());
+        assert_eq!(rebuilt.conflicted_vertices(), live.conflicted_vertices());
+        // Replaying a journal reproduces the journal itself.
+        assert_eq!(replayed.journal(), journal, "{shards} shards");
+    }
+}
+
+#[test]
+fn routing_classifies_local_and_cross_shard_updates() {
+    // RangePartitioner over 8 vertices and 2 shards: vertices 0..4 → shard 0,
+    // 4..8 → shard 1, so placement is easy to reason about.
+    let builder = EngineBuilder::new(8).seed(1);
+    let service = ShardedService::with_partitioner(
+        build_shards(EngineKind::Parallel, &builder, 2),
+        Box::new(RangePartitioner::new(8)),
+    );
+    assert_eq!(service.num_shards(), 2);
+    assert_eq!(service.num_vertices(), 8);
+    assert_eq!(service.shard_of_vertex(VertexId(3)), 0);
+    assert_eq!(service.shard_of_vertex(VertexId(4)), 1);
+    assert!(service.contains_vertex(VertexId(7)));
+    assert!(!service.contains_vertex(VertexId(8)));
+
+    let pair = |id, a, b| Update::Insert(HyperEdge::pair(EdgeId(id), VertexId(a), VertexId(b)));
+    // Edge 0: shard-local on 0.  Edge 1: cross, owned by shard 0 (min endpoint
+    // 1).  Edge 2: shard-local on 1.
+    let routed = service
+        .submit(UpdateBatch::new(vec![pair(0, 0, 1), pair(1, 1, 6), pair(2, 4, 5)]).unwrap());
+    assert_eq!(routed.per_shard, vec![2, 1]);
+    assert_eq!(routed.cross_shard, 1);
+    assert_eq!(routed.routed(), 3);
+    assert_eq!(routed.sub_batches(), 2);
+    let report = service.drain().unwrap();
+    assert_eq!(report.committed, 2);
+    assert_eq!(report.matching_size, service.snapshot().size());
+    assert_eq!(service.owner_of_edge(EdgeId(1)), Some(0));
+    assert_eq!(service.owner_of_edge(EdgeId(2)), Some(1));
+    assert!(service.is_cross_shard(EdgeId(1)));
+    assert!(!service.is_cross_shard(EdgeId(0)));
+
+    // The deletion of the cross-shard edge follows the edge to shard 0.
+    let routed = service.submit(UpdateBatch::new(vec![Update::Delete(EdgeId(1))]).unwrap());
+    assert_eq!(routed.per_shard, vec![1, 0]);
+    assert_eq!(routed.cross_shard, 1);
+    service.drain().unwrap();
+    assert_eq!(service.owner_of_edge(EdgeId(1)), None);
+    assert!(!service.is_cross_shard(EdgeId(1)));
+    let snap = service.snapshot();
+    assert_eq!(snap.edge_ids(), vec![EdgeId(0), EdgeId(2)]);
+    assert_eq!(snap.matched_edge_of(VertexId(4)), Some(EdgeId(2)));
+    assert!(snap.is_matched(VertexId(0)));
+    assert!(!snap.is_matched(VertexId(6)));
+
+    // An empty batch is a counted no-op on shard 0, like a bare service.
+    let before = service.shard_snapshot(0).committed_batches();
+    service.submit(UpdateBatch::empty());
+    service.drain().unwrap();
+    assert_eq!(service.shard_snapshot(0).committed_batches(), before + 1);
+}
+
+#[test]
+fn reinserting_a_live_id_is_rejected_on_its_holder_never_double_inserted() {
+    // Range partitioning over 8 vertices, 2 shards.  Edge 0 lives on shard 0;
+    // a batch re-inserting id 0 with endpoints owned by shard 1 is
+    // context-free valid (constructors assume ids fresh), so only routing can
+    // uphold the never-double-inserted invariant: the insert must go to the
+    // *holder*, whose engine rejects it exactly like a bare service.
+    let builder = EngineBuilder::new(8).seed(4);
+    let service = ShardedService::with_partitioner(
+        build_shards(EngineKind::Parallel, &builder, 2),
+        Box::new(RangePartitioner::new(8)),
+    );
+    let pair = |id, a, b| Update::Insert(HyperEdge::pair(EdgeId(id), VertexId(a), VertexId(b)));
+    service.submit(UpdateBatch::new(vec![pair(0, 0, 1)]).unwrap());
+    service.drain().unwrap();
+
+    // Strict drain: the duplicate goes to shard 0 (the holder), which refuses
+    // it with the bare-service error; shard 1 never sees id 0.
+    let routed = service.submit(UpdateBatch::new(vec![pair(0, 5, 6)]).unwrap());
+    assert_eq!(routed.per_shard, vec![1, 0], "routed to the holder");
+    let err = service.drain().unwrap_err();
+    assert_eq!(err.shard, 0);
+    assert_eq!(
+        err.error.error,
+        BatchError::DuplicateEdgeId { id: EdgeId(0) }
+    );
+    assert_eq!(service.owner_of_edge(EdgeId(0)), Some(0));
+    let snap = service.snapshot();
+    assert_eq!(
+        snap.edge_ids(),
+        vec![EdgeId(0)],
+        "the id exists exactly once"
+    );
+    assert_eq!(snap.shard(1).size(), 0);
+
+    // Lossy drain: same routing, reported instead of poisoning.
+    service.submit(UpdateBatch::new(vec![pair(0, 5, 6), pair(1, 4, 5)]).unwrap());
+    let report = service.drain_lossy();
+    assert_eq!(report.rejected, 1);
+    assert_eq!(
+        report.per_shard[0][0].rejected[0].error,
+        BatchError::DuplicateEdgeId { id: EdgeId(0) }
+    );
+    // The legitimate insert landed; the duplicate did not.
+    let snap = service.snapshot();
+    assert_eq!(snap.edge_ids(), vec![EdgeId(0), EdgeId(1)]);
+    // Deleting id 0 still follows the (single) holder.
+    let routed = service.submit(UpdateBatch::new(vec![Update::Delete(EdgeId(0))]).unwrap());
+    assert_eq!(routed.per_shard, vec![1, 0]);
+    service.drain().unwrap();
+    assert_eq!(service.snapshot().edge_ids(), vec![EdgeId(1)]);
+}
+
+#[test]
+fn a_failed_shard_drain_still_reports_its_prior_commits() {
+    let builder = EngineBuilder::new(8).seed(6);
+    let service = ShardedService::new(build_shards(EngineKind::Parallel, &builder, 2));
+    let pair = |id, a, b| Update::Insert(HyperEdge::pair(EdgeId(id), VertexId(a), VertexId(b)));
+    // Two good batches, then a poison deletion (routes to shard 0), then the
+    // good tail: the error's partial report must include every commit, on the
+    // failing shard too.
+    service.submit(UpdateBatch::new(vec![pair(0, 0, 1), pair(1, 2, 3)]).unwrap());
+    service.submit(UpdateBatch::new(vec![pair(2, 4, 5)]).unwrap());
+    service.submit(UpdateBatch::new(vec![Update::Delete(EdgeId(50))]).unwrap());
+    let err = service.drain().unwrap_err();
+    assert_eq!(err.shard, 0);
+    assert_eq!(
+        err.error.error,
+        BatchError::UnknownDeletion { id: EdgeId(50) }
+    );
+    assert_eq!(err.error.reports.len(), err.error.committed);
+    let committed_everywhere: usize = err.partial.per_shard.iter().map(Vec::len).sum();
+    assert_eq!(
+        committed_everywhere, err.partial.committed,
+        "partial report is internally consistent"
+    );
+    // Every sub-batch of the two good batches committed somewhere.
+    let committed_updates: u64 = err.partial.metrics.updates;
+    assert_eq!(committed_updates, 3, "all three inserts committed");
+}
+
+#[test]
+fn unroutable_deletions_surface_the_same_typed_error() {
+    let builder = EngineBuilder::new(16).seed(2);
+    let service = ShardedService::new(build_shards(EngineKind::Parallel, &builder, 4));
+    let pair = |id, a, b| Update::Insert(HyperEdge::pair(EdgeId(id), VertexId(a), VertexId(b)));
+    service.submit(UpdateBatch::new(vec![pair(0, 0, 1)]).unwrap());
+    service.drain().unwrap();
+
+    // Deleting an id nobody inserted routes deterministically to shard 0 and
+    // fails there with the exact error a bare service reports.
+    service.submit(UpdateBatch::new(vec![Update::Delete(EdgeId(99))]).unwrap());
+    let err = service.drain().unwrap_err();
+    assert_eq!(err.shard, 0);
+    assert_eq!(
+        err.error.error,
+        BatchError::UnknownDeletion { id: EdgeId(99) }
+    );
+    assert!(err.to_string().contains("shard 0"), "{err}");
+    // Per-shard atomicity: nothing else was affected, and the service keeps
+    // serving.
+    assert_eq!(service.snapshot().size(), 1);
+    service.submit(UpdateBatch::new(vec![pair(1, 2, 3)]).unwrap());
+    service.drain().unwrap();
+    assert_eq!(service.snapshot().size(), 2);
+}
+
+#[test]
+fn sharded_drain_lossy_skips_and_merges_reports() {
+    let workload = shard_workload();
+    for &shards in &[1usize, 4] {
+        let builder = builder_for(&workload, 13);
+        let service = ShardedService::new(build_shards(EngineKind::Parallel, &builder, shards));
+        let mut rejected = 0usize;
+        for batch in &workload.batches {
+            service.submit(batch.clone());
+            // Poison riders: unknown deletions are context-free-valid, so
+            // they pass UpdateBatch::new but must be skipped at drain.
+            service.submit(UpdateBatch::new(vec![Update::Delete(EdgeId(1_000_000))]).unwrap());
+            let report = service.drain_lossy();
+            rejected += report.rejected;
+            assert_eq!(report.deduplicated, 0);
+        }
+        assert_eq!(rejected, workload.batches.len(), "{shards} shards");
+
+        // The lossy drain committed exactly the clean stream: snapshot and
+        // journals match a strict twin's.
+        let twin = ShardedService::new(build_shards(EngineKind::Parallel, &builder, shards));
+        drive(&twin, &workload);
+        assert_eq!(
+            service.snapshot().edge_ids(),
+            twin.snapshot().edge_ids(),
+            "{shards} shards"
+        );
+        for k in 0..shards {
+            assert_eq!(
+                service.shard_journal(k),
+                twin.shard_journal(k),
+                "shard {k}/{shards}: lossy journal must hold the survivors"
+            );
+        }
+    }
+}
+
+#[test]
+fn replay_rejects_malformed_and_mismatched_journals() {
+    let builder = EngineBuilder::new(8).seed(3);
+    assert!(matches!(
+        ShardedService::replay(build_shards(EngineKind::Parallel, &builder, 2), "* junk"),
+        Err(ShardedReplayError::Parse(_))
+    ));
+    // A tag beyond the engine count.
+    let err = ShardedService::replay(
+        build_shards(EngineKind::Parallel, &builder, 2),
+        "@ 5\n+ 0 1 2\n",
+    )
+    .unwrap_err();
+    assert_eq!(
+        err,
+        ShardedReplayError::ShardOutOfRange {
+            shard: ShardId(5),
+            num_shards: 2
+        }
+    );
+    assert!(err.to_string().contains("shard s5"), "{err}");
+    // A journal whose batch the shard refuses (deletes a never-inserted id).
+    let err = ShardedService::replay(
+        build_shards(EngineKind::Parallel, &builder, 2),
+        "@ 1\n- 7\n",
+    )
+    .unwrap_err();
+    assert!(
+        matches!(&err, ShardedReplayError::Shard { shard: 1, error }
+            if error.error == BatchError::UnknownDeletion { id: EdgeId(7) }),
+        "{err}"
+    );
+}
