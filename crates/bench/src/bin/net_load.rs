@@ -1,0 +1,262 @@
+//! `net_load` — measures the TCP front-end with the open-loop load generator.
+//!
+//! Spins up an in-process loopback `pdmm::net` server per shard count (1, 2,
+//! 4, 8), offers open-loop load over real sockets, and reports throughput plus
+//! submit-to-ack latency percentiles.  Every run ends with a replay audit: the
+//! shard-tagged journal is replayed into fresh engines and the rebuilt
+//! snapshot must be bit-identical to the served one.  A final **shed probe**
+//! runs a server at queue capacity 1 with no drainer so admission control is
+//! forced into `RETRY`/`SHED`, and verifies the accepted-batch history still
+//! replays exactly.
+//!
+//! Usage:
+//!
+//! ```text
+//! net_load [--smoke] [--out BENCH_net.json]
+//! ```
+//!
+//! `--smoke` runs a seconds-long single-shard pass plus the shed probe and
+//! exits nonzero on any failed audit (the CI gate); the default full run
+//! records `BENCH_net.json`.
+
+use pdmm::net::{serve, DrainMode, ServerConfig};
+use pdmm::prelude::*;
+use pdmm::service::EngineService;
+use pdmm::sharding::HashPartitioner;
+use pdmm_bench::loadgen::{self, LoadConfig, LoadReport};
+use std::sync::Arc;
+
+fn engines(shards: usize, num_vertices: usize, seed: u64) -> Vec<Box<dyn MatchingEngine + Send>> {
+    let builder = EngineBuilder::new(num_vertices).seed(seed);
+    (0..shards)
+        .map(|_| pdmm::engine::build(EngineKind::Parallel, &builder))
+        .collect()
+}
+
+struct RunOutcome {
+    shards: usize,
+    report: LoadReport,
+    committed_batches: u64,
+    rejected_updates: u64,
+    replay_identical: bool,
+}
+
+/// Serves a fresh sharded service on loopback, offers the configured load,
+/// then audits the journal: replaying it into fresh engines must rebuild the
+/// served snapshot bit-identically.
+fn run_against_live_server(
+    shards: usize,
+    queue_capacity: usize,
+    drain: DrainMode,
+    load: &LoadConfig,
+) -> RunOutcome {
+    const SEED: u64 = 9;
+    let services = engines(shards, load.num_vertices, SEED)
+        .into_iter()
+        .map(|engine| EngineService::with_queue_capacity(engine, queue_capacity))
+        .collect();
+    let service = Arc::new(ShardedService::from_services(
+        services,
+        Box::new(HashPartitioner),
+    ));
+    let config = ServerConfig {
+        connection_threads: load.connections.max(1),
+        drain,
+        ..ServerConfig::default()
+    };
+    let handle = serve(Arc::clone(&service), "127.0.0.1:0", config).expect("bind loopback");
+    let report = loadgen::run(handle.local_addr(), load).expect("load generator run");
+    let stats = handle.shutdown();
+
+    let journal = service.journal();
+    let replayed = ShardedService::replay_with(
+        engines(shards, load.num_vertices, SEED),
+        Box::new(HashPartitioner),
+        &journal,
+    )
+    .expect("journal parses");
+    let served = service.snapshot();
+    let rebuilt = replayed.snapshot();
+    // Compare matching state and the re-emitted journal, not the commit
+    // counter: a sub-batch whose updates are all rejected by the lossy drain
+    // commits empty (counted, not journaled), so under shedding the counter
+    // is deliberately not replay-representable.
+    let replay_identical = served.edge_ids() == rebuilt.edge_ids()
+        && served.size() == rebuilt.size()
+        && journal == replayed.journal();
+    RunOutcome {
+        shards,
+        report,
+        committed_batches: stats.committed_batches,
+        rejected_updates: stats.rejected_updates,
+        replay_identical,
+    }
+}
+
+fn print_outcome(outcome: &RunOutcome) {
+    let r = &outcome.report;
+    println!(
+        "shards={} sent={} ok={} retry={} shed={} err={} | {:.0} batches/s {:.0} updates/s | \
+         latency us: mean {:.0} p50 {} p99 {} p999 {} max {} | committed={} rejected={} replay_identical={}",
+        outcome.shards,
+        r.sent,
+        r.ok,
+        r.retried,
+        r.shed,
+        r.errors,
+        r.batches_per_sec,
+        r.updates_per_sec,
+        r.latency.mean_us,
+        r.latency.p50_us,
+        r.latency.p99_us,
+        r.latency.p999_us,
+        r.latency.max_us,
+        outcome.committed_batches,
+        outcome.rejected_updates,
+        outcome.replay_identical,
+    );
+}
+
+fn outcome_json(outcome: &RunOutcome) -> String {
+    let r = &outcome.report;
+    format!(
+        concat!(
+            "    {{\"shards\": {}, \"sent\": {}, \"ok\": {}, \"retried\": {}, \"shed\": {}, ",
+            "\"errors\": {}, \"accepted_updates\": {}, \"wall_ms\": {}, ",
+            "\"batches_per_sec\": {:.1}, \"updates_per_sec\": {:.1}, ",
+            "\"latency_us\": {{\"mean\": {:.1}, \"p50\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}}}, ",
+            "\"committed_batches\": {}, \"rejected_updates\": {}, \"replay_identical\": {}}}"
+        ),
+        outcome.shards,
+        r.sent,
+        r.ok,
+        r.retried,
+        r.shed,
+        r.errors,
+        r.accepted_updates,
+        r.wall.as_millis(),
+        r.batches_per_sec,
+        r.updates_per_sec,
+        r.latency.mean_us,
+        r.latency.p50_us,
+        r.latency.p99_us,
+        r.latency.p999_us,
+        r.latency.max_us,
+        outcome.committed_batches,
+        outcome.rejected_updates,
+        outcome.replay_identical,
+    )
+}
+
+/// Queue capacity 1 and nobody draining: admission control must refuse most
+/// of the offered load, the server must survive it, and the accepted history
+/// must still replay bit-identically.
+fn shed_probe() -> RunOutcome {
+    let load = LoadConfig {
+        connections: 2,
+        batches_per_connection: 60,
+        batch_size: 8,
+        rate_per_connection: 20_000.0,
+        num_vertices: 512,
+        initial_edges: 64,
+        ..LoadConfig::default()
+    };
+    run_against_live_server(1, 1, DrainMode::Manual, &load)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(|| "BENCH_net.json".to_string(), Clone::clone);
+
+    let load = if smoke {
+        LoadConfig {
+            connections: 2,
+            batches_per_connection: 50,
+            batch_size: 16,
+            rate_per_connection: 2_000.0,
+            num_vertices: 1_000,
+            initial_edges: 200,
+            ..LoadConfig::default()
+        }
+    } else {
+        LoadConfig::default()
+    };
+
+    let shard_counts: &[usize] = if smoke { &[1] } else { &[1, 2, 4, 8] };
+    let mut outcomes = Vec::new();
+    for &shards in shard_counts {
+        let outcome = run_against_live_server(shards, 64, DrainMode::Background, &load);
+        print_outcome(&outcome);
+        outcomes.push(outcome);
+    }
+
+    println!("shed probe (queue capacity 1, manual drain):");
+    let probe = shed_probe();
+    print_outcome(&probe);
+
+    let mut failures = Vec::new();
+    for outcome in outcomes.iter().chain([&probe]) {
+        if !outcome.replay_identical {
+            failures.push(format!("shards={}: replay mismatch", outcome.shards));
+        }
+        if outcome.report.errors > 0 {
+            failures.push(format!(
+                "shards={}: {} protocol errors",
+                outcome.shards, outcome.report.errors
+            ));
+        }
+    }
+    if probe.report.retried + probe.report.shed == 0 {
+        failures.push("shed probe refused nothing — admission control is dead".to_string());
+    }
+    if probe.report.shed == 0 {
+        failures.push("shed probe never escalated to SHED".to_string());
+    }
+
+    if !smoke {
+        let unix_time = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs());
+        let runs: Vec<String> = outcomes.iter().map(outcome_json).collect();
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"benchmark\": \"net_load\",\n",
+                "  \"unix_time\": {},\n",
+                "  \"config\": {{\"connections\": {}, \"batches_per_connection\": {}, ",
+                "\"batch_size\": {}, \"rate_per_connection\": {:.1}, \"num_vertices\": {}, ",
+                "\"rank\": {}, \"initial_edges\": {}, \"insert_fraction\": {:.2}, ",
+                "\"skew\": {:.2}, \"queue_capacity_per_shard\": 64, \"engine\": \"parallel\"}},\n",
+                "  \"runs\": [\n{}\n  ],\n",
+                "  \"shed_probe\": \n{}\n}}\n"
+            ),
+            unix_time,
+            load.connections,
+            load.batches_per_connection,
+            load.batch_size,
+            load.rate_per_connection,
+            load.num_vertices,
+            load.rank,
+            load.initial_edges,
+            load.insert_fraction,
+            load.skew,
+            runs.join(",\n"),
+            outcome_json(&probe),
+        );
+        std::fs::write(&out, json).expect("write benchmark artifact");
+        println!("wrote {out}");
+    }
+
+    if !failures.is_empty() {
+        for failure in &failures {
+            eprintln!("FAIL: {failure}");
+        }
+        std::process::exit(1);
+    }
+    println!("all audits passed");
+}

@@ -1,0 +1,348 @@
+//! Open-loop TCP load generator for the `pdmm::net` front-end.
+//!
+//! Drives real sockets against a live server and measures what a client sees:
+//! throughput (batches and updates per second) and **submit-to-ack latency**
+//! (p50/p99/p999), where "ack" is the server's admission response (`OK`,
+//! `RETRY`, `SHED`) — not the commit, which is asynchronous behind the
+//! admission queue.
+//!
+//! The generator is **open-loop**: each connection schedules batch `i` at
+//! `start + i / rate` regardless of how fast acknowledgements come back, so
+//! server-side queueing shows up as latency instead of silently throttling
+//! the offered load (the coordinated-omission trap).  Refused batches
+//! (`RETRY`/`SHED`) are counted and *not* resent — under overload the offered
+//! rate stays the offered rate.
+//!
+//! Workloads come from the repository's own stream generators
+//! ([`pdmm::hypergraph::streams::skewed_churn`]), one independent stream per
+//! connection with the edge-id space offset per connection so concurrent
+//! streams never collide on ids.
+
+use pdmm::net::frame_batch;
+use pdmm::net::Response;
+use pdmm::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// What one load-generator run offers the server.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent connections, each sending its own stream.
+    pub connections: usize,
+    /// Batches each connection submits.
+    pub batches_per_connection: usize,
+    /// Updates per batch.
+    pub batch_size: usize,
+    /// Open-loop offered rate per connection, in batches per second.
+    pub rate_per_connection: f64,
+    /// Vertex-space size of the generated workloads.
+    pub num_vertices: usize,
+    /// Hyperedge rank of the generated workloads.
+    pub rank: usize,
+    /// Edges inserted before the churn phase of each stream.
+    pub initial_edges: usize,
+    /// Fraction of churn updates that are insertions.
+    pub insert_fraction: f64,
+    /// Zipf-style skew exponent of the adversarial vertex mix.
+    pub skew: f64,
+    /// Base seed; connection `k` uses `seed + k`.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            connections: 4,
+            batches_per_connection: 200,
+            batch_size: 32,
+            rate_per_connection: 2_000.0,
+            num_vertices: 10_000,
+            rank: 2,
+            initial_edges: 2_000,
+            insert_fraction: 0.6,
+            skew: 1.5,
+            seed: 42,
+        }
+    }
+}
+
+/// Submit-to-ack latency summary, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Mean over every acknowledged batch.
+    pub mean_us: f64,
+    /// Median.
+    pub p50_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// 99.9th percentile.
+    pub p999_us: u64,
+    /// Worst acknowledged batch.
+    pub max_us: u64,
+}
+
+/// What one load-generator run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Batches submitted across all connections.
+    pub sent: u64,
+    /// Batches admitted (`OK`).
+    pub ok: u64,
+    /// Batches refused with `RETRY`.
+    pub retried: u64,
+    /// Batches refused with `SHED`.
+    pub shed: u64,
+    /// Batches answered `ERR` (should be zero for generated workloads).
+    pub errors: u64,
+    /// Updates inside admitted batches, as acknowledged by the server.
+    pub accepted_updates: u64,
+    /// Wall-clock time from first submit to last acknowledgement.
+    pub wall: Duration,
+    /// Acknowledged batches per second of wall-clock time.
+    pub batches_per_sec: f64,
+    /// Accepted updates per second of wall-clock time.
+    pub updates_per_sec: f64,
+    /// Submit-to-ack latency percentiles.
+    pub latency: LatencySummary,
+}
+
+/// Per-connection measurement, merged by [`run`].
+struct ConnResult {
+    sent: u64,
+    ok: u64,
+    retried: u64,
+    shed: u64,
+    errors: u64,
+    accepted_updates: u64,
+    latencies_us: Vec<u64>,
+}
+
+/// The `q`-quantile (0..=1) of an ascending slice, by the nearest-rank rule.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Builds connection `k`'s private stream: the shared generator parameters,
+/// a per-connection seed, and the edge-id space shifted so concurrent
+/// connections never reuse an id.
+fn connection_batches(config: &LoadConfig, k: usize) -> Vec<UpdateBatch> {
+    let workload = pdmm::hypergraph::streams::skewed_churn(
+        config.num_vertices,
+        config.rank,
+        config.initial_edges,
+        config.batches_per_connection,
+        config.batch_size,
+        config.insert_fraction,
+        config.skew,
+        config.seed + k as u64,
+    );
+    let offset = (k as u64) << 40;
+    workload
+        .batches
+        .into_iter()
+        .map(|batch| {
+            let updates: Vec<Update> = batch
+                .into_updates()
+                .into_iter()
+                .map(|update| match update {
+                    Update::Insert(edge) => Update::Insert(HyperEdge::new(
+                        EdgeId(edge.id.0 + offset),
+                        edge.vertices().to_vec(),
+                    )),
+                    Update::Delete(id) => Update::Delete(EdgeId(id.0 + offset)),
+                })
+                .collect();
+            UpdateBatch::new(updates).expect("id offsetting preserves batch validity")
+        })
+        .collect()
+}
+
+/// Drives one connection: a paced writer on the calling thread and a reader
+/// thread matching FIFO responses to recorded send times.
+fn drive_connection(
+    addr: SocketAddr,
+    batches: &[UpdateBatch],
+    rate: f64,
+) -> std::io::Result<ConnResult> {
+    let writer = TcpStream::connect(addr)?;
+    writer.set_nodelay(true)?;
+    let reader = BufReader::new(writer.try_clone()?);
+    let (send_times_tx, send_times_rx) = mpsc::channel::<Instant>();
+
+    let read_side = std::thread::spawn(move || -> std::io::Result<ConnResult> {
+        let mut result = ConnResult {
+            sent: 0,
+            ok: 0,
+            retried: 0,
+            shed: 0,
+            errors: 0,
+            accepted_updates: 0,
+            latencies_us: Vec::new(),
+        };
+        let mut reader = reader;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                return Ok(result);
+            }
+            // Responses are FIFO, one per submitted batch.
+            let sent_at = send_times_rx
+                .recv()
+                .expect("a response implies a recorded submission");
+            let elapsed = sent_at.elapsed();
+            result
+                .latencies_us
+                .push(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+            match Response::parse(&line) {
+                Some(Response::Ok { updates, .. }) => {
+                    result.ok += 1;
+                    result.accepted_updates += updates as u64;
+                }
+                Some(Response::Retry { .. }) => result.retried += 1,
+                Some(Response::Shed) => result.shed += 1,
+                Some(Response::Error { .. }) | None => result.errors += 1,
+            }
+        }
+    });
+
+    let start = Instant::now();
+    let mut sent = 0u64;
+    let mut writer = writer;
+    for (i, batch) in batches.iter().enumerate() {
+        // Open loop: batch i is due at start + i/rate no matter what came
+        // back so far; if we are late we send immediately (and the backlog
+        // shows up as latency, never as reduced offered load).
+        let due = start + Duration::from_secs_f64(i as f64 / rate);
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        let framed = frame_batch(batch);
+        let sent_at = Instant::now();
+        writer.write_all(framed.as_bytes())?;
+        sent += 1;
+        let _ = send_times_tx.send(sent_at);
+    }
+    drop(send_times_tx);
+    writer.shutdown(std::net::Shutdown::Write)?;
+    let mut result = read_side.join().expect("reader thread never panics")?;
+    result.sent = sent;
+    Ok(result)
+}
+
+/// Runs the configured open-loop load against a live server and merges every
+/// connection's measurements.
+///
+/// # Errors
+///
+/// Propagates the first connection/socket error; a clean run against a live
+/// server returns `Ok` even when every batch was shed.
+pub fn run(addr: SocketAddr, config: &LoadConfig) -> std::io::Result<LoadReport> {
+    let started = Instant::now();
+    let results: Vec<std::io::Result<ConnResult>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.connections)
+            .map(|k| {
+                let batches = connection_batches(config, k);
+                scope.spawn(move || drive_connection(addr, &batches, config.rate_per_connection))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("connection thread never panics"))
+            .collect()
+    });
+    let wall = started.elapsed();
+
+    let mut merged = ConnResult {
+        sent: 0,
+        ok: 0,
+        retried: 0,
+        shed: 0,
+        errors: 0,
+        accepted_updates: 0,
+        latencies_us: Vec::new(),
+    };
+    for result in results {
+        let result = result?;
+        merged.sent += result.sent;
+        merged.ok += result.ok;
+        merged.retried += result.retried;
+        merged.shed += result.shed;
+        merged.errors += result.errors;
+        merged.accepted_updates += result.accepted_updates;
+        merged.latencies_us.extend(result.latencies_us);
+    }
+    merged.latencies_us.sort_unstable();
+    let acked = merged.latencies_us.len() as u64;
+    let mean_us = if acked == 0 {
+        0.0
+    } else {
+        merged.latencies_us.iter().sum::<u64>() as f64 / acked as f64
+    };
+    let wall_secs = wall.as_secs_f64().max(f64::MIN_POSITIVE);
+    Ok(LoadReport {
+        sent: merged.sent,
+        ok: merged.ok,
+        retried: merged.retried,
+        shed: merged.shed,
+        errors: merged.errors,
+        accepted_updates: merged.accepted_updates,
+        wall,
+        batches_per_sec: acked as f64 / wall_secs,
+        updates_per_sec: merged.accepted_updates as f64 / wall_secs,
+        latency: LatencySummary {
+            mean_us,
+            p50_us: percentile(&merged.latencies_us, 0.50),
+            p99_us: percentile(&merged.latencies_us, 0.99),
+            p999_us: percentile(&merged.latencies_us, 0.999),
+            max_us: merged.latencies_us.last().copied().unwrap_or(0),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<u64> = (1..=1000).collect();
+        assert_eq!(percentile(&sorted, 0.50), 500);
+        assert_eq!(percentile(&sorted, 0.99), 990);
+        assert_eq!(percentile(&sorted, 0.999), 999);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.999), 7);
+    }
+
+    #[test]
+    fn connection_batches_are_valid_and_id_disjoint() {
+        let config = LoadConfig {
+            connections: 2,
+            batches_per_connection: 6,
+            batch_size: 8,
+            num_vertices: 64,
+            initial_edges: 16,
+            ..LoadConfig::default()
+        };
+        let a = connection_batches(&config, 0);
+        let b = connection_batches(&config, 1);
+        // The generator prepends the initial-edges batch to the churn phase.
+        assert_eq!(a.len(), config.batches_per_connection + 1);
+        let ids = |batches: &[UpdateBatch]| -> std::collections::HashSet<u64> {
+            batches
+                .iter()
+                .flat_map(|batch| batch.updates().iter().map(|u| u.edge_id().0))
+                .collect()
+        };
+        assert!(
+            ids(&a).is_disjoint(&ids(&b)),
+            "edge-id spaces must not overlap"
+        );
+    }
+}

@@ -118,7 +118,7 @@ fn write_update(out: &mut String, update: &Update) {
 }
 
 /// Parses one non-empty, non-comment update line (`+ <id> <v>…` / `- <id>`).
-fn parse_update(line: &str, lineno: usize) -> Result<Update, ParseError> {
+pub(crate) fn parse_update(line: &str, lineno: usize) -> Result<Update, ParseError> {
     let mut parts = line.split_whitespace();
     let op = parts.next().expect("non-empty line has a first token");
     match op {
@@ -154,7 +154,7 @@ fn parse_update(line: &str, lineno: usize) -> Result<Update, ParseError> {
 
 /// Runs the shared per-line batch validation and pushes a fresh update into
 /// the current block.
-fn check_and_push(
+pub(crate) fn check_and_push(
     ledger: &mut BatchLedger,
     current: &mut Vec<Update>,
     update: Update,

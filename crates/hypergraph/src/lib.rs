@@ -21,6 +21,9 @@
 //! * [`sharding`] — the sharded serving layer: the vertex space partitioned
 //!   across parallel [`sharding::ShardedService`] shards behind a
 //!   deterministic router and a merge front-end,
+//! * [`net`] — the TCP front-end: newline-framed batches over a socket into a
+//!   [`sharding::ShardedService`], with typed admission control
+//!   (`OK`/`RETRY`/`SHED`/`ERR`) instead of blocking under overload,
 //! * [`stats`] — structural statistics for the experiment tables.
 
 #![deny(missing_docs)]
@@ -31,6 +34,7 @@ pub mod generators;
 pub mod graph;
 pub mod io;
 pub mod matching;
+pub mod net;
 pub mod service;
 pub mod sharding;
 pub mod stats;

@@ -1,0 +1,793 @@
+//! TCP front-end for the sharded serving layer: newline-framed update batches
+//! in, typed admission responses out.
+//!
+//! This module puts a wire in front of [`ShardedService`] — the first
+//! end-to-end client → socket → router → shards → snapshot path in the
+//! workspace.  The design follows the classic router split: a thin, fast
+//! classification/admission layer in front of the real engine, where overload
+//! is a *typed outcome* (retry, shed) rather than a blocked connection.
+//!
+//! # Wire format
+//!
+//! Requests reuse the [`crate::io`] update-stream text format verbatim: one
+//! update per line (`+ <id> <v1> ... <vk>` inserts, `- <id>` deletes), `#`
+//! comment lines are skipped, and a **blank line submits** the accumulated
+//! batch.  The shard-tagged `@ <shard>` framing of the journal stays internal
+//! to the server — a client that sends one is told `ERR unknown operation`
+//! like any other malformed line.  A connection that closes mid-batch (EOF
+//! without the terminating blank line) drops the unterminated batch silently,
+//! so partial writes from a dying client cannot commit.
+//!
+//! Every submitted batch earns exactly one response line:
+//!
+//! | line | meaning |
+//! |---|---|
+//! | `OK <updates> <sub_batches> <cross_shard>` | admitted: routed to its owner shards and queued for commit |
+//! | `RETRY <after_ms>` | refused under backpressure; resend the batch after the hinted delay |
+//! | `SHED` | refused and the client should back off for real — the server is saturated |
+//! | `ERR <message>` | the batch was malformed; `<message>` names the offending (1-based, per-connection) line |
+//!
+//! `OK` is an **admission** acknowledgement, not a commit acknowledgement:
+//! the batch sits in the owner shards' bounded queues until a drain commits
+//! it.  Refused (`RETRY`/`SHED`) batches are *dropped server-side* — the
+//! client owns retransmission.  After a parse error the connection enters a
+//! poisoned state that swallows every line up to the next blank line, so one
+//! bad line costs exactly the batch it belongs to and resynchronization is
+//! just "start the next batch".
+//!
+//! # Admission control
+//!
+//! [`AdmissionPolicy`] decides when to refuse: a batch is bounced when the
+//! queued-batch total across shards reaches `max_in_flight`, or when
+//! [`ShardedService::try_submit`] itself finds some owner shard's queue full.
+//! Refusals escalate per connection: the first `shed_after` consecutive
+//! bounces answer `RETRY` with a linearly growing `after_ms` hint, and every
+//! bounce past that answers `SHED` until an admission succeeds again.
+//! Oversized batches (`max_batch_updates`) are a protocol error, not
+//! backpressure: they poison like a parse error.
+//!
+//! # Threads
+//!
+//! The server runs thread-per-connection on the in-tree work-stealing pool:
+//! an acceptor thread owns the listener and spawns one scope task per
+//! connection, so [`ServerHandle::shutdown`] joining the acceptor joins every
+//! handler for free.  `connection_threads` bounds how many connections are
+//! *served concurrently* (excess connections queue on the pool).  A
+//! background drainer thread ([`DrainMode::Background`]) turns queued batches
+//! into commits via [`ShardedService::drain_lossy`] — lossy on purpose:
+//! shedding whole batches makes the surviving stream self-inconsistent (a
+//! later deletion may reference a shed insert), and the lossy path converts
+//! exactly those into typed per-update rejections instead of poisoning a
+//! strict drain.  Deterministic tests use [`DrainMode::Manual`] and call
+//! [`ServerHandle::drain_now`] themselves.
+//!
+//! ```no_run
+//! use pdmm_hypergraph::net::{serve, ServerConfig};
+//! use pdmm_hypergraph::sharding::ShardedService;
+//! use std::sync::Arc;
+//! # fn engines() -> Vec<Box<dyn pdmm_hypergraph::engine::MatchingEngine + Send>> { vec![] }
+//!
+//! let service = Arc::new(ShardedService::new(engines()));
+//! let handle = serve(service, "127.0.0.1:0", ServerConfig::default()).unwrap();
+//! println!("serving on {}", handle.local_addr());
+//! let stats = handle.shutdown();
+//! println!("{} batches admitted, {} shed", stats.admitted, stats.shed);
+//! ```
+
+use crate::engine::BatchLedger;
+use crate::io::{batches_to_string, check_and_push, parse_update};
+use crate::sharding::{ShardedIngestReport, ShardedService};
+use crate::types::{Update, UpdateBatch};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Protocol
+// ---------------------------------------------------------------------------
+
+/// One response line, as the server sends it and the client parses it.
+///
+/// The wire form is `Display` (no trailing newline); [`Response::parse`] is
+/// its inverse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// `OK <updates> <sub_batches> <cross_shard>` — the batch was admitted.
+    Ok {
+        /// Updates routed (the batch size as the server counted it).
+        updates: usize,
+        /// Non-empty per-shard sub-batches the batch fanned out into.
+        sub_batches: usize,
+        /// How many of the updates were cross-shard (see
+        /// [`crate::sharding::RouteReport::cross_shard`]).
+        cross_shard: usize,
+    },
+    /// `RETRY <after_ms>` — refused under backpressure; resend after the
+    /// hinted number of milliseconds.
+    Retry {
+        /// Suggested client-side delay before resending, in milliseconds.
+        after_ms: u64,
+    },
+    /// `SHED` — refused, and the hinting phase is over: the server is
+    /// saturated and the client should back off for real (or drop load).
+    Shed,
+    /// `ERR <message>` — the batch was malformed and has been discarded;
+    /// `message` names the offending per-connection line.
+    Error {
+        /// Human-readable description, starting with `line <n>:` for parse
+        /// and batch-validation errors.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for Response {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Response::Ok {
+                updates,
+                sub_batches,
+                cross_shard,
+            } => write!(f, "OK {updates} {sub_batches} {cross_shard}"),
+            Response::Retry { after_ms } => write!(f, "RETRY {after_ms}"),
+            Response::Shed => write!(f, "SHED"),
+            Response::Error { message } => write!(f, "ERR {message}"),
+        }
+    }
+}
+
+impl Response {
+    /// Parses one response line (the inverse of `Display`).  Returns `None`
+    /// for anything that is not a well-formed response line.
+    #[must_use]
+    pub fn parse(line: &str) -> Option<Response> {
+        let line = line.trim();
+        let (tag, rest) = match line.split_once(char::is_whitespace) {
+            Some((tag, rest)) => (tag, rest.trim()),
+            None => (line, ""),
+        };
+        match tag {
+            "OK" => {
+                let mut it = rest.split_whitespace();
+                let updates = it.next()?.parse().ok()?;
+                let sub_batches = it.next()?.parse().ok()?;
+                let cross_shard = it.next()?.parse().ok()?;
+                if it.next().is_some() {
+                    return None;
+                }
+                Some(Response::Ok {
+                    updates,
+                    sub_batches,
+                    cross_shard,
+                })
+            }
+            "RETRY" => {
+                let mut it = rest.split_whitespace();
+                let after_ms = it.next()?.parse().ok()?;
+                if it.next().is_some() {
+                    return None;
+                }
+                Some(Response::Retry { after_ms })
+            }
+            "SHED" => rest.is_empty().then_some(Response::Shed),
+            "ERR" => Some(Response::Error {
+                message: rest.to_string(),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Whether this response means "not admitted, but resending may work"
+    /// (`RETRY` or `SHED`).
+    #[must_use]
+    pub fn is_backpressure(&self) -> bool {
+        matches!(self, Response::Retry { .. } | Response::Shed)
+    }
+}
+
+/// Serializes one batch in wire form: its update lines plus the terminating
+/// blank line that submits it.  The format has no representation for an empty
+/// batch, so an empty batch frames to a lone blank line — a no-op the server
+/// ignores (no response).
+#[must_use]
+pub fn frame_batch(batch: &UpdateBatch) -> String {
+    let mut framed = batches_to_string(std::slice::from_ref(batch));
+    framed.push('\n');
+    framed
+}
+
+// ---------------------------------------------------------------------------
+// Admission policy and server configuration
+// ---------------------------------------------------------------------------
+
+/// When the server refuses work, and how it says so.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmissionPolicy {
+    /// Bounce a batch when this many batches are already queued across all
+    /// shards (checked before routing, on top of the per-shard queue
+    /// capacities [`ShardedService::try_submit`] enforces).
+    pub max_in_flight: usize,
+    /// Maximum updates one batch may carry; exceeding it is a protocol error
+    /// (`ERR`), not backpressure.
+    pub max_batch_updates: usize,
+    /// Base retry hint in milliseconds; the `RETRY` hint grows linearly with
+    /// the connection's consecutive-bounce count.
+    pub retry_after_ms: u64,
+    /// Consecutive bounces answered `RETRY` before escalating to `SHED`.
+    pub shed_after: u32,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy {
+            max_in_flight: 256,
+            max_batch_updates: 4096,
+            retry_after_ms: 2,
+            shed_after: 3,
+        }
+    }
+}
+
+/// Who turns queued batches into commits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DrainMode {
+    /// A dedicated server thread drains continuously (kicked on every
+    /// admission, with a timed fallback).  The default.
+    #[default]
+    Background,
+    /// Nobody: the test (or embedding application) calls
+    /// [`ServerHandle::drain_now`] when it wants commits to happen —
+    /// deterministic queue depths for backpressure tests.  Whatever is still
+    /// queued at [`ServerHandle::shutdown`] is drained then.
+    Manual,
+}
+
+/// Configuration for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The admission policy.
+    pub policy: AdmissionPolicy,
+    /// How many connections are served concurrently (pool workers dedicated
+    /// to connection handling; further connections wait their turn).
+    pub connection_threads: usize,
+    /// Who drains (see [`DrainMode`]).
+    pub drain: DrainMode,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            policy: AdmissionPolicy::default(),
+            connection_threads: 4,
+            drain: DrainMode::Background,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server statistics
+// ---------------------------------------------------------------------------
+
+/// A point-in-time copy of the server's counters (all monotonic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Batches admitted (`OK`).
+    pub admitted: u64,
+    /// Batches bounced with `RETRY`.
+    pub retried: u64,
+    /// Batches bounced with `SHED`.
+    pub shed: u64,
+    /// Batches discarded with `ERR` (parse, batch-validation, or size-cap
+    /// errors).
+    pub protocol_errors: u64,
+    /// Sub-batches committed by drains the server ran.
+    pub committed_batches: u64,
+    /// Exact-duplicate updates silently dropped by lossy drains.
+    pub deduplicated_updates: u64,
+    /// Updates rejected with typed errors by lossy drains (e.g. a deletion
+    /// referencing a shed insert).
+    pub rejected_updates: u64,
+}
+
+#[derive(Debug, Default)]
+struct AtomicStats {
+    connections: AtomicU64,
+    admitted: AtomicU64,
+    retried: AtomicU64,
+    shed: AtomicU64,
+    protocol_errors: AtomicU64,
+    committed_batches: AtomicU64,
+    deduplicated_updates: AtomicU64,
+    rejected_updates: AtomicU64,
+}
+
+// ---------------------------------------------------------------------------
+// The server
+// ---------------------------------------------------------------------------
+
+/// State shared by the acceptor, the connection handlers, the drainer and the
+/// handle.
+struct Shared {
+    service: Arc<ShardedService>,
+    policy: AdmissionPolicy,
+    stats: AtomicStats,
+    stop: AtomicBool,
+    /// Generation counter + condvar kicking the background drainer out of its
+    /// timed wait as soon as a batch is admitted.
+    wake: Mutex<u64>,
+    wake_cv: Condvar,
+}
+
+impl Shared {
+    fn kick_drainer(&self) {
+        let mut generation = self.wake.lock().expect("wake lock");
+        *generation += 1;
+        self.wake_cv.notify_one();
+    }
+
+    fn absorb(&self, report: &ShardedIngestReport) {
+        let ordering = Ordering::Relaxed;
+        self.stats
+            .committed_batches
+            .fetch_add(report.committed as u64, ordering);
+        self.stats
+            .deduplicated_updates
+            .fetch_add(report.deduplicated as u64, ordering);
+        self.stats
+            .rejected_updates
+            .fetch_add(report.rejected as u64, ordering);
+    }
+}
+
+/// A running server.  Dropping the handle shuts the server down (prefer
+/// [`ServerHandle::shutdown`] to also read the final counters).
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    drainer: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("local_addr", &self.local_addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The sharded service behind the server — the read path: snapshots,
+    /// journals and replay work exactly as without the wire.
+    #[must_use]
+    pub fn service(&self) -> &Arc<ShardedService> {
+        &self.shared.service
+    }
+
+    /// A point-in-time copy of the server counters.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        let ordering = Ordering::Relaxed;
+        let stats = &self.shared.stats;
+        ServerStats {
+            connections: stats.connections.load(ordering),
+            admitted: stats.admitted.load(ordering),
+            retried: stats.retried.load(ordering),
+            shed: stats.shed.load(ordering),
+            protocol_errors: stats.protocol_errors.load(ordering),
+            committed_batches: stats.committed_batches.load(ordering),
+            deduplicated_updates: stats.deduplicated_updates.load(ordering),
+            rejected_updates: stats.rejected_updates.load(ordering),
+        }
+    }
+
+    /// Drains everything currently queued (lossily, like the background
+    /// drainer) and returns the merged report.  The companion of
+    /// [`DrainMode::Manual`]; safe — if pointless — alongside a background
+    /// drainer.
+    pub fn drain_now(&self) -> ShardedIngestReport {
+        let report = self.shared.service.drain_lossy();
+        self.shared.absorb(&report);
+        report
+    }
+
+    /// Stops accepting, joins every connection handler, drains whatever was
+    /// admitted, and returns the final counters.  Idempotent via `Drop` —
+    /// calling this is just the version that hands the counters back.
+    #[must_use = "the final counters are the server's summary; drop the handle to discard them"]
+    pub fn shutdown(mut self) -> ServerStats {
+        self.shutdown_inner();
+        self.stats()
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.shared.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the acceptor: connect once so `accept` returns, then the
+        // loop observes `stop`.  Handlers observe it at their next read
+        // timeout; the acceptor's scope joins them all.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        self.shared.kick_drainer();
+        if let Some(drainer) = self.drainer.take() {
+            let _ = drainer.join();
+        } else {
+            // Manual mode: flush what was admitted so the post-shutdown
+            // snapshot reflects every `OK` the server sent.
+            let report = self.shared.service.drain_lossy();
+            self.shared.absorb(&report);
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Binds `addr` and serves `service` over it until the returned handle is
+/// shut down (or dropped).
+///
+/// # Errors
+///
+/// Returns the bind/spawn error if the listener or the server threads cannot
+/// be created.
+pub fn serve(
+    service: Arc<ShardedService>,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        service,
+        policy: config.policy,
+        stats: AtomicStats::default(),
+        stop: AtomicBool::new(false),
+        wake: Mutex::new(0),
+        wake_cv: Condvar::new(),
+    });
+
+    // One worker runs the accept loop itself (`pool.scope` executes its
+    // closure on the pool), the rest serve connections.
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(config.connection_threads.max(1) + 1)
+        .build()
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    let acceptor_shared = Arc::clone(&shared);
+    let acceptor = std::thread::Builder::new()
+        .name("pdmm-net-accept".into())
+        .spawn(move || {
+            pool.scope(|scope| loop {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        if acceptor_shared.stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let shared = Arc::clone(&acceptor_shared);
+                        scope.spawn(move |_| handle_connection(stream, &shared));
+                    }
+                    Err(_) => {
+                        if acceptor_shared.stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                    }
+                }
+            });
+            // The scope joined every handler; dropping the pool joins its
+            // workers.
+        })?;
+
+    let drainer = match config.drain {
+        DrainMode::Background => {
+            let drain_shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("pdmm-net-drain".into())
+                    .spawn(move || run_drainer(&drain_shared))?,
+            )
+        }
+        DrainMode::Manual => None,
+    };
+
+    Ok(ServerHandle {
+        shared,
+        local_addr,
+        acceptor: Some(acceptor),
+        drainer: Some(drainer).flatten(),
+    })
+}
+
+/// The background drainer: commit whatever is queued, then sleep until the
+/// next admission kicks the condvar (or a timed fallback fires).  On
+/// shutdown it keeps draining until the queues are empty, so every admitted
+/// batch commits before [`ServerHandle::shutdown`] returns.
+fn run_drainer(shared: &Shared) {
+    let mut seen = 0u64;
+    loop {
+        let report = shared.service.drain_lossy();
+        shared.absorb(&report);
+        if shared.stop.load(Ordering::Acquire) {
+            if shared.service.queue_len() == 0 {
+                break;
+            }
+            continue;
+        }
+        let generation = shared.wake.lock().expect("wake lock");
+        if *generation == seen {
+            let (generation, _timeout) = shared
+                .wake_cv
+                .wait_timeout(generation, Duration::from_millis(20))
+                .expect("wake lock");
+            seen = *generation;
+        } else {
+            seen = *generation;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection handling
+// ---------------------------------------------------------------------------
+
+/// Per-connection protocol state.
+struct ConnState {
+    /// Updates of the batch being accumulated.
+    current: Vec<Update>,
+    /// The per-line batch-validation machine (same one `io` parsing uses).
+    ledger: BatchLedger,
+    /// 1-based count of lines received on this connection (including
+    /// comments and blanks) — what `ERR line <n>:` refers to.
+    lineno: usize,
+    /// After an `ERR`: swallow lines until the next blank line.
+    poisoned: bool,
+    /// Consecutive admission bounces, driving the RETRY → SHED escalation.
+    consecutive_bounces: u32,
+}
+
+impl ConnState {
+    fn new() -> Self {
+        ConnState {
+            current: Vec::new(),
+            ledger: BatchLedger::new(),
+            lineno: 0,
+            poisoned: false,
+            consecutive_bounces: 0,
+        }
+    }
+
+    fn reset_batch(&mut self) {
+        self.current.clear();
+        self.ledger = BatchLedger::new();
+    }
+
+    /// Discards the current batch, enters poisoned mode, and builds the `ERR`
+    /// response.
+    fn poison(&mut self, shared: &Shared, message: String) -> Response {
+        shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        self.poisoned = true;
+        self.reset_batch();
+        Response::Error { message }
+    }
+
+    /// Runs the admission decision for one complete batch.
+    fn admit(&mut self, batch: UpdateBatch, shared: &Shared) -> Response {
+        let bounced = if shared.service.queue_len() >= shared.policy.max_in_flight {
+            true
+        } else {
+            match shared.service.try_submit(batch) {
+                Ok(report) => {
+                    self.consecutive_bounces = 0;
+                    shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
+                    shared.kick_drainer();
+                    return Response::Ok {
+                        updates: report.routed(),
+                        sub_batches: report.sub_batches(),
+                        cross_shard: report.cross_shard,
+                    };
+                }
+                Err(_bounced_batch) => true,
+            }
+        };
+        debug_assert!(bounced);
+        self.consecutive_bounces += 1;
+        if self.consecutive_bounces <= shared.policy.shed_after {
+            shared.stats.retried.fetch_add(1, Ordering::Relaxed);
+            Response::Retry {
+                after_ms: shared.policy.retry_after_ms * u64::from(self.consecutive_bounces),
+            }
+        } else {
+            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            Response::Shed
+        }
+    }
+
+    /// Processes one received line; returns the response to send, if this
+    /// line completed (or killed) a batch.
+    fn process_line(&mut self, line: &str, shared: &Shared) -> Option<Response> {
+        if line.starts_with('#') {
+            return None;
+        }
+        if line.is_empty() {
+            if self.poisoned {
+                // The ERR went out when the batch was poisoned; the blank
+                // line just resynchronizes.
+                self.poisoned = false;
+                return None;
+            }
+            if self.current.is_empty() {
+                return None; // stray blank line: no batch, no response
+            }
+            // Line-by-line ledger checks above make the batch context-free
+            // valid by construction.
+            let batch = UpdateBatch::trusted(std::mem::take(&mut self.current));
+            self.ledger = BatchLedger::new();
+            return Some(self.admit(batch, shared));
+        }
+        if self.poisoned {
+            return None;
+        }
+        let update = match parse_update(line, self.lineno) {
+            Ok(update) => update,
+            Err(e) => return Some(self.poison(shared, e.to_string())),
+        };
+        if let Err(e) = check_and_push(&mut self.ledger, &mut self.current, update, self.lineno) {
+            return Some(self.poison(shared, e.to_string()));
+        }
+        if self.current.len() > shared.policy.max_batch_updates {
+            let message = format!(
+                "line {}: batch exceeds max_batch_updates = {}",
+                self.lineno, shared.policy.max_batch_updates
+            );
+            return Some(self.poison(shared, message));
+        }
+        None
+    }
+}
+
+/// Serves one connection to completion (EOF, I/O error, or server shutdown).
+///
+/// Never panics on wire input: lines arrive as raw bytes and go through
+/// `from_utf8_lossy`, parse errors become `ERR` responses, and an
+/// unterminated trailing batch is dropped.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_nodelay(true);
+    // Timed reads let the handler observe shutdown while idle.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut state = ConnState::new();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut response_line = String::new();
+    'conn: loop {
+        buf.clear();
+        // A timed-out read keeps the partial line in `buf`; keep appending
+        // until the newline (or EOF) arrives.
+        let read = loop {
+            match reader.read_until(b'\n', &mut buf) {
+                Ok(read) => break read,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                    ) =>
+                {
+                    if shared.stop.load(Ordering::Acquire) {
+                        break 'conn;
+                    }
+                }
+                Err(_) => break 'conn,
+            }
+        };
+        if read == 0 {
+            break; // EOF; an unterminated batch dies with the connection
+        }
+        state.lineno += 1;
+        let line = String::from_utf8_lossy(&buf);
+        if let Some(response) = state.process_line(line.trim(), shared) {
+            response_line.clear();
+            let _ = std::fmt::Write::write_fmt(&mut response_line, format_args!("{response}\n"));
+            if writer.write_all(response_line.as_bytes()).is_err() {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(u: usize, s: usize, c: usize) -> Response {
+        Response::Ok {
+            updates: u,
+            sub_batches: s,
+            cross_shard: c,
+        }
+    }
+
+    #[test]
+    fn response_wire_roundtrip() {
+        let cases = [
+            ok(12, 3, 4),
+            Response::Retry { after_ms: 6 },
+            Response::Shed,
+            Response::Error {
+                message: "line 7: unknown operation `@` (expected `+` or `-`)".into(),
+            },
+        ];
+        for response in cases {
+            let line = response.to_string();
+            assert_eq!(Response::parse(&line), Some(response.clone()), "{line}");
+            assert_eq!(Response::parse(&format!("  {line}  ")), Some(response));
+        }
+    }
+
+    #[test]
+    fn response_parse_rejects_malformed_lines() {
+        for line in [
+            "",
+            "NO",
+            "OK",
+            "OK 1",
+            "OK 1 2",
+            "OK 1 2 3 4",
+            "OK a b c",
+            "RETRY",
+            "RETRY x",
+            "RETRY 1 2",
+            "SHED 1",
+            "ok 1 2 3",
+        ] {
+            assert_eq!(Response::parse(line), None, "{line:?}");
+        }
+        // ERR with an empty message is degenerate but well-formed.
+        assert_eq!(
+            Response::parse("ERR"),
+            Some(Response::Error {
+                message: String::new()
+            })
+        );
+    }
+
+    #[test]
+    fn backpressure_predicate() {
+        assert!(Response::Shed.is_backpressure());
+        assert!(Response::Retry { after_ms: 1 }.is_backpressure());
+        assert!(!ok(1, 1, 0).is_backpressure());
+        assert!(!Response::Error {
+            message: "x".into()
+        }
+        .is_backpressure());
+    }
+
+    #[test]
+    fn frame_batch_is_update_lines_plus_blank() {
+        use crate::types::{EdgeId, HyperEdge, VertexId};
+        let batch = UpdateBatch::new(vec![
+            Update::Insert(HyperEdge::pair(EdgeId(4), VertexId(0), VertexId(1))),
+            Update::Delete(EdgeId(9)),
+        ])
+        .unwrap();
+        assert_eq!(frame_batch(&batch), "+ 4 0 1\n- 9\n\n");
+        assert_eq!(frame_batch(&UpdateBatch::empty()), "\n");
+    }
+}

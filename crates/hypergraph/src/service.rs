@@ -671,6 +671,16 @@ impl EngineService {
         self.lock_queue().len()
     }
 
+    /// Free submission-queue slots right now (`capacity - queue_len`).  The
+    /// admission-control side of the serve stack reads this to decide between
+    /// accepting, asking the client to retry, and shedding — by the time the
+    /// caller acts the depth may have changed, so treat it as a hint, not a
+    /// reservation (use [`EngineService::try_submit`] for the atomic check).
+    #[must_use]
+    pub fn queue_free(&self) -> usize {
+        self.capacity.saturating_sub(self.lock_queue().len())
+    }
+
     /// The current published snapshot — the state after the most recently
     /// committed batch.  O(1): one short lock, one `Arc` clone.
     #[must_use]
@@ -893,6 +903,15 @@ impl EngineService {
 
     fn lock_queue(&self) -> MutexGuard<'_, VecDeque<UpdateBatch>> {
         self.queue.lock().expect("submission queue lock poisoned")
+    }
+
+    /// Locks the submission queue and hands the guard out, so the sharded
+    /// layer can admit one batch's sub-batches to *several* shards
+    /// all-or-nothing: lock every target queue, check capacities, then push
+    /// (`ShardedService::try_submit`).  Crate-internal: holding queue guards
+    /// across shards is a locking pattern the sharded router owns.
+    pub(crate) fn queue_guard(&self) -> MutexGuard<'_, VecDeque<UpdateBatch>> {
+        self.lock_queue()
     }
 }
 

@@ -433,6 +433,81 @@ struct Router {
     cross: FxHashSet<EdgeId>,
 }
 
+/// One batch's routing decisions, computed against the router *without
+/// mutating it*: the per-shard sub-batches plus the ownership overlay the
+/// batch implies.  [`ShardedService::submit`] always applies the plan;
+/// [`ShardedService::try_submit`] applies it only once every target shard has
+/// accepted its sub-batch, so a bounced batch leaves no routing trace.
+struct RoutePlan {
+    /// The routed updates, indexed by shard.
+    per_shard: Vec<Vec<Update>>,
+    /// Target shard of every update, in submission order — what lets
+    /// [`RoutePlan::into_batch`] reassemble the exact original batch when an
+    /// admission check bounces it.
+    order: Vec<u32>,
+    /// Cross-shard routed updates (see [`RouteReport::cross_shard`]).
+    cross_shard: usize,
+    /// Final per-id ownership this batch establishes (`Some(shard)`) or
+    /// removes (`None`), overlaying [`Router::owner`].
+    owner_overlay: FxHashMap<EdgeId, Option<u32>>,
+    /// Final per-id cross-shard flags this batch establishes, overlaying
+    /// [`Router::cross`].
+    cross_overlay: FxHashMap<EdgeId, bool>,
+}
+
+impl RoutePlan {
+    /// The plan's [`RouteReport`].
+    fn report(&self) -> RouteReport {
+        RouteReport {
+            per_shard: self.per_shard.iter().map(Vec::len).collect(),
+            cross_shard: self.cross_shard,
+        }
+    }
+
+    /// Folds the overlay into the router — the point where the plan's routing
+    /// decisions become real.
+    fn apply(self, router: &mut Router) -> (RouteReport, Vec<Vec<Update>>) {
+        let report = self.report();
+        for (id, owner) in self.owner_overlay {
+            match owner {
+                Some(shard) => {
+                    router.owner.insert(id, shard);
+                }
+                None => {
+                    router.owner.remove(&id);
+                }
+            }
+        }
+        for (id, cross) in self.cross_overlay {
+            if cross {
+                router.cross.insert(id);
+            } else {
+                router.cross.remove(&id);
+            }
+        }
+        (report, self.per_shard)
+    }
+
+    /// Reassembles the original batch, in submission order, from the routed
+    /// sub-batches (each preserves relative order; `order` interleaves them
+    /// back).  Used by the bounce path of [`ShardedService::try_submit`].
+    fn into_batch(self) -> UpdateBatch {
+        let mut per_shard: Vec<std::vec::IntoIter<Update>> =
+            self.per_shard.into_iter().map(Vec::into_iter).collect();
+        let updates: Vec<Update> = self
+            .order
+            .into_iter()
+            .map(|shard| {
+                per_shard[shard as usize]
+                    .next()
+                    .expect("routing order matches per-shard counts")
+            })
+            .collect();
+        // The batch was validated on the way in; order is restored exactly.
+        UpdateBatch::trusted(updates)
+    }
+}
+
 /// `N` parallel [`EngineService`] shards behind a deterministic router and a
 /// merge layer.  See the [module docs](self) for the full story and an
 /// end-to-end example.
@@ -583,6 +658,91 @@ impl ShardedService {
         self.shards.iter().map(EngineService::queue_len).sum()
     }
 
+    /// Total submission-queue capacity across shards (in batches).  Together
+    /// with [`ShardedService::queue_len`] this is the queue-depth
+    /// introspection an admission policy needs: how loaded the serving layer
+    /// is, as a fraction of what it can absorb before backpressure.
+    #[must_use]
+    pub fn queue_capacity(&self) -> usize {
+        self.shards.iter().map(EngineService::queue_capacity).sum()
+    }
+
+    /// Computes one batch's routing without touching the router: owner
+    /// decisions consult the batch's own overlay first (a batch may delete an
+    /// id and the router must then treat it as gone for the rest of the
+    /// batch), then the shared state.
+    fn plan_routes(&self, router: &Router, batch: UpdateBatch) -> RoutePlan {
+        let num_shards = self.shards.len();
+        let mut plan = RoutePlan {
+            per_shard: vec![Vec::new(); num_shards],
+            order: Vec::with_capacity(batch.len()),
+            cross_shard: 0,
+            owner_overlay: FxHashMap::default(),
+            cross_overlay: FxHashMap::default(),
+        };
+        for update in batch {
+            let shard = match &update {
+                Update::Insert(edge) => {
+                    let holder = match plan.owner_overlay.get(&edge.id) {
+                        Some(overlaid) => *overlaid,
+                        None => router.owner.get(&edge.id).copied(),
+                    };
+                    if let Some(holder) = holder {
+                        // The id is already routed (live or queued) on a
+                        // shard.  A batch re-inserting it without deleting
+                        // it first (legal context-free — constructors
+                        // assume ids fresh) must go to the *holder*, whose
+                        // engine rejects it with the same DuplicateEdgeId
+                        // a bare service reports — never to a second
+                        // shard, which would double-insert the id.
+                        // Ownership cannot move without a deletion, so
+                        // the overlay stays untouched.
+                        holder as usize
+                    } else {
+                        // Owner: the shard of the minimum endpoint
+                        // (endpoints are stored sorted).  Deterministic,
+                        // so an edge can never be double-inserted across
+                        // shards.
+                        let endpoints = edge.vertices();
+                        let owner = self.partitioner.shard_of(endpoints[0], num_shards);
+                        let cross = endpoints[1..]
+                            .iter()
+                            .any(|&v| self.partitioner.shard_of(v, num_shards) != owner);
+                        plan.owner_overlay.insert(edge.id, Some(owner as u32));
+                        if cross {
+                            plan.cross_overlay.insert(edge.id, true);
+                            plan.cross_shard += 1;
+                        }
+                        owner
+                    }
+                }
+                Update::Delete(id) => {
+                    let was_cross = match plan.cross_overlay.get(id) {
+                        Some(overlaid) => *overlaid,
+                        None => router.cross.contains(id),
+                    };
+                    if was_cross {
+                        plan.cross_shard += 1;
+                    }
+                    plan.cross_overlay.insert(*id, false);
+                    // Deletions go to the shard holding the edge.  An id
+                    // the router never saw inserted has no owner anywhere;
+                    // shard 0 deterministically reports the same
+                    // `UnknownDeletion` a single service would.
+                    let holder = match plan.owner_overlay.get(id) {
+                        Some(overlaid) => *overlaid,
+                        None => router.owner.get(id).copied(),
+                    };
+                    plan.owner_overlay.insert(*id, None);
+                    holder.map_or(0, |s| s as usize)
+                }
+            };
+            plan.order.push(shard as u32);
+            plan.per_shard[shard].push(update);
+        }
+        plan
+    }
+
     /// Routes one batch to its owner shards and enqueues the non-empty
     /// sub-batches (blocking per shard under backpressure, like
     /// [`EngineService::submit`]).  Routing is deterministic; within each
@@ -600,59 +760,10 @@ impl ShardedService {
                 cross_shard: 0,
             };
         }
-        let mut per_shard: Vec<Vec<Update>> = vec![Vec::new(); num_shards];
-        let mut cross_shard = 0usize;
-        {
+        let (report, per_shard) = {
             let mut router = self.lock_router();
-            for update in batch {
-                let shard = match &update {
-                    Update::Insert(edge) => {
-                        if let Some(&holder) = router.owner.get(&edge.id) {
-                            // The id is already routed (live or queued) on a
-                            // shard.  A batch re-inserting it without deleting
-                            // it first (legal context-free — constructors
-                            // assume ids fresh) must go to the *holder*, whose
-                            // engine rejects it with the same DuplicateEdgeId
-                            // a bare service reports — never to a second
-                            // shard, which would double-insert the id.
-                            // Ownership cannot move without a deletion, so
-                            // the router state stays untouched.
-                            holder as usize
-                        } else {
-                            // Owner: the shard of the minimum endpoint
-                            // (endpoints are stored sorted).  Deterministic,
-                            // so an edge can never be double-inserted across
-                            // shards.
-                            let endpoints = edge.vertices();
-                            let owner = self.partitioner.shard_of(endpoints[0], num_shards);
-                            let cross = endpoints[1..]
-                                .iter()
-                                .any(|&v| self.partitioner.shard_of(v, num_shards) != owner);
-                            router.owner.insert(edge.id, owner as u32);
-                            if cross {
-                                router.cross.insert(edge.id);
-                                cross_shard += 1;
-                            }
-                            owner
-                        }
-                    }
-                    Update::Delete(id) => {
-                        if router.cross.remove(id) {
-                            cross_shard += 1;
-                        }
-                        // Deletions go to the shard holding the edge.  An id
-                        // the router never saw inserted has no owner anywhere;
-                        // shard 0 deterministically reports the same
-                        // `UnknownDeletion` a single service would.
-                        router.owner.remove(id).map_or(0, |s| s as usize)
-                    }
-                };
-                per_shard[shard].push(update);
-            }
-        }
-        let report = RouteReport {
-            per_shard: per_shard.iter().map(Vec::len).collect(),
-            cross_shard,
+            let plan = self.plan_routes(&router, batch);
+            plan.apply(&mut router)
         };
         for (shard, updates) in per_shard.into_iter().enumerate() {
             if !updates.is_empty() {
@@ -662,6 +773,65 @@ impl ShardedService {
             }
         }
         report
+    }
+
+    /// Routes one batch and enqueues its sub-batches **all-or-nothing,
+    /// without blocking**: every target shard's queue is locked, capacities
+    /// are checked, and only if *all* of them have room are the sub-batches
+    /// pushed and the routing decisions committed.  A bounced batch leaves no
+    /// trace — no sub-batch enqueued anywhere, no router state recorded — so
+    /// the caller can retry or shed it as one unit.  This is the admission
+    /// primitive of the network front-end (`crate::net`): backpressure
+    /// surfaces as a typed refusal instead of a blocked connection thread.
+    ///
+    /// Lock order is router → shard queues in ascending shard order, which
+    /// cannot deadlock against [`ShardedService::submit`] (router, then one
+    /// queue at a time after the router is released) or drains (queue locks
+    /// only, one at a time).
+    ///
+    /// An empty batch is admitted to shard 0 if its queue has room, mirroring
+    /// [`ShardedService::submit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(batch)` — the batch handed back intact — when any target
+    /// shard's queue is at capacity.
+    pub fn try_submit(&self, batch: UpdateBatch) -> Result<RouteReport, UpdateBatch> {
+        let num_shards = self.shards.len();
+        if batch.is_empty() {
+            return match self.shards[0].try_submit(batch) {
+                Ok(()) => Ok(RouteReport {
+                    per_shard: vec![0; num_shards],
+                    cross_shard: 0,
+                }),
+                Err(batch) => Err(batch),
+            };
+        }
+        let mut router = self.lock_router();
+        let plan = self.plan_routes(&router, batch);
+        let targets: Vec<usize> = (0..num_shards)
+            .filter(|&k| !plan.per_shard[k].is_empty())
+            .collect();
+        let mut guards: Vec<_> = Vec::with_capacity(targets.len());
+        for &k in &targets {
+            guards.push(self.shards[k].queue_guard());
+        }
+        let full = targets
+            .iter()
+            .zip(&guards)
+            .any(|(&k, guard)| guard.len() >= self.shards[k].queue_capacity());
+        if full {
+            drop(guards);
+            drop(router);
+            return Err(plan.into_batch());
+        }
+        let (report, mut per_shard) = plan.apply(&mut router);
+        for (&k, guard) in targets.iter().zip(guards.iter_mut()) {
+            let updates = std::mem::take(&mut per_shard[k]);
+            // Sub-batches of a valid batch stay context-free valid.
+            guard.push_back(UpdateBatch::trusted(updates));
+        }
+        Ok(report)
     }
 
     /// Drains every shard **concurrently** on the in-tree work-stealing pool

@@ -6,20 +6,47 @@
 //! [`Bencher::iter`], [`BenchmarkId`], [`Throughput`], and the
 //! [`criterion_group!`]/[`criterion_main!`] macros.
 //!
-//! Instead of criterion's statistical sampling, each benchmark runs a small fixed
-//! number of iterations and prints the mean wall-clock time per iteration — enough
-//! to eyeball regressions locally; the E1–E10 `experiments` binary remains the
-//! measurement of record.
+//! Measurement follows criterion's shape, scaled down: a timed **warm-up**
+//! phase (doubling the per-call iteration count until [`warm_up_time`] has
+//! elapsed) estimates the cost of one iteration, the estimate sizes the
+//! per-sample iteration count so that [`sample_size`] samples fit into
+//! [`measurement_time`], and the samples' per-iteration times are reported as
+//! **mean / p50 / p99**.  `sample_size`, `warm_up_time` and
+//! `measurement_time` are honored; a configured [`Throughput`] adds an
+//! elements-per-second line.  No plotting, no outlier classification, no
+//! baseline persistence — the experiments binary remains the measurement of
+//! record for the paper tables.
+//!
+//! [`warm_up_time`]: BenchmarkGroup::warm_up_time
+//! [`sample_size`]: BenchmarkGroup::sample_size
+//! [`measurement_time`]: BenchmarkGroup::measurement_time
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
-/// Number of timed iterations per benchmark in this stand-in.
-const ITERATIONS: u32 = 3;
+/// The sampling knobs a group (or the top-level [`Criterion`]) carries.
+#[derive(Debug, Clone, Copy)]
+struct SamplingConfig {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        SamplingConfig {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
 
 /// Entry point handed to benchmark functions.
 #[derive(Debug, Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    config: SamplingConfig,
+}
 
 impl Criterion {
     /// Opens a named group of related benchmarks.
@@ -27,12 +54,14 @@ impl Criterion {
         println!("benchmark group: {name}");
         BenchmarkGroup {
             name: name.to_string(),
+            config: self.config,
+            throughput: None,
         }
     }
 
-    /// Runs a single stand-alone benchmark.
+    /// Runs a single stand-alone benchmark with the default configuration.
     pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
-        run_one(name, f);
+        run_one(name, self.config, None, f);
     }
 }
 
@@ -40,32 +69,46 @@ impl Criterion {
 #[derive(Debug)]
 pub struct BenchmarkGroup {
     name: String,
+    config: SamplingConfig,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup {
-    /// Accepted for API compatibility; sampling is fixed in this stand-in.
-    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+    /// Number of samples collected per benchmark (each sample times a block
+    /// of iterations sized from the warm-up estimate).
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.config.sample_size = samples.max(1);
         self
     }
 
-    /// Accepted for API compatibility; measurement time is fixed in this stand-in.
-    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+    /// Wall-clock budget the collected samples aim to fill together.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
         self
     }
 
-    /// Accepted for API compatibility; warm-up is skipped in this stand-in.
-    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+    /// Wall-clock time spent warming up (and estimating per-iteration cost)
+    /// before any sample is recorded.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
         self
     }
 
-    /// Accepted for API compatibility; throughput is not reported in this stand-in.
-    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+    /// Declares how much work one iteration does; reported as elements (or
+    /// bytes) per second next to the timings.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
         self
     }
 
     /// Runs a benchmark within the group.
     pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
-        run_one(&format!("{}/{}", self.name, name), f);
+        run_one(
+            &format!("{}/{}", self.name, name),
+            self.config,
+            self.throughput,
+            f,
+        );
         self
     }
 
@@ -76,7 +119,12 @@ impl BenchmarkGroup {
         input: &I,
         mut f: impl FnMut(&mut Bencher, &I),
     ) -> &mut Self {
-        run_one(&format!("{}/{}", self.name, id.label), |b| f(b, input));
+        run_one(
+            &format!("{}/{}", self.name, id.label),
+            self.config,
+            self.throughput,
+            |b| f(b, input),
+        );
         self
     }
 
@@ -84,37 +132,109 @@ impl BenchmarkGroup {
     pub fn finish(&mut self) {}
 }
 
-fn run_one(label: &str, mut f: impl FnMut(&mut Bencher)) {
+/// Calls the benchmark body once with `iters` requested iterations and
+/// returns (elapsed, iterations actually timed).
+fn call_once(f: &mut impl FnMut(&mut Bencher), iters: u64) -> (Duration, u64) {
     let mut bencher = Bencher {
+        iters,
         elapsed: Duration::ZERO,
-        iterations: 0,
+        timed: 0,
     };
     f(&mut bencher);
-    let per_iter = bencher
-        .elapsed
-        .checked_div(bencher.iterations.max(1))
+    (bencher.elapsed, bencher.timed)
+}
+
+/// The `q`-quantile (0..=1) of an ascending slice, by the nearest-rank rule.
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    debug_assert!(!sorted.is_empty());
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn run_one(
+    label: &str,
+    config: SamplingConfig,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Warm-up: double the per-call iteration count until the budget is
+    // spent, estimating the per-iteration cost along the way.
+    let warm_start = Instant::now();
+    let mut warm_elapsed = Duration::ZERO;
+    let mut warm_iters = 0u64;
+    let mut iters = 1u64;
+    while warm_start.elapsed() < config.warm_up_time {
+        let (elapsed, timed) = call_once(&mut f, iters);
+        warm_elapsed += elapsed;
+        warm_iters += timed;
+        if timed == 0 {
+            // The body never called `Bencher::iter`; there is nothing to
+            // sample.
+            println!("  {label}: no iterations (the body never called iter)");
+            return;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    let per_iter_estimate = warm_elapsed
+        .checked_div(warm_iters.max(1) as u32)
+        .unwrap_or_default()
+        .max(Duration::from_nanos(1));
+
+    // Size samples so `sample_size` of them fill `measurement_time`.
+    let budget_per_sample = config.measurement_time / config.sample_size as u32;
+    let iters_per_sample =
+        (budget_per_sample.as_nanos() / per_iter_estimate.as_nanos()).max(1) as u64;
+
+    let mut samples: Vec<Duration> = Vec::with_capacity(config.sample_size);
+    let mut total_elapsed = Duration::ZERO;
+    let mut total_iters = 0u64;
+    for _ in 0..config.sample_size {
+        let (elapsed, timed) = call_once(&mut f, iters_per_sample);
+        total_elapsed += elapsed;
+        total_iters += timed;
+        samples.push(elapsed.checked_div(timed.max(1) as u32).unwrap_or_default());
+    }
+    samples.sort_unstable();
+
+    let mean = total_elapsed
+        .checked_div(total_iters.max(1) as u32)
         .unwrap_or_default();
+    let p50 = percentile(&samples, 0.50);
+    let p99 = percentile(&samples, 0.99);
     println!(
-        "  {label}: {per_iter:?}/iter over {} iters",
-        bencher.iterations
+        "  {label}: mean {mean:?}, p50 {p50:?}, p99 {p99:?} ({} samples x {iters_per_sample} iters)",
+        samples.len(),
     );
+    if let Some(throughput) = throughput {
+        let per_iter_secs = mean.as_secs_f64().max(f64::MIN_POSITIVE);
+        let (amount, unit) = match throughput {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        println!(
+            "  {label}: thrpt {:.3e} {unit}/s",
+            amount as f64 / per_iter_secs
+        );
+    }
 }
 
 /// Measures closures; handed to benchmark bodies.
 #[derive(Debug)]
 pub struct Bencher {
+    /// Iterations the harness wants this call to run.
+    iters: u64,
     elapsed: Duration,
-    iterations: u32,
+    timed: u64,
 }
 
 impl Bencher {
-    /// Times `routine` over a fixed number of iterations.
+    /// Times `routine` over the harness-chosen number of iterations.
     pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
-        for _ in 0..ITERATIONS {
+        for _ in 0..self.iters {
             let start = Instant::now();
             let value = routine();
             self.elapsed += start.elapsed();
-            self.iterations += 1;
+            self.timed += 1;
             drop(value);
         }
     }
@@ -142,7 +262,7 @@ impl BenchmarkId {
     }
 }
 
-/// Units the group's throughput is expressed in (ignored by this stand-in).
+/// Units the group's throughput is expressed in.
 #[derive(Debug, Clone, Copy)]
 pub enum Throughput {
     /// Elements processed per iteration.
@@ -177,20 +297,66 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bench_runs_and_counts_iterations() {
+    fn sampling_honors_sample_size_and_scales_iterations() {
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("g");
-        let mut calls = 0u32;
+        let mut calls = 0u64;
         group
-            .sample_size(10)
-            .throughput(Throughput::Elements(5))
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(2))
+            .measurement_time(Duration::from_millis(10))
+            .throughput(Throughput::Elements(3))
             .bench_function("f", |b| {
                 b.iter(|| {
                     calls += 1;
+                    std::hint::black_box(calls)
                 })
             });
         group.finish();
-        assert_eq!(calls, ITERATIONS);
+        // At least one warm-up call and five measured samples happened; a
+        // sub-microsecond routine must have been batched into larger samples.
+        assert!(calls > 5, "warm-up + 5 samples ran, got {calls} iterations");
+    }
+
+    #[test]
+    fn slow_routines_still_collect_every_sample() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut calls = 0u64;
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2))
+            .bench_function("slow", |b| {
+                b.iter(|| {
+                    calls += 1;
+                    std::thread::sleep(Duration::from_millis(2));
+                })
+            });
+        group.finish();
+        // Warm-up runs at least once, and each of the 3 samples times ≥ 1
+        // iteration even though one iteration overruns the whole budget.
+        assert!(calls >= 4, "got {calls}");
+    }
+
+    #[test]
+    fn a_body_that_never_iterates_is_reported_not_divided() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .warm_up_time(Duration::from_millis(1))
+            .bench_function("empty", |_b| {});
+        group.finish();
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let ms = |n: u64| Duration::from_millis(n);
+        let sorted: Vec<Duration> = (1..=10).map(ms).collect();
+        assert_eq!(percentile(&sorted, 0.50), ms(5));
+        assert_eq!(percentile(&sorted, 0.99), ms(10));
+        assert_eq!(percentile(&sorted, 1.0), ms(10));
+        assert_eq!(percentile(&[ms(7)], 0.5), ms(7));
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //!   a deterministic router, drained concurrently and merged into
 //!   [`sharding::ShardedSnapshot`] reads with explicit cross-shard
 //!   accounting,
+//! * [`net`] — the TCP front-end: [`net::serve`] puts a wire in front of a
+//!   sharded service, speaking the [`hypergraph::io`] text format with typed
+//!   admission responses (`OK`/`RETRY`/`SHED`/`ERR`) so overload degrades
+//!   gracefully instead of blocking connections,
 //! * [`core`] ([`ParallelDynamicMatching`]) — the paper's algorithm,
 //! * [`hypergraph`] — the dynamic hypergraph substrate, workload generators,
 //!   update streams and matching verification,
@@ -145,6 +149,7 @@
 
 pub mod engine;
 
+pub use pdmm_hypergraph::net;
 pub use pdmm_hypergraph::service;
 pub use pdmm_hypergraph::sharding;
 
@@ -163,6 +168,9 @@ pub mod prelude {
     pub use pdmm_core::{Config, ParallelDynamicMatching};
     pub use pdmm_hypergraph::graph::DynamicHypergraph;
     pub use pdmm_hypergraph::matching::{verify_maximality, verify_validity};
+    pub use pdmm_hypergraph::net::{
+        serve, AdmissionPolicy, DrainMode, Response, ServerConfig, ServerHandle, ServerStats,
+    };
     pub use pdmm_hypergraph::service::{EngineService, MatchingSnapshot};
     pub use pdmm_hypergraph::sharding::{Partitioner, ShardedService, ShardedSnapshot};
     pub use pdmm_hypergraph::streams::Workload;

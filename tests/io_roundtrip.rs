@@ -147,3 +147,21 @@ fn whitespace_only_lines_separate_batches_like_blank_ones() {
     assert_eq!(with_blank, with_spaces);
     assert_eq!(with_blank.len(), 2);
 }
+
+#[test]
+fn parse_errors_carry_one_based_line_numbers_across_batches() {
+    // The line number is global over the whole multi-batch input — comments
+    // and blank separators count — so a protocol `ERR` (or a corrupted
+    // workload file) can point at the exact offending line.
+    let text = "# header\n+ 0 1 2\n\n+ 1 3 4\n- 0\n\n+ 2 bad 5\n";
+    let err = pdmm::hypergraph::io::batches_from_string(text).unwrap_err();
+    assert_eq!(err.line, 7);
+    assert_eq!(err.to_string(), format!("line 7: {}", err.message));
+
+    // Batch-validation errors point at the offending line, too — here the
+    // repeated id in the second block.
+    let text = "+ 0 1 2\n\n+ 1 3 4\n+ 1 3 4\n";
+    let err = pdmm::hypergraph::io::batches_from_string(text).unwrap_err();
+    assert_eq!(err.line, 4);
+    assert!(err.message.contains("repeated update"), "{}", err.message);
+}

@@ -464,3 +464,75 @@ fn replay_rejects_malformed_and_mismatched_journals() {
         "{err}"
     );
 }
+
+/// `try_submit` is all-or-nothing: a bounce enqueues nothing anywhere, leaves
+/// no router trace, and hands the batch back in its exact submission order —
+/// even though routing had already split it across shards.
+#[test]
+fn try_submit_is_all_or_nothing_and_hands_the_batch_back_intact() {
+    let n = 8;
+    let engine = || engine::build(EngineKind::Parallel, &EngineBuilder::new(n).seed(2));
+    let services = vec![
+        EngineService::with_queue_capacity(engine(), 1),
+        EngineService::with_queue_capacity(engine(), 1),
+    ];
+    // RangePartitioner: vertices 0..4 on shard 0, 4..8 on shard 1.
+    let service = ShardedService::from_services(services, Box::new(RangePartitioner::new(n)));
+    let insert = |id: u64, a: u32, b: u32| {
+        Update::Insert(HyperEdge::pair(EdgeId(id), VertexId(a), VertexId(b)))
+    };
+    // Interleave shard-0 and shard-1 updates so order restoration is visible.
+    let batch_a = UpdateBatch::new(vec![
+        insert(0, 0, 1),
+        insert(1, 4, 5),
+        insert(2, 2, 3),
+        insert(3, 6, 7),
+    ])
+    .unwrap();
+    let batch_b = UpdateBatch::new(vec![
+        insert(10, 4, 5),
+        insert(11, 0, 1),
+        insert(12, 6, 7),
+        insert(13, 2, 3),
+    ])
+    .unwrap();
+
+    let report = service.try_submit(batch_a.clone()).unwrap();
+    assert_eq!(report.per_shard, vec![2, 2]);
+
+    // Both queues are now at capacity 1: the second batch must bounce whole.
+    let bounced = service.try_submit(batch_b.clone()).unwrap_err();
+    assert_eq!(
+        bounced.updates(),
+        batch_b.updates(),
+        "original order restored"
+    );
+    assert_eq!(service.queue_len(), 2, "nothing was enqueued");
+    assert_eq!(service.owner_of_edge(EdgeId(10)), None, "no router trace");
+    assert_eq!(service.owner_of_edge(EdgeId(0)), Some(0));
+
+    // Partially-full is still a bounce: fill only shard 0, then try a batch
+    // needing both shards — shard 1's queue must stay untouched.
+    service.drain().unwrap();
+    let report = service
+        .try_submit(UpdateBatch::new(vec![insert(20, 0, 2)]).unwrap())
+        .unwrap();
+    assert_eq!(report.per_shard, vec![1, 0]);
+    let bounced = service.try_submit(bounced).unwrap_err();
+    assert_eq!(service.queue_len(), 1, "shard 1 must not keep a sub-batch");
+
+    // With room everywhere the same batch is admitted and commits.
+    service.drain().unwrap();
+    let report = service.try_submit(bounced).unwrap();
+    assert_eq!(report.per_shard, vec![2, 2]);
+    service.drain().unwrap();
+    // Every admitted sub-batch committed: 2 (batch A) + 1 + 2 (batch B).
+    assert_eq!(service.snapshot().committed_batches(), 5);
+    for id in [0u64, 1, 2, 3, 10, 11, 12, 13, 20] {
+        assert!(service.owner_of_edge(EdgeId(id)).is_some(), "edge {id}");
+    }
+    // Edges 10–13 duplicate the matched vertex pairs of 0–3, so the maximal
+    // matching is still exactly the first batch.
+    let ids: Vec<u64> = service.snapshot().edge_ids().iter().map(|e| e.0).collect();
+    assert_eq!(ids, vec![0, 1, 2, 3]);
+}
