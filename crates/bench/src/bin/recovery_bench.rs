@@ -1,0 +1,262 @@
+//! `recovery_bench` — measures checkpointed recovery against full replay.
+//!
+//! Per shard count (1, 2, 4, 8) it serves a churn workload on a sharded
+//! service, takes a drain-boundary checkpoint halfway through, serves the
+//! rest, then simulates a crash: the checkpoint plus each shard's surviving
+//! journal are fed to [`ShardedService::recover`] and the recovery is timed
+//! against a cold [`ShardedService::replay`] of the same journal.  Every run
+//! ends with a bit-identity audit — recovered shard state blobs, journals and
+//! the merged snapshot must match the pre-crash service exactly.
+//!
+//! Usage:
+//!
+//! ```text
+//! recovery_bench [--smoke] [--out BENCH_recovery.json]
+//! ```
+//!
+//! `--smoke` runs a small single-shard pass and exits nonzero on any failed
+//! audit (the CI gate); the default full run records `BENCH_recovery.json`
+//! with checkpoint sizes and recovery times per shard count.
+
+use pdmm::prelude::*;
+use pdmm::service::{JournalSink, MemoryJournal};
+use pdmm::sharding::HashPartitioner;
+use std::time::Instant;
+
+struct BenchConfig {
+    num_vertices: usize,
+    initial_edges: usize,
+    num_batches: usize,
+    batch_size: usize,
+    insert_fraction: f64,
+}
+
+fn engines(
+    shards: usize,
+    num_vertices: usize,
+    rank: usize,
+    seed: u64,
+) -> Vec<Box<dyn MatchingEngine + Send>> {
+    let builder = EngineBuilder::new(num_vertices)
+        .rank(rank.max(2))
+        .seed(seed);
+    (0..shards)
+        .map(|_| pdmm::engine::build(EngineKind::Parallel, &builder))
+        .collect()
+}
+
+/// Submits and drains in chunks comfortably under the bounded queue capacity
+/// — blocking `submit` never waits on a drain that has not been issued yet.
+fn serve_batches(service: &ShardedService, batches: &[UpdateBatch]) {
+    for chunk in batches.chunks(32) {
+        for batch in chunk {
+            service.submit(batch.clone());
+        }
+        service.drain().expect("chunk drains");
+    }
+}
+
+struct RunOutcome {
+    shards: usize,
+    committed_batches: u64,
+    checkpoint_bytes: usize,
+    journal_bytes: usize,
+    tail_blocks: usize,
+    recover_ms: f64,
+    replay_ms: f64,
+    identical: bool,
+}
+
+/// Serves the workload with a mid-stream checkpoint, crashes, recovers, and
+/// audits the recovered service bit-for-bit against the pre-crash one.
+fn run_crash_recovery(shards: usize, config: &BenchConfig) -> RunOutcome {
+    const SEED: u64 = 11;
+    let workload = pdmm::hypergraph::streams::random_churn(
+        config.num_vertices,
+        2,
+        config.initial_edges,
+        config.num_batches,
+        config.batch_size,
+        config.insert_fraction,
+        SEED,
+    );
+    let service = ShardedService::new(engines(shards, workload.num_vertices, workload.rank, SEED));
+
+    let mid = workload.batches.len() / 2;
+    serve_batches(&service, &workload.batches[..mid]);
+    let checkpoint = service.checkpoint().expect("checkpoint at drain boundary");
+    serve_batches(&service, &workload.batches[mid..]);
+
+    // Crash: all that survives is the checkpoint and the on-"disk" journals.
+    let journals: Vec<String> = (0..shards).map(|k| service.shard_journal(k)).collect();
+    let journal_bytes = journals.iter().map(String::len).sum();
+    let tail_blocks = journals
+        .iter()
+        .map(|j| pdmm::hypergraph::io::journal_blocks(j).len())
+        .sum::<usize>()
+        .saturating_sub(checkpointed_blocks(&checkpoint));
+
+    let start = Instant::now();
+    let recovered = ShardedService::recover(
+        engines(shards, workload.num_vertices, workload.rank, SEED),
+        Box::new(HashPartitioner),
+        &checkpoint,
+        &journals,
+        (0..shards)
+            .map(|_| Box::new(MemoryJournal::new()) as Box<dyn JournalSink>)
+            .collect(),
+    )
+    .expect("recovery succeeds");
+    let recover_ms = start.elapsed().as_secs_f64() * 1_000.0;
+
+    let start = Instant::now();
+    let replayed = ShardedService::replay(
+        engines(shards, workload.num_vertices, workload.rank, SEED),
+        &service.journal(),
+    )
+    .expect("journal replays");
+    let replay_ms = start.elapsed().as_secs_f64() * 1_000.0;
+
+    let served = service.snapshot();
+    let rebuilt = recovered.snapshot();
+    let mut identical = served.edge_ids() == rebuilt.edge_ids()
+        && served.size() == rebuilt.size()
+        && replayed.snapshot().edge_ids() == rebuilt.edge_ids();
+    for k in 0..shards {
+        identical &= service.shard_state(k) == recovered.shard_state(k);
+        identical &= service.shard_journal(k) == recovered.shard_journal(k);
+    }
+    RunOutcome {
+        shards,
+        committed_batches: served.committed_batches(),
+        checkpoint_bytes: checkpoint.len(),
+        journal_bytes,
+        tail_blocks,
+        recover_ms,
+        replay_ms,
+        identical,
+    }
+}
+
+/// Total committed-block coverage recorded in a checkpoint (the blocks
+/// recovery may skip), summed across shard sections.
+fn checkpointed_blocks(checkpoint: &str) -> usize {
+    let doc = pdmm::checkpoint::Checkpoint::parse(checkpoint).expect("own checkpoint parses");
+    doc.committed_batches() as usize
+}
+
+fn print_outcome(outcome: &RunOutcome) {
+    println!(
+        "shards={} committed={} | checkpoint {} B, journal {} B, tail {} blocks | \
+         recover {:.2} ms vs full replay {:.2} ms | identical={}",
+        outcome.shards,
+        outcome.committed_batches,
+        outcome.checkpoint_bytes,
+        outcome.journal_bytes,
+        outcome.tail_blocks,
+        outcome.recover_ms,
+        outcome.replay_ms,
+        outcome.identical,
+    );
+}
+
+fn outcome_json(outcome: &RunOutcome) -> String {
+    format!(
+        concat!(
+            "    {{\"shards\": {}, \"committed_batches\": {}, \"checkpoint_bytes\": {}, ",
+            "\"journal_bytes\": {}, \"tail_blocks\": {}, \"recover_ms\": {:.3}, ",
+            "\"full_replay_ms\": {:.3}, \"identical\": {}}}"
+        ),
+        outcome.shards,
+        outcome.committed_batches,
+        outcome.checkpoint_bytes,
+        outcome.journal_bytes,
+        outcome.tail_blocks,
+        outcome.recover_ms,
+        outcome.replay_ms,
+        outcome.identical,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(|| "BENCH_recovery.json".to_string(), Clone::clone);
+
+    let config = if smoke {
+        BenchConfig {
+            num_vertices: 1_000,
+            initial_edges: 200,
+            num_batches: 60,
+            batch_size: 16,
+            insert_fraction: 0.6,
+        }
+    } else {
+        BenchConfig {
+            num_vertices: 20_000,
+            initial_edges: 4_000,
+            num_batches: 400,
+            batch_size: 64,
+            insert_fraction: 0.6,
+        }
+    };
+
+    let shard_counts: &[usize] = if smoke { &[1] } else { &[1, 2, 4, 8] };
+    let mut outcomes = Vec::new();
+    for &shards in shard_counts {
+        let outcome = run_crash_recovery(shards, &config);
+        print_outcome(&outcome);
+        outcomes.push(outcome);
+    }
+
+    let failures: Vec<String> = outcomes
+        .iter()
+        .filter(|o| !o.identical)
+        .map(|o| {
+            format!(
+                "shards={}: recovered state differs from pre-crash",
+                o.shards
+            )
+        })
+        .collect();
+
+    if !smoke {
+        let unix_time = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs());
+        let runs: Vec<String> = outcomes.iter().map(outcome_json).collect();
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"benchmark\": \"recovery_bench\",\n",
+                "  \"unix_time\": {},\n",
+                "  \"config\": {{\"num_vertices\": {}, \"initial_edges\": {}, ",
+                "\"num_batches\": {}, \"batch_size\": {}, \"insert_fraction\": {:.2}, ",
+                "\"checkpoint_at_batch\": {}, \"engine\": \"parallel\"}},\n",
+                "  \"runs\": [\n{}\n  ]\n}}\n"
+            ),
+            unix_time,
+            config.num_vertices,
+            config.initial_edges,
+            config.num_batches,
+            config.batch_size,
+            config.insert_fraction,
+            config.num_batches / 2,
+            runs.join(",\n"),
+        );
+        std::fs::write(&out, json).expect("write benchmark artifact");
+        println!("wrote {out}");
+    }
+
+    if !failures.is_empty() {
+        for failure in &failures {
+            eprintln!("FAIL: {failure}");
+        }
+        std::process::exit(1);
+    }
+    println!("all audits passed");
+}

@@ -19,11 +19,12 @@
 use crate::config::Config;
 use crate::invariants;
 use crate::metrics::Metrics;
+use crate::persist;
 use crate::settle::{process_level, release_bucket_and_remove};
 use crate::state::MatcherState;
 use pdmm_hypergraph::engine::{
     run_batch, BatchError, BatchKernel, BatchReport, EngineBuilder, EngineMetrics, EnginePool,
-    KernelOutcome, MatchingEngine, MatchingIter, UpdateCounters,
+    KernelOutcome, MatchingEngine, MatchingIter, StateError, UpdateCounters,
 };
 use pdmm_hypergraph::types::{EdgeId, HyperEdge, Update, VertexId};
 use pdmm_primitives::cost_model::CostTracker;
@@ -458,6 +459,14 @@ impl MatchingEngine for ParallelDynamicMatching {
             rebuilds: metrics.rebuilds,
         }
     }
+
+    fn save_state(&self) -> Option<String> {
+        persist::save(&self.state)
+    }
+
+    fn restore_state(&mut self, blob: &str) -> Result<(), StateError> {
+        persist::restore(&mut self.state, blob)
+    }
 }
 
 #[cfg(test)]
@@ -637,5 +646,96 @@ mod tests {
         assert_eq!(alg.metrics().matched_deletions, matched.len() as u64);
         assert_eq!(alg.metrics().batches, 2);
         assert_eq!(alg.metrics().updates, (edges.len() + matched.len()) as u64);
+    }
+
+    /// Save after a prefix, restore into a twin, and drive both through the
+    /// tail asserting byte-identical canonical blobs at every batch boundary —
+    /// the bit-exactness contract checkpoint recovery is built on.
+    fn check_state_roundtrip(rank: usize, seed: u64, churn_seed: u64) {
+        let w = pdmm_hypergraph::streams::random_churn(60, rank, 140, 14, 35, 0.5, churn_seed);
+        let (prefix, tail) = w.batches.split_at(7);
+        let builder = EngineBuilder::new(w.num_vertices).rank(rank).seed(seed);
+        let mut a = ParallelDynamicMatching::from_builder(&builder);
+        a.apply_all(prefix).unwrap();
+        let blob = a.save_state().unwrap();
+        // The twin's builder seed is irrelevant: the RNG position is restored
+        // wholesale from the blob.
+        let mut b =
+            ParallelDynamicMatching::from_builder(&EngineBuilder::new(w.num_vertices).rank(rank));
+        b.restore_state(&blob).unwrap();
+        assert_eq!(b.save_state().unwrap(), blob);
+        for batch in tail {
+            assert_eq!(a.apply_batch(batch).unwrap(), b.apply_batch(batch).unwrap());
+            assert_eq!(a.save_state(), b.save_state());
+        }
+        b.verify_invariants().expect("restored twin stays sound");
+    }
+
+    #[test]
+    fn state_roundtrip_continues_bit_identically_on_graphs() {
+        check_state_roundtrip(2, 7, 19);
+    }
+
+    #[test]
+    fn state_roundtrip_continues_bit_identically_on_hypergraphs() {
+        check_state_roundtrip(3, 11, 23);
+    }
+
+    #[test]
+    fn state_roundtrip_survives_a_rebuild_in_the_tail() {
+        // A tiny capacity forces the N-doubling rebuild to fire after the
+        // restore point, exercising params re-derivation on both sides.
+        let edges = gnm_graph(30, 600, 2, 4);
+        let builder = EngineBuilder::new(30).rank(2).seed(3).capacity_hint(4);
+        let batches: Vec<UpdateBatch> = edges
+            .chunks(40)
+            .map(|chunk| {
+                UpdateBatch::new(chunk.iter().cloned().map(Update::Insert).collect()).unwrap()
+            })
+            .collect();
+        let mut a = ParallelDynamicMatching::from_builder(&builder);
+        a.apply_all(&batches[..3]).unwrap();
+        let blob = a.save_state().unwrap();
+        let mut b = ParallelDynamicMatching::from_builder(&builder);
+        b.restore_state(&blob).unwrap();
+        let mut rebuilt = false;
+        for batch in &batches[3..] {
+            let ra = a.apply_batch(batch).unwrap();
+            assert_eq!(ra, b.apply_batch(batch).unwrap());
+            rebuilt |= ra.rebuilt;
+        }
+        assert!(rebuilt, "tiny capacity must force a rebuild in the tail");
+        assert_eq!(a.save_state(), b.save_state());
+    }
+
+    #[test]
+    fn restore_rejects_foreign_and_corrupt_blobs() {
+        let a = ParallelDynamicMatching::new(10, Config::for_graphs(1));
+        let blob = a.save_state().unwrap();
+        let mut wrong_n = ParallelDynamicMatching::new(11, Config::for_graphs(1));
+        assert!(matches!(
+            wrong_n.restore_state(&blob),
+            Err(StateError::ConfigMismatch {
+                field: "num_vertices",
+                ..
+            })
+        ));
+        let mut fresh = ParallelDynamicMatching::new(10, Config::for_graphs(1));
+        assert!(matches!(
+            fresh.restore_state("engine naive-sequential\n"),
+            Err(StateError::EngineMismatch { .. })
+        ));
+        let mut fresh = ParallelDynamicMatching::new(10, Config::for_graphs(1));
+        let truncated = &blob[..blob.len() / 2];
+        assert!(matches!(
+            fresh.restore_state(truncated),
+            Err(StateError::Corrupt { .. })
+        ));
+        let mut used = ParallelDynamicMatching::new(10, Config::for_graphs(1));
+        used.apply_batch(&[Update::Insert(pair(0, 0, 1))]).unwrap();
+        assert_eq!(
+            used.restore_state(&blob),
+            Err(StateError::NotFresh { batches: 1 })
+        );
     }
 }

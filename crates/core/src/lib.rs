@@ -71,6 +71,7 @@ pub mod algorithm;
 pub mod config;
 pub(crate) mod invariants;
 pub mod metrics;
+pub(crate) mod persist;
 pub(crate) mod settle;
 pub(crate) mod state;
 

@@ -109,11 +109,15 @@ fn step2_raise_nodes(
 ) {
     state.flush_dirty();
     let threshold_full = state.params.alpha_pow(level);
-    let b: Vec<VertexId> = state.s_levels[level]
+    let mut b: Vec<VertexId> = state.s_levels[level]
         .iter()
         .copied()
         .filter(|&v| state.level_of(v) < level as i32 && state.o_tilde(v, level) >= threshold_full)
         .collect();
+    // Canonical order, for the same reason as in `random_settle_one`: the
+    // sequential-settle path visits these nodes in turn, and its outcome must
+    // be a function of the set, not of `s_levels` hash-iteration order.
+    b.sort_unstable();
     if b.is_empty() {
         return;
     }
@@ -390,7 +394,7 @@ pub(crate) fn random_settle_one(
     state.set_vertex_level(v, level as i32);
     // Candidate edges: everything v now owns that is not matched (its own matched
     // edge, if any, is about to be kicked) and not temporarily deleted.
-    let candidates: Vec<EdgeId> = state.vertices[v.index()]
+    let mut candidates: Vec<EdgeId> = state.vertices[v.index()]
         .owned
         .iter()
         .copied()
@@ -399,6 +403,10 @@ pub(crate) fn random_settle_one(
             !e.matched && !e.temp_deleted
         })
         .collect();
+    // Canonical order: the random pick below must depend only on the candidate
+    // *set* and the RNG position, never on hash-set iteration order, so that a
+    // checkpoint-restored run makes the same choices as an uninterrupted one.
+    candidates.sort_unstable();
     state.cost.work(candidates.len() as u64 + 1);
     if candidates.is_empty() {
         // Nothing to sample (can only happen for degenerate inputs): undo the level

@@ -127,6 +127,391 @@ impl fmt::Display for BatchError {
 impl std::error::Error for BatchError {}
 
 // ---------------------------------------------------------------------------
+// Engine state serialization
+// ---------------------------------------------------------------------------
+
+/// Failure to restore an engine from a serialized state blob.
+///
+/// Produced by [`MatchingEngine::restore_state`].  The variants separate "this
+/// blob belongs to a different world" (engine kind or configuration mismatch —
+/// the checkpoint-staleness hazard) from "this blob is damaged" (corruption),
+/// so recovery code can decide whether to refuse or to fall back to a full
+/// replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateError {
+    /// The engine does not implement state serialization.
+    Unsupported {
+        /// Name of the engine that refused.
+        engine: &'static str,
+    },
+    /// The blob was saved by a different engine kind.
+    EngineMismatch {
+        /// Name of the engine asked to restore.
+        expected: String,
+        /// Engine name recorded in the blob.
+        found: String,
+    },
+    /// The blob was saved under a different configuration (vertex count, rank
+    /// bound, …) than the engine being restored.
+    ConfigMismatch {
+        /// Which configuration field disagrees.
+        field: &'static str,
+        /// The restoring engine's value.
+        expected: String,
+        /// The value recorded in the blob.
+        found: String,
+    },
+    /// The engine has already applied batches; restore requires a freshly
+    /// built one.
+    NotFresh {
+        /// Batches the engine has already applied.
+        batches: u64,
+    },
+    /// The blob is malformed: truncated, un-parseable, or internally
+    /// inconsistent.
+    Corrupt {
+        /// 1-based line number of the problem (0 when it concerns the blob as
+        /// a whole, e.g. a failed post-restore invariant check).
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateError::Unsupported { engine } => {
+                write!(f, "engine `{engine}` does not support state serialization")
+            }
+            StateError::EngineMismatch { expected, found } => {
+                write!(
+                    f,
+                    "state blob was saved by engine `{found}`, not `{expected}`"
+                )
+            }
+            StateError::ConfigMismatch {
+                field,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "state blob disagrees on {field}: engine has {expected}, blob has {found}"
+                )
+            }
+            StateError::NotFresh { batches } => {
+                write!(
+                    f,
+                    "restore target must be freshly built, but it already applied {batches} batches"
+                )
+            }
+            StateError::Corrupt { line, message } => {
+                if *line == 0 {
+                    write!(f, "corrupt state blob: {message}")
+                } else {
+                    write!(f, "corrupt state blob at line {line}: {message}")
+                }
+            }
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+/// Line-oriented cursor over a state blob.
+///
+/// Tracks 1-based line numbers so every parse failure names the offending
+/// line in its [`StateError::Corrupt`].  All engine `restore_state`
+/// implementations (and the checkpoint loader) parse through this, so
+/// truncated or garbled blobs fail with a typed error instead of a panic.
+#[derive(Debug)]
+pub struct StateParser<'a> {
+    lines: std::str::Lines<'a>,
+    line_no: usize,
+}
+
+impl<'a> StateParser<'a> {
+    /// Starts parsing `blob` from its first line.
+    #[must_use]
+    pub fn new(blob: &'a str) -> Self {
+        StateParser {
+            lines: blob.lines(),
+            line_no: 0,
+        }
+    }
+
+    /// A [`StateError::Corrupt`] pointing at the line most recently read.
+    #[must_use]
+    pub fn corrupt(&self, message: impl Into<String>) -> StateError {
+        StateError::Corrupt {
+            line: self.line_no,
+            message: message.into(),
+        }
+    }
+
+    /// The next line, or a corruption error if the blob ends early.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::Corrupt`] at end of input.
+    pub fn next_line(&mut self) -> Result<&'a str, StateError> {
+        self.line_no += 1;
+        self.lines.next().ok_or(StateError::Corrupt {
+            line: self.line_no,
+            message: "unexpected end of state".to_string(),
+        })
+    }
+
+    /// The next line, which must be `tag` alone or `tag` followed by fields;
+    /// returns the fields (trimmed, empty for a bare tag).
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::Corrupt`] if the blob ends or the line has another tag.
+    pub fn tagged(&mut self, tag: &str) -> Result<&'a str, StateError> {
+        let line = self.next_line()?;
+        match line.strip_prefix(tag) {
+            Some("") => Ok(""),
+            Some(rest) if rest.starts_with(' ') => Ok(rest.trim()),
+            _ => Err(self.corrupt(format!("expected `{tag}` line, found `{line}`"))),
+        }
+    }
+
+    /// Parses one whitespace-free token, naming `what` in the error.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::Corrupt`] if the token does not parse as `T`.
+    pub fn parse_token<T: std::str::FromStr>(
+        &self,
+        token: &str,
+        what: &str,
+    ) -> Result<T, StateError> {
+        token
+            .parse()
+            .map_err(|_| self.corrupt(format!("invalid {what} `{token}`")))
+    }
+
+    /// Splits `rest` into exactly `N` whitespace-separated tokens.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::Corrupt`] on too few or too many fields.
+    pub fn tokens<const N: usize>(&self, rest: &'a str) -> Result<[&'a str; N], StateError> {
+        let mut it = rest.split_whitespace();
+        let mut out = [""; N];
+        for slot in &mut out {
+            *slot = it
+                .next()
+                .ok_or_else(|| self.corrupt(format!("expected {N} fields")))?;
+        }
+        if it.next().is_some() {
+            return Err(self.corrupt(format!("expected exactly {N} fields")));
+        }
+        Ok(out)
+    }
+
+    /// Asserts the blob is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::Corrupt`] if any line remains.
+    pub fn finish(mut self) -> Result<(), StateError> {
+        match self.lines.next() {
+            None => Ok(()),
+            Some(line) => {
+                self.line_no += 1;
+                Err(self.corrupt(format!("trailing data `{line}`")))
+            }
+        }
+    }
+}
+
+/// Writes the `engine`/`n`/`rank` header every state blob starts with.
+pub fn write_state_header(out: &mut String, name: &str, num_vertices: usize, max_rank: usize) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "engine {name}");
+    let _ = writeln!(out, "n {num_vertices}");
+    let _ = writeln!(out, "rank {max_rank}");
+}
+
+/// Checks the common header against the restoring engine's identity.
+///
+/// # Errors
+///
+/// [`StateError::EngineMismatch`] on a foreign engine name,
+/// [`StateError::ConfigMismatch`] on a different vertex count or rank bound,
+/// [`StateError::Corrupt`] on a malformed header.
+pub fn read_state_header(
+    p: &mut StateParser<'_>,
+    name: &str,
+    num_vertices: usize,
+    max_rank: usize,
+) -> Result<(), StateError> {
+    let found = p.tagged("engine")?;
+    if found != name {
+        return Err(StateError::EngineMismatch {
+            expected: name.to_string(),
+            found: found.to_string(),
+        });
+    }
+    let n: usize = {
+        let rest = p.tagged("n")?;
+        p.parse_token(rest, "vertex count")?
+    };
+    if n != num_vertices {
+        return Err(StateError::ConfigMismatch {
+            field: "num_vertices",
+            expected: num_vertices.to_string(),
+            found: n.to_string(),
+        });
+    }
+    let r: usize = {
+        let rest = p.tagged("rank")?;
+        p.parse_token(rest, "max rank")?
+    };
+    if r != max_rank {
+        return Err(StateError::ConfigMismatch {
+            field: "max_rank",
+            expected: max_rank.to_string(),
+            found: r.to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// Writes the uniform lifetime counters and the work/depth cost totals.
+pub fn write_state_counters(out: &mut String, c: &UpdateCounters, work: u64, depth: u64) {
+    use std::fmt::Write as _;
+    let _ = writeln!(
+        out,
+        "counters {} {} {} {} {} {}",
+        c.batches, c.updates, c.insertions, c.deletions, c.matched_deletions, c.rebuilds
+    );
+    let _ = writeln!(out, "cost {work} {depth}");
+}
+
+/// Reads back what [`write_state_counters`] wrote: `(counters, work, depth)`.
+///
+/// # Errors
+///
+/// [`StateError::Corrupt`] on malformed lines.
+pub fn read_state_counters(
+    p: &mut StateParser<'_>,
+) -> Result<(UpdateCounters, u64, u64), StateError> {
+    let rest = p.tagged("counters")?;
+    let [b, u, i, d, m, r] = p.tokens(rest)?;
+    let counters = UpdateCounters {
+        batches: p.parse_token(b, "batch count")?,
+        updates: p.parse_token(u, "update count")?,
+        insertions: p.parse_token(i, "insertion count")?,
+        deletions: p.parse_token(d, "deletion count")?,
+        matched_deletions: p.parse_token(m, "matched-deletion count")?,
+        rebuilds: p.parse_token(r, "rebuild count")?,
+    };
+    let rest = p.tagged("cost")?;
+    let [w, dep] = p.tokens(rest)?;
+    Ok((
+        counters,
+        p.parse_token(w, "work total")?,
+        p.parse_token(dep, "depth total")?,
+    ))
+}
+
+/// Writes an RNG stream position (16 ChaCha words plus the word index) as one
+/// `rng` line.
+pub fn write_state_rng(out: &mut String, words: [u32; 16], index: usize) {
+    use std::fmt::Write as _;
+    out.push_str("rng");
+    for w in words {
+        let _ = write!(out, " {w}");
+    }
+    let _ = writeln!(out, " {index}");
+}
+
+/// Reads back what [`write_state_rng`] wrote.
+///
+/// # Errors
+///
+/// [`StateError::Corrupt`] on a malformed line or an index above 16.
+pub fn read_state_rng(p: &mut StateParser<'_>) -> Result<([u32; 16], usize), StateError> {
+    let rest = p.tagged("rng")?;
+    let toks: [&str; 17] = p.tokens(rest)?;
+    let mut words = [0u32; 16];
+    for (w, tok) in words.iter_mut().zip(&toks) {
+        *w = p.parse_token(tok, "rng word")?;
+    }
+    let index: usize = p.parse_token(toks[16], "rng word index")?;
+    if index > 16 {
+        return Err(p.corrupt(format!("rng word index {index} out of range")));
+    }
+    Ok((words, index))
+}
+
+/// Writes the live edge set of `graph` in canonical (ascending id) order: an
+/// `edges <count>` line followed by one `e <id> <endpoints…>` line per edge.
+pub fn write_state_graph(out: &mut String, graph: &crate::graph::DynamicHypergraph) {
+    use std::fmt::Write as _;
+    let mut edges = graph.snapshot_edges();
+    edges.sort_unstable_by_key(|e| e.id);
+    let _ = writeln!(out, "edges {}", edges.len());
+    for e in &edges {
+        let _ = write!(out, "e {}", e.id.0);
+        for v in e.vertices() {
+            let _ = write!(out, " {}", v.0);
+        }
+        out.push('\n');
+    }
+}
+
+/// Reads back what [`write_state_graph`] wrote, validating ids, ranks, and
+/// vertex ranges so a damaged blob cannot panic the graph constructors.
+///
+/// # Errors
+///
+/// [`StateError::Corrupt`] on malformed or out-of-range edge lines.
+pub fn read_state_graph(
+    p: &mut StateParser<'_>,
+    num_vertices: usize,
+    max_rank: usize,
+) -> Result<crate::graph::DynamicHypergraph, StateError> {
+    let count: usize = {
+        let rest = p.tagged("edges")?;
+        p.parse_token(rest, "edge count")?
+    };
+    let mut graph = crate::graph::DynamicHypergraph::new(num_vertices);
+    for _ in 0..count {
+        let rest = p.tagged("e")?;
+        let mut it = rest.split_whitespace();
+        let id_tok = it.next().ok_or_else(|| p.corrupt("edge line without id"))?;
+        let id = EdgeId(p.parse_token(id_tok, "edge id")?);
+        if graph.contains_edge(id) {
+            return Err(p.corrupt(format!("duplicate edge id {id}")));
+        }
+        let mut vertices = Vec::new();
+        for tok in it {
+            let v = VertexId(p.parse_token(tok, "vertex id")?);
+            if v.index() >= num_vertices {
+                return Err(p.corrupt(format!("vertex {v} out of range (n = {num_vertices})")));
+            }
+            vertices.push(v);
+        }
+        if vertices.is_empty() {
+            return Err(p.corrupt(format!("edge {id} has no endpoints")));
+        }
+        if vertices.len() > max_rank {
+            return Err(p.corrupt(format!(
+                "edge {id} has rank {} > configured maximum {max_rank}",
+                vertices.len()
+            )));
+        }
+        graph.insert_edge(crate::types::HyperEdge::new(id, vertices));
+    }
+    Ok(graph)
+}
+
+// ---------------------------------------------------------------------------
 // Reports and metrics
 // ---------------------------------------------------------------------------
 
@@ -511,6 +896,43 @@ pub trait MatchingEngine {
 
     /// Uniform lifetime counters.
     fn metrics(&self) -> EngineMetrics;
+
+    /// Serializes the engine's complete dynamic state as a canonical text
+    /// blob, or `None` for engines without state serialization (the default).
+    ///
+    /// "Canonical" is a strong promise: the blob is a pure function of the
+    /// engine's logical state, so two engines that reached the same state
+    /// along different code paths — say, one recovered from a checkpoint and
+    /// a clean twin that replayed the full history — produce *byte-identical*
+    /// blobs.  The recovery tests lean on this to prove bit-exact recovery.
+    fn save_state(&self) -> Option<String> {
+        None
+    }
+
+    /// Restores state saved by [`MatchingEngine::save_state`] into this
+    /// freshly built engine.
+    ///
+    /// The engine must have been built with the same configuration the blob
+    /// was saved under and must not have applied any batches yet.  After a
+    /// successful restore it behaves exactly as the saved engine would,
+    /// including all future random draws.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::Unsupported`] for engines without state serialization
+    /// (the default), [`StateError::NotFresh`] if this engine already applied
+    /// batches, [`StateError::EngineMismatch`] / [`StateError::ConfigMismatch`]
+    /// if the blob belongs to a different engine kind or configuration, and
+    /// [`StateError::Corrupt`] if the blob is truncated, garbled, or
+    /// internally inconsistent.  On error the engine is left untouched only
+    /// for the mismatch/freshness variants; after `Corrupt` it must be
+    /// discarded.
+    fn restore_state(&mut self, blob: &str) -> Result<(), StateError> {
+        let _ = blob;
+        Err(StateError::Unsupported {
+            engine: self.name(),
+        })
+    }
 
     /// Applies every batch of a workload in order.
     ///

@@ -72,13 +72,21 @@ impl DynamicHypergraph {
         self.edges.keys().copied().collect()
     }
 
-    /// Ids of the live edges incident on `v`.
+    /// Ids of the live edges incident on `v`, in ascending id order.
+    ///
+    /// The order is part of the contract: baselines scan (or sample an index
+    /// into) this list with a sequential RNG, and recovery replays them against
+    /// a graph rebuilt from a checkpoint — a hash-iteration order would make
+    /// their decisions depend on the insertion history rather than the graph.
     #[must_use]
     pub fn incident_edges(&self, v: VertexId) -> Vec<EdgeId> {
-        self.incidence
+        let mut ids: Vec<EdgeId> = self
+            .incidence
             .get(v.index())
             .map(|s| s.iter().copied().collect())
-            .unwrap_or_default()
+            .unwrap_or_default();
+        ids.sort_unstable();
+        ids
     }
 
     /// Degree of `v`: number of live edges incident on it.

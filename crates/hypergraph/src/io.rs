@@ -74,6 +74,42 @@ pub fn edges_from_string(text: &str) -> Result<Vec<HyperEdge>, ParseError> {
     Ok(out)
 }
 
+/// Trailer comment the serve path writes as the last line of every journal
+/// block (`crate::service`), inside the same append as the block's updates.
+///
+/// Comments are invisible to the parsers in this module, so the trailer
+/// changes nothing about replay — but it gives crash recovery
+/// (`crate::checkpoint`) a sound completeness check: a block whose last line
+/// is this marker was appended whole, while a torn or short write loses the
+/// trailer along with whatever else it cut.  Recovery can therefore drop an
+/// incomplete tail block instead of resurrecting the readable prefix of a
+/// batch that never finished committing.
+pub const COMMIT_MARKER: &str = "# commit";
+
+/// Splits journal text into its blank-line-separated blocks, dropping empty
+/// blocks (a journal ending in a dangling separator, or an empty journal,
+/// yields no phantom block).  Purely structural: blocks are *not* parsed or
+/// validated here.
+#[must_use]
+pub fn journal_blocks(text: &str) -> Vec<&str> {
+    text.split("\n\n")
+        .map(|block| block.trim_matches('\n'))
+        .filter(|block| !block.is_empty())
+        .collect()
+}
+
+/// Whether a journal block carries the [`COMMIT_MARKER`] trailer — i.e.
+/// whether its append completed.  The marker must be the block's last
+/// non-blank line; a torn write that cut the trailer (or left a prefix of it)
+/// leaves the block incomplete.
+#[must_use]
+pub fn block_is_committed(block: &str) -> bool {
+    block
+        .lines()
+        .next_back()
+        .is_some_and(|line| line.trim() == COMMIT_MARKER)
+}
+
 /// Serializes a sequence of update batches.
 ///
 /// The format has no representation for an *empty* batch (a batch is a maximal
@@ -467,6 +503,32 @@ mod tests {
         assert_eq!(err.line, 3);
         // The plain parser refuses shard tags (the two formats stay distinct).
         assert!(batches_from_string("@ 0\n+ 1 0 1\n").is_err());
+    }
+
+    #[test]
+    fn journal_blocks_are_structural_and_ignore_padding() {
+        assert!(journal_blocks("").is_empty());
+        assert!(journal_blocks("\n\n\n").is_empty());
+        let text = "+ 1 0 1\n# commit\n\n- 1\n# commit\n";
+        let blocks = journal_blocks(text);
+        assert_eq!(blocks, vec!["+ 1 0 1\n# commit", "- 1\n# commit"]);
+        // A dangling separator after the last block adds no phantom block.
+        let padded = format!("{text}\n");
+        assert_eq!(journal_blocks(&padded).len(), 2);
+    }
+
+    #[test]
+    fn commit_marker_detection_survives_torn_trailers() {
+        assert!(block_is_committed("+ 1 0 1\n# commit"));
+        assert!(block_is_committed("# commit"));
+        // No trailer, a torn prefix of it, or updates after it: incomplete.
+        assert!(!block_is_committed("+ 1 0 1"));
+        assert!(!block_is_committed("+ 1 0 1\n# com"));
+        assert!(!block_is_committed("+ 1 0 1\n# commit\n- 1"));
+        // The marker itself parses as a comment: replay is unaffected.
+        let parsed = batches_from_string("+ 1 0 1\n# commit\n").unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].len(), 1);
     }
 
     #[test]

@@ -24,11 +24,16 @@
 //! * [`net`] — the TCP front-end: newline-framed batches over a socket into a
 //!   [`sharding::ShardedService`], with typed admission control
 //!   (`OK`/`RETRY`/`SHED`/`ERR`) instead of blocking under overload,
+//! * [`checkpoint`] — checkpointed durability: fingerprinted drain-boundary
+//!   checkpoints, journal-segment truncation, `O(delta)` recovery from
+//!   checkpoint + journal tail, and the fault-injecting
+//!   [`checkpoint::FaultSink`] for crash testing,
 //! * [`stats`] — structural statistics for the experiment tables.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod checkpoint;
 pub mod engine;
 pub mod generators;
 pub mod graph;

@@ -64,12 +64,14 @@
 //! assert_eq!(replayed.snapshot().edge_ids(), snap.edge_ids());
 //! ```
 
+use crate::checkpoint::{self, CheckpointError};
 use crate::engine::{
-    BatchError, BatchReport, BatchSession, EngineMetrics, IngestReport, MatchingEngine,
+    write_state_graph, BatchError, BatchReport, BatchSession, EngineMetrics, IngestReport,
+    MatchingEngine,
 };
 use crate::graph::DynamicHypergraph;
 use crate::io::{self, ParseError};
-use crate::types::{EdgeId, Update, UpdateBatch, VertexId};
+use crate::types::{EdgeId, HyperEdge, Update, UpdateBatch, VertexId};
 use rustc_hash::FxHashMap;
 use std::collections::VecDeque;
 use std::fmt;
@@ -100,8 +102,12 @@ pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
 /// persist the journal **panics** (see [`FileJournal`]) — losing the recovery
 /// log silently would be strictly worse than crashing the serve loop.
 pub trait JournalSink: Send {
-    /// Appends one serialized batch block (update lines with a trailing
-    /// newline, no blank-line separator — the sink owns separator placement).
+    /// Appends one serialized batch block: update lines plus the
+    /// [`io::COMMIT_MARKER`] trailer line, each with a trailing newline, no
+    /// blank-line separator — the sink owns separator placement.  The trailer
+    /// arrives in the *same* call as the updates, so a sink that loses the
+    /// tail of an append (a torn write) loses the trailer with it and the
+    /// recovery path can tell the block never finished committing.
     fn append_block(&mut self, block: &str);
 
     /// Commit barrier, called once per committed batch after any append.  A
@@ -112,6 +118,19 @@ pub trait JournalSink: Send {
     /// The full journal so far — every appended block in order, in the
     /// [`crate::io`] update-stream format (rotated segments included).
     fn contents(&self) -> String;
+
+    /// Deletes history that a checkpoint has made redundant: every **rotated**
+    /// segment (never the active one — it is the open file).  Returns how many
+    /// segments were dropped.  Sinks without rotation (the default) have
+    /// nothing to truncate and return 0.
+    ///
+    /// Only called at a drain boundary under the commit lock, immediately
+    /// before a checkpoint records how many surviving blocks it covers — after
+    /// truncation, [`JournalSink::contents`] alone is no longer the full
+    /// history.
+    fn truncate_rotated(&mut self) -> usize {
+        0
+    }
 }
 
 /// The default in-memory journal sink: blocks accumulate in one `String`.
@@ -280,6 +299,44 @@ impl FileJournal {
             .unwrap_or_else(|e| panic!("journal read {}: {e}", path.display()));
         text
     }
+
+    /// Reads the surviving journal at `path` back after a crash — rotated
+    /// segments (`<path>.1`, `<path>.2`, …) then the active file, concatenated
+    /// exactly as [`JournalSink::contents`] would — **without** opening
+    /// anything for writing.  This is the post-crash read: salvage first, then
+    /// hand the text to
+    /// [`EngineService::recover`] together with a *fresh* journal (a
+    /// [`FileJournal::create`] at the same path truncates, so create it only
+    /// after salvaging).
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of reading the active file; a missing rotated segment
+    /// simply ends the segment scan.
+    pub fn salvage(path: impl AsRef<Path>) -> std::io::Result<String> {
+        let path = path.as_ref();
+        let mut out = String::new();
+        for seq in 1.. {
+            let mut name = path.to_path_buf().into_os_string();
+            name.push(format!(".{seq}"));
+            match std::fs::read_to_string(PathBuf::from(name)) {
+                Ok(segment) => {
+                    if !out.is_empty() && !segment.is_empty() {
+                        out.push('\n');
+                    }
+                    out.push_str(&segment);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => break,
+                Err(e) => return Err(e),
+            }
+        }
+        let active = std::fs::read_to_string(path)?;
+        if !out.is_empty() && !active.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&active);
+        Ok(out)
+    }
 }
 
 impl JournalSink for FileJournal {
@@ -322,6 +379,17 @@ impl JournalSink for FileJournal {
         }
         out.push_str(&active);
         out
+    }
+
+    fn truncate_rotated(&mut self) -> usize {
+        let dropped = self.segments;
+        for seq in 1..=self.segments {
+            let segment = self.segment_path(seq);
+            std::fs::remove_file(&segment)
+                .unwrap_or_else(|e| panic!("journal truncate {}: {e}", segment.display()));
+        }
+        self.segments = 0;
+        dropped
     }
 }
 
@@ -901,6 +969,205 @@ impl EngineService {
         Ok(service)
     }
 
+    /// Serializes a consistent checkpoint of the service at the current drain
+    /// boundary (see [`crate::checkpoint`]): the engine's canonical state, the
+    /// mirror graph, and the committed-batch counter, under one fingerprinted
+    /// header.  As a side effect, rotated journal segments — which the
+    /// checkpoint makes redundant — are deleted
+    /// ([`JournalSink::truncate_rotated`]), and the checkpoint records how
+    /// many blocks of the surviving journal it still covers.  Queued but
+    /// uncommitted batches are *not* part of a checkpoint; they are not part
+    /// of the service's durable state until a drain commits them.
+    ///
+    /// Taking a checkpoint waits for any in-flight drain (it needs the commit
+    /// lock), so it always observes a batch boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Unsupported`] if the engine does not implement state
+    /// serialization.
+    pub fn checkpoint(&self) -> Result<String, CheckpointError> {
+        checkpoint::render(std::slice::from_ref(&self.checkpoint_parts()?))
+    }
+
+    /// Gathers this service's shard section of a checkpoint under the commit
+    /// lock, truncating rotated journal segments in the same critical section
+    /// so `tail_skip` matches the surviving journal exactly.
+    pub(crate) fn checkpoint_parts(&self) -> Result<checkpoint::ShardParts, CheckpointError> {
+        let mut guard = self.inner.lock().expect("service commit lock poisoned");
+        let inner = &mut *guard;
+        let state = inner
+            .engine
+            .save_state()
+            .ok_or_else(|| CheckpointError::Unsupported {
+                engine: inner.engine.name().to_string(),
+            })?;
+        inner.journal.truncate_rotated();
+        let tail_skip = io::journal_blocks(&inner.journal.contents()).len() as u64;
+        let mut mirror_text = String::new();
+        write_state_graph(&mut mirror_text, &inner.mirror);
+        Ok(checkpoint::ShardParts {
+            engine: inner.engine.name(),
+            num_vertices: inner.engine.num_vertices(),
+            max_rank: inner.engine.max_rank(),
+            committed: inner.committed,
+            tail_skip,
+            mirror_text,
+            state,
+        })
+    }
+
+    /// Rebuilds a service from a checkpoint plus the surviving journal — in
+    /// time proportional to the journal blocks committed *since* the
+    /// checkpoint, not the whole history.  `journal` is the post-crash journal
+    /// text (e.g. [`FileJournal::salvage`], or [`EngineService::journal`] of
+    /// the dying service in tests); `sink` is a **fresh, empty** journal for
+    /// the recovered service's next life.  Every retained complete block is
+    /// re-appended into `sink`, so the (checkpoint, new journal) pair survives
+    /// a second crash before the next checkpoint.
+    ///
+    /// A trailing block without its commit trailer is a torn write: it is
+    /// dropped, never replayed — a batch whose commit did not finish is not
+    /// resurrected, not even a parseable prefix of it.  (A committed *empty*
+    /// batch after the checkpoint leaves no journal block, so recovery cannot
+    /// count it; the recovered `committed_batches` reflects journaled
+    /// history.)
+    ///
+    /// The recovered service keeps the default queue capacity and publishes
+    /// per commit; re-apply [`EngineService::with_snapshot_every`]-style
+    /// tuning as needed.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Version`] / [`CheckpointError::Fingerprint`] for a
+    /// checkpoint from a differently-configured run,
+    /// [`CheckpointError::State`] if the engine refuses the checkpointed
+    /// state, [`CheckpointError::Corrupt`] for structural damage (including a
+    /// journal shorter than the checkpoint's coverage or a mid-journal hole),
+    /// [`CheckpointError::Journal`] / [`CheckpointError::Batch`] for a tail
+    /// block that does not parse or replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sink` is not empty — recovery re-appends the retained
+    /// blocks, and a pre-populated sink would duplicate history.
+    pub fn recover(
+        engine: Box<dyn MatchingEngine + Send>,
+        checkpoint_text: &str,
+        journal: &str,
+        sink: Box<dyn JournalSink>,
+    ) -> Result<Self, CheckpointError> {
+        let doc = checkpoint::Checkpoint::parse(checkpoint_text)?;
+        if doc.num_shards() != 1 {
+            return Err(CheckpointError::Fingerprint {
+                field: "shards",
+                expected: "1".to_string(),
+                found: doc.num_shards().to_string(),
+            });
+        }
+        let checkpoint::Checkpoint { header, sections } = doc;
+        let section = sections
+            .into_iter()
+            .next()
+            .expect("parse guarantees at least one shard section");
+        Self::recover_shard(engine, &header, section, journal, sink)
+    }
+
+    /// Recovers one shard: validates the fingerprint, restores the engine
+    /// state and mirror, re-appends the retained journal blocks into the
+    /// fresh sink, and replays the tail past the checkpoint's coverage.
+    pub(crate) fn recover_shard(
+        mut engine: Box<dyn MatchingEngine + Send>,
+        header: &checkpoint::Header,
+        section: checkpoint::ShardSection,
+        journal: &str,
+        mut sink: Box<dyn JournalSink>,
+    ) -> Result<Self, CheckpointError> {
+        header.validate_engine(engine.as_ref())?;
+        assert!(
+            sink.contents().is_empty(),
+            "recovery needs an empty journal sink: the retained blocks are re-appended into it"
+        );
+        engine
+            .restore_state(&section.state)
+            .map_err(CheckpointError::State)?;
+        let mut mirror = section.mirror;
+        let blocks = checkpoint::complete_blocks(journal)?;
+        let skip = usize::try_from(section.tail_skip).unwrap_or(usize::MAX);
+        if blocks.len() < skip {
+            return Err(CheckpointError::Corrupt {
+                line: 0,
+                message: format!(
+                    "journal holds {} complete blocks but the checkpoint covers {skip}",
+                    blocks.len()
+                ),
+            });
+        }
+        let mut committed = section.committed;
+        for (index, block) in blocks.iter().enumerate() {
+            let mut text = String::with_capacity(block.len() + 1);
+            text.push_str(block);
+            text.push('\n');
+            sink.append_block(&text);
+            if index < skip {
+                continue; // Covered by the checkpoint: carried, not replayed.
+            }
+            let batches = io::batches_from_string(block).map_err(CheckpointError::Journal)?;
+            for batch in &batches {
+                engine
+                    .apply_batch(batch)
+                    .map_err(|error| CheckpointError::Batch { index, error })?;
+                mirror.apply_batch(batch);
+            }
+            committed += 1;
+        }
+        sink.commit();
+        let initial = Arc::new(MatchingSnapshot::capture(
+            engine.as_ref(),
+            &mirror,
+            committed,
+        ));
+        Ok(EngineService {
+            inner: Mutex::new(ServiceInner {
+                engine,
+                mirror,
+                journal: sink,
+                committed,
+                published_at: committed,
+            }),
+            published: Mutex::new(initial),
+            queue: Mutex::new(VecDeque::new()),
+            space: Condvar::new(),
+            capacity: DEFAULT_QUEUE_CAPACITY,
+            snapshot_every: 1,
+        })
+    }
+
+    /// The engine's canonical serialized state at the current commit boundary
+    /// ([`MatchingEngine::save_state`]); `None` if the engine does not
+    /// implement state serialization.  Two services whose logical state is
+    /// identical serialize identically — the recovery tests assert
+    /// bit-identity through this.
+    #[must_use]
+    pub fn save_state(&self) -> Option<String> {
+        self.inner
+            .lock()
+            .expect("service commit lock poisoned")
+            .engine
+            .save_state()
+    }
+
+    /// The live edges of the service's mirror graph (the committed ground
+    /// truth).  The sharded layer rebuilds its router from recovered shard
+    /// mirrors through this.
+    pub(crate) fn mirror_edges(&self) -> Vec<HyperEdge> {
+        self.inner
+            .lock()
+            .expect("service commit lock poisoned")
+            .mirror
+            .snapshot_edges()
+    }
+
     fn lock_queue(&self) -> MutexGuard<'_, VecDeque<UpdateBatch>> {
         self.queue.lock().expect("submission queue lock poisoned")
     }
@@ -917,14 +1184,20 @@ impl EngineService {
 
 /// Appends one committed batch to a journal sink as an update-stream block,
 /// through the one serializer ([`io::batches_to_string`]) so the journal
-/// format cannot drift from the `io` module's.
+/// format cannot drift from the `io` module's.  The block carries the
+/// [`io::COMMIT_MARKER`] trailer in the same append, so a torn write loses
+/// the trailer with the tail and recovery never mistakes a partial block for
+/// a committed batch (the parsers skip `#` lines, so replay is unaffected).
 fn append_journal(journal: &mut dyn JournalSink, batch: &UpdateBatch) {
     if batch.is_empty() {
         // The stream format cannot represent an empty batch; it is a no-op on
         // every engine, so skipping it keeps replay faithful.
         return;
     }
-    journal.append_block(&io::batches_to_string(std::slice::from_ref(batch)));
+    let mut block = io::batches_to_string(std::slice::from_ref(batch));
+    block.push_str(io::COMMIT_MARKER);
+    block.push('\n');
+    journal.append_block(&block);
 }
 
 // The whole point of the service: it is shareable across threads.

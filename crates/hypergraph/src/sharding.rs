@@ -92,9 +92,10 @@
 //! assert_eq!(replayed.snapshot().edge_ids(), snap.edge_ids());
 //! ```
 
+use crate::checkpoint::{self, CheckpointError};
 use crate::engine::{BatchReport, EngineMetrics, IngestReport, MatchingEngine};
 use crate::io::{self, ParseError};
-use crate::service::{EngineService, MatchingSnapshot, ServiceError};
+use crate::service::{EngineService, JournalSink, MatchingSnapshot, ServiceError};
 use crate::types::{EdgeId, ShardId, Update, UpdateBatch, VertexId};
 use rayon::prelude::*;
 use rustc_hash::{FxHashMap, FxHashSet};
@@ -1090,6 +1091,124 @@ impl ShardedService {
                 .map_err(|e| ShardedReplayError::Shard { shard, error: e })?;
         }
         Ok(service)
+    }
+
+    /// Serializes a checkpoint of the whole sharded service under one
+    /// fingerprinted header: every shard's section
+    /// ([`EngineService::checkpoint`]-style), gathered shard by shard at that
+    /// shard's drain boundary, each truncating its own rotated journal
+    /// segments.  Shards are captured sequentially, so under concurrent
+    /// drains the sections may sit at different per-shard batch counts — that
+    /// is fine, because recovery is per-shard too (each section plus that
+    /// shard's journal tail); there is no meaningful global commit order
+    /// across independently-drained shards to preserve.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Unsupported`] if a shard engine does not implement
+    /// state serialization, [`CheckpointError::Fingerprint`] if the shard
+    /// engines disagree on kind or configuration (a heterogeneous shard set
+    /// has no single honest fingerprint).
+    pub fn checkpoint(&self) -> Result<String, CheckpointError> {
+        let parts = self
+            .shards
+            .iter()
+            .map(EngineService::checkpoint_parts)
+            .collect::<Result<Vec<_>, _>>()?;
+        checkpoint::render(&parts)
+    }
+
+    /// Rebuilds a sharded service from a checkpoint plus every shard's
+    /// surviving journal — the sharded twin of [`EngineService::recover`],
+    /// `O(delta since the checkpoint)` per shard.  `journals[k]` is shard
+    /// `k`'s post-crash journal text and `sinks[k]` its fresh, empty journal
+    /// for the recovered service's next life (the retained blocks are
+    /// re-appended into it).
+    ///
+    /// The router is rebuilt from the recovered shard mirrors: every live
+    /// edge is owned by the shard whose mirror holds it, with cross-shard
+    /// flags recomputed from the partitioner — the same semantics as
+    /// [`ShardedService::replay_with`], including losing the phantom owner
+    /// entries of engine-rejected inserts (those never reached any journal).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Fingerprint`] when the checkpoint's shard count or
+    /// any per-shard fingerprint field disagrees with `engines`; otherwise as
+    /// [`EngineService::recover`], per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `journals` or `sinks` do not have one entry per engine, or a
+    /// sink is not empty.
+    pub fn recover(
+        engines: Vec<Box<dyn MatchingEngine + Send>>,
+        partitioner: Box<dyn Partitioner>,
+        checkpoint_text: &str,
+        journals: &[String],
+        sinks: Vec<Box<dyn JournalSink>>,
+    ) -> Result<Self, CheckpointError> {
+        let doc = checkpoint::Checkpoint::parse(checkpoint_text)?;
+        if doc.num_shards() != engines.len() {
+            return Err(CheckpointError::Fingerprint {
+                field: "shards",
+                expected: engines.len().to_string(),
+                found: doc.num_shards().to_string(),
+            });
+        }
+        assert_eq!(
+            journals.len(),
+            engines.len(),
+            "one surviving journal text per shard"
+        );
+        assert_eq!(
+            sinks.len(),
+            engines.len(),
+            "one fresh journal sink per shard"
+        );
+        let checkpoint::Checkpoint { header, sections } = doc;
+        let num_vertices = header.num_vertices;
+        let mut shards = Vec::with_capacity(sections.len());
+        for (((engine, section), journal), sink) in
+            engines.into_iter().zip(sections).zip(journals).zip(sinks)
+        {
+            shards.push(EngineService::recover_shard(
+                engine, &header, section, journal, sink,
+            )?);
+        }
+        let num_shards = shards.len();
+        let mut router = Router::default();
+        for (k, shard) in shards.iter().enumerate() {
+            for edge in shard.mirror_edges() {
+                router.owner.insert(edge.id, k as u32);
+                let endpoints = edge.vertices();
+                let owner = partitioner.shard_of(endpoints[0], num_shards);
+                if endpoints[1..]
+                    .iter()
+                    .any(|&v| partitioner.shard_of(v, num_shards) != owner)
+                {
+                    router.cross.insert(edge.id);
+                }
+            }
+        }
+        Ok(ShardedService {
+            shards,
+            partitioner,
+            router: Mutex::new(router),
+            num_vertices,
+        })
+    }
+
+    /// Shard `k`'s canonical engine state blob (exactly
+    /// [`EngineService::save_state`]) — what the recovery tests compare for
+    /// bit-identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn shard_state(&self, k: usize) -> Option<String> {
+        self.shards[k].save_state()
     }
 
     fn lock_router(&self) -> std::sync::MutexGuard<'_, Router> {

@@ -50,6 +50,27 @@ impl RandomSource {
     pub fn next_u64(&mut self) -> u64 {
         self.rng.next_u64()
     }
+
+    /// Exports the exact stream position as `(chacha_input_block, word_index)`.
+    ///
+    /// Together with [`RandomSource::from_state`] this lets an engine checkpoint
+    /// its randomness mid-stream and resume with bit-identical draws.
+    #[must_use]
+    pub fn state(&self) -> ([u32; 16], usize) {
+        self.rng.to_state()
+    }
+
+    /// Rebuilds a source from a position exported by [`RandomSource::state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 16` (not a valid stream position).
+    #[must_use]
+    pub fn from_state(state: [u32; 16], index: usize) -> Self {
+        RandomSource {
+            rng: ChaCha8Rng::from_state(state, index),
+        }
+    }
 }
 
 /// Stateless per-phase randomness: deterministic function of `(phase seed, id)`.
@@ -192,6 +213,20 @@ mod tests {
             .filter(|&i| p1.hash64(i) == p2.hash64(i))
             .count();
         assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_mid_stream() {
+        let mut a = RandomSource::from_seed(21);
+        let _ = a.next_phase();
+        let _ = a.uniform_below(13);
+        let (words, index) = a.state();
+        let mut b = RandomSource::from_state(words, index);
+        for bound in [2u64, 7, 1000, u64::MAX] {
+            assert_eq!(a.uniform_below(bound), b.uniform_below(bound));
+        }
+        assert_eq!(a.next_phase().hash64(4), b.next_phase().hash64(4));
+        assert_eq!(a.next_u64(), b.next_u64());
     }
 
     #[test]

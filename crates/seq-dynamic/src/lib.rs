@@ -24,6 +24,7 @@
 #![warn(clippy::all)]
 
 pub mod naive;
+mod persist;
 pub mod random_replace;
 pub mod recompute;
 

@@ -8,9 +8,12 @@
 //! scheme of the real algorithms is designed to avoid — and the depth of a batch of
 //! `k` updates is `Θ(k)` because updates are handled strictly sequentially.
 
+use crate::persist;
 use pdmm_hypergraph::engine::{
-    run_batch, BatchError, BatchKernel, BatchReport, EngineBuilder, EngineMetrics, KernelOutcome,
-    MatchingEngine, MatchingIter, UpdateCounters,
+    read_state_counters, read_state_graph, read_state_header, run_batch, write_state_counters,
+    write_state_graph, write_state_header, BatchError, BatchKernel, BatchReport, EngineBuilder,
+    EngineMetrics, KernelOutcome, MatchingEngine, MatchingIter, StateError, StateParser,
+    UpdateCounters,
 };
 use pdmm_hypergraph::graph::DynamicHypergraph;
 use pdmm_hypergraph::matching::{verify_maximality, Matching};
@@ -159,6 +162,37 @@ impl MatchingEngine for NaiveDynamicMatching {
         let cost = self.cost.snapshot();
         self.counters.into_metrics(cost.work, cost.depth)
     }
+
+    fn save_state(&self) -> Option<String> {
+        let mut out = String::new();
+        let cost = self.cost.snapshot();
+        write_state_header(&mut out, self.name(), self.num_vertices(), self.max_rank);
+        write_state_counters(&mut out, &self.counters, cost.work, cost.depth);
+        write_state_graph(&mut out, &self.graph);
+        persist::write_matched(&mut out, &self.matching);
+        Some(out)
+    }
+
+    fn restore_state(&mut self, blob: &str) -> Result<(), StateError> {
+        if self.counters.batches != 0 {
+            return Err(StateError::NotFresh {
+                batches: self.counters.batches,
+            });
+        }
+        let mut p = StateParser::new(blob);
+        read_state_header(&mut p, self.name(), self.num_vertices(), self.max_rank)?;
+        let (counters, work, depth) = read_state_counters(&mut p)?;
+        let graph = read_state_graph(&mut p, self.num_vertices(), self.max_rank)?;
+        let matching = persist::read_matched(&mut p, &graph)?;
+        p.finish()?;
+        self.graph = graph;
+        self.matching = matching;
+        self.counters = counters;
+        self.cost = CostTracker::new();
+        self.cost.work(work);
+        self.cost.rounds(depth);
+        Ok(())
+    }
 }
 
 impl BatchKernel for NaiveDynamicMatching {
@@ -294,6 +328,62 @@ mod tests {
         alg.apply_all(&w.batches).unwrap();
         assert_eq!(alg.cost().total_depth(), w.total_updates() as u64);
         assert_eq!(alg.metrics().depth, w.total_updates() as u64);
+    }
+
+    #[test]
+    fn state_roundtrip_continues_bit_identically() {
+        let w = random_churn(50, 2, 90, 12, 25, 0.5, 17);
+        let (prefix, tail) = w.batches.split_at(6);
+        let mut a = NaiveDynamicMatching::new(w.num_vertices);
+        a.apply_all(prefix).unwrap();
+        let blob = a.save_state().unwrap();
+        let mut b = NaiveDynamicMatching::new(w.num_vertices);
+        b.restore_state(&blob).unwrap();
+        // The restored engine re-serializes to the same canonical blob …
+        assert_eq!(b.save_state().unwrap(), blob);
+        // … and continues exactly like the original.
+        for batch in tail {
+            assert_eq!(a.apply_batch(batch).unwrap(), b.apply_batch(batch).unwrap());
+        }
+        assert_eq!(a.save_state(), b.save_state());
+    }
+
+    #[test]
+    fn restore_rejects_foreign_or_stale_blobs() {
+        let a = NaiveDynamicMatching::new(10);
+        let blob = a.save_state().unwrap();
+        let mut wrong_n = NaiveDynamicMatching::new(11);
+        assert!(matches!(
+            wrong_n.restore_state(&blob),
+            Err(StateError::ConfigMismatch {
+                field: "num_vertices",
+                ..
+            })
+        ));
+        let mut wrong_rank = NaiveDynamicMatching::from_builder(&EngineBuilder::new(10).rank(2));
+        assert!(matches!(
+            wrong_rank.restore_state(&blob),
+            Err(StateError::ConfigMismatch {
+                field: "max_rank",
+                ..
+            })
+        ));
+        let mut used = NaiveDynamicMatching::new(10);
+        used.apply_batch(&[Update::Insert(HyperEdge::pair(
+            EdgeId(0),
+            VertexId(0),
+            VertexId(1),
+        ))])
+        .unwrap();
+        assert_eq!(
+            used.restore_state(&blob),
+            Err(StateError::NotFresh { batches: 1 })
+        );
+        let mut fresh = NaiveDynamicMatching::new(10);
+        assert!(matches!(
+            fresh.restore_state("engine naive-sequential\nn 10"),
+            Err(StateError::Corrupt { .. })
+        ));
     }
 
     proptest! {

@@ -1,0 +1,45 @@
+//! Shared helpers for the baselines' state (de)serialization.
+//!
+//! The graph/counters/rng sections are handled by the workspace-wide helpers in
+//! [`pdmm_hypergraph::engine`]; this module adds the one section specific to the
+//! incremental-repair baselines — the matched edge set — in canonical
+//! (ascending-id) order, which is safe because [`Matching`] is an unordered
+//! container: no baseline decision depends on its iteration order.
+
+use pdmm_hypergraph::engine::{StateError, StateParser};
+use pdmm_hypergraph::graph::DynamicHypergraph;
+use pdmm_hypergraph::matching::Matching;
+use pdmm_hypergraph::types::EdgeId;
+
+/// Writes the matched edge ids, ascending, as one `matched` line.
+pub(crate) fn write_matched(out: &mut String, matching: &Matching) {
+    use std::fmt::Write as _;
+    let mut ids = matching.edge_ids();
+    ids.sort_unstable();
+    out.push_str("matched");
+    for id in ids {
+        let _ = write!(out, " {}", id.0);
+    }
+    out.push('\n');
+}
+
+/// Reads a `matched` line back into a [`Matching`] over `graph`'s live edges,
+/// rejecting ids that are not live or that share an endpoint.
+pub(crate) fn read_matched(
+    p: &mut StateParser<'_>,
+    graph: &DynamicHypergraph,
+) -> Result<Matching, StateError> {
+    let rest = p.tagged("matched")?;
+    let mut matching = Matching::new();
+    for tok in rest.split_whitespace() {
+        let id = EdgeId(p.parse_token(tok, "matched edge id")?);
+        let Some(edge) = graph.edge(id) else {
+            return Err(p.corrupt(format!("matched edge {id} is not live")));
+        };
+        if edge.vertices().iter().any(|&v| matching.is_matched(v)) {
+            return Err(p.corrupt(format!("matched edge {id} conflicts with another")));
+        }
+        matching.add(edge);
+    }
+    Ok(matching)
+}

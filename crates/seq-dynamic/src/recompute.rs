@@ -12,8 +12,10 @@
 //! [`pdmm_static::StaticRecompute`] adapter.)
 
 use pdmm_hypergraph::engine::{
-    run_batch, BatchError, BatchKernel, BatchReport, EngineBuilder, EngineMetrics, EnginePool,
-    KernelOutcome, MatchingEngine, MatchingIter, UpdateCounters,
+    read_state_counters, read_state_graph, read_state_header, read_state_rng, run_batch,
+    write_state_counters, write_state_graph, write_state_header, write_state_rng, BatchError,
+    BatchKernel, BatchReport, EngineBuilder, EngineMetrics, EnginePool, KernelOutcome,
+    MatchingEngine, MatchingIter, StateError, StateParser, UpdateCounters,
 };
 use pdmm_hypergraph::graph::DynamicHypergraph;
 use pdmm_hypergraph::matching::verify_maximality;
@@ -112,6 +114,62 @@ impl MatchingEngine for RecomputeFromScratch {
         let cost = self.cost.snapshot();
         self.counters.into_metrics(cost.work, cost.depth)
     }
+
+    fn save_state(&self) -> Option<String> {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let cost = self.cost.snapshot();
+        write_state_header(&mut out, self.name(), self.num_vertices(), self.max_rank);
+        write_state_counters(&mut out, &self.counters, cost.work, cost.depth);
+        let (words, index) = self.rng.state();
+        write_state_rng(&mut out, words, index);
+        write_state_graph(&mut out, &self.graph);
+        // Verbatim order: after the canonical input sort in `run_kernel` the
+        // matching vector is itself a pure function of graph + RNG position.
+        out.push_str("matching");
+        for id in &self.matching {
+            let _ = write!(out, " {}", id.0);
+        }
+        out.push('\n');
+        Some(out)
+    }
+
+    fn restore_state(&mut self, blob: &str) -> Result<(), StateError> {
+        if self.counters.batches != 0 {
+            return Err(StateError::NotFresh {
+                batches: self.counters.batches,
+            });
+        }
+        let mut p = StateParser::new(blob);
+        read_state_header(&mut p, self.name(), self.num_vertices(), self.max_rank)?;
+        let (counters, work, depth) = read_state_counters(&mut p)?;
+        let (words, index) = read_state_rng(&mut p)?;
+        let graph = read_state_graph(&mut p, self.num_vertices(), self.max_rank)?;
+        let rest = p.tagged("matching")?;
+        let mut matching = Vec::new();
+        let mut claimed = FxHashSet::default();
+        for tok in rest.split_whitespace() {
+            let id = EdgeId(p.parse_token(tok, "matched edge id")?);
+            let Some(edge) = graph.edge(id) else {
+                return Err(p.corrupt(format!("matched edge {id} is not live")));
+            };
+            for &v in edge.vertices() {
+                if !claimed.insert(v) {
+                    return Err(p.corrupt(format!("matched edge {id} conflicts with another")));
+                }
+            }
+            matching.push(id);
+        }
+        p.finish()?;
+        self.graph = graph;
+        self.matching = matching;
+        self.rng = RandomSource::from_state(words, index);
+        self.counters = counters;
+        self.cost = CostTracker::new();
+        self.cost.work(work);
+        self.cost.rounds(depth);
+        Ok(())
+    }
 }
 
 impl BatchKernel for RecomputeFromScratch {
@@ -135,7 +193,12 @@ impl BatchKernel for RecomputeFromScratch {
         }
         self.cost.work(updates.len() as u64);
         self.cost.round();
-        let edges = self.graph.snapshot_edges();
+        // Canonical input order: Luby's selected *set* is order-independent
+        // (stateless per-edge priorities), but its result vector follows input
+        // order — sorting keeps `self.matching` a pure function of the graph
+        // and the RNG position, which checkpoint recovery relies on.
+        let mut edges = self.graph.snapshot_edges();
+        edges.sort_unstable_by_key(|e| e.id);
         let rng = &mut self.rng;
         let cost = &self.cost;
         let result = self
@@ -199,6 +262,25 @@ mod tests {
     fn name_is_stable() {
         let alg = RecomputeFromScratch::new(4, 0);
         assert_eq!(alg.name(), "recompute-from-scratch");
+    }
+
+    #[test]
+    fn state_roundtrip_continues_bit_identically() {
+        let w = random_churn(60, 3, 110, 12, 28, 0.5, 31);
+        let (prefix, tail) = w.batches.split_at(6);
+        let mut a = RecomputeFromScratch::new(w.num_vertices, 5);
+        a.apply_all(prefix).unwrap();
+        let blob = a.save_state().unwrap();
+        // Restored twin with a different builder seed: the RNG position comes
+        // from the blob, so every future Luby run draws the same priorities.
+        let mut b = RecomputeFromScratch::new(w.num_vertices, 777);
+        b.restore_state(&blob).unwrap();
+        assert_eq!(b.save_state().unwrap(), blob);
+        for batch in tail {
+            assert_eq!(a.apply_batch(batch).unwrap(), b.apply_batch(batch).unwrap());
+        }
+        assert_eq!(a.save_state(), b.save_state());
+        assert_eq!(a.matching_ids(), b.matching_ids());
     }
 
     #[test]

@@ -50,6 +50,44 @@ impl SeedableRng for ChaCha8Rng {
 }
 
 impl ChaCha8Rng {
+    /// Exports the stream position as `(input_block, next_word_index)`.
+    ///
+    /// The pair identifies the exact point of the keystream: restoring it with
+    /// [`ChaCha8Rng::from_state`] yields a generator that continues with the
+    /// same outputs this one would produce next.  An index of 16 means the
+    /// buffered block is exhausted and the next draw starts a fresh block.
+    #[must_use]
+    pub fn to_state(&self) -> ([u32; 16], usize) {
+        (self.state, self.index)
+    }
+
+    /// Rebuilds a generator from a `(input_block, next_word_index)` pair
+    /// previously returned by [`ChaCha8Rng::to_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 16` (not a valid stream position).
+    #[must_use]
+    pub fn from_state(state: [u32; 16], index: usize) -> Self {
+        assert!(index <= 16, "ChaCha word index out of range: {index}");
+        let mut rng = ChaCha8Rng {
+            state,
+            buffer: [0u32; 16],
+            index: 16,
+        };
+        if index < 16 {
+            // The exported block counter already points past the buffered
+            // block; step it back one, regenerate that block (which also
+            // re-advances the counter), and resume mid-block.
+            let counter = (u64::from(state[13]) << 32 | u64::from(state[12])).wrapping_sub(1);
+            rng.state[12] = counter as u32;
+            rng.state[13] = (counter >> 32) as u32;
+            rng.refill();
+            rng.index = index;
+        }
+        rng
+    }
+
     fn refill(&mut self) {
         let mut working = self.state;
         for _ in 0..4 {
@@ -143,5 +181,41 @@ mod tests {
         let _ = a.next_u64();
         let mut b = a.clone();
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn state_roundtrip_at_every_word_offset() {
+        // Restore must resume the stream exactly, wherever inside the buffered
+        // block (or at a block boundary) the export happened.
+        for draws in 0..40 {
+            let mut a = ChaCha8Rng::seed_from_u64(77);
+            for _ in 0..draws {
+                let _ = a.next_u32();
+            }
+            let (state, index) = a.to_state();
+            let mut b = ChaCha8Rng::from_state(state, index);
+            for _ in 0..50 {
+                assert_eq!(a.next_u64(), b.next_u64(), "diverged after {draws} draws");
+            }
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn fresh_state_roundtrip() {
+        let a = ChaCha8Rng::seed_from_u64(3);
+        let (state, index) = a.to_state();
+        assert_eq!(index, 16, "fresh generator has no buffered block");
+        let mut b = ChaCha8Rng::from_state(state, index);
+        let mut c = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..10 {
+            assert_eq!(b.next_u64(), c.next_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_index_panics() {
+        let _ = ChaCha8Rng::from_state([0; 16], 17);
     }
 }

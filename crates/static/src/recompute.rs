@@ -11,8 +11,10 @@
 
 use crate::greedy::greedy_maximal_matching;
 use pdmm_hypergraph::engine::{
-    run_batch, BatchError, BatchKernel, BatchReport, EngineBuilder, EngineMetrics, KernelOutcome,
-    MatchingEngine, MatchingIter, UpdateCounters,
+    read_state_counters, read_state_graph, read_state_header, run_batch, write_state_counters,
+    write_state_graph, write_state_header, BatchError, BatchKernel, BatchReport, EngineBuilder,
+    EngineMetrics, KernelOutcome, MatchingEngine, MatchingIter, StateError, StateParser,
+    UpdateCounters,
 };
 use pdmm_hypergraph::graph::DynamicHypergraph;
 use pdmm_hypergraph::matching::verify_maximality;
@@ -103,6 +105,58 @@ impl MatchingEngine for StaticRecompute {
         let cost = self.cost.snapshot();
         self.counters.into_metrics(cost.work, cost.depth)
     }
+
+    fn save_state(&self) -> Option<String> {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let cost = self.cost.snapshot();
+        write_state_header(&mut out, self.name(), self.num_vertices(), self.max_rank);
+        write_state_counters(&mut out, &self.counters, cost.work, cost.depth);
+        write_state_graph(&mut out, &self.graph);
+        // Verbatim order: the greedy scan over id-sorted edges is
+        // deterministic, so this vector is a pure function of the graph.
+        out.push_str("matching");
+        for id in &self.matching {
+            let _ = write!(out, " {}", id.0);
+        }
+        out.push('\n');
+        Some(out)
+    }
+
+    fn restore_state(&mut self, blob: &str) -> Result<(), StateError> {
+        if self.counters.batches != 0 {
+            return Err(StateError::NotFresh {
+                batches: self.counters.batches,
+            });
+        }
+        let mut p = StateParser::new(blob);
+        read_state_header(&mut p, self.name(), self.num_vertices(), self.max_rank)?;
+        let (counters, work, depth) = read_state_counters(&mut p)?;
+        let graph = read_state_graph(&mut p, self.num_vertices(), self.max_rank)?;
+        let rest = p.tagged("matching")?;
+        let mut matching = Vec::new();
+        let mut claimed = FxHashSet::default();
+        for tok in rest.split_whitespace() {
+            let id = EdgeId(p.parse_token(tok, "matched edge id")?);
+            let Some(edge) = graph.edge(id) else {
+                return Err(p.corrupt(format!("matched edge {id} is not live")));
+            };
+            for &v in edge.vertices() {
+                if !claimed.insert(v) {
+                    return Err(p.corrupt(format!("matched edge {id} conflicts with another")));
+                }
+            }
+            matching.push(id);
+        }
+        p.finish()?;
+        self.graph = graph;
+        self.matching = matching;
+        self.counters = counters;
+        self.cost = CostTracker::new();
+        self.cost.work(work);
+        self.cost.rounds(depth);
+        Ok(())
+    }
 }
 
 impl BatchKernel for StaticRecompute {
@@ -173,6 +227,22 @@ mod tests {
         assert_eq!(alg.matching_size(), 0);
         assert!(reports.iter().any(|r| r.matched_deletions > 0));
         assert_eq!(alg.metrics().updates, w.total_updates() as u64);
+    }
+
+    #[test]
+    fn state_roundtrip_continues_bit_identically() {
+        let w = random_churn(50, 2, 100, 10, 25, 0.5, 13);
+        let (prefix, tail) = w.batches.split_at(5);
+        let mut a = StaticRecompute::new(w.num_vertices);
+        a.apply_all(prefix).unwrap();
+        let blob = a.save_state().unwrap();
+        let mut b = StaticRecompute::new(w.num_vertices);
+        b.restore_state(&blob).unwrap();
+        assert_eq!(b.save_state().unwrap(), blob);
+        for batch in tail {
+            assert_eq!(a.apply_batch(batch).unwrap(), b.apply_batch(batch).unwrap());
+        }
+        assert_eq!(a.save_state(), b.save_state());
     }
 
     #[test]

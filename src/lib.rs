@@ -27,6 +27,11 @@
 //!   sharded service, speaking the [`hypergraph::io`] text format with typed
 //!   admission responses (`OK`/`RETRY`/`SHED`/`ERR`) so overload degrades
 //!   gracefully instead of blocking connections,
+//! * [`checkpoint`] — checkpointed durability: fingerprinted drain-boundary
+//!   checkpoints that truncate old journal segments, `O(delta)` recovery via
+//!   [`service::EngineService::recover`] /
+//!   [`sharding::ShardedService::recover`], and the fault-injecting
+//!   [`checkpoint::FaultSink`] the crash tests are built on,
 //! * [`core`] ([`ParallelDynamicMatching`]) — the paper's algorithm,
 //! * [`hypergraph`] — the dynamic hypergraph substrate, workload generators,
 //!   update streams and matching verification,
@@ -149,6 +154,7 @@
 
 pub mod engine;
 
+pub use pdmm_hypergraph::checkpoint;
 pub use pdmm_hypergraph::net;
 pub use pdmm_hypergraph::service;
 pub use pdmm_hypergraph::sharding;

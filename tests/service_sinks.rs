@@ -10,8 +10,12 @@
 //!   sink, across rotation boundaries, and replays cleanly;
 //! * **`with_snapshot_every`**: a throttled service publishes snapshots only
 //!   at period boundaries (plus the end of each drain), and concurrent
-//!   readers still only ever observe committed prefixes, monotonically.
+//!   readers still only ever observe committed prefixes, monotonically;
+//! * **fault injection**: an injected I/O failure during `commit` surfaces
+//!   per the documented sink policy — a panic, not a silently diverging
+//!   journal — and leaves the on-disk segments parseable.
 
+use pdmm::checkpoint::FaultSink;
 use pdmm::engine;
 use pdmm::hypergraph::streams::{self, Workload};
 use pdmm::prelude::*;
@@ -230,6 +234,50 @@ fn file_journal_create_clears_stale_segments_from_a_previous_run() {
 
 fn io_batches(text: &str) -> Vec<UpdateBatch> {
     pdmm::hypergraph::io::batches_from_string(text).unwrap()
+}
+
+#[test]
+fn an_injected_commit_failure_panics_and_leaves_the_journal_parseable() {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"));
+    let path = dir.join("service_sinks_fault_commit.log");
+    let workload = serve_workload();
+    let batches: Vec<UpdateBatch> = workload
+        .batches
+        .iter()
+        .filter(|b| !b.is_empty())
+        .cloned()
+        .collect();
+    let builder = EngineBuilder::new(workload.num_vertices)
+        .rank(workload.rank.max(2))
+        .seed(47);
+    // The third commit fails.  Sinks are infallible by contract: losing the
+    // recovery log silently would be worse than crashing the serve loop, so
+    // the documented policy is a panic.
+    let service =
+        EngineService::new(engine::build(EngineKind::Parallel, &builder)).with_journal(Box::new(
+            FaultSink::fail_commit(Box::new(FileJournal::create(&path).unwrap()), 3),
+        ));
+    for batch in &batches[..2] {
+        service.submit(batch.clone());
+        service.drain().unwrap();
+    }
+    service.submit(batches[2].clone());
+    let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| service.drain()))
+        .expect_err("the injected commit failure must surface as a panic");
+    let message = panic.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(message.contains("injected"), "{message}");
+
+    // The failing commit's append already landed (write, then barrier), so
+    // the on-disk journal is parseable and every block is complete: the
+    // crash-consistent state a restart would recover from.
+    let salvaged = FileJournal::salvage(&path).unwrap();
+    let parsed = pdmm::hypergraph::io::batches_from_string(&salvaged).unwrap();
+    assert_eq!(parsed, batches[..3].to_vec());
+    let blocks = pdmm::hypergraph::io::journal_blocks(&salvaged);
+    assert_eq!(blocks.len(), 3);
+    assert!(blocks
+        .iter()
+        .all(|b| pdmm::hypergraph::io::block_is_committed(b)));
 }
 
 #[test]
