@@ -23,8 +23,9 @@ use crate::persist;
 use crate::settle::{process_level, release_bucket_and_remove};
 use crate::state::MatcherState;
 use pdmm_hypergraph::engine::{
-    run_batch, BatchError, BatchKernel, BatchReport, EngineBuilder, EngineMetrics, EnginePool,
-    KernelOutcome, MatchingEngine, MatchingIter, StateError, UpdateCounters,
+    run_batch, run_batch_trusted, BatchError, BatchKernel, BatchReport, EngineBuilder,
+    EngineMetrics, EnginePool, KernelOutcome, MatchingEngine, MatchingIter, StateError,
+    UpdateCounters, ValidatedBatch,
 };
 use pdmm_hypergraph::types::{EdgeId, HyperEdge, Update, VertexId};
 use pdmm_primitives::cost_model::CostTracker;
@@ -185,6 +186,15 @@ impl ParallelDynamicMatching {
         // bounded by `EngineBuilder::threads`.
         let pool = self.pool.clone();
         pool.install(|| run_batch(self, updates))
+    }
+
+    /// Processes a pre-validated batch without re-checking legality — the
+    /// trusted half of the split `apply_batch` ([`ValidatedBatch`] is the
+    /// proof).  Runs on the engine's pool exactly like
+    /// [`ParallelDynamicMatching::apply_batch`].
+    pub fn apply_batch_trusted(&mut self, batch: ValidatedBatch<'_>) -> BatchReport {
+        let pool = self.pool.clone();
+        pool.install(|| run_batch_trusted(self, batch))
     }
 }
 
@@ -431,6 +441,13 @@ impl MatchingEngine for ParallelDynamicMatching {
 
     fn apply_batch(&mut self, updates: &[Update]) -> Result<BatchReport, BatchError> {
         ParallelDynamicMatching::apply_batch(self, updates)
+    }
+
+    fn apply_batch_trusted(
+        &mut self,
+        batch: ValidatedBatch<'_>,
+    ) -> Result<BatchReport, BatchError> {
+        Ok(ParallelDynamicMatching::apply_batch_trusted(self, batch))
     }
 
     fn matching(&self) -> MatchingIter<'_> {

@@ -22,6 +22,14 @@
 //! state, a recovered service is **bit-identical** to a clean twin that
 //! replayed the same committed prefix.
 //!
+//! Tail replay trusts the journal the same way live replay does: each tail
+//! block parses through [`crate::io`] (re-minting the context-free tier of
+//! batch validity) and then commits through the engine's validating
+//! `apply_batch` — which post-refactor mints the engine-context
+//! [`ValidatedBatch`](crate::engine::ValidatedBatch) proof once and runs the
+//! trusted kernel path.  Recovery therefore validates each replayed update
+//! exactly once, like the serve path.
+//!
 //! ## The format, fingerprinted
 //!
 //! A checkpoint is a line-oriented text document:

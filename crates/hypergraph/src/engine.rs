@@ -26,6 +26,7 @@
 use crate::types::{EdgeId, Update, UpdateBatch, VertexId};
 use rustc_hash::{FxHashMap, FxHashSet};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
@@ -873,6 +874,43 @@ pub trait MatchingEngine {
     /// Returns the first [`BatchError`] found in the batch.
     fn apply_batch(&mut self, updates: &[Update]) -> Result<BatchReport, BatchError>;
 
+    /// Validates `updates` against this engine's live state and mints the
+    /// [`ValidatedBatch`] proof — the one legality pass of the trusted hot
+    /// path.  Discharge the proof with
+    /// [`MatchingEngine::apply_batch_trusted`] before the engine changes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation in batch order; nothing was applied.
+    fn validate<'u>(&self, updates: &'u [Update]) -> Result<ValidatedBatch<'u>, BatchError> {
+        ValidatedBatch::new(
+            updates,
+            |id| self.contains_edge(id),
+            self.max_rank(),
+            self.num_vertices(),
+        )
+    }
+
+    /// Applies a batch that already carries its validation proof, skipping
+    /// the whole-batch validation pass [`MatchingEngine::apply_batch`] would
+    /// run.
+    ///
+    /// Every in-tree engine overrides this with [`run_batch_trusted`]; the
+    /// provided default conservatively **revalidates** through
+    /// [`MatchingEngine::apply_batch`], so an external engine that has not
+    /// opted in stays correct (just not single-validation).
+    ///
+    /// # Errors
+    ///
+    /// Cannot fire for engines routed through [`run_batch_trusted`]; the
+    /// revalidating default propagates [`MatchingEngine::apply_batch`].
+    fn apply_batch_trusted(
+        &mut self,
+        batch: ValidatedBatch<'_>,
+    ) -> Result<BatchReport, BatchError> {
+        self.apply_batch(batch.updates())
+    }
+
     /// The current matching, iterated zero-copy out of the engine's state.
     fn matching(&self) -> MatchingIter<'_>;
 
@@ -1011,6 +1049,138 @@ pub trait MatchingEngine {
 // The shared batch pipeline
 // ---------------------------------------------------------------------------
 
+/// Process-lifetime count of per-update legality checks (see
+/// [`validation_checks`]).
+static VALIDATION_CHECKS: AtomicU64 = AtomicU64::new(0);
+
+/// How many per-update legality checks this process has performed, lifetime.
+///
+/// Every legality decision in the workspace — [`validate_batch`], staged
+/// [`BatchSession`]s, [`crate::types::UpdateBatch`] construction, the `io`
+/// parser, `net` admission — flows through the one [`BatchLedger::check`]
+/// machine, which bumps this counter once per update checked.  The counter is
+/// the observability hook behind the single-validation guarantee: the serve
+/// path ([`crate::service::EngineService::submit`] → `drain`) performs
+/// **exactly one** check per update, which the hot-path test suite and the
+/// `hot_path` bench assert by differencing this counter around a run.
+///
+/// The counter is global and monotone (relaxed atomics; reads may interleave
+/// with concurrent checks), so measure on a quiescent process or difference
+/// within one thread of control.
+#[must_use]
+pub fn validation_checks() -> u64 {
+    VALIDATION_CHECKS.load(AtomicOrdering::Relaxed)
+}
+
+/// Proof that a run of updates passed the full engine-context legality check
+/// — the sealed handoff between the validation layer and the kernels.
+///
+/// A `ValidatedBatch` can only be minted by paying exactly one
+/// [`BatchLedger`] pass: either through [`ValidatedBatch::new`] /
+/// [`MatchingEngine::validate`] (whole-batch validation against a live
+/// predicate) or — crate-internally — by a [`BatchSession`] whose staging
+/// already checked every update against the live engine.  The token inside is
+/// a zero-sized sealed witness with a private constructor, so the *type
+/// system*, not reviewer discipline, guarantees [`run_batch_trusted`] never
+/// sees an unvalidated update: there is no way to construct the proof without
+/// running the validator.
+///
+/// The proof certifies validity **against the engine state at mint time**.
+/// Discharge it before the engine changes (the in-tree callers mint and
+/// discharge under one commit lock, with nothing in between).
+///
+/// ```
+/// use pdmm_hypergraph::engine::{run_batch_trusted, ValidatedBatch};
+/// # use pdmm_hypergraph::types::{EdgeId, HyperEdge, Update, VertexId};
+/// let updates = vec![Update::Insert(HyperEdge::pair(EdgeId(0), VertexId(0), VertexId(1)))];
+/// let live = |_id: EdgeId| false;
+/// let proof = ValidatedBatch::new(&updates, live, 2, 10).unwrap();
+/// assert_eq!(proof.len(), 1);
+/// ```
+///
+/// The seal cannot be worked around — neither the struct nor its token can be
+/// built by hand:
+///
+/// ```compile_fail
+/// use pdmm_hypergraph::engine::ValidatedBatch;
+/// use pdmm_hypergraph::types::Update;
+/// let updates: Vec<Update> = Vec::new();
+/// // ERROR: the proof field is private; validation cannot be skipped.
+/// let forged = ValidatedBatch { updates: &updates[..] };
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ValidatedBatch<'a> {
+    updates: &'a [Update],
+    /// The sealed witness: only this module can produce one.
+    _proof: ValidationToken,
+}
+
+/// Zero-sized sealed witness that a [`BatchLedger`] pass ran.  Its one field
+/// is private, so no code outside `pdmm_hypergraph::engine` can construct it
+/// — forging a [`ValidatedBatch`] is a compile error, not a code-review item.
+///
+/// ```compile_fail
+/// use pdmm_hypergraph::engine::ValidationToken;
+/// // ERROR: the field is private — proofs are minted, never forged.
+/// let forged = ValidationToken { _sealed: () };
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ValidationToken {
+    _sealed: (),
+}
+
+impl<'a> ValidatedBatch<'a> {
+    /// Mints the proof by running the one whole-batch validator
+    /// ([`validate_batch`]) — the single legality pass the batch ever needs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation in batch order; no proof is minted.
+    pub fn new(
+        updates: &'a [Update],
+        is_live: impl Fn(EdgeId) -> bool,
+        max_rank: usize,
+        num_vertices: usize,
+    ) -> Result<Self, BatchError> {
+        validate_batch(updates, is_live, max_rank, num_vertices)?;
+        Ok(ValidatedBatch {
+            updates,
+            _proof: ValidationToken { _sealed: () },
+        })
+    }
+
+    /// Crate-internal mint for updates whose per-update checks already ran
+    /// through the same [`BatchLedger`] machine against the live engine — the
+    /// [`BatchSession`] commit path.  Callers must hold the invariant that a
+    /// whole-batch [`validate_batch`] of `updates` would succeed (sessions do:
+    /// staging checks each update against the live engine and the ledger, and
+    /// deduplication only ever *removes* repeats).
+    pub(crate) fn presealed(updates: &'a [Update]) -> Self {
+        ValidatedBatch {
+            updates,
+            _proof: ValidationToken { _sealed: () },
+        }
+    }
+
+    /// The proven updates.
+    #[must_use]
+    pub fn updates(&self) -> &'a [Update] {
+        self.updates
+    }
+
+    /// Number of updates in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Whether the batch is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+}
+
 /// What an engine's recompute/repair kernel reports back to [`run_batch`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct KernelOutcome {
@@ -1062,17 +1232,39 @@ pub fn run_batch<E: BatchKernel + ?Sized>(
     engine: &mut E,
     updates: &[Update],
 ) -> Result<BatchReport, BatchError> {
-    validate_batch(
+    let proven = ValidatedBatch::new(
         updates,
         |id| engine.contains_edge(id),
         engine.max_rank(),
         engine.num_vertices(),
     )?;
+    Ok(run_batch_trusted(engine, proven))
+}
+
+/// The trusted half of the batch pipeline: discharges a [`ValidatedBatch`]
+/// proof straight into the engine's kernel, with **no** validation pass.
+///
+/// This is where the single-validation hot path lands: [`run_batch`] mints the
+/// proof and calls here; session commits ([`BatchSession::commit`],
+/// [`BatchSession::commit_staged`], [`BatchSession::commit_lossy`]) and the
+/// serve-path drains mint their proofs from checks that already ran and call
+/// here through [`MatchingEngine::apply_batch_trusted`] — so each update is
+/// checked exactly once end to end.  Everything else ([`BatchReport`]
+/// assembly, empty-batch no-op, counter folds, metrics deltas) is identical to
+/// [`run_batch`]; the engines' kernels are untouched.
+///
+/// Infallible by construction: the proof certifies the batch, so there is no
+/// error path left.
+pub fn run_batch_trusted<E: BatchKernel + ?Sized>(
+    engine: &mut E,
+    batch: ValidatedBatch<'_>,
+) -> BatchReport {
+    let updates = batch.updates();
     if updates.is_empty() {
-        return Ok(BatchReport {
+        return BatchReport {
             matching_size: engine.matching_size(),
             ..BatchReport::default()
-        });
+        };
     }
     let before = engine.metrics();
     let outcome = engine.run_kernel(updates);
@@ -1086,7 +1278,7 @@ pub fn run_batch<E: BatchKernel + ?Sized>(
         rebuilds: u64::from(outcome.rebuilt),
     });
     let metrics = engine.metrics().since(&before);
-    Ok(BatchReport {
+    BatchReport {
         batch_size: updates.len(),
         depth: metrics.depth,
         work: metrics.work,
@@ -1094,7 +1286,7 @@ pub fn run_batch<E: BatchKernel + ?Sized>(
         matching_size: engine.matching_size(),
         rebuilt: outcome.rebuilt,
         metrics,
-    })
+    }
 }
 
 /// Verdict of [`BatchLedger::check`] for an update that passed the shared
@@ -1180,6 +1372,10 @@ impl BatchLedger {
         max_rank: usize,
         num_vertices: usize,
     ) -> Result<UpdateCheck, BatchError> {
+        // Every per-update legality decision in the workspace lands here, so
+        // one relaxed bump gives an exact global check count — the hook the
+        // single-validation tests and the `hot_path` bench difference.
+        VALIDATION_CHECKS.fetch_add(1, AtomicOrdering::Relaxed);
         match update {
             Update::Insert(edge) => {
                 if edge.rank() > max_rank {
@@ -1499,14 +1695,28 @@ impl<'a, E: MatchingEngine + ?Sized> BatchSession<'a, E> {
         self.engine
     }
 
-    /// Applies the staged updates as one batch.
+    /// Applies the staged updates as one batch through the trusted path:
+    /// staging already checked every update against the live engine, so the
+    /// commit discharges that proof into
+    /// [`MatchingEngine::apply_batch_trusted`] instead of validating again.
     ///
     /// # Errors
     ///
-    /// Propagates the engine's batch validation (which cannot fire for updates
-    /// staged through this session).
+    /// Propagates the engine's trusted apply (which cannot fire for engines
+    /// routed through [`run_batch_trusted`]).
     pub fn commit(self) -> Result<BatchReport, BatchError> {
-        self.engine.apply_batch(&self.staged)
+        let BatchSession { engine, staged, .. } = self;
+        debug_assert!(
+            validate_batch(
+                &staged,
+                |id| engine.contains_edge(id),
+                engine.max_rank(),
+                engine.num_vertices()
+            )
+            .is_ok(),
+            "session staging must imply whole-batch validity"
+        );
+        engine.apply_batch_trusted(ValidatedBatch::presealed(&staged))
     }
 
     /// Commits what is staged as one batch and **keeps the session open** — the
@@ -1546,7 +1756,12 @@ impl<'a, E: MatchingEngine + ?Sized> BatchSession<'a, E> {
     /// staged through this session); on error the staged updates are retained.
     pub fn commit_staged(&mut self) -> Result<BatchReport, BatchError> {
         let staged = std::mem::take(&mut self.staged);
-        match self.engine.apply_batch(&staged) {
+        // Staging already performed this batch's one legality pass; the
+        // commit hands the proof over instead of re-validating.
+        match self
+            .engine
+            .apply_batch_trusted(ValidatedBatch::presealed(&staged))
+        {
             Ok(report) => {
                 // Committed updates are now engine state: validate what comes
                 // next against the engine, not against this batch's ledger.
@@ -1571,14 +1786,21 @@ impl<'a, E: MatchingEngine + ?Sized> BatchSession<'a, E> {
     ///
     /// # Errors
     ///
-    /// Propagates the engine's batch validation (which cannot fire for updates
-    /// staged through this session).
+    /// Propagates the engine's trusted apply (which cannot fire for engines
+    /// routed through [`run_batch_trusted`]).
     pub fn commit_lossy(self) -> Result<IngestReport, BatchError> {
-        let batch = self.engine.apply_batch(&self.staged)?;
+        let BatchSession {
+            engine,
+            staged,
+            deduplicated,
+            rejected,
+            ..
+        } = self;
+        let batch = engine.apply_batch_trusted(ValidatedBatch::presealed(&staged))?;
         Ok(IngestReport {
             batch,
-            deduplicated: self.deduplicated,
-            rejected: self.rejected,
+            deduplicated,
+            rejected,
         })
     }
 
@@ -1844,6 +2066,13 @@ mod tests {
 
         fn apply_batch(&mut self, updates: &[Update]) -> Result<BatchReport, BatchError> {
             run_batch(self, updates)
+        }
+
+        fn apply_batch_trusted(
+            &mut self,
+            batch: ValidatedBatch<'_>,
+        ) -> Result<BatchReport, BatchError> {
+            Ok(run_batch_trusted(self, batch))
         }
 
         fn matching(&self) -> MatchingIter<'_> {

@@ -14,6 +14,16 @@
 //! Lines starting with `#` are comments.  Parsing is strict: malformed lines return
 //! an error rather than being skipped, so corrupted workload files are caught
 //! early.
+//!
+//! The stream parsers run the shared [`BatchLedger`] machine per block, so a
+//! parsed [`UpdateBatch`] carries the **context-free** tier of batch validity
+//! (the same proof [`UpdateBatch::new`] mints) — journals and workload files
+//! re-enter the system at the same trust level as freshly constructed
+//! batches.  The engine-context check still happens exactly once downstream,
+//! when a drain or replay mints the [`ValidatedBatch`] proof against the live
+//! engine.
+//!
+//! [`ValidatedBatch`]: crate::engine::ValidatedBatch
 
 use crate::engine::{BatchLedger, UpdateCheck};
 use crate::types::{EdgeId, HyperEdge, ShardId, Update, UpdateBatch, VertexId};

@@ -46,6 +46,19 @@
 //! Oversized batches (`max_batch_updates`) are a protocol error, not
 //! backpressure: they poison like a parse error.
 //!
+//! Admission performs the **context-free** legality check only (the per-line
+//! [`BatchLedger`] machine — the same tier as [`UpdateBatch::new`]): it
+//! rejects batches that are illegal in isolation without consulting engine
+//! state.  The engine-context check happens exactly once, in the drain, where
+//! the shard's [`MatchingEngine::validate`] mints the [`ValidatedBatch`]
+//! proof discharged by the trusted kernel path — see the single-validation
+//! data-flow section in `ARCHITECTURE.md`.
+//!
+//! [`BatchLedger`]: crate::engine::BatchLedger
+//! [`MatchingEngine::validate`]: crate::engine::MatchingEngine::validate
+//! [`ValidatedBatch`]: crate::engine::ValidatedBatch
+//! [`UpdateBatch::new`]: crate::types::UpdateBatch::new
+//!
 //! # Threads
 //!
 //! The server runs thread-per-connection on the in-tree work-stealing pool:

@@ -16,10 +16,12 @@
 //! * **a submission queue with backpressure** — producers
 //!   [`EngineService::submit`] validated [`UpdateBatch`]es; when the bounded
 //!   queue is full, `submit` blocks (and [`EngineService::try_submit`] hands
-//!   the batch back) until a drain makes room.  [`EngineService::drain`] runs
-//!   the queue through one long-lived [`BatchSession`] using the incremental
-//!   [`BatchSession::commit_staged`] commit: commit what is staged, keep
-//!   accepting;
+//!   the batch back) until a drain makes room.  [`EngineService::drain`]
+//!   commits each queued batch through the single-validation hot path: one
+//!   legality pass mints the [`crate::engine::ValidatedBatch`] proof
+//!   ([`MatchingEngine::validate`]) and the commit discharges it through
+//!   [`MatchingEngine::apply_batch_trusted`] — no second validation anywhere
+//!   on the serve path;
 //! * **persistence and replay** — every committed batch is journaled in the
 //!   [`crate::io`] update-stream format ([`EngineService::journal`]) through a
 //!   pluggable [`JournalSink`] (in-memory by default, [`FileJournal`] for an
@@ -72,7 +74,7 @@ use crate::engine::{
 use crate::graph::DynamicHypergraph;
 use crate::io::{self, ParseError};
 use crate::types::{EdgeId, HyperEdge, Update, UpdateBatch, VertexId};
-use rustc_hash::FxHashMap;
+use rustc_hash::{FxHashMap, FxHashSet};
 use std::collections::VecDeque;
 use std::fmt;
 use std::fs::{File, OpenOptions};
@@ -419,35 +421,6 @@ pub struct MatchingSnapshot {
 }
 
 impl MatchingSnapshot {
-    /// Builds the snapshot of `engine`'s current matching, resolving endpoint
-    /// sets through `mirror` (the service's ground-truth graph).
-    fn capture(
-        engine: &(impl MatchingEngine + ?Sized),
-        mirror: &DynamicHypergraph,
-        committed_batches: u64,
-    ) -> Self {
-        let mut matching: Vec<EdgeId> = engine.matching().collect();
-        matching.sort_unstable();
-        let mut by_vertex =
-            FxHashMap::with_capacity_and_hasher(matching.len() * 2, Default::default());
-        for &id in &matching {
-            let edge = mirror
-                .edge(id)
-                .expect("matched edges are live in the mirror graph");
-            for &v in edge.vertices() {
-                by_vertex.insert(v, id);
-            }
-        }
-        MatchingSnapshot {
-            committed_batches,
-            num_vertices: engine.num_vertices(),
-            matching: matching.into_boxed_slice(),
-            by_vertex,
-            metrics: engine.metrics(),
-            engine: engine.name(),
-        }
-    }
-
     /// Number of matched edges.
     #[must_use]
     pub fn size(&self) -> usize {
@@ -483,11 +456,17 @@ impl MatchingSnapshot {
         self.matching.iter().copied()
     }
 
-    /// Every vertex covered by a matched edge, in hash order (sort for
-    /// determinism).  The merge side of a sharded snapshot uses this to find
-    /// vertices matched in more than one shard.
+    /// Every vertex covered by a matched edge, **sorted ascending** — the
+    /// order is contractual, so two snapshots of the same matching iterate
+    /// identically regardless of hash-map history.  The merge side of a
+    /// sharded snapshot folds this into its conflict accounting (which
+    /// vertices are matched in more than one shard) and relies on the
+    /// determinism.  Allocates and sorts the matched-vertex set; O(k log k)
+    /// for k matched vertices.
     pub fn matched_vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
-        self.by_vertex.keys().copied()
+        let mut vertices: Vec<VertexId> = self.by_vertex.keys().copied().collect();
+        vertices.sort_unstable();
+        vertices.into_iter()
     }
 
     /// The matched edge ids as a sorted vector.
@@ -519,6 +498,133 @@ impl MatchingSnapshot {
     #[must_use]
     pub fn engine(&self) -> &'static str {
         self.engine
+    }
+}
+
+/// The incrementally maintained matched-edge index behind snapshot publishes.
+///
+/// Publishing used to rebuild the full snapshot from scratch — collect the
+/// matching, sort it, resolve every matched edge's endpoints through the
+/// mirror, rebuild the whole per-vertex map — per publish.  The index instead
+/// persists between commits: [`MatchedIndex::sync`] folds the engine's current
+/// matching in with **one linear scan and O(matching-delta) structural
+/// mutation** (no sort of the full matching, no mirror lookups or `by_vertex`
+/// writes for unchanged edges), and [`MatchedIndex::snapshot`] publishes by a
+/// flat clone of the maintained structures (a memcpy of the sorted ids plus a
+/// rehash-free table copy).  That is what makes
+/// [`EngineService::with_snapshot_every`]`(1)` — per-commit snapshot freshness
+/// — affordable.
+///
+/// Endpoint sets are cached at match time because a matched edge can be
+/// *deleted* by the very batch that unmatches it — by then the mirror no
+/// longer holds it, but its `by_vertex` entries still have to be retired.
+///
+/// Engines whose kernels rebuild the matching wholesale (the recompute
+/// engines report [`BatchReport::rebuilt`]) naturally degrade to a full-delta
+/// sync; the incremental engines get the O(delta) win.
+#[derive(Debug, Default)]
+struct MatchedIndex {
+    /// Matched edges with their endpoint sets cached at match time.
+    matched: FxHashMap<EdgeId, Box<[VertexId]>>,
+    /// The matched edge ids, sorted ascending — the snapshot's `matching`.
+    sorted: Vec<EdgeId>,
+    /// Matched edge covering each matched vertex — the snapshot's `by_vertex`.
+    by_vertex: FxHashMap<VertexId, EdgeId>,
+}
+
+impl MatchedIndex {
+    /// Folds the engine's current matching into the index.
+    fn sync(&mut self, engine: &(impl MatchingEngine + ?Sized), mirror: &DynamicHypergraph) {
+        let current: Vec<EdgeId> = engine.matching().collect();
+        let mut added: Vec<EdgeId> = current
+            .iter()
+            .copied()
+            .filter(|id| !self.matched.contains_key(id))
+            .collect();
+        if added.is_empty() && current.len() == self.matched.len() {
+            // No additions and equal sizes ⇒ identical matched sets: the
+            // common case for batches that never touch the matching.
+            return;
+        }
+        // Removals: previously matched ids absent from the current matching.
+        // A pure-growth sync (the common insert-heavy case) skips building
+        // the membership set entirely.
+        let removed: Vec<EdgeId> = if current.len() == self.matched.len() + added.len() {
+            Vec::new()
+        } else {
+            let current_set: FxHashSet<EdgeId> = current.iter().copied().collect();
+            self.matched
+                .keys()
+                .copied()
+                .filter(|id| !current_set.contains(id))
+                .collect()
+        };
+        // Retire removals before installing additions: a vertex freed by an
+        // unmatched edge may be claimed by a newly matched one in the same
+        // batch.
+        for id in &removed {
+            let endpoints = self
+                .matched
+                .remove(id)
+                .expect("removed ids were previously matched");
+            for v in endpoints.iter() {
+                if self.by_vertex.get(v) == Some(id) {
+                    self.by_vertex.remove(v);
+                }
+            }
+        }
+        for &id in &added {
+            let edge = mirror
+                .edge(id)
+                .expect("matched edges are live in the mirror graph");
+            let endpoints: Box<[VertexId]> = edge.vertices().into();
+            for &v in endpoints.iter() {
+                self.by_vertex.insert(v, id);
+            }
+            self.matched.insert(id, endpoints);
+        }
+        // Re-derive the sorted id list by one linear merge of the retained
+        // run (already sorted) with the sorted additions — never a full
+        // re-sort of the matching.
+        added.sort_unstable();
+        let removed_set: FxHashSet<EdgeId> = removed.into_iter().collect();
+        let mut merged = Vec::with_capacity(self.matched.len());
+        let mut additions = added.into_iter().peekable();
+        for &id in self.sorted.iter() {
+            if removed_set.contains(&id) {
+                continue;
+            }
+            while let Some(&next) = additions.peek() {
+                if next < id {
+                    merged.push(next);
+                    additions.next();
+                } else {
+                    break;
+                }
+            }
+            merged.push(id);
+        }
+        merged.extend(additions);
+        self.sorted = merged;
+        debug_assert_eq!(self.sorted.len(), self.matched.len());
+    }
+
+    /// Publishes the maintained structures as an immutable snapshot: a flat
+    /// memcpy of the sorted ids plus a rehash-free clone of the per-vertex
+    /// table — no sort, no mirror lookups.
+    fn snapshot(
+        &self,
+        engine: &(impl MatchingEngine + ?Sized),
+        committed_batches: u64,
+    ) -> MatchingSnapshot {
+        MatchingSnapshot {
+            committed_batches,
+            num_vertices: engine.num_vertices(),
+            matching: self.sorted.clone().into_boxed_slice(),
+            by_vertex: self.by_vertex.clone(),
+            metrics: engine.metrics(),
+            engine: engine.name(),
+        }
     }
 }
 
@@ -607,6 +713,12 @@ struct ServiceInner {
     /// `committed` value of the most recently published snapshot (snapshot
     /// publishing may lag `committed` under [`EngineService::with_snapshot_every`]).
     published_at: u64,
+    /// Incrementally maintained matched-edge structures; publishing clones
+    /// them instead of rebuilding from the engine + mirror (see
+    /// [`MatchedIndex`]).  Synced lazily at publish time, so a throttled
+    /// service ([`EngineService::with_snapshot_every`]) pays no per-commit
+    /// maintenance either.
+    index: MatchedIndex,
 }
 
 /// A long-lived engine service: concurrent snapshot reads, a bounded
@@ -672,7 +784,8 @@ impl EngineService {
             "EngineService needs a fresh engine: it must observe the whole update history"
         );
         let mirror = DynamicHypergraph::new(engine.num_vertices());
-        let initial = Arc::new(MatchingSnapshot::capture(engine.as_ref(), &mirror, 0));
+        let index = MatchedIndex::default();
+        let initial = Arc::new(index.snapshot(engine.as_ref(), 0));
         EngineService {
             inner: Mutex::new(ServiceInner {
                 engine,
@@ -680,6 +793,7 @@ impl EngineService {
                 journal: Box::new(MemoryJournal::new()),
                 committed: 0,
                 published_at: 0,
+                index,
             }),
             published: Mutex::new(initial),
             queue: Mutex::new(VecDeque::new()),
@@ -787,10 +901,14 @@ impl EngineService {
     }
 
     /// Commits every queued batch (including batches submitted *while* the
-    /// drain runs) through one long-lived [`BatchSession`], using the
-    /// incremental [`BatchSession::commit_staged`] commit per batch.  After
-    /// each committed batch the journal is appended and a fresh snapshot is
-    /// published, so concurrent readers advance batch by batch.
+    /// drain runs) on the **single-validation hot path**: each popped batch's
+    /// [`ValidatedBatch`](crate::engine::ValidatedBatch) proof is minted by
+    /// [`MatchingEngine::validate`] —
+    /// the one legality check on the serve path — and discharged by
+    /// [`MatchingEngine::apply_batch_trusted`], which runs the kernel without
+    /// revalidating.  After each committed batch the journal is appended and a
+    /// fresh snapshot is published, so concurrent readers advance batch by
+    /// batch.
     ///
     /// Returns one [`BatchReport`] per committed batch, in commit order.
     ///
@@ -798,11 +916,12 @@ impl EngineService {
     ///
     /// Stops at the first batch the engine refuses: the offending batch is
     /// dropped, everything committed before it stands, and later batches stay
-    /// queued for the next drain.
+    /// queued for the next drain.  Errors are reported in batch order (the
+    /// first illegal update of the refused batch), exactly as the validating
+    /// [`MatchingEngine::apply_batch`] path reports them.
     pub fn drain(&self) -> Result<Vec<BatchReport>, ServiceError> {
         let mut guard = self.inner.lock().expect("service commit lock poisoned");
         let inner = &mut *guard;
-        let mut session = BatchSession::new(inner.engine.as_mut());
         let mut reports = Vec::new();
         loop {
             let batch = {
@@ -815,26 +934,27 @@ impl EngineService {
             };
             let Some(batch) = batch else {
                 if inner.published_at != inner.committed {
-                    self.publish(session.engine(), &inner.mirror, inner.committed);
-                    inner.published_at = inner.committed;
+                    self.publish(inner);
                 }
                 return Ok(reports);
             };
-            let staged_and_committed = session
-                .stage_all(batch.iter().cloned())
-                .and_then(|_| session.commit_staged());
-            let report = match staged_and_committed {
+            // Mint the proof (the serve path's only per-update legality
+            // check), then discharge it: validation and kernel execution are
+            // decoupled, so the kernel never re-hashes what was just checked.
+            let committed = inner
+                .engine
+                .validate(batch.updates())
+                .and_then(|proven| inner.engine.apply_batch_trusted(proven));
+            let report = match committed {
                 Ok(report) => report,
                 Err(error) => {
                     // The offending batch is dropped whole: nothing of it was
-                    // committed (commit_staged is atomic), and aborting the
-                    // session discards any partial staging.  Publish whatever
-                    // the snapshot throttle still owes before reporting.
+                    // committed (validation is all-or-nothing and precedes the
+                    // kernel).  Publish whatever the snapshot throttle still
+                    // owes before reporting.
                     if inner.published_at != inner.committed {
-                        self.publish(session.engine(), &inner.mirror, inner.committed);
-                        inner.published_at = inner.committed;
+                        self.publish(inner);
                     }
-                    session.abort();
                     return Err(ServiceError {
                         committed: reports.len(),
                         reports,
@@ -847,8 +967,7 @@ impl EngineService {
             append_journal(inner.journal.as_mut(), &batch);
             inner.journal.commit();
             if inner.committed.is_multiple_of(self.snapshot_every) {
-                self.publish(session.engine(), &inner.mirror, inner.committed);
-                inner.published_at = inner.committed;
+                self.publish(inner);
             }
             reports.push(report);
         }
@@ -881,8 +1000,7 @@ impl EngineService {
             };
             let Some(batch) = batch else {
                 if inner.published_at != inner.committed {
-                    self.publish(inner.engine.as_ref(), &inner.mirror, inner.committed);
-                    inner.published_at = inner.committed;
+                    self.publish(inner);
                 }
                 return reports;
             };
@@ -903,22 +1021,20 @@ impl EngineService {
             append_journal(inner.journal.as_mut(), &survived);
             inner.journal.commit();
             if inner.committed.is_multiple_of(self.snapshot_every) {
-                self.publish(inner.engine.as_ref(), &inner.mirror, inner.committed);
-                inner.published_at = inner.committed;
+                self.publish(inner);
             }
             reports.push(report);
         }
     }
 
-    /// Swaps a freshly captured snapshot into the published slot.
-    fn publish(
-        &self,
-        engine: &(impl MatchingEngine + ?Sized),
-        mirror: &DynamicHypergraph,
-        committed: u64,
-    ) {
-        let snapshot = Arc::new(MatchingSnapshot::capture(engine, mirror, committed));
+    /// Syncs the matched-edge index with the engine (O(matching-delta) since
+    /// the last publish) and swaps a snapshot cloned from it into the
+    /// published slot.
+    fn publish(&self, inner: &mut ServiceInner) {
+        inner.index.sync(inner.engine.as_ref(), &inner.mirror);
+        let snapshot = Arc::new(inner.index.snapshot(inner.engine.as_ref(), inner.committed));
         *self.published.lock().expect("snapshot lock poisoned") = snapshot;
+        inner.published_at = inner.committed;
     }
 
     /// The journal so far: every committed batch, in commit order, in the
@@ -1122,11 +1238,11 @@ impl EngineService {
             committed += 1;
         }
         sink.commit();
-        let initial = Arc::new(MatchingSnapshot::capture(
-            engine.as_ref(),
-            &mirror,
-            committed,
-        ));
+        // Seed the matched-edge index from the recovered matching (one full
+        // sync against the empty index); subsequent publishes are O(delta).
+        let mut index = MatchedIndex::default();
+        index.sync(engine.as_ref(), &mirror);
+        let initial = Arc::new(index.snapshot(engine.as_ref(), committed));
         Ok(EngineService {
             inner: Mutex::new(ServiceInner {
                 engine,
@@ -1134,6 +1250,7 @@ impl EngineService {
                 journal: sink,
                 committed,
                 published_at: committed,
+                index,
             }),
             published: Mutex::new(initial),
             queue: Mutex::new(VecDeque::new()),
@@ -1211,7 +1328,8 @@ const _: () = {
 mod tests {
     use super::*;
     use crate::engine::{
-        run_batch, BatchKernel, EngineMetrics, KernelOutcome, MatchingIter, UpdateCounters,
+        run_batch, run_batch_trusted, BatchKernel, EngineMetrics, KernelOutcome, MatchingIter,
+        UpdateCounters, ValidatedBatch,
     };
     use crate::matching::{greedy_maximal_matching, verify_maximality};
     use crate::types::{HyperEdge, Update};
@@ -1253,6 +1371,13 @@ mod tests {
 
         fn apply_batch(&mut self, updates: &[Update]) -> Result<BatchReport, BatchError> {
             run_batch(self, updates)
+        }
+
+        fn apply_batch_trusted(
+            &mut self,
+            batch: ValidatedBatch<'_>,
+        ) -> Result<BatchReport, BatchError> {
+            Ok(run_batch_trusted(self, batch))
         }
 
         fn matching(&self) -> MatchingIter<'_> {

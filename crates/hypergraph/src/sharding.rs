@@ -56,6 +56,25 @@
 //! drain never poisons anything).  Likewise, per-shard snapshots are each
 //! taken at their own committed-batch boundary — there is no global cut.
 //!
+//! # Sub-batches and the single-validation hot path
+//!
+//! Routing splits an admitted batch into per-shard *subsequences*, sealed
+//! with [`UpdateBatch::trusted`]: a subsequence of a context-free-valid batch
+//! is itself context-free valid (no repeated ids, no delete-after-insert —
+//! both properties survive taking a subsequence), so the router never re-runs
+//! the [`BatchLedger`](crate::engine::BatchLedger) machine.  A sub-batch
+//! would only need *revalidation* if the shard-local vertex space differed
+//! from the space the batch was admitted against — it never does:
+//! [`ShardedService::from_services`] asserts all shard engines share one
+//! vertex space, and every partitioner maps that one space.  The
+//! engine-context check then happens exactly once per sub-batch, in the
+//! shard's drain, where [`MatchingEngine::validate`] mints the
+//! [`ValidatedBatch`](crate::engine::ValidatedBatch) proof the trusted kernel
+//! path discharges.
+//!
+//! [`MatchingEngine::validate`]: crate::engine::MatchingEngine::validate
+//! [`UpdateBatch::trusted`]: crate::types::UpdateBatch
+//!
 //! ```
 //! use pdmm::engine::{self, EngineBuilder, EngineKind};
 //! use pdmm::prelude::*;

@@ -209,6 +209,17 @@ impl Update {
 /// the batch is applied.  A deletion of an id the batch does not touch is assumed
 /// to name a live edge; an insertion is assumed to use a fresh id.
 ///
+/// `UpdateBatch` is therefore the **context-free tier** of the two-tier proof
+/// ladder: it certifies batch-internal legality, and the engine-context tier —
+/// [`ValidatedBatch`], minted by [`MatchingEngine::validate`] against a live
+/// engine — certifies the rest.  The serve path mints the engine-context proof
+/// exactly once per batch (in the drain) and hands it to
+/// [`run_batch_trusted`], so no update is re-checked downstream.
+///
+/// [`ValidatedBatch`]: crate::engine::ValidatedBatch
+/// [`MatchingEngine::validate`]: crate::engine::MatchingEngine::validate
+/// [`run_batch_trusted`]: crate::engine::run_batch_trusted
+///
 /// ```
 /// use pdmm_hypergraph::engine::BatchError;
 /// use pdmm_hypergraph::types::{EdgeId, HyperEdge, Update, UpdateBatch, VertexId};

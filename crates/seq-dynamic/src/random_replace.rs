@@ -12,9 +12,10 @@
 use crate::persist;
 use pdmm_hypergraph::engine::{
     read_state_counters, read_state_graph, read_state_header, read_state_rng, run_batch,
-    write_state_counters, write_state_graph, write_state_header, write_state_rng, BatchError,
-    BatchKernel, BatchReport, EngineBuilder, EngineMetrics, KernelOutcome, MatchingEngine,
-    MatchingIter, StateError, StateParser, UpdateCounters,
+    run_batch_trusted, write_state_counters, write_state_graph, write_state_header,
+    write_state_rng, BatchError, BatchKernel, BatchReport, EngineBuilder, EngineMetrics,
+    KernelOutcome, MatchingEngine, MatchingIter, StateError, StateParser, UpdateCounters,
+    ValidatedBatch,
 };
 use pdmm_hypergraph::graph::DynamicHypergraph;
 use pdmm_hypergraph::matching::{verify_maximality, Matching};
@@ -139,6 +140,13 @@ impl MatchingEngine for RandomReplaceMatching {
 
     fn apply_batch(&mut self, updates: &[Update]) -> Result<BatchReport, BatchError> {
         run_batch(self, updates)
+    }
+
+    fn apply_batch_trusted(
+        &mut self,
+        batch: ValidatedBatch<'_>,
+    ) -> Result<BatchReport, BatchError> {
+        Ok(run_batch_trusted(self, batch))
     }
 
     fn matching(&self) -> MatchingIter<'_> {

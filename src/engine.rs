@@ -20,9 +20,10 @@
 //! ```
 
 pub use pdmm_hypergraph::engine::{
-    run_batch, validate_batch, BatchError, BatchKernel, BatchLedger, BatchReport, BatchSession,
-    EngineBuilder, EngineKind, EngineMetrics, EnginePool, IngestReport, KernelOutcome,
-    MatchingEngine, MatchingIter, RejectedUpdate, UpdateCheck, UpdateCounters,
+    run_batch, run_batch_trusted, validate_batch, validation_checks, BatchError, BatchKernel,
+    BatchLedger, BatchReport, BatchSession, EngineBuilder, EngineKind, EngineMetrics, EnginePool,
+    IngestReport, KernelOutcome, MatchingEngine, MatchingIter, RejectedUpdate, UpdateCheck,
+    UpdateCounters, ValidatedBatch, ValidationToken,
 };
 
 /// Constructs the engine of the given kind from a shared builder configuration.

@@ -169,7 +169,7 @@ pub use pdmm_static as static_matching;
 pub mod prelude {
     pub use crate::engine::{
         BatchError, BatchReport, BatchSession, EngineBuilder, EngineKind, EngineMetrics,
-        IngestReport, MatchingEngine, RejectedUpdate,
+        IngestReport, MatchingEngine, RejectedUpdate, ValidatedBatch,
     };
     pub use pdmm_core::{Config, ParallelDynamicMatching};
     pub use pdmm_hypergraph::graph::DynamicHypergraph;
