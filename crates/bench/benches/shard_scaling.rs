@@ -4,8 +4,10 @@
 //!
 //! Each iteration builds fresh engines (one per shard), routes every batch
 //! through the sharded submit path, and drains all shards concurrently on the
-//! in-tree pool — the full serve loop, not just the kernels, so router and
-//! merge overhead are part of what is measured.
+//! in-tree pool — the full serve loop, not just the kernels, so router,
+//! merge, and end-of-drain boundary arbitration overhead are all part of
+//! what is measured.  A second group isolates the arbitration pass itself by
+//! reporting the arbitrated size instead of the raw union.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pdmm::engine::{EngineBuilder, EngineKind};
@@ -39,5 +41,37 @@ fn bench_shard_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_shard_scaling);
+/// Serve once, then repeatedly re-run only the drain that carries the
+/// arbitration pass: steady-state cost of award + evict + repair on a
+/// standing matching, per shard count.
+fn bench_arbitration_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_arbitration_pass");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let n = 1 << 12;
+    let w = streams::skewed_churn(n, 2, 2 * n, 12, n / 4, 0.6, 2.0, 77);
+    for &shards in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &s| {
+            let builder = EngineBuilder::new(n).seed(13);
+            let engines = (0..s)
+                .map(|_| pdmm::engine::build(EngineKind::Parallel, &builder))
+                .collect();
+            let service = ShardedService::new(engines);
+            for batch in &w.batches {
+                service.submit(batch.clone());
+                service.drain().expect("generated workloads are valid");
+            }
+            // An empty drain commits nothing, so all that runs is the merge
+            // and the arbitration recompute over the standing matching.
+            b.iter(|| {
+                let report = service.drain().expect("empty drain");
+                black_box(report.arbitration.post_size)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_scaling, bench_arbitration_pass);
 criterion_main!(benches);

@@ -569,7 +569,11 @@ pub fn e11_serve_loop(scale: Scale) -> String {
 /// throughput should scale until cross-shard skew or the router serializes.
 /// The cross column counts cross-shard routed updates (owner-shard placement
 /// of edges whose endpoints span shards); conflicts is the size of the
-/// merged snapshot's conflicted-vertex set at the end.
+/// merged snapshot's raw conflicted-vertex set at the end; arbitrated is the
+/// size of the globally valid matching the boundary-arbitration pass
+/// recovers from that union, and retained is arbitrated/matching — the
+/// matched-size fraction the award-evict-repair wave keeps (1.000 at one
+/// shard, where arbitration is a bit-identical no-op).
 #[must_use]
 pub fn e12_shard_scaling(scale: Scale) -> String {
     use pdmm::sharding::ShardedService;
@@ -584,6 +588,8 @@ pub fn e12_shard_scaling(scale: Scale) -> String {
             "cross",
             "conflicts",
             "matching",
+            "arbitrated",
+            "retained",
         ],
     );
     let n = scale.div(1 << 13, 1 << 10);
@@ -603,6 +609,7 @@ pub fn e12_shard_scaling(scale: Scale) -> String {
             }
             let wall = t0.elapsed();
             let snap = service.snapshot();
+            let arbitrated = snap.arbitrated_matching();
             let us_per_update = wall.as_secs_f64() * 1e6 / w.total_updates() as f64;
             table.row(vec![
                 kind.to_string(),
@@ -612,6 +619,8 @@ pub fn e12_shard_scaling(scale: Scale) -> String {
                 cross.to_string(),
                 snap.conflicted_vertices().len().to_string(),
                 snap.size().to_string(),
+                arbitrated.size().to_string(),
+                f(arbitrated.report().retained(), 3),
             ]);
         }
     }

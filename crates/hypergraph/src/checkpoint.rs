@@ -22,6 +22,14 @@
 //! state, a recovered service is **bit-identical** to a clean twin that
 //! replayed the same committed prefix.
 //!
+//! The sharded layer's boundary-arbitration outcome
+//! ([`ArbitratedMatching`](crate::sharding::ArbitratedMatching)) is
+//! deliberately **not** part of this format: it is derived state — a pure,
+//! deterministic function of the committed per-shard matchings — so
+//! [`ShardedService::recover`](crate::sharding::ShardedService::recover)
+//! (and replay) recompute it after rebuilding the shards and reproduce the
+//! original arbitrated view bit-identically without persisting a byte.
+//!
 //! Tail replay trusts the journal the same way live replay does: each tail
 //! block parses through [`crate::io`] (re-minting the context-free tier of
 //! batch validity) and then commits through the engine's validating

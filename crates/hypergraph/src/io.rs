@@ -9,7 +9,9 @@
 //! * **shard-tagged update stream** — the update-stream format with one
 //!   `@ <shard>` header line per block, used by the sharded serving layer's
 //!   journal ([`sharded_batches_to_string`]) so every batch replays onto the
-//!   shard that committed it.
+//!   shard that committed it.  Nothing arbitration-related is journaled: the
+//!   arbitrated matching is derived state, recomputed deterministically from
+//!   the replayed per-shard matchings.
 //!
 //! Lines starting with `#` are comments.  Parsing is strict: malformed lines return
 //! an error rather than being skipped, so corrupted workload files are caught

@@ -304,6 +304,14 @@ pub struct ServerStats {
     /// Updates rejected with typed errors by lossy drains (e.g. a deletion
     /// referencing a shed insert).
     pub rejected_updates: u64,
+    /// Conflicted vertices resolved by boundary-arbitration passes across
+    /// drains the server ran (see
+    /// [`crate::sharding::ArbitrationReport`]).
+    pub arbitration_conflicts: u64,
+    /// Matched edges evicted by arbitration award passes.
+    pub arbitration_evicted: u64,
+    /// Matched edges added back by arbitration repair waves.
+    pub arbitration_repaired: u64,
 }
 
 #[derive(Debug, Default)]
@@ -316,6 +324,9 @@ struct AtomicStats {
     committed_batches: AtomicU64,
     deduplicated_updates: AtomicU64,
     rejected_updates: AtomicU64,
+    arbitration_conflicts: AtomicU64,
+    arbitration_evicted: AtomicU64,
+    arbitration_repaired: AtomicU64,
 }
 
 // ---------------------------------------------------------------------------
@@ -353,6 +364,16 @@ impl Shared {
         self.stats
             .rejected_updates
             .fetch_add(report.rejected as u64, ordering);
+        let arbitration = report.arbitration.stats;
+        self.stats
+            .arbitration_conflicts
+            .fetch_add(arbitration.conflicted_vertices as u64, ordering);
+        self.stats
+            .arbitration_evicted
+            .fetch_add(arbitration.evicted_edges as u64, ordering);
+        self.stats
+            .arbitration_repaired
+            .fetch_add(arbitration.repaired_edges as u64, ordering);
     }
 }
 
@@ -401,6 +422,9 @@ impl ServerHandle {
             committed_batches: stats.committed_batches.load(ordering),
             deduplicated_updates: stats.deduplicated_updates.load(ordering),
             rejected_updates: stats.rejected_updates.load(ordering),
+            arbitration_conflicts: stats.arbitration_conflicts.load(ordering),
+            arbitration_evicted: stats.arbitration_evicted.load(ordering),
+            arbitration_repaired: stats.arbitration_repaired.load(ordering),
         }
     }
 

@@ -414,6 +414,8 @@ pub struct MatchingSnapshot {
     matching: Box<[EdgeId]>,
     /// Matched edge covering each matched vertex.
     by_vertex: FxHashMap<VertexId, EdgeId>,
+    /// Endpoint set of every matched edge, cached at match time.
+    endpoints: FxHashMap<EdgeId, Box<[VertexId]>>,
     /// The engine's lifetime metrics at commit time.
     metrics: EngineMetrics,
     /// The engine's display name.
@@ -449,6 +451,17 @@ impl MatchingSnapshot {
     #[must_use]
     pub fn is_matched(&self, v: VertexId) -> bool {
         self.by_vertex.contains_key(&v)
+    }
+
+    /// The endpoint set of matched edge `id` (sorted ascending, as stored by
+    /// [`HyperEdge`]), or `None` if `id` is not
+    /// matched in this snapshot.  Frozen at commit time like every other
+    /// query, so the endpoints remain readable even after a later batch
+    /// deletes the edge — the sharded boundary-arbitration pass relies on
+    /// this to judge conflicts without touching the engines.
+    #[must_use]
+    pub fn matched_endpoints(&self, id: EdgeId) -> Option<&[VertexId]> {
+        self.endpoints.get(&id).map(|e| &**e)
     }
 
     /// The matched edge ids, sorted ascending.
@@ -622,6 +635,7 @@ impl MatchedIndex {
             num_vertices: engine.num_vertices(),
             matching: self.sorted.clone().into_boxed_slice(),
             by_vertex: self.by_vertex.clone(),
+            endpoints: self.matched.clone(),
             metrics: engine.metrics(),
             engine: engine.name(),
         }
@@ -1283,6 +1297,92 @@ impl EngineService {
             .expect("service commit lock poisoned")
             .mirror
             .snapshot_edges()
+    }
+
+    /// Whether `id` is live in the committed mirror graph.  The sharded
+    /// router reconciles its ownership map against this after a drain, so
+    /// entries recorded at routing time for updates an engine later rejected
+    /// do not linger.
+    pub(crate) fn contains_live_edge(&self, id: EdgeId) -> bool {
+        self.inner
+            .lock()
+            .expect("service commit lock poisoned")
+            .mirror
+            .contains_edge(id)
+    }
+
+    /// The edge ids named by still-queued (submitted, uncommitted) updates:
+    /// `(inserted, deleted)`.  The sharded router's post-failure resync must
+    /// not touch entries for updates that are still in flight.
+    pub(crate) fn queued_update_ids(&self) -> (FxHashSet<EdgeId>, FxHashSet<EdgeId>) {
+        let queue = self.lock_queue();
+        let mut inserted = FxHashSet::default();
+        let mut deleted = FxHashSet::default();
+        for batch in queue.iter() {
+            for update in batch {
+                match update {
+                    Update::Insert(edge) => {
+                        inserted.insert(edge.id);
+                    }
+                    Update::Delete(id) => {
+                        deleted.insert(*id);
+                    }
+                }
+            }
+        }
+        (inserted, deleted)
+    }
+
+    /// The engine's currently free (unmatched) vertices, sorted ascending —
+    /// through the engine's [`MatchingEngine::free_vertices`] repair hook
+    /// when it implements one, otherwise recomputed from the engine's
+    /// matching and the committed mirror graph.
+    ///
+    /// Reads the engine under the commit lock, so the answer reflects the
+    /// full committed state (not a possibly-throttled published snapshot).
+    #[must_use]
+    pub fn free_vertices(&self) -> Vec<VertexId> {
+        let inner = self.inner.lock().expect("service commit lock poisoned");
+        if let Some(free) = inner.engine.free_vertices() {
+            return free;
+        }
+        let mut covered: FxHashSet<VertexId> = FxHashSet::default();
+        for id in inner.engine.matching() {
+            let edge = inner
+                .mirror
+                .edge(id)
+                .expect("matched edges are live in the mirror graph");
+            covered.extend(edge.vertices().iter().copied());
+        }
+        (0..inner.engine.num_vertices() as u32)
+            .map(VertexId)
+            .filter(|v| !covered.contains(v))
+            .collect()
+    }
+
+    /// Live committed edges incident to any vertex in `freed`, with their
+    /// endpoint sets, deduplicated and **sorted ascending by edge id** — the
+    /// deterministic per-shard candidate list the boundary-arbitration
+    /// repair wave merges (`ShardedService` iterates shards in order, so the
+    /// global candidate order is exactly the `(owner shard, edge id)`
+    /// priority rule).
+    pub(crate) fn repair_candidates(&self, freed: &[VertexId]) -> Vec<(EdgeId, Box<[VertexId]>)> {
+        let inner = self.inner.lock().expect("service commit lock poisoned");
+        let mut seen: FxHashSet<EdgeId> = FxHashSet::default();
+        let mut out = Vec::new();
+        for &v in freed {
+            for id in inner.mirror.incident_edges(v) {
+                if seen.insert(id) {
+                    let edge = inner
+                        .mirror
+                        .edge(id)
+                        .expect("incident edges are live in the mirror graph");
+                    out.push((id, edge.vertices().into()));
+                }
+            }
+        }
+        out.sort_unstable_by_key(|&(id, _)| id);
+        out
     }
 
     fn lock_queue(&self) -> MutexGuard<'_, VecDeque<UpdateBatch>> {

@@ -88,6 +88,41 @@ impl From<u32> for ShardId {
     }
 }
 
+/// Counters produced by one boundary-arbitration pass of the sharded serving
+/// layer (see `pdmm_hypergraph::sharding`).
+///
+/// After every sharded drain, the arbitration pass awards each *conflicted*
+/// vertex (covered by matched edges on more than one shard) to exactly one
+/// edge by the deterministic `(owner shard, edge id)` priority rule, evicts
+/// the losers, and runs one bounded repair wave that re-matches edges over
+/// the vertices the evictions freed.  These counters summarize that pass;
+/// they are derived state (a pure function of the per-shard matchings), so
+/// they are reproduced — not persisted — by replay and recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ArbitrationStats {
+    /// Vertices covered by matched edges on more than one shard before
+    /// arbitration.
+    pub conflicted_vertices: usize,
+    /// Matched edges evicted because they lost at least one endpoint.
+    pub evicted_edges: usize,
+    /// Vertices left uncovered by the kept matching after evictions (the
+    /// seed set of the repair wave).
+    pub freed_vertices: usize,
+    /// Distinct candidate edges examined by the repair wave.
+    pub repair_candidates: usize,
+    /// Candidate edges accepted by the repair wave.
+    pub repaired_edges: usize,
+}
+
+impl ArbitrationStats {
+    /// Whether the pass had nothing to do (no conflicts, nothing evicted or
+    /// repaired) — always the case at 1 shard.
+    #[must_use]
+    pub fn is_noop(&self) -> bool {
+        *self == ArbitrationStats::default()
+    }
+}
+
 /// A hyperedge: an identifier plus its (at most `r`) endpoints.
 ///
 /// Endpoints are stored deduplicated and sorted, so two structurally equal edges

@@ -22,8 +22,8 @@
 pub use pdmm_hypergraph::engine::{
     run_batch, run_batch_trusted, validate_batch, validation_checks, BatchError, BatchKernel,
     BatchLedger, BatchReport, BatchSession, EngineBuilder, EngineKind, EngineMetrics, EnginePool,
-    IngestReport, KernelOutcome, MatchingEngine, MatchingIter, RejectedUpdate, UpdateCheck,
-    UpdateCounters, ValidatedBatch, ValidationToken,
+    IngestReport, KernelOutcome, MatchingEngine, MatchingIter, RejectedUpdate, RepairError,
+    UpdateCheck, UpdateCounters, ValidatedBatch, ValidationToken,
 };
 
 /// Constructs the engine of the given kind from a shared builder configuration.

@@ -22,7 +22,8 @@
 //!   [`sharding::ShardedService`] shards partitioning the vertex space behind
 //!   a deterministic router, drained concurrently and merged into
 //!   [`sharding::ShardedSnapshot`] reads with explicit cross-shard
-//!   accounting,
+//!   accounting and a boundary-arbitrated globally valid matching
+//!   ([`sharding::ArbitratedMatching`]),
 //! * [`net`] — the TCP front-end: [`net::serve`] puts a wire in front of a
 //!   sharded service, speaking the [`hypergraph::io`] text format with typed
 //!   admission responses (`OK`/`RETRY`/`SHED`/`ERR`) so overload degrades
@@ -139,6 +140,12 @@
 //! service.drain().unwrap();
 //! let snap = service.snapshot();
 //! assert!(snap.size() > 0);
+//! // The globally valid matching: boundary arbitration awards every conflicted
+//! // vertex to one shard, evicts the losers and repairs around them, so the
+//! // arbitrated view passes the same validity+maximality audit as one engine.
+//! let arbitrated = snap.arbitrated_matching();
+//! assert!(arbitrated.conflicted_vertices().is_empty());
+//! assert!(arbitrated.report().retained() <= 1.0);
 //! // Rebuild all four shards bit-identically from the shard-tagged journal.
 //! let engines = (0..4)
 //!     .map(|_| pdmm::engine::build(EngineKind::Parallel, &builder))
@@ -178,7 +185,9 @@ pub mod prelude {
         serve, AdmissionPolicy, DrainMode, Response, ServerConfig, ServerHandle, ServerStats,
     };
     pub use pdmm_hypergraph::service::{EngineService, MatchingSnapshot};
-    pub use pdmm_hypergraph::sharding::{Partitioner, ShardedService, ShardedSnapshot};
+    pub use pdmm_hypergraph::sharding::{
+        ArbitratedMatching, ArbitrationReport, Partitioner, ShardedService, ShardedSnapshot,
+    };
     pub use pdmm_hypergraph::streams::Workload;
     pub use pdmm_hypergraph::types::{EdgeId, HyperEdge, ShardId, Update, UpdateBatch, VertexId};
 }
