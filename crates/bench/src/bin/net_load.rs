@@ -2,12 +2,16 @@
 //!
 //! Spins up an in-process loopback `pdmm::net` server per shard count (1, 2,
 //! 4, 8), offers open-loop load over real sockets, and reports throughput plus
-//! submit-to-ack latency percentiles.  Every run ends with a replay audit: the
-//! shard-tagged journal is replayed into fresh engines and the rebuilt
-//! snapshot must be bit-identical to the served one.  A final **shed probe**
-//! runs a server at queue capacity 1 with no drainer so admission control is
-//! forced into `RETRY`/`SHED`, and verifies the accepted-batch history still
-//! replays exactly.
+//! submit-to-ack latency percentiles.  A **connection sweep** then holds the
+//! total offered load fixed and spreads it over 4/64/256/1024 connections
+//! against the reactor (plus a 4-connection threaded baseline), recording the
+//! server's thread count and per-connection memory proxy — the reactor must
+//! serve every point with the same fixed thread count.  Every run ends with a
+//! replay audit: the shard-tagged journal is replayed into fresh engines and
+//! the rebuilt snapshot must be bit-identical to the served one.  A final
+//! **shed probe** runs a server at queue capacity 1 with no drainer so
+//! admission control is forced into `RETRY`/`SHED`, and verifies the
+//! accepted-batch history still replays exactly.
 //!
 //! Usage:
 //!
@@ -15,11 +19,11 @@
 //! net_load [--smoke] [--out BENCH_net.json]
 //! ```
 //!
-//! `--smoke` runs a seconds-long single-shard pass plus the shed probe and
-//! exits nonzero on any failed audit (the CI gate); the default full run
-//! records `BENCH_net.json`.
+//! `--smoke` runs a seconds-long single-shard pass, a 256-connection reactor
+//! pass, and the shed probe, and exits nonzero on any failed audit (the CI
+//! gate); the default full run records `BENCH_net.json`.
 
-use pdmm::net::{serve, DrainMode, ServerConfig};
+use pdmm::net::{serve, DrainMode, IoModel, ServerConfig};
 use pdmm::prelude::*;
 use pdmm::service::EngineService;
 use pdmm::sharding::HashPartitioner;
@@ -35,10 +39,22 @@ fn engines(shards: usize, num_vertices: usize, seed: u64) -> Vec<Box<dyn Matchin
 
 struct RunOutcome {
     shards: usize,
+    io_model: IoModel,
+    connections: usize,
     report: LoadReport,
     committed_batches: u64,
     rejected_updates: u64,
+    worker_threads: u64,
+    peak_connections: u64,
+    peak_buffer_bytes: u64,
     replay_identical: bool,
+}
+
+fn io_model_name(io_model: IoModel) -> &'static str {
+    match io_model {
+        IoModel::Reactor => "reactor",
+        IoModel::Threaded => "threaded",
+    }
 }
 
 /// Serves a fresh sharded service on loopback, offers the configured load,
@@ -48,6 +64,7 @@ fn run_against_live_server(
     shards: usize,
     queue_capacity: usize,
     drain: DrainMode,
+    io_model: IoModel,
     load: &LoadConfig,
 ) -> RunOutcome {
     const SEED: u64 = 9;
@@ -60,6 +77,7 @@ fn run_against_live_server(
         Box::new(HashPartitioner),
     ));
     let config = ServerConfig {
+        io_model,
         connection_threads: load.connections.max(1),
         drain,
         ..ServerConfig::default()
@@ -86,9 +104,14 @@ fn run_against_live_server(
         && journal == replayed.journal();
     RunOutcome {
         shards,
+        io_model,
+        connections: load.connections,
         report,
         committed_batches: stats.committed_batches,
         rejected_updates: stats.rejected_updates,
+        worker_threads: stats.worker_threads,
+        peak_connections: stats.peak_connections,
+        peak_buffer_bytes: stats.peak_buffer_bytes,
         replay_identical,
     }
 }
@@ -96,9 +119,12 @@ fn run_against_live_server(
 fn print_outcome(outcome: &RunOutcome) {
     let r = &outcome.report;
     println!(
-        "shards={} sent={} ok={} retry={} shed={} err={} | {:.0} batches/s {:.0} updates/s | \
+        "{} shards={} conns={} threads={} sent={} ok={} retry={} shed={} err={} | {:.0} batches/s {:.0} updates/s | \
          latency us: mean {:.0} p50 {} p99 {} p999 {} max {} | committed={} rejected={} replay_identical={}",
+        io_model_name(outcome.io_model),
         outcome.shards,
+        outcome.connections,
+        outcome.worker_threads,
         r.sent,
         r.ok,
         r.retried,
@@ -119,15 +145,28 @@ fn print_outcome(outcome: &RunOutcome) {
 
 fn outcome_json(outcome: &RunOutcome) -> String {
     let r = &outcome.report;
+    let mem_per_conn = outcome
+        .peak_buffer_bytes
+        .checked_div(outcome.peak_connections)
+        .unwrap_or(0);
     format!(
         concat!(
-            "    {{\"shards\": {}, \"sent\": {}, \"ok\": {}, \"retried\": {}, \"shed\": {}, ",
+            "    {{\"io_model\": \"{}\", \"shards\": {}, \"connections\": {}, ",
+            "\"worker_threads\": {}, \"peak_connections\": {}, ",
+            "\"peak_buffer_bytes\": {}, \"buffer_bytes_per_conn\": {}, ",
+            "\"sent\": {}, \"ok\": {}, \"retried\": {}, \"shed\": {}, ",
             "\"errors\": {}, \"accepted_updates\": {}, \"wall_ms\": {}, ",
             "\"batches_per_sec\": {:.1}, \"updates_per_sec\": {:.1}, ",
             "\"latency_us\": {{\"mean\": {:.1}, \"p50\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}}}, ",
             "\"committed_batches\": {}, \"rejected_updates\": {}, \"replay_identical\": {}}}"
         ),
+        io_model_name(outcome.io_model),
         outcome.shards,
+        outcome.connections,
+        outcome.worker_threads,
+        outcome.peak_connections,
+        outcome.peak_buffer_bytes,
+        mem_per_conn,
         r.sent,
         r.ok,
         r.retried,
@@ -161,7 +200,31 @@ fn shed_probe() -> RunOutcome {
         initial_edges: 64,
         ..LoadConfig::default()
     };
-    run_against_live_server(1, 1, DrainMode::Manual, &load)
+    run_against_live_server(1, 1, DrainMode::Manual, IoModel::Reactor, &load)
+}
+
+/// The load for one connection-sweep point: the total offered rate and total
+/// batch count stay fixed while the connection count varies, so every sweep
+/// point asks the server for the same work — only the connection fan-out
+/// changes.  The total rate is chosen *below* the single-core commit capacity:
+/// the sweep compares how the two I/O models serve the same sustainable load
+/// at different connection counts, not how they shed under overload (the
+/// shard sweep and the shed probe cover the overload regime).  Connection
+/// starts are ramped so high fan-out points measure steady-state service
+/// rather than a thundering herd of simultaneous connects.
+fn sweep_load(connections: usize, total_batches: usize, total_rate: f64) -> LoadConfig {
+    LoadConfig {
+        connections,
+        batches_per_connection: (total_batches / connections).max(1),
+        batch_size: 16,
+        rate_per_connection: total_rate / connections as f64,
+        num_vertices: 10_000,
+        // Small per-connection warm-up batch: at 1024 connections the
+        // default 2000-edge preamble would dwarf the measured churn.
+        initial_edges: 16,
+        ramp: std::time::Duration::from_millis((connections as u64).max(250)),
+        ..LoadConfig::default()
+    }
 }
 
 fn main() {
@@ -190,9 +253,40 @@ fn main() {
     let shard_counts: &[usize] = if smoke { &[1] } else { &[1, 2, 4, 8] };
     let mut outcomes = Vec::new();
     for &shards in shard_counts {
-        let outcome = run_against_live_server(shards, 64, DrainMode::Background, &load);
+        let outcome =
+            run_against_live_server(shards, 64, DrainMode::Background, IoModel::Reactor, &load);
         print_outcome(&outcome);
         outcomes.push(outcome);
+    }
+
+    // Connection sweep: same total offered load, spread over ever more
+    // connections — the reactor must hold its thread count fixed throughout.
+    // The threaded 4-connection run is the throughput baseline of the old
+    // model.  Smoke mode runs only the 256-connection reactor point (the CI
+    // gate for connection scale).
+    println!("connection sweep (2 shards, fixed total offered load):");
+    let (total_batches, total_rate) = if smoke {
+        (512, 2_000.0)
+    } else {
+        (2_048, 2_000.0)
+    };
+    let mut sweep = Vec::new();
+    let sweep_points: &[(IoModel, usize)] = if smoke {
+        &[(IoModel::Reactor, 256)]
+    } else {
+        &[
+            (IoModel::Threaded, 4),
+            (IoModel::Reactor, 4),
+            (IoModel::Reactor, 64),
+            (IoModel::Reactor, 256),
+            (IoModel::Reactor, 1024),
+        ]
+    };
+    for &(io_model, connections) in sweep_points {
+        let load = sweep_load(connections, total_batches, total_rate);
+        let outcome = run_against_live_server(2, 256, DrainMode::Background, io_model, &load);
+        print_outcome(&outcome);
+        sweep.push(outcome);
     }
 
     println!("shed probe (queue capacity 1, manual drain):");
@@ -200,14 +294,30 @@ fn main() {
     print_outcome(&probe);
 
     let mut failures = Vec::new();
-    for outcome in outcomes.iter().chain([&probe]) {
+    for outcome in outcomes.iter().chain(&sweep).chain([&probe]) {
+        let label = format!(
+            "{} shards={} conns={}",
+            io_model_name(outcome.io_model),
+            outcome.shards,
+            outcome.connections
+        );
         if !outcome.replay_identical {
-            failures.push(format!("shards={}: replay mismatch", outcome.shards));
+            failures.push(format!("{label}: replay mismatch"));
         }
         if outcome.report.errors > 0 {
             failures.push(format!(
-                "shards={}: {} protocol errors",
-                outcome.shards, outcome.report.errors
+                "{label}: {} protocol errors",
+                outcome.report.errors
+            ));
+        }
+    }
+    for outcome in &sweep {
+        // The connection-scale claim itself: thread count fixed at
+        // event threads + drainer, no matter how many connections.
+        if outcome.io_model == IoModel::Reactor && outcome.worker_threads > 2 {
+            failures.push(format!(
+                "reactor conns={}: {} worker threads (expected event loop + drainer = 2)",
+                outcome.connections, outcome.worker_threads
             ));
         }
     }
@@ -219,10 +329,27 @@ fn main() {
     }
 
     if !smoke {
+        // The headline comparison of the sweep: the 256-connection reactor
+        // against the 4-connection threaded baseline.
+        let baseline = sweep
+            .iter()
+            .find(|o| o.io_model == IoModel::Threaded && o.connections == 4);
+        let scale_point = sweep
+            .iter()
+            .find(|o| o.io_model == IoModel::Reactor && o.connections == 256);
+        let throughput_ratio = match (baseline, scale_point) {
+            (Some(baseline), Some(scale_point)) if baseline.report.batches_per_sec > 0.0 => {
+                scale_point.report.batches_per_sec / baseline.report.batches_per_sec
+            }
+            _ => 0.0,
+        };
+        println!("reactor@256conns vs threaded@4conns throughput ratio: {throughput_ratio:.3}");
+
         let unix_time = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map_or(0, |d| d.as_secs());
         let runs: Vec<String> = outcomes.iter().map(outcome_json).collect();
+        let sweep_runs: Vec<String> = sweep.iter().map(outcome_json).collect();
         let json = format!(
             concat!(
                 "{{\n",
@@ -233,6 +360,11 @@ fn main() {
                 "\"rank\": {}, \"initial_edges\": {}, \"insert_fraction\": {:.2}, ",
                 "\"skew\": {:.2}, \"queue_capacity_per_shard\": 64, \"engine\": \"parallel\"}},\n",
                 "  \"runs\": [\n{}\n  ],\n",
+                "  \"conn_sweep\": {{\n",
+                "    \"total_batches\": {}, \"total_rate\": {:.1}, \"shards\": 2, ",
+                "\"queue_capacity_per_shard\": 256, ",
+                "\"reactor_256_vs_threaded_4_throughput_ratio\": {:.3},\n",
+                "    \"runs\": [\n{}\n  ]}},\n",
                 "  \"shed_probe\": \n{}\n}}\n"
             ),
             unix_time,
@@ -246,6 +378,10 @@ fn main() {
             load.insert_fraction,
             load.skew,
             runs.join(",\n"),
+            total_batches,
+            total_rate,
+            throughput_ratio,
+            sweep_runs.join(",\n"),
             outcome_json(&probe),
         );
         std::fs::write(&out, json).expect("write benchmark artifact");

@@ -49,6 +49,11 @@ pub struct LoadConfig {
     pub skew: f64,
     /// Base seed; connection `k` uses `seed + k`.
     pub seed: u64,
+    /// Window over which connection starts are spread evenly (connection `k`
+    /// connects and starts its schedule at `k / connections × ramp`).  Zero
+    /// starts every connection at once — at high connection counts that
+    /// measures a thundering herd rather than steady-state service.
+    pub ramp: Duration,
 }
 
 impl Default for LoadConfig {
@@ -64,6 +69,7 @@ impl Default for LoadConfig {
             insert_fraction: 0.6,
             skew: 1.5,
             seed: 42,
+            ramp: Duration::ZERO,
         }
     }
 }
@@ -169,7 +175,11 @@ fn drive_connection(
     addr: SocketAddr,
     batches: &[UpdateBatch],
     rate: f64,
+    start_delay: Duration,
 ) -> std::io::Result<ConnResult> {
+    if !start_delay.is_zero() {
+        std::thread::sleep(start_delay);
+    }
     let writer = TcpStream::connect(addr)?;
     writer.set_nodelay(true)?;
     let reader = BufReader::new(writer.try_clone()?);
@@ -249,7 +259,12 @@ pub fn run(addr: SocketAddr, config: &LoadConfig) -> std::io::Result<LoadReport>
         let handles: Vec<_> = (0..config.connections)
             .map(|k| {
                 let batches = connection_batches(config, k);
-                scope.spawn(move || drive_connection(addr, &batches, config.rate_per_connection))
+                let start_delay = config
+                    .ramp
+                    .mul_f64(k as f64 / config.connections.max(1) as f64);
+                scope.spawn(move || {
+                    drive_connection(addr, &batches, config.rate_per_connection, start_delay)
+                })
             })
             .collect();
         handles

@@ -200,6 +200,7 @@ fn oversized_batch_is_a_protocol_error() {
         },
         connection_threads: 1,
         drain: DrainMode::Manual,
+        ..ServerConfig::default()
     };
     let handle = serve(service, "127.0.0.1:0", config).unwrap();
     let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
